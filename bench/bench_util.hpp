@@ -1,0 +1,47 @@
+// bench_util.hpp — shared helpers for the paper-reproduction benches.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "driver/framework.hpp"
+#include "suite/suite.hpp"
+
+namespace hpf90d::bench {
+
+inline driver::Framework& framework() {
+  static driver::Framework fw;
+  return fw;
+}
+
+inline compiler::CompiledProgram compile_app(const suite::BenchmarkApp& app) {
+  return app.directive_overrides.empty()
+             ? framework().compile(app.source)
+             : framework().compile_with_directives(app.source, app.directive_overrides);
+}
+
+/// FULL=1 in the environment runs the complete paper sweeps (the N-body
+/// 4096-particle points take a few minutes of functional simulation);
+/// the default trims the heaviest points so `for b in build/bench/*` stays
+/// quick.
+inline bool full_sweep() {
+  const char* v = std::getenv("FULL");
+  return v != nullptr && std::string(v) == "1";
+}
+
+inline driver::ExperimentConfig config_for(const suite::BenchmarkApp& app,
+                                           long long size, int nprocs, int runs = 3) {
+  driver::ExperimentConfig cfg;
+  cfg.nprocs = nprocs;
+  cfg.bindings = app.bindings(size);
+  cfg.runs = runs;
+  if (app.id == "laplace_bb") {
+    cfg.grid_shape = nprocs == 4   ? std::optional<std::vector<int>>({2, 2})
+                     : nprocs == 8 ? std::optional<std::vector<int>>({2, 4})
+                     : nprocs == 2 ? std::optional<std::vector<int>>({1, 2})
+                                   : std::optional<std::vector<int>>({1, 1});
+  }
+  return cfg;
+}
+
+}  // namespace hpf90d::bench

@@ -1,0 +1,26 @@
+// fig4_laplace4 — regenerates paper Figure 4: Laplace solver estimated and
+// measured execution times on 4 processors, for the three distributions,
+// over problem sizes 16..256.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "driver/report.hpp"
+
+int main() {
+  using namespace hpf90d;
+  std::printf("Figure 4: Laplace Solver (4 Procs) - Estimated/Measured Times\n\n");
+  for (const char* id : {"laplace_bb", "laplace_bx", "laplace_xb"}) {
+    const auto& app = suite::app(id);
+    auto prog = bench::compile_app(app);
+    std::vector<std::pair<long long, driver::Comparison>> series;
+    for (long long n : app.problem_sizes) {
+      series.emplace_back(
+          n, bench::framework().compare(prog, bench::config_for(app, n, 4)));
+    }
+    const std::string title =
+        app.name + (app.id == "laplace_bb" ? " - 2x2 Proc Grid" : " - 4 Procs");
+    std::printf("%s", driver::render_series(title, series).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// fig5_laplace8 — regenerates paper Figure 5: Laplace solver estimated and
+// measured execution times on 8 processors (2x4 grid for (BLOCK,BLOCK)).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "driver/report.hpp"
+
+int main() {
+  using namespace hpf90d;
+  std::printf("Figure 5: Laplace Solver (8 Procs) - Estimated/Measured Times\n\n");
+  for (const char* id : {"laplace_bb", "laplace_bx", "laplace_xb"}) {
+    const auto& app = suite::app(id);
+    auto prog = bench::compile_app(app);
+    std::vector<std::pair<long long, driver::Comparison>> series;
+    for (long long n : app.problem_sizes) {
+      series.emplace_back(
+          n, bench::framework().compare(prog, bench::config_for(app, n, 8)));
+    }
+    const std::string title =
+        app.name + (app.id == "laplace_bb" ? " - 2x4 Proc Grid" : " - 8 Procs");
+    std::printf("%s", driver::render_series(title, series).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

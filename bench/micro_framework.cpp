@@ -1,0 +1,79 @@
+// micro_framework — google-benchmark microbenchmarks of the framework
+// itself: compilation, abstraction, interpretation, and simulation cost as
+// problem size grows. These support the paper's §5.3 cost-effectiveness
+// claim quantitatively: interpretation cost is independent of problem size
+// while simulation (a stand-in for running on the machine) is not.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/aag.hpp"
+
+using namespace hpf90d;
+
+namespace {
+
+void BM_Compile(benchmark::State& state) {
+  const auto& app = suite::app("laplace_bx");
+  for (auto _ : state) {
+    auto prog = bench::compile_app(app);
+    benchmark::DoNotOptimize(prog.node_count);
+  }
+}
+BENCHMARK(BM_Compile);
+
+void BM_AbstractionParse(benchmark::State& state) {
+  const auto& app = suite::app("finance");
+  auto prog = bench::compile_app(app);
+  for (auto _ : state) {
+    core::SynchronizedAAG saag(prog);
+    benchmark::DoNotOptimize(saag.aaus().size());
+  }
+}
+BENCHMARK(BM_AbstractionParse);
+
+void BM_Interpretation(benchmark::State& state) {
+  const auto& app = suite::app("laplace_bx");
+  auto prog = bench::compile_app(app);
+  const long long n = state.range(0);
+  const auto cfg = bench::config_for(app, n, 8);
+  for (auto _ : state) {
+    const auto pred = bench::framework().predict(prog, cfg);
+    benchmark::DoNotOptimize(pred.total);
+  }
+  state.SetLabel("n=" + std::to_string(n));
+}
+BENCHMARK(BM_Interpretation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_Simulation(benchmark::State& state) {
+  const auto& app = suite::app("laplace_bx");
+  auto prog = bench::compile_app(app);
+  const long long n = state.range(0);
+  auto cfg = bench::config_for(app, n, 8);
+  cfg.runs = 1;
+  for (auto _ : state) {
+    const auto meas = bench::framework().measure(prog, cfg);
+    benchmark::DoNotOptimize(meas.stats.mean);
+  }
+  state.SetLabel("n=" + std::to_string(n));
+}
+BENCHMARK(BM_Simulation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PredictAllSuiteApps(benchmark::State& state) {
+  std::vector<compiler::CompiledProgram> progs;
+  for (const auto& app : suite::validation_suite()) progs.push_back(bench::compile_app(app));
+  for (auto _ : state) {
+    double total = 0;
+    std::size_t k = 0;
+    for (const auto& app : suite::validation_suite()) {
+      total += bench::framework()
+                   .predict(progs[k++], bench::config_for(app, app.problem_sizes.front(), 4))
+                   .total;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PredictAllSuiteApps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// table1_suite — regenerates paper Table 1: the validation application set.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace hpf90d;
+  std::printf("Table 1: Validation Application Set\n");
+  support::TextTable table({"Name", "Description", "Problem sizes", "AAUs"});
+  std::string group;
+  for (const auto& app : suite::validation_suite()) {
+    std::string g = app.id.starts_with("lfk")   ? "Livermore Fortran Kernels (LFK)"
+                    : app.id.starts_with("pbs") ? "Purdue Benchmarking Set (PBS)"
+                                                : "Applications";
+    if (g != group) {
+      table.add_rule();
+      group = g;
+    }
+    const auto prog = bench::compile_app(app);
+    const std::string sizes =
+        std::to_string(app.data_elements(app.problem_sizes.front())) + " - " +
+        std::to_string(app.data_elements(app.problem_sizes.back()));
+    table.add_row({app.name, app.description, sizes, std::to_string(prog.node_count)});
+  }
+  std::printf("%s", table.str().c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// table2_accuracy — regenerates paper Table 2: accuracy of the performance
+// prediction framework. For every application the problem size and system
+// size are swept, estimated (interpreted) times are compared with the
+// simulated-measured times, and min/max absolute errors are reported as
+// percentages of the measured time.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "driver/report.hpp"
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace hpf90d;
+  const bool full = bench::full_sweep();
+  std::printf("Table 2: Accuracy of the Performance Prediction Framework%s\n",
+              full ? " (full sweep)" : " (trimmed sweep; FULL=1 for the paper sweep)");
+
+  support::TextTable table({"Name", "Problem Sizes", "System Size", "Min Abs Error",
+                            "Max Abs Error", "Within Variance"});
+  double global_worst = 0;
+  for (const auto& app : suite::validation_suite()) {
+    const auto prog = bench::compile_app(app);
+    std::vector<driver::SweepPoint> sweep;
+    for (long long size : app.problem_sizes) {
+      // trim the most expensive functional simulations unless FULL=1
+      if (!full && app.id == "nbody" && size > 256) continue;
+      if (!full && app.id != "nbody" && size > 2048) continue;
+      for (int nprocs : suite::paper_system_sizes()) {
+        driver::SweepPoint pt;
+        pt.problem_size = app.data_elements(size);
+        pt.nprocs = nprocs;
+        pt.comparison =
+            bench::framework().compare(prog, bench::config_for(app, size, nprocs));
+        sweep.push_back(pt);
+      }
+    }
+    const auto row = driver::AccuracyRow::from_sweep(app.name, sweep);
+    global_worst = std::max(global_worst, row.max_abs_error_pct);
+    table.add_row({row.name, row.sizes, row.procs,
+                   support::strfmt("%.2f%%", row.min_abs_error_pct),
+                   support::strfmt("%.2f%%", row.max_abs_error_pct),
+                   support::strfmt("%d/%d", row.within_variance, row.points)});
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("worst-case interpreted-vs-measured error: %.2f%% "
+              "(paper: within 20%% worst case, 18.6%% max row)\n",
+              global_worst);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// directive_selection.cpp — the paper's §5.2.1 use case: select the best
+// DISTRIBUTE directive for the Laplace solver from interpreted performance,
+// without ever "running" on the machine. The three candidate distributions
+// are evaluated across problem sizes and the winner is reported; a final
+// simulated measurement confirms the choice.
+#include <cstdio>
+
+#include "driver/framework.hpp"
+#include "suite/suite.hpp"
+#include "support/text.hpp"
+
+int main() {
+  using namespace hpf90d;
+  driver::Framework framework;
+
+  const char* ids[3] = {"laplace_bb", "laplace_bx", "laplace_xb"};
+  const int nprocs = 4;
+
+  std::printf("Directive selection for the Laplace solver (P=%d)\n\n", nprocs);
+  std::printf("%8s  %16s  %16s  %16s\n", "size", "(Block,Block)", "(Block,*)",
+              "(*,Block)");
+
+  double totals[3] = {0, 0, 0};
+  for (long long n : {16LL, 64LL, 128LL, 256LL}) {
+    double est[3];
+    for (int k = 0; k < 3; ++k) {
+      const auto& app = suite::app(ids[k]);
+      auto prog = framework.compile_with_directives(app.source, app.directive_overrides);
+      driver::ExperimentConfig cfg;
+      cfg.nprocs = nprocs;
+      if (k == 0) cfg.grid_shape = std::vector<int>{2, 2};
+      cfg.bindings = app.bindings(n);
+      est[k] = framework.predict(prog, cfg).total;
+      totals[k] += est[k];
+    }
+    std::printf("%8lld  %16s  %16s  %16s\n", n,
+                support::format_seconds(est[0]).c_str(),
+                support::format_seconds(est[1]).c_str(),
+                support::format_seconds(est[2]).c_str());
+  }
+
+  const int best = static_cast<int>(std::min_element(totals, totals + 3) - totals);
+  const char* names[3] = {"(Block,Block)", "(Block,*)", "(*,Block)"};
+  std::printf("\nrecommended DISTRIBUTE directive: %s\n", names[best]);
+
+  // confirm on the simulated machine, the way a developer would double-check
+  const auto& app = suite::app(ids[best]);
+  auto prog = framework.compile_with_directives(app.source, app.directive_overrides);
+  driver::ExperimentConfig cfg;
+  cfg.nprocs = nprocs;
+  if (best == 0) cfg.grid_shape = std::vector<int>{2, 2};
+  cfg.bindings = app.bindings(256);
+  const auto cmp = framework.compare(prog, cfg);
+  std::printf("confirmation at n=256: estimated %s, measured %s (error %.2f%%)\n",
+              support::format_seconds(cmp.estimated).c_str(),
+              support::format_seconds(cmp.measured_mean).c_str(), cmp.abs_error_pct());
+  return 0;
+}

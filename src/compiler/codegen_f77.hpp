@@ -1,0 +1,19 @@
+// codegen_f77.hpp — renders the SPMD node program as the "Fortran 77 +
+// Message Passing" code that phase 1 of the NPAC compiler emits (paper
+// §4.1). This output is presentational: the framework interprets /
+// simulates the SPMD IR directly, but developers (and the paper's Fig 2)
+// reason about the node program in this form, so the tool can show it.
+#pragma once
+
+#include <string>
+
+#include "compiler/spmd_ir.hpp"
+
+namespace hpf90d::compiler {
+
+/// Renders the loosely synchronous node program: local DO loops over
+/// processor-owned bounds, collective-communication library calls
+/// (exchange/gather/gsum/...), and replicated control flow.
+[[nodiscard]] std::string codegen_f77(const CompiledProgram& prog);
+
+}  // namespace hpf90d::compiler

@@ -1,0 +1,437 @@
+#include "compiler/comm_analysis.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::compiler {
+
+using front::DistKind;
+using front::Expr;
+using front::ExprKind;
+using front::Subscript;
+using support::CompileError;
+
+StructuralMaps build_structural_maps(const front::DirectiveSet& directives,
+                                     const front::SymbolTable& symbols) {
+  // template name -> distribution pattern
+  std::map<std::string, std::vector<DistKind>> tmpl_dist;
+  for (const auto& t : directives.templates) {
+    tmpl_dist[t.name] = std::vector<DistKind>(t.extents.size(), DistKind::Collapsed);
+  }
+  for (const auto& d : directives.distributes) {
+    auto it = tmpl_dist.find(d.target);
+    if (it == tmpl_dist.end()) {
+      throw CompileError(d.loc, "DISTRIBUTE of unknown template '" + d.target + "'");
+    }
+    it->second = d.pattern;
+  }
+
+  StructuralMaps maps;
+  for (const auto& a : directives.aligns) {
+    const int sym = symbols.find(a.array);
+    if (sym < 0) {
+      throw CompileError(a.loc, "ALIGN of undeclared array '" + a.array + "'");
+    }
+    const auto it = tmpl_dist.find(a.target);
+    if (it == tmpl_dist.end()) {
+      throw CompileError(a.loc, "ALIGN with unknown template '" + a.target + "'");
+    }
+    std::vector<StructDim> dims(a.dummies.size());
+    for (std::size_t td = 0; td < a.target_subs.size(); ++td) {
+      const auto& ts = a.target_subs[td];
+      if (ts.star || ts.dummy < 0) continue;
+      auto& sd = dims[static_cast<std::size_t>(ts.dummy)];
+      sd.kind = it->second[td];
+      sd.tmpl_dim = static_cast<int>(td);
+      sd.offset = ts.offset;
+      sd.tmpl = a.target;
+    }
+    maps[sym] = std::move(dims);
+  }
+  return maps;
+}
+
+namespace {
+
+/// Classification of one scalar subscript expression relative to the
+/// iteration space.
+struct SubClass {
+  enum class Kind {
+    Invariant,      // no space/inner variable appears
+    AffineUnit,     // var + c  (coefficient 1)
+    AffineNonUnit,  // linear-ish with coefficient != 1 or mixed indices
+    Irregular,      // contains an array reference (vector subscript)
+  } kind = Kind::Invariant;
+  int space_pos = -1;  // AffineUnit: which space index; -2 = inner index
+  long long c = 0;     // AffineUnit: constant offset
+};
+
+int find_space_pos(const std::vector<IterIndex>& space, int symbol, int inner_symbol) {
+  if (symbol >= 0 && symbol == inner_symbol) return -2;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    if (space[i].symbol == symbol) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool contains_array_ref(const Expr& e) {
+  if (e.kind == ExprKind::ArrayRef) return true;
+  for (const auto& a : e.args) {
+    if (contains_array_ref(*a)) return true;
+  }
+  if (e.kind == ExprKind::ArrayRef) return true;
+  for (const auto& s : e.subs) {
+    if (s.scalar && contains_array_ref(*s.scalar)) return true;
+  }
+  return false;
+}
+
+void collect_index_uses(const Expr& e, const std::vector<IterIndex>& space,
+                        int inner_symbol, int& count, int& pos) {
+  if (e.kind == ExprKind::Var) {
+    const int p = find_space_pos(space, e.symbol, inner_symbol);
+    if (p != -1) {
+      ++count;
+      pos = p;
+    }
+    return;
+  }
+  for (const auto& a : e.args) collect_index_uses(*a, space, inner_symbol, count, pos);
+  for (const auto& s : e.subs) {
+    if (s.scalar) collect_index_uses(*s.scalar, space, inner_symbol, count, pos);
+  }
+}
+
+SubClass classify_subscript(const Expr& e, const std::vector<IterIndex>& space,
+                            int inner_symbol) {
+  SubClass out;
+  if (contains_array_ref(e)) {
+    out.kind = SubClass::Kind::Irregular;
+    return out;
+  }
+  int uses = 0;
+  int pos = -1;
+  collect_index_uses(e, space, inner_symbol, uses, pos);
+  if (uses == 0) {
+    out.kind = SubClass::Kind::Invariant;
+    return out;
+  }
+  // exact affine-unit patterns: v | v+c | c+v | v-c
+  if (e.kind == ExprKind::Var) {
+    out.kind = SubClass::Kind::AffineUnit;
+    out.space_pos = pos;
+    out.c = 0;
+    return out;
+  }
+  if (e.kind == ExprKind::Binary &&
+      (e.bin_op == front::BinOp::Add || e.bin_op == front::BinOp::Sub)) {
+    const Expr& a = *e.args[0];
+    const Expr& b = *e.args[1];
+    const auto as_index = [&](const Expr& x) {
+      return x.kind == ExprKind::Var &&
+             find_space_pos(space, x.symbol, inner_symbol) != -1;
+    };
+    const auto as_const = [](const Expr& x) { return x.kind == ExprKind::IntLit; };
+    if (as_index(a) && as_const(b)) {
+      out.kind = SubClass::Kind::AffineUnit;
+      out.space_pos = find_space_pos(space, a.symbol, inner_symbol);
+      out.c = e.bin_op == front::BinOp::Add ? b.int_value : -b.int_value;
+      return out;
+    }
+    if (as_const(a) && as_index(b) && e.bin_op == front::BinOp::Add) {
+      out.kind = SubClass::Kind::AffineUnit;
+      out.space_pos = find_space_pos(space, b.symbol, inner_symbol);
+      out.c = a.int_value;
+      return out;
+    }
+  }
+  out.kind = SubClass::Kind::AffineNonUnit;
+  out.space_pos = pos;
+  return out;
+}
+
+class Analyzer {
+ public:
+  Analyzer(const std::vector<IterIndex>& space, const StructuralMaps& maps,
+           const front::SymbolTable& symbols, int inner_symbol)
+      : space_(space), maps_(maps), symbols_(symbols), inner_symbol_(inner_symbol) {}
+
+  CommAnalysis run(const Expr& lhs, const Expr* rhs, const Expr* mask,
+                   const Expr* inner_arg) {
+    derive_partition(lhs);
+    if (rhs != nullptr) visit(*rhs);
+    if (mask != nullptr) visit(*mask);
+    if (inner_arg != nullptr) visit(*inner_arg);
+    merge_overlaps();
+    return std::move(result_);
+  }
+
+ private:
+  [[nodiscard]] const std::vector<StructDim>* struct_of(int symbol) const {
+    const auto it = maps_.find(symbol);
+    return it == maps_.end() ? nullptr : &it->second;
+  }
+
+  void derive_partition(const Expr& lhs) {
+    if (lhs.kind != ExprKind::ArrayRef) {
+      // scalar LHS inside forall is rejected earlier; replicated otherwise
+      result_.partition.home_symbol = -1;
+      return;
+    }
+    const std::vector<StructDim>* sd = struct_of(lhs.symbol);
+    auto& part = result_.partition;
+    part.home_symbol = sd != nullptr ? lhs.symbol : -1;
+    part.home_driver.assign(lhs.subs.size(), -1);
+    part.home_driver_offset.assign(lhs.subs.size(), 0);
+
+    bool irregular_lhs = false;
+    for (std::size_t k = 0; k < lhs.subs.size(); ++k) {
+      const Subscript& sub = lhs.subs[k];
+      if (sub.kind != Subscript::Kind::Scalar) {
+        throw CompileError(lhs.loc, "internal: non-normalized LHS section");
+      }
+      const SubClass cls = classify_subscript(*sub.scalar, space_, inner_symbol_);
+      switch (cls.kind) {
+        case SubClass::Kind::AffineUnit:
+          if (cls.space_pos >= 0) {
+            part.home_driver[k] = cls.space_pos;
+            part.home_driver_offset[k] = cls.c;
+          }
+          break;
+        case SubClass::Kind::Invariant:
+          break;  // fixed slice — fine
+        case SubClass::Kind::Irregular:
+          irregular_lhs = true;
+          break;
+        case SubClass::Kind::AffineNonUnit:
+          // owner-computes still possible but ownership is strided; treat
+          // like an irregular store for cost purposes
+          if (sd != nullptr && (*sd)[k].kind != DistKind::Collapsed) irregular_lhs = true;
+          break;
+      }
+    }
+
+    if (irregular_lhs && sd != nullptr) {
+      // Vector-subscripted store to a distributed array: iterate where the
+      // index vector lives and scatter the results (e.g. the PIC kernel's
+      // deposit phase).
+      CommRequirement scatter;
+      scatter.type = CommRequirement::Type::Scatter;
+      scatter.array = lhs.symbol;
+      scatter.pattern = GatherPattern::Irregular;
+      scatter.note = "vector-subscripted store to " + lhs.name;
+      result_.post.push_back(std::move(scatter));
+      // re-home onto the driving index array if one exists
+      rehome_onto_subscript_array(lhs);
+    }
+
+    // If no distributed home dim is actually driven by the space the loop
+    // degenerates to replicated computation.
+    if (sd != nullptr) {
+      bool any = false;
+      for (std::size_t k = 0; k < part.home_driver.size(); ++k) {
+        if (part.home_driver[k] >= 0 && (*sd)[k].kind != DistKind::Collapsed) any = true;
+      }
+      if (!any && result_.post.empty()) part.home_symbol = -1;
+    }
+  }
+
+  /// For `grid(ir(k)) = ...`: iterate over the owner of ir's elements.
+  void rehome_onto_subscript_array(const Expr& lhs) {
+    for (const auto& sub : lhs.subs) {
+      if (!sub.scalar) continue;
+      const Expr* vec = find_vector_subscript(*sub.scalar);
+      if (vec == nullptr) continue;
+      const std::vector<StructDim>* sd = struct_of(vec->symbol);
+      if (sd == nullptr) continue;
+      auto& part = result_.partition;
+      part.home_symbol = vec->symbol;
+      part.home_driver.assign(vec->subs.size(), -1);
+      part.home_driver_offset.assign(vec->subs.size(), 0);
+      for (std::size_t k = 0; k < vec->subs.size(); ++k) {
+        if (vec->subs[k].kind != Subscript::Kind::Scalar) continue;
+        const SubClass cls = classify_subscript(*vec->subs[k].scalar, space_, inner_symbol_);
+        if (cls.kind == SubClass::Kind::AffineUnit && cls.space_pos >= 0) {
+          part.home_driver[k] = cls.space_pos;
+          part.home_driver_offset[k] = cls.c;
+        }
+      }
+      return;
+    }
+  }
+
+  static const Expr* find_vector_subscript(const Expr& e) {
+    if (e.kind == ExprKind::ArrayRef) return &e;
+    for (const auto& a : e.args) {
+      if (const Expr* f = find_vector_subscript(*a)) return f;
+    }
+    return nullptr;
+  }
+
+  // --- RHS traversal -------------------------------------------------------
+  void visit(const Expr& e) {
+    if (e.kind == ExprKind::ArrayRef) {
+      classify_ref(e);
+      for (const auto& s : e.subs) {
+        if (s.scalar) visit(*s.scalar);  // vector subscripts reference arrays too
+      }
+      return;
+    }
+    for (const auto& a : e.args) visit(*a);
+  }
+
+  void classify_ref(const Expr& ref) {
+    const std::vector<StructDim>* sd = struct_of(ref.symbol);
+    if (sd == nullptr) return;  // replicated array: always local
+
+    const auto& part = result_.partition;
+    const std::vector<StructDim>* home_sd =
+        part.home_symbol >= 0 ? struct_of(part.home_symbol) : nullptr;
+
+    for (std::size_t k = 0; k < ref.subs.size(); ++k) {
+      const StructDim& dim = (*sd)[k];
+      if (dim.kind == DistKind::Collapsed) continue;  // dim not distributed
+      const Subscript& sub = ref.subs[k];
+      if (sub.kind != Subscript::Kind::Scalar) {
+        throw CompileError(ref.loc, "internal: non-normalized RHS section");
+      }
+      const SubClass cls = classify_subscript(*sub.scalar, space_, inner_symbol_);
+      switch (cls.kind) {
+        case SubClass::Kind::Invariant: {
+          CommRequirement req;
+          req.type = CommRequirement::Type::SliceBroadcast;
+          req.array = ref.symbol;
+          req.dim = static_cast<int>(k);
+          req.note = ref.name + " fixed subscript on distributed dim";
+          push_unique(std::move(req));
+          break;
+        }
+        case SubClass::Kind::AffineUnit: {
+          if (cls.space_pos == -2) {
+            // inner (dim-reduction) index sweeping a *distributed* dim:
+            // whole-dimension access — regular remap
+            CommRequirement req;
+            req.type = CommRequirement::Type::Gather;
+            req.array = ref.symbol;
+            req.dim = static_cast<int>(k);
+            req.pattern = GatherPattern::Remap;
+            req.note = ref.name + " reduction sweep over distributed dim";
+            push_unique(std::move(req));
+            break;
+          }
+          // find the home dim driven by the same space index with matching
+          // template alignment
+          long long delta = 0;
+          bool aligned = false;
+          if (home_sd != nullptr) {
+            for (std::size_t h = 0; h < part.home_driver.size(); ++h) {
+              if (part.home_driver[h] != cls.space_pos) continue;
+              const StructDim& hd = (*home_sd)[h];
+              if (hd.tmpl == dim.tmpl && hd.tmpl_dim == dim.tmpl_dim &&
+                  hd.kind == dim.kind) {
+                aligned = true;
+                delta = (cls.c + dim.offset) -
+                        (part.home_driver_offset[h] + hd.offset);
+              }
+              break;
+            }
+          }
+          if (!aligned) {
+            CommRequirement req;
+            req.type = CommRequirement::Type::Gather;
+            req.array = ref.symbol;
+            req.dim = static_cast<int>(k);
+            req.pattern = GatherPattern::Remap;
+            req.note = ref.name + " not aligned with loop home";
+            push_unique(std::move(req));
+          } else if (delta != 0) {
+            CommRequirement req;
+            req.type = CommRequirement::Type::Overlap;
+            req.array = ref.symbol;
+            req.dim = static_cast<int>(k);
+            req.offset = delta;
+            req.note = ref.name + " shifted reference";
+            push_unique(std::move(req));
+          }
+          break;
+        }
+        case SubClass::Kind::AffineNonUnit: {
+          CommRequirement req;
+          req.type = CommRequirement::Type::Gather;
+          req.array = ref.symbol;
+          req.dim = static_cast<int>(k);
+          req.pattern = GatherPattern::Remap;
+          req.note = ref.name + " non-unit-stride subscript";
+          push_unique(std::move(req));
+          break;
+        }
+        case SubClass::Kind::Irregular: {
+          CommRequirement req;
+          req.type = CommRequirement::Type::Gather;
+          req.array = ref.symbol;
+          req.dim = static_cast<int>(k);
+          req.pattern = GatherPattern::Irregular;
+          req.note = ref.name + " vector subscript";
+          push_unique(std::move(req));
+          break;
+        }
+      }
+    }
+  }
+
+  void push_unique(CommRequirement req) {
+    for (const auto& r : result_.pre) {
+      if (r.type == req.type && r.array == req.array && r.dim == req.dim &&
+          r.offset == req.offset && r.pattern == req.pattern) {
+        return;
+      }
+    }
+    result_.pre.push_back(std::move(req));
+  }
+
+  /// Message vectorization merges same-direction overlaps on the same
+  /// array/dim into one exchange of the maximal width: x(k+10) and x(k+11)
+  /// need a single 11-element ghost strip, not two messages.
+  void merge_overlaps() {
+    std::vector<CommRequirement> merged;
+    for (auto& req : result_.pre) {
+      if (req.type != CommRequirement::Type::Overlap) {
+        merged.push_back(std::move(req));
+        continue;
+      }
+      bool absorbed = false;
+      for (auto& m : merged) {
+        if (m.type == CommRequirement::Type::Overlap && m.array == req.array &&
+            m.dim == req.dim && (m.offset > 0) == (req.offset > 0)) {
+          if (std::llabs(req.offset) > std::llabs(m.offset)) m.offset = req.offset;
+          m.note += "; merged " + req.note;
+          absorbed = true;
+          break;
+        }
+      }
+      if (!absorbed) merged.push_back(std::move(req));
+    }
+    result_.pre = std::move(merged);
+  }
+
+  const std::vector<IterIndex>& space_;
+  const StructuralMaps& maps_;
+  const front::SymbolTable& symbols_;
+  int inner_symbol_;
+  CommAnalysis result_;
+};
+
+}  // namespace
+
+CommAnalysis analyze_forall(const std::vector<IterIndex>& space, const front::Expr& lhs,
+                            const front::Expr* rhs, const front::Expr* mask,
+                            const front::Expr* inner_arg, int inner_symbol,
+                            const StructuralMaps& maps,
+                            const front::SymbolTable& symbols) {
+  Analyzer analyzer(space, maps, symbols, inner_symbol);
+  return analyzer.run(lhs, rhs, mask, inner_arg);
+}
+
+}  // namespace hpf90d::compiler

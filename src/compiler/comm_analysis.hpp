@@ -1,0 +1,75 @@
+// comm_analysis.hpp — communication detection (paper §4.1 step 4).
+//
+// Given a normalized forall (iteration space + element-wise assignment), the
+// analysis applies the owner-computes rule to the LHS and classifies every
+// RHS reference to a distributed array relative to the LHS home:
+//
+//   * aligned, same index + same net offset      -> no communication
+//   * same index, constant offset delta          -> OverlapComm (ghost exchange;
+//                                                   the forall's "first
+//                                                   communication level")
+//   * loop-invariant subscript on a distributed
+//     dim (e.g. a(i,1))                          -> SliceBroadcast
+//   * affine non-unit / transposed index         -> GatherComm(Remap)
+//   * vector subscript (a(ix(k)))                -> GatherComm(Irregular)
+//   * vector-subscripted LHS                     -> ScatterComm after the loop
+//
+// Only structure is decided here; message volumes depend on extents and the
+// processor grid and are evaluated at interpretation / simulation time.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "compiler/spmd_ir.hpp"
+#include "hpf/directives.hpp"
+#include "hpf/sema.hpp"
+
+namespace hpf90d::compiler {
+
+/// Structural (extent-free) mapping of one array dimension.
+struct StructDim {
+  front::DistKind kind = front::DistKind::Collapsed;
+  int tmpl_dim = -1;        // aligned template dimension
+  long long offset = 0;     // align offset
+  std::string tmpl;         // template name
+};
+
+/// Array symbol -> per-dimension structural mapping (only arrays with
+/// ALIGN directives appear; everything else is replicated).
+using StructuralMaps = std::map<int, std::vector<StructDim>>;
+
+[[nodiscard]] StructuralMaps build_structural_maps(const front::DirectiveSet& directives,
+                                                   const front::SymbolTable& symbols);
+
+struct CommRequirement {
+  enum class Type { Overlap, Gather, Scatter, SliceBroadcast };
+  Type type = Type::Overlap;
+  int array = -1;
+  int dim = 0;              // array dimension (0-based)
+  long long offset = 0;     // Overlap: signed ghost offset
+  GatherPattern pattern = GatherPattern::Irregular;
+  std::string note;
+};
+
+/// Owner-computes partition derived from the LHS.
+struct LoopPartition {
+  int home_symbol = -1;                    // -1: replicated computation
+  std::vector<int> home_driver;            // per home-array dim: space pos or -1
+  std::vector<long long> home_driver_offset;
+};
+
+struct CommAnalysis {
+  LoopPartition partition;
+  std::vector<CommRequirement> pre;   // executed before the local loop
+  std::vector<CommRequirement> post;  // executed after the local loop
+};
+
+/// Analyzes one normalized forall body assignment. `inner_arg` is the
+/// argument of a dim-reduction (may be null); `inner_symbol` its index.
+[[nodiscard]] CommAnalysis analyze_forall(
+    const std::vector<IterIndex>& space, const front::Expr& lhs, const front::Expr* rhs,
+    const front::Expr* mask, const front::Expr* inner_arg, int inner_symbol,
+    const StructuralMaps& maps, const front::SymbolTable& symbols);
+
+}  // namespace hpf90d::compiler

@@ -1,0 +1,217 @@
+#include "compiler/eval.hpp"
+
+#include <cmath>
+
+#include "hpf/fold.hpp"
+#include "hpf/intrinsics.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::compiler {
+
+using front::Expr;
+using front::ExprKind;
+using front::TypeBase;
+using support::CompileError;
+
+namespace {
+
+bool both_int(const Expr& e) {
+  return e.args.size() == 2 && e.args[0]->type == TypeBase::Integer &&
+         e.args[1]->type == TypeBase::Integer;
+}
+
+double eval_call(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
+                 const front::SymbolTable& symbols);
+
+double eval_rec(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
+                const front::SymbolTable& symbols) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return static_cast<double>(e.int_value);
+    case ExprKind::RealLit:
+      return e.real_value;
+    case ExprKind::LogicalLit:
+      return e.bool_value ? 1.0 : 0.0;
+    case ExprKind::Var: {
+      int id = e.symbol;
+      if (id < 0) id = symbols.find(e.name);  // unannotated clones (extents)
+      if (id >= 0 && env.is_defined(id)) return env.value(id);
+      if (id >= 0) {
+        const front::Symbol& sym = symbols.at(id);
+        if (sym.kind == front::SymbolKind::Param && sym.const_value) {
+          return *sym.const_value;
+        }
+      }
+      throw CompileError(e.loc, "value of '" + e.name +
+                                    "' is not available (unresolved critical variable?)");
+    }
+    case ExprKind::ArrayRef: {
+      if (arrays == nullptr) {
+        throw CompileError(e.loc, "array element '" + e.name +
+                                      "' cannot be read during interpretation");
+      }
+      std::vector<long long> idx;
+      idx.reserve(e.subs.size());
+      for (const auto& sub : e.subs) {
+        if (sub.kind != front::Subscript::Kind::Scalar) {
+          throw CompileError(e.loc, "internal: section in scalar evaluation");
+        }
+        const double v = eval_rec(*sub.scalar, env, arrays, symbols);
+        idx.push_back(static_cast<long long>(std::llround(v)));
+      }
+      return arrays->load(e.symbol, idx);
+    }
+    case ExprKind::Unary: {
+      const double v = eval_rec(*e.args[0], env, arrays, symbols);
+      switch (e.un_op) {
+        case front::UnOp::Neg: return -v;
+        case front::UnOp::Plus: return v;
+        case front::UnOp::Not: return v == 0.0 ? 1.0 : 0.0;
+      }
+      return 0.0;
+    }
+    case ExprKind::Binary: {
+      const double a = eval_rec(*e.args[0], env, arrays, symbols);
+      const double b = eval_rec(*e.args[1], env, arrays, symbols);
+      switch (e.bin_op) {
+        case front::BinOp::Add: return a + b;
+        case front::BinOp::Sub: return a - b;
+        case front::BinOp::Mul: return a * b;
+        case front::BinOp::Div:
+          if (both_int(e)) {
+            const long long bi = static_cast<long long>(b);
+            if (bi == 0) throw CompileError(e.loc, "integer division by zero");
+            return static_cast<double>(static_cast<long long>(a) / bi);
+          }
+          return a / b;
+        case front::BinOp::Pow: return std::pow(a, b);
+        case front::BinOp::Lt: return a < b ? 1.0 : 0.0;
+        case front::BinOp::Le: return a <= b ? 1.0 : 0.0;
+        case front::BinOp::Gt: return a > b ? 1.0 : 0.0;
+        case front::BinOp::Ge: return a >= b ? 1.0 : 0.0;
+        case front::BinOp::Eq: return a == b ? 1.0 : 0.0;
+        case front::BinOp::Ne: return a != b ? 1.0 : 0.0;
+        case front::BinOp::And: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+        case front::BinOp::Or: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+      }
+      return 0.0;
+    }
+    case ExprKind::Call:
+      return eval_call(e, env, arrays, symbols);
+  }
+  return 0.0;
+}
+
+double eval_call(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
+                 const front::SymbolTable& symbols) {
+  const std::string& n = e.name;
+  if (n == "size") {
+    if (arrays == nullptr) {
+      // extents are static: fall back to folding the declared extent
+      const front::Symbol& sym = symbols.at(e.args[0]->symbol);
+      front::Bindings env2;
+      for (const auto& s : symbols.symbols()) {
+        if (s.kind == front::SymbolKind::Param && s.const_value) {
+          env2.set(s.name, *s.const_value);
+        }
+      }
+      if (e.args.size() == 2) {
+        const long long d = static_cast<long long>(
+            eval_rec(*e.args[1], env, arrays, symbols));
+        return static_cast<double>(front::fold_int(*sym.dims.at(static_cast<std::size_t>(d - 1)), env2));
+      }
+      long long total = 1;
+      for (const auto& dim : sym.dims) total *= front::fold_int(*dim, env2);
+      return static_cast<double>(total);
+    }
+    const int sym = e.args[0]->symbol;
+    if (e.args.size() == 2) {
+      const long long d =
+          static_cast<long long>(eval_rec(*e.args[1], env, arrays, symbols));
+      return static_cast<double>(arrays->extent(sym, static_cast<int>(d - 1)));
+    }
+    long long total = 1;
+    const front::Symbol& s = symbols.at(sym);
+    for (int d = 0; d < s.rank(); ++d) total *= arrays->extent(sym, d);
+    return static_cast<double>(total);
+  }
+
+  std::vector<double> argv;
+  argv.reserve(e.args.size());
+  for (const auto& a : e.args) argv.push_back(eval_rec(*a, env, arrays, symbols));
+
+  if (n == "exp") return std::exp(argv[0]);
+  if (n == "log") return std::log(argv[0]);
+  if (n == "sqrt") return std::sqrt(argv[0]);
+  if (n == "abs") return std::fabs(argv[0]);
+  if (n == "sin") return std::sin(argv[0]);
+  if (n == "cos") return std::cos(argv[0]);
+  if (n == "atan") return std::atan(argv[0]);
+  if (n == "real" || n == "float" || n == "dble") return argv[0];
+  if (n == "int") return std::trunc(argv[0]);
+  if (n == "nint") return std::nearbyint(argv[0]);
+  if (n == "sign") return argv[1] >= 0 ? std::fabs(argv[0]) : -std::fabs(argv[0]);
+  if (n == "mod") {
+    if (both_int(e)) {
+      return static_cast<double>(static_cast<long long>(argv[0]) %
+                                 static_cast<long long>(argv[1]));
+    }
+    return std::fmod(argv[0], argv[1]);
+  }
+  if (n == "min") {
+    double v = argv[0];
+    for (std::size_t i = 1; i < argv.size(); ++i) v = std::min(v, argv[i]);
+    return v;
+  }
+  if (n == "max") {
+    double v = argv[0];
+    for (std::size_t i = 1; i < argv.size(); ++i) v = std::max(v, argv[i]);
+    return v;
+  }
+  if (n == "merge") return argv[2] != 0.0 ? argv[0] : argv[1];
+  throw CompileError(e.loc, "intrinsic '" + n + "' cannot be evaluated here");
+}
+
+}  // namespace
+
+double eval_scalar(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
+                   const front::SymbolTable& symbols) {
+  return eval_rec(e, env, arrays, symbols);
+}
+
+long long eval_int(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
+                   const front::SymbolTable& symbols) {
+  return static_cast<long long>(std::llround(eval_scalar(e, env, arrays, symbols)));
+}
+
+std::optional<double> try_eval_scalar(const Expr& e, const ScalarEnv& env,
+                                      ArrayAccess* arrays,
+                                      const front::SymbolTable& symbols) {
+  try {
+    return eval_rec(e, env, arrays, symbols);
+  } catch (const CompileError&) {
+    return std::nullopt;
+  }
+}
+
+void seed_environment(ScalarEnv& env, const front::SymbolTable& symbols,
+                      const front::Bindings& bindings) {
+  front::Bindings fold_env;
+  for (const auto& [name, value] : bindings.values()) fold_env.set(name, value);
+  // params may reference earlier params and overridden names
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const auto& sym : symbols.symbols()) {
+      if (sym.kind != front::SymbolKind::Param || !sym.param_value) continue;
+      if (fold_env.contains(sym.name)) continue;
+      if (const auto v = front::try_fold(*sym.param_value, fold_env)) {
+        fold_env.set(sym.name, *v);
+      }
+    }
+  }
+  for (const auto& sym : symbols.symbols()) {
+    const int id = symbols.find(sym.name);
+    if (const auto v = fold_env.get(sym.name)) env.define(id, *v);
+  }
+}
+
+}  // namespace hpf90d::compiler

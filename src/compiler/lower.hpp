@@ -1,0 +1,24 @@
+// lower.hpp — lowering of the normalized AST into the SPMD node program.
+//
+// Implements the three-level structure of paper Fig 2: each forall becomes
+// a collective-communication level (ghost exchanges, shift temporaries,
+// gathers), a local-computation level (LocalLoop under owner-computes
+// partitioning), and — for vector-subscripted stores — a final
+// communication level (ScatterComm). Scalar statements become replicated
+// nodes; full reductions become Reduce nodes; dim-reductions become
+// LocalLoops with inner sequential reduction.
+#pragma once
+
+#include "compiler/comm_analysis.hpp"
+#include "compiler/spmd_ir.hpp"
+
+namespace hpf90d::compiler {
+
+/// Lowers `ast` (already analyzed and normalized; `symbols` will be
+/// extended with compiler temporaries). Consumes its arguments.
+[[nodiscard]] CompiledProgram lower_program(std::string name, front::Program ast,
+                                            front::SymbolTable symbols,
+                                            front::DirectiveSet directives,
+                                            CompilerOptions options);
+
+}  // namespace hpf90d::compiler

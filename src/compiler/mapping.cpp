@@ -1,0 +1,323 @@
+#include "compiler/mapping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::compiler {
+
+using front::DistKind;
+using support::CompileError;
+
+int ProcGrid::linear(std::span<const int> coords) const {
+  int id = 0;
+  for (std::size_t d = 0; d < shape.size(); ++d) {
+    id = id * shape[d] + (d < coords.size() ? coords[d] : 0);
+  }
+  return id;
+}
+
+std::vector<int> ProcGrid::coords(int linear_id) const {
+  std::vector<int> c(shape.size(), 0);
+  for (std::size_t d = shape.size(); d-- > 0;) {
+    c[d] = linear_id % shape[d];
+    linear_id /= shape[d];
+  }
+  return c;
+}
+
+ProcGrid ProcGrid::factorized(int nprocs, int rank) {
+  ProcGrid grid;
+  if (rank <= 1) {
+    grid.shape = {nprocs};
+    return grid;
+  }
+  // near-square factorization with the smaller factor first: 4 -> 2x2,
+  // 8 -> 2x4, 2 -> 1x2
+  int a = static_cast<int>(std::sqrt(static_cast<double>(nprocs)));
+  while (a > 1 && nprocs % a != 0) --a;
+  grid.shape = {a, nprocs / a};
+  return grid;
+}
+
+int DimDist::owner_coord(long long g) const {
+  if (kind == DistKind::Collapsed || nprocs <= 1) return 0;
+  const long long t = g + align_offset;  // 1-based template index
+  if (kind == DistKind::Block) {
+    long long c = (t - 1) / block;
+    return static_cast<int>(std::clamp<long long>(c, 0, nprocs - 1));
+  }
+  // cyclic
+  return static_cast<int>(((t - 1) % nprocs + nprocs) % nprocs);
+}
+
+long long DimDist::local_count(int c) const {
+  if (kind == DistKind::Collapsed || nprocs <= 1) return extent;
+  if (kind == DistKind::Block) {
+    return owned_range(c).count();
+  }
+  // cyclic: template indices t with (t-1) % nprocs == c intersected with
+  // the aligned image [1+off, extent+off]
+  long long count = 0;
+  const long long t_lo = 1 + align_offset;
+  const long long t_hi = extent + align_offset;
+  // first t >= t_lo with (t-1) % nprocs == c
+  long long first = ((c + 1 - t_lo) % nprocs + nprocs) % nprocs + t_lo;
+  if (first <= t_hi) count = (t_hi - first) / nprocs + 1;
+  return count;
+}
+
+DimDist::Range DimDist::owned_range(int c) const {
+  Range r;
+  if (kind == DistKind::Collapsed || nprocs <= 1) {
+    r.lo = 1;
+    r.hi = extent;
+    return r;
+  }
+  if (kind == DistKind::Block) {
+    const long long t_lo = static_cast<long long>(c) * block + 1;
+    const long long t_hi = std::min<long long>(t_lo + block - 1, tmpl_extent);
+    r.lo = std::max<long long>(1, t_lo - align_offset);
+    r.hi = std::min<long long>(extent, t_hi - align_offset);
+    return r;
+  }
+  // cyclic ownership is strided; report the whole dimension as the span
+  r.lo = 1;
+  r.hi = extent;
+  return r;
+}
+
+long long ArrayMap::local_elements(const ProcGrid& grid, int p) const {
+  const std::vector<int> coords = grid.coords(p);
+  long long total = 1;
+  for (const auto& d : dims) {
+    const int c = d.grid_dim >= 0 && d.grid_dim < static_cast<int>(coords.size())
+                      ? coords[static_cast<std::size_t>(d.grid_dim)]
+                      : 0;
+    total *= d.local_count(c);
+  }
+  return total;
+}
+
+int ArrayMap::owner(const ProcGrid& grid, std::span<const long long> index) const {
+  std::vector<int> coords(static_cast<std::size_t>(grid.rank()), 0);
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    const auto& d = dims[k];
+    if (d.grid_dim >= 0) {
+      coords[static_cast<std::size_t>(d.grid_dim)] = d.owner_coord(index[k]);
+    }
+  }
+  return grid.linear(coords);
+}
+
+namespace {
+
+/// Fold PARAMETER symbols into the binding environment so extents like
+/// `n+11` resolve. User-supplied bindings take precedence over the source's
+/// PARAMETER values (the framework's "vary problem size from the interface"
+/// workflow, paper §5.3).
+front::Bindings parameter_env(const front::SymbolTable& symbols,
+                              const front::Bindings& user) {
+  front::Bindings env;
+  for (const auto& sym : symbols.symbols()) {
+    if (sym.kind == front::SymbolKind::Param && sym.param_value) {
+      if (user.contains(sym.name)) continue;
+      if (const auto v = front::try_fold(*sym.param_value, env)) {
+        env.set(sym.name, *v);
+      }
+    }
+  }
+  env.merge(user);
+  // second pass: params defined in terms of other (possibly overridden) params
+  for (const auto& sym : symbols.symbols()) {
+    if (sym.kind == front::SymbolKind::Param && sym.param_value &&
+        !env.contains(sym.name)) {
+      if (const auto v = front::try_fold(*sym.param_value, env)) {
+        env.set(sym.name, *v);
+      }
+    }
+  }
+  return env;
+}
+
+}  // namespace
+
+DataLayout::DataLayout(const front::DirectiveSet& directives,
+                       const front::SymbolTable& symbols, const front::Bindings& env,
+                       const LayoutOptions& options)
+    : symbols_(symbols), env_(parameter_env(symbols, env)) {
+  // --- resolve templates ---------------------------------------------------
+  struct ResolvedTemplate {
+    std::string name;
+    std::vector<long long> extents;
+    std::vector<DistKind> dist;   // per template dim; Collapsed by default
+    std::vector<int> grid_dim;    // per template dim
+  };
+  std::vector<ResolvedTemplate> templates;
+  for (const auto& t : directives.templates) {
+    ResolvedTemplate rt;
+    rt.name = t.name;
+    for (const auto& e : t.extents) rt.extents.push_back(front::fold_int(*e, env_));
+    rt.dist.assign(rt.extents.size(), DistKind::Collapsed);
+    rt.grid_dim.assign(rt.extents.size(), -1);
+    templates.push_back(std::move(rt));
+    template_names_.push_back(t.name);
+  }
+
+  auto find_template = [&](std::string_view name) -> int {
+    for (std::size_t i = 0; i < templates.size(); ++i) {
+      if (templates[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  // --- apply DISTRIBUTE to find distributed-dim count -----------------------
+  int max_distributed_dims = 1;
+  for (const auto& d : directives.distributes) {
+    int count = 0;
+    for (const auto k : d.pattern) {
+      if (k != DistKind::Collapsed) ++count;
+    }
+    max_distributed_dims = std::max(max_distributed_dims, count);
+  }
+
+  // --- processor grid --------------------------------------------------------
+  if (options.grid_shape) {
+    grid_.shape = *options.grid_shape;
+    if (grid_.total() != options.nprocs) {
+      throw CompileError({}, "grid shape does not match processor count");
+    }
+  } else if (!directives.processors.empty()) {
+    const auto& p = directives.processors.front();
+    for (const auto& e : p.extents) {
+      grid_.shape.push_back(static_cast<int>(front::fold_int(*e, env_)));
+    }
+    if (grid_.total() != options.nprocs) {
+      // The PROCESSORS directive fixes the grid *rank*; the framework varies
+      // the processor count per experiment, so refactor the same rank.
+      grid_ = ProcGrid::factorized(options.nprocs, grid_.rank());
+    }
+  } else {
+    grid_ = ProcGrid::factorized(options.nprocs, max_distributed_dims);
+  }
+
+  // --- apply DISTRIBUTE -------------------------------------------------------
+  for (const auto& d : directives.distributes) {
+    const int ti = find_template(d.target);
+    if (ti < 0) {
+      throw CompileError(d.loc, "DISTRIBUTE target '" + d.target +
+                                    "' is not a declared TEMPLATE");
+    }
+    auto& rt = templates[static_cast<std::size_t>(ti)];
+    if (d.pattern.size() != rt.extents.size()) {
+      throw CompileError(d.loc, "DISTRIBUTE pattern rank mismatch for '" + d.target + "'");
+    }
+    int next_grid_dim = 0;
+    for (std::size_t k = 0; k < d.pattern.size(); ++k) {
+      rt.dist[k] = d.pattern[k];
+      if (d.pattern[k] != DistKind::Collapsed) {
+        if (next_grid_dim >= grid_.rank()) {
+          throw CompileError(d.loc,
+                             "more distributed dimensions than processor-grid rank");
+        }
+        rt.grid_dim[k] = next_grid_dim++;
+      }
+    }
+  }
+
+  // --- apply ALIGN: build per-array maps ---------------------------------------
+  for (const auto& a : directives.aligns) {
+    const int sym_id = symbols_.find(a.array);
+    if (sym_id < 0 || symbols_.at(sym_id).kind != front::SymbolKind::Array) {
+      throw CompileError(a.loc, "ALIGN of undeclared array '" + a.array + "'");
+    }
+    const front::Symbol& sym = symbols_.at(sym_id);
+    const int ti = find_template(a.target);
+    if (ti < 0) {
+      throw CompileError(a.loc, "ALIGN target '" + a.target + "' is not a TEMPLATE");
+    }
+    const auto& rt = templates[static_cast<std::size_t>(ti)];
+    if (static_cast<int>(a.dummies.size()) != sym.rank()) {
+      throw CompileError(a.loc, "ALIGN dummy count does not match rank of '" + a.array + "'");
+    }
+    if (a.target_subs.size() != rt.extents.size()) {
+      throw CompileError(a.loc, "ALIGN target subscript count does not match template rank");
+    }
+
+    ArrayMap map;
+    map.symbol = sym_id;
+    map.name = a.array;
+    map.template_id = ti;
+    map.dims.resize(static_cast<std::size_t>(sym.rank()));
+    for (std::size_t k = 0; k < map.dims.size(); ++k) {
+      map.dims[k].extent = front::fold_int(*sym.dims[k], env_);
+      map.dims[k].kind = DistKind::Collapsed;
+    }
+    // For each template dim subscripted by a dummy, connect the array dim.
+    for (std::size_t td = 0; td < a.target_subs.size(); ++td) {
+      const auto& ts = a.target_subs[td];
+      if (ts.star || ts.dummy < 0) continue;
+      auto& dd = map.dims[static_cast<std::size_t>(ts.dummy)];
+      dd.kind = rt.dist[td];
+      dd.grid_dim = rt.grid_dim[td];
+      dd.align_offset = ts.offset;
+      dd.tmpl_extent = rt.extents[td];
+      if (dd.grid_dim >= 0) {
+        dd.nprocs = grid_.shape[static_cast<std::size_t>(dd.grid_dim)];
+      }
+      if (dd.kind == DistKind::Block) {
+        dd.block = (dd.tmpl_extent + dd.nprocs - 1) / dd.nprocs;
+      }
+    }
+    maps_.push_back(std::move(map));
+  }
+}
+
+const ArrayMap* DataLayout::map_for(int symbol) const {
+  for (const auto& m : maps_) {
+    if (m.symbol == symbol) return &m;
+  }
+  return nullptr;
+}
+
+void DataLayout::add_alias(int temp_symbol, int like_symbol, std::string name) {
+  const ArrayMap* base = map_for(like_symbol);
+  if (base == nullptr) return;  // replicated source -> replicated temp
+  ArrayMap copy = *base;
+  copy.symbol = temp_symbol;
+  copy.name = std::move(name);
+  maps_.push_back(std::move(copy));
+}
+
+std::vector<long long> DataLayout::array_extents(int symbol) const {
+  const front::Symbol& sym = symbols_.at(symbol);
+  std::vector<long long> out;
+  out.reserve(sym.dims.size());
+  for (const auto& d : sym.dims) out.push_back(front::fold_int(*d, env_));
+  return out;
+}
+
+std::string DataLayout::ownership_picture(int symbol, int cell_rows, int cell_cols) const {
+  const ArrayMap* map = map_for(symbol);
+  std::ostringstream os;
+  if (map == nullptr || map->rank() != 2) {
+    os << "(replicated or non-2D)\n";
+    return os.str();
+  }
+  const long long n1 = map->dims[0].extent;
+  const long long n2 = map->dims[1].extent;
+  for (int r = 0; r < cell_rows; ++r) {
+    for (int c = 0; c < cell_cols; ++c) {
+      const long long i = 1 + r * n1 / cell_rows;
+      const long long j = 1 + c * n2 / cell_cols;
+      const long long idx[2] = {i, j};
+      os << " P" << map->owner(grid_, idx) + 1;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hpf90d::compiler

@@ -1,0 +1,137 @@
+// mapping.hpp — resolution of the HPF two-level data mapping.
+//
+// HPF maps data objects to abstract processors in two steps (paper §2):
+// array elements are ALIGNed with a TEMPLATE, and the template is
+// DISTRIBUTEd (BLOCK / CYCLIC / collapsed `*`) onto a rectilinear processor
+// arrangement. This module resolves the directive set against concrete
+// extents (PARAMETERs + user bindings) and a processor-grid shape, yielding
+// ownership and local-extent queries that the partitioner, the
+// interpretation engine, and the simulator all share.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hpf/ast.hpp"
+#include "hpf/directives.hpp"
+#include "hpf/fold.hpp"
+#include "hpf/sema.hpp"
+
+namespace hpf90d::compiler {
+
+/// Shape of the abstract processor arrangement (1-D or 2-D in the subset).
+struct ProcGrid {
+  std::vector<int> shape;
+
+  [[nodiscard]] int rank() const noexcept { return static_cast<int>(shape.size()); }
+  [[nodiscard]] int total() const noexcept {
+    int t = 1;
+    for (int s : shape) t *= s;
+    return t;
+  }
+  /// Row-major linearization of grid coordinates.
+  [[nodiscard]] int linear(std::span<const int> coords) const;
+  [[nodiscard]] std::vector<int> coords(int linear_id) const;
+
+  /// Near-square factorization of `nprocs` into `rank` grid dimensions,
+  /// e.g. 4 -> 2x2, 8 -> 2x4 (matches the paper's Laplace grids).
+  [[nodiscard]] static ProcGrid factorized(int nprocs, int rank);
+};
+
+/// Resolved distribution of one array dimension.
+struct DimDist {
+  front::DistKind kind = front::DistKind::Collapsed;
+  int grid_dim = -1;          // processor-grid axis; -1 when collapsed
+  int nprocs = 1;             // grid extent along grid_dim
+  long long extent = 0;       // array extent in this dimension
+  long long align_offset = 0; // template index = array index + align_offset
+  long long tmpl_extent = 0;  // extent of the aligned template dimension
+  long long block = 0;        // block size (BLOCK) = ceil(tmpl_extent/nprocs)
+
+  /// Grid coordinate owning global (1-based) array index `g`.
+  [[nodiscard]] int owner_coord(long long g) const;
+  /// Number of elements of [1..extent] owned by grid coordinate `c`.
+  [[nodiscard]] long long local_count(int c) const;
+  /// Contiguous owned global-index range for BLOCK (empty when none);
+  /// for CYCLIC returns the full span (ownership is strided).
+  struct Range {
+    long long lo = 1, hi = 0;
+    [[nodiscard]] long long count() const noexcept { return hi >= lo ? hi - lo + 1 : 0; }
+  };
+  [[nodiscard]] Range owned_range(int c) const;
+};
+
+/// Complete resolved mapping of one distributed array (or the note that it
+/// is replicated).
+struct ArrayMap {
+  int symbol = -1;
+  std::string name;
+  int template_id = -1;  // index into DataLayout::template_names()
+  std::vector<DimDist> dims;
+
+  [[nodiscard]] int rank() const noexcept { return static_cast<int>(dims.size()); }
+  [[nodiscard]] bool distributed() const noexcept {
+    for (const auto& d : dims) {
+      if (d.kind != front::DistKind::Collapsed) return true;
+    }
+    return false;
+  }
+  /// Total element count.
+  [[nodiscard]] long long total_elements() const noexcept {
+    long long t = 1;
+    for (const auto& d : dims) t *= d.extent;
+    return t;
+  }
+  /// Elements owned by linear processor `p` under `grid`.
+  [[nodiscard]] long long local_elements(const ProcGrid& grid, int p) const;
+  /// Linear owner of a (1-based) global index vector.
+  [[nodiscard]] int owner(const ProcGrid& grid, std::span<const long long> index) const;
+};
+
+/// Options controlling layout resolution.
+struct LayoutOptions {
+  int nprocs = 1;
+  /// Overrides the PROCESSORS directive / default factorization, e.g. to
+  /// force a 2x2 grid at 4 processors.
+  std::optional<std::vector<int>> grid_shape;
+};
+
+/// Resolved mapping for every distributed array in a program.
+class DataLayout {
+ public:
+  DataLayout(const front::DirectiveSet& directives, const front::SymbolTable& symbols,
+             const front::Bindings& env, const LayoutOptions& options);
+
+  [[nodiscard]] const ProcGrid& grid() const noexcept { return grid_; }
+  [[nodiscard]] int nprocs() const noexcept { return grid_.total(); }
+
+  /// Mapping for a symbol; nullptr when the symbol is replicated (scalars,
+  /// arrays without directives).
+  [[nodiscard]] const ArrayMap* map_for(int symbol) const;
+
+  /// Registers `temp_symbol` with the same mapping as `like_symbol`
+  /// (used for compiler-introduced shift temporaries).
+  void add_alias(int temp_symbol, int like_symbol, std::string name);
+
+  [[nodiscard]] const std::vector<ArrayMap>& maps() const noexcept { return maps_; }
+
+  /// Resolved extents (from declarations) for any array symbol, mapped or
+  /// not; used by the simulator's storage allocator.
+  [[nodiscard]] std::vector<long long> array_extents(int symbol) const;
+
+  /// Renders an ownership picture of a 2-D array for documentation and the
+  /// Fig 3 bench (`P 1`..`P n` cells).
+  [[nodiscard]] std::string ownership_picture(int symbol, int cell_rows = 8,
+                                              int cell_cols = 8) const;
+
+ private:
+  const front::SymbolTable& symbols_;
+  front::Bindings env_;
+  ProcGrid grid_;
+  std::vector<ArrayMap> maps_;
+  std::vector<std::string> template_names_;
+};
+
+}  // namespace hpf90d::compiler

@@ -1,0 +1,34 @@
+// normalize.hpp — canonicalization of parallel constructs.
+//
+// Phase 1 of the paper's framework transforms array assignment statements
+// and where statements "into equivalent forall statements with no loss of
+// information" (§4.1 step 1). After normalization every data-parallel
+// operation in the program is a forall whose body contains only
+// scalar-subscripted assignments (shift/reduction intrinsics remain as
+// atomic terms for the lowerer to extract).
+#pragma once
+
+#include "hpf/ast.hpp"
+#include "hpf/sema.hpp"
+
+namespace hpf90d::compiler {
+
+/// Rewrites `prog` in place:
+///  * `a(l:h) = expr` / `a = expr` (rank >= 1)  ->  forall
+///  * `where (mask) a = b [elsewhere a = c]`    ->  masked forall(s)
+///  * whole-array names in element context      ->  explicit full sections
+/// New forall index symbols (`i__1`, `i__2`, ...) are registered in
+/// `symbols`. Throws support::CompileError on constructs outside the subset
+/// (e.g. sections whose strides cannot be matched).
+void normalize(front::Program& prog, front::SymbolTable& symbols);
+
+/// Rewrites every rank>0 term of `e` elementwise under `indices` (one per
+/// result dimension): non-scalar dimension j of each array term is replaced
+/// by a scalar subscript derived from indices[j], mapped through the term's
+/// own section bounds. Shift and reduction intrinsic calls remain atomic.
+/// Used by the lowerer to index reduction arguments and dim-reduction
+/// bodies.
+void index_elementwise(front::Expr& e, const std::vector<front::ForallIndex>& indices,
+                       const front::SymbolTable& symbols);
+
+}  // namespace hpf90d::compiler

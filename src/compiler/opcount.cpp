@@ -1,0 +1,158 @@
+#include "compiler/opcount.hpp"
+
+#include <algorithm>
+
+#include "hpf/intrinsics.hpp"
+
+namespace hpf90d::compiler {
+
+using front::Expr;
+using front::ExprKind;
+using front::TypeBase;
+
+void OpCounts::add(const OpCounts& other) {
+  fadd += other.fadd;
+  fmul += other.fmul;
+  fdiv += other.fdiv;
+  fpow += other.fpow;
+  iops += other.iops;
+  loads += other.loads;
+  stores += other.stores;
+  for (const auto& [name, n] : other.intrinsics) intrinsics[name] += n;
+  depth = std::max(depth, other.depth);
+}
+
+namespace {
+
+bool is_float(TypeBase t) { return t == TypeBase::Real || t == TypeBase::Double; }
+
+void count_rec(const Expr& e, OpCounts& out, int& depth) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+    case ExprKind::RealLit:
+    case ExprKind::LogicalLit:
+    case ExprKind::Var:
+      depth = 0;  // literals and scalars are register operands
+      return;
+    case ExprKind::ArrayRef: {
+      int sub_depth = 0;
+      for (const auto& sub : e.subs) {
+        if (sub.kind == front::Subscript::Kind::Scalar) {
+          int d = 0;
+          count_rec(*sub.scalar, out, d);
+          sub_depth = std::max(sub_depth, d);
+        }
+        out.iops += 1;  // address arithmetic per dimension
+      }
+      out.loads += 1;
+      depth = sub_depth + 1;  // load latency on the chain
+      return;
+    }
+    case ExprKind::Unary: {
+      int d = 0;
+      count_rec(*e.args[0], out, d);
+      if (e.un_op == front::UnOp::Neg) {
+        if (is_float(e.type)) ++out.fadd; else ++out.iops;
+      }
+      depth = d + 1;
+      return;
+    }
+    case ExprKind::Binary: {
+      int dl = 0, dr = 0;
+      count_rec(*e.args[0], out, dl);
+      count_rec(*e.args[1], out, dr);
+      const bool f = is_float(e.type) ||
+                     is_float(e.args[0]->type) || is_float(e.args[1]->type);
+      switch (e.bin_op) {
+        case front::BinOp::Add:
+        case front::BinOp::Sub:
+          f ? ++out.fadd : ++out.iops;
+          break;
+        case front::BinOp::Mul:
+          f ? ++out.fmul : ++out.iops;
+          break;
+        case front::BinOp::Div:
+          f ? ++out.fdiv : ++out.iops;
+          break;
+        case front::BinOp::Pow:
+          ++out.fpow;
+          break;
+        case front::BinOp::Lt:
+        case front::BinOp::Le:
+        case front::BinOp::Gt:
+        case front::BinOp::Ge:
+        case front::BinOp::Eq:
+        case front::BinOp::Ne:
+          f ? ++out.fadd : ++out.iops;  // compare ~ subtract
+          break;
+        case front::BinOp::And:
+        case front::BinOp::Or:
+          ++out.iops;
+          break;
+      }
+      depth = std::max(dl, dr) + 1;
+      return;
+    }
+    case ExprKind::Call: {
+      const auto info = front::find_intrinsic(e.name);
+      int dmax = 0;
+      for (const auto& a : e.args) {
+        int d = 0;
+        count_rec(*a, out, d);
+        dmax = std::max(dmax, d);
+      }
+      if (info && info->kind == front::IntrinsicKind::Elemental) {
+        // cheap conversions fold into the pipeline; transcendental calls
+        // are charged by name so the SAU can price them individually
+        if (e.name == "real" || e.name == "float" || e.name == "dble" ||
+            e.name == "int" || e.name == "nint") {
+          ++out.iops;
+          depth = dmax + 1;
+        } else if (e.name == "abs" || e.name == "min" || e.name == "max" ||
+                   e.name == "sign" || e.name == "merge") {
+          ++out.fadd;
+          depth = dmax + 1;
+        } else {
+          ++out.intrinsics[e.name];
+          depth = dmax + 8;  // library call: long latency on the chain
+        }
+      } else {
+        // reductions / shifts are lowered to dedicated SPMD nodes before
+        // cost interpretation; if one is still embedded treat it as a
+        // single element access
+        out.loads += 1;
+        depth = dmax + 1;
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+OpCounts count_expr(const Expr& e) {
+  OpCounts out;
+  int depth = 0;
+  count_rec(e, out, depth);
+  out.depth = depth;
+  return out;
+}
+
+OpCounts count_assignment(const Expr& lhs, const Expr& rhs) {
+  OpCounts out = count_expr(rhs);
+  if (lhs.kind == ExprKind::ArrayRef) {
+    OpCounts addr;
+    int d = 0;
+    for (const auto& sub : lhs.subs) {
+      if (sub.kind == front::Subscript::Kind::Scalar) count_rec(*sub.scalar, addr, d);
+      addr.iops += 1;
+    }
+    addr.loads = 0;  // LHS address math only
+    out.add(addr);
+  }
+  out.stores += 1;
+  out.depth += 1;
+  return out;
+}
+
+}  // namespace hpf90d::compiler

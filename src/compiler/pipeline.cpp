@@ -1,0 +1,71 @@
+#include "compiler/pipeline.hpp"
+
+#include "compiler/lower.hpp"
+#include "compiler/normalize.hpp"
+#include "hpf/directives.hpp"
+#include "hpf/parser.hpp"
+#include "hpf/sema.hpp"
+#include "support/text.hpp"
+
+namespace hpf90d::compiler {
+
+CompiledProgram compile(std::string_view source, const CompilerOptions& options) {
+  front::Program ast = front::parse_program(source);
+  front::SymbolTable symbols = front::analyze(ast);
+  front::DirectiveSet directives = front::parse_directives(ast.raw_directives);
+  normalize(ast, symbols);
+  std::string name = ast.name;
+  return lower_program(std::move(name), std::move(ast), std::move(symbols),
+                       std::move(directives), options);
+}
+
+CompiledProgram compile_with_directives(std::string_view source,
+                                        const std::vector<std::string>& directive_overrides,
+                                        const CompilerOptions& options) {
+  front::Program ast = front::parse_program(source);
+  front::SymbolTable symbols = front::analyze(ast);
+
+  // Which directive kinds do the overrides provide?
+  auto kind_of = [](std::string_view text) -> std::string {
+    const std::string_view t = support::trim(text);
+    const std::size_t sp = t.find_first_of(" \t(");
+    return support::to_lower(t.substr(0, sp));
+  };
+  std::vector<std::string> override_kinds;
+  for (const auto& o : directive_overrides) override_kinds.push_back(kind_of(o));
+
+  std::vector<front::RawDirective> merged;
+  for (const auto& raw : ast.raw_directives) {
+    const std::string k = kind_of(raw.text);
+    bool replaced = false;
+    for (const auto& ok : override_kinds) {
+      if (k == ok) {
+        replaced = true;
+        break;
+      }
+    }
+    if (!replaced) merged.push_back(front::RawDirective{raw.loc, raw.text});
+  }
+  for (const auto& o : directive_overrides) {
+    merged.push_back(front::RawDirective{{}, " " + o});
+  }
+  ast.raw_directives.clear();
+  for (const auto& m : merged) ast.raw_directives.push_back(m);
+
+  front::DirectiveSet directives = front::parse_directives(ast.raw_directives);
+  normalize(ast, symbols);
+  std::string name = ast.name;
+  return lower_program(std::move(name), std::move(ast), std::move(symbols),
+                       std::move(directives), options);
+}
+
+DataLayout make_layout(const CompiledProgram& prog, const front::Bindings& bindings,
+                       const LayoutOptions& options) {
+  DataLayout layout(prog.directives, prog.symbols, bindings, options);
+  for (const auto& [temp, like] : prog.temp_aliases) {
+    layout.add_alias(temp, like, prog.symbols.at(temp).name);
+  }
+  return layout;
+}
+
+}  // namespace hpf90d::compiler

@@ -1,0 +1,37 @@
+// pipeline.hpp — the compilation phase of the framework (paper §4.1):
+// parse -> directive processing -> semantic analysis -> normalization
+// (array assignment / where -> forall) -> partitioning + communication
+// detection + SPMD generation.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "compiler/mapping.hpp"
+#include "compiler/spmd_ir.hpp"
+
+namespace hpf90d::compiler {
+
+/// Compiles HPF/Fortran 90D source text into the loosely synchronous SPMD
+/// node program. Throws support::CompileError on any front-end or lowering
+/// failure.
+[[nodiscard]] CompiledProgram compile(std::string_view source,
+                                      const CompilerOptions& options = {});
+
+/// Compiles with DISTRIBUTE/PROCESSORS directive lines replaced by
+/// `directive_overrides` (the framework's "select directives from the
+/// interface" workflow, §5.2.1). Each override is a full directive payload,
+/// e.g. "distribute t(block,*)". Directives of kinds present in the
+/// overrides are dropped from the source before the overrides are added.
+[[nodiscard]] CompiledProgram compile_with_directives(
+    std::string_view source, const std::vector<std::string>& directive_overrides,
+    const CompilerOptions& options = {});
+
+/// Builds the DataLayout for one configuration (problem bindings + machine
+/// size + optional grid shape), replaying the compiler's shift-temporary
+/// aliases so temps map like their source arrays.
+[[nodiscard]] DataLayout make_layout(const CompiledProgram& prog,
+                                     const front::Bindings& bindings,
+                                     const LayoutOptions& options);
+
+}  // namespace hpf90d::compiler

@@ -1,0 +1,152 @@
+// spmd_ir.hpp — the loosely synchronous SPMD node-program representation.
+//
+// Phase 1 of the framework compiles HPF into a "loosely synchronous SPMD
+// program structure ... consisting of alternating phases of local
+// computation and global communication" (paper §4.1 step 5). This IR is
+// that structure: a tree whose leaves are local-computation loops,
+// replicated scalar operations, and communication operations, and whose
+// interior nodes are the replicated control constructs (do / while / if).
+//
+// Both consumers execute the same IR:
+//   * core/engine.hpp   — the interpretation engine (predicted time),
+//   * sim/executor.hpp  — the functional simulator  (measured time).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpf/ast.hpp"
+#include "hpf/directives.hpp"
+#include "hpf/sema.hpp"
+
+namespace hpf90d::compiler {
+
+enum class SpmdKind {
+  Seq,            // ordered children (program body, loop bodies)
+  ScalarAssign,   // replicated scalar computation
+  LocalLoop,      // owner-computes data-parallel loop (from forall)
+  OverlapComm,    // boundary exchange for subscript offsets (ghost cells)
+  CShiftComm,     // cshift/tshift intrinsic: circular shift into a temporary
+  GatherComm,     // irregular gather / regular remap prefetch
+  ScatterComm,    // irregular scatter write-back (vector-subscripted LHS)
+  SliceBroadcast, // loop-invariant slice of a distributed dim read by all
+  Reduce,         // global reduction (sum/product/maxval/minval/maxloc)
+  DoLoop,         // replicated counted loop
+  WhileLoop,      // replicated while loop
+  IfBlock,        // replicated branch
+  HostIO,         // print *, ... — node 0 <-> host (SRM) traffic
+};
+
+[[nodiscard]] std::string_view spmd_kind_name(SpmdKind k) noexcept;
+
+/// One dimension of a local iteration space (a forall index).
+struct IterIndex {
+  std::string name;
+  int symbol = -1;
+  front::ExprPtr lo, hi, stride;  // stride may be null (1)
+
+  [[nodiscard]] IterIndex clone() const;
+};
+
+enum class GatherPattern {
+  Irregular,  // vector subscript — runtime-resolved gather/scatter
+  Remap,      // affine but non-unit / transposed — regular remap
+};
+
+struct SpmdNode;
+using SpmdNodePtr = std::unique_ptr<SpmdNode>;
+
+struct SpmdNode {
+  SpmdKind kind = SpmdKind::Seq;
+  front::SourceLoc loc;
+  int id = -1;  // stable preorder id (assigned by the pipeline)
+
+  // --- LocalLoop ---------------------------------------------------------
+  std::vector<IterIndex> space;
+  front::ExprPtr mask;   // LocalLoop mask; IfBlock / WhileLoop condition
+  front::ExprPtr lhs;    // LocalLoop body assignment / ScalarAssign target
+  front::ExprPtr rhs;
+  int home_symbol = -1;  // array whose owner executes each iteration
+  /// Which forall index (position in `space`) drives each home-array dim;
+  /// -1 for dims subscripted by loop-invariant expressions. The paired
+  /// offset is the constant c in `a(i+c)`.
+  std::vector<int> home_driver;
+  std::vector<long long> home_driver_offset;
+  /// Inner sequential reduction for dim-reductions:
+  /// lhs(space) = op over inner.index of inner_arg
+  struct InnerReduce {
+    std::string op;  // "sum" | "product" | "maxval" | "minval"
+    IterIndex index;
+    front::ExprPtr arg;
+  };
+  std::optional<InnerReduce> inner;
+
+  // --- communication nodes -------------------------------------------------
+  int comm_array = -1;       // source array symbol
+  int comm_temp = -1;        // destination temporary (CShiftComm)
+  int comm_dim = 0;          // 0-based array dimension
+  long long comm_offset = 0; // OverlapComm ghost offset (signed)
+  front::ExprPtr comm_amount;  // CShiftComm shift expression
+  GatherPattern gather_pattern = GatherPattern::Irregular;
+  std::string comm_note;     // classification note for reports/AAG
+  bool per_element = false;  // true when message vectorization is disabled
+  /// True when the communicated array is not written inside the innermost
+  /// enclosing loop: after the first trip the (re-issued) exchange overlaps
+  /// with computation, and the interpretation engine charges only its
+  /// non-overlappable part (paper §3.3: "overlap between computation and
+  /// communication" heuristic).
+  bool comm_src_invariant = false;
+
+  // --- Reduce ---------------------------------------------------------------
+  std::string reduce_op;
+  front::ExprPtr reduce_arg;       // element expression over `space`
+  int reduce_result = -1;          // scalar symbol receiving the result
+
+  // --- DoLoop ----------------------------------------------------------------
+  std::string do_var;
+  int do_symbol = -1;
+  front::ExprPtr do_lo, do_hi, do_step;
+
+  // --- HostIO ----------------------------------------------------------------
+  std::vector<front::ExprPtr> io_args;
+
+  // --- structure ---------------------------------------------------------------
+  std::vector<SpmdNodePtr> children;
+  std::vector<SpmdNodePtr> else_children;
+
+  [[nodiscard]] std::string str(int indent = 0) const;
+};
+
+/// Compiler options (paper §4.2: "provisions to take into consideration a
+/// set of compiler optimizations ... turned on/off by the user").
+struct CompilerOptions {
+  /// Hoist communication out of element loops into one aggregate message
+  /// per array per forall (message vectorization). Off = one message per
+  /// element, the unoptimized compiler behaviour.
+  bool message_vectorization = true;
+  /// Assumed probability that a forall mask evaluates true, used by the
+  /// *predictor* when no better information exists. The simulator measures
+  /// the actual fraction. Overridable per run via binding "mask__prob".
+  double default_mask_probability = 1.0;
+};
+
+/// The complete output of compilation phase 1.
+struct CompiledProgram {
+  std::string name;
+  front::Program ast;              // normalized AST (statement bodies)
+  front::SymbolTable symbols;      // extended with compiler temporaries
+  front::DirectiveSet directives;
+  CompilerOptions options;
+  SpmdNodePtr root;                // Seq over the program body
+  /// Compiler-introduced array temporaries (shift destinations), each
+  /// mapped like an existing array: (temp symbol, like symbol). DataLayout
+  /// replays these as aliases when a configuration is resolved.
+  std::vector<std::pair<int, int>> temp_aliases;
+  int node_count = 0;
+
+  [[nodiscard]] std::string str() const { return root ? root->str() : std::string{}; }
+};
+
+}  // namespace hpf90d::compiler

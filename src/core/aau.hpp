@@ -1,0 +1,33 @@
+// aau.hpp — Application Abstraction Units (paper §3.2).
+//
+// Machine-independent application abstraction characterizes the application
+// into AAUs, each representing a standard programming construct or a
+// communication/synchronization operation. AAUs combine into the
+// Application Abstraction Graph (AAG); superimposing the communication /
+// synchronization structure yields the Synchronized AAG (SAAG).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "compiler/spmd_ir.hpp"
+
+namespace hpf90d::core {
+
+enum class AAUKind {
+  Seq,     // sequential composition / straight-line computation
+  Iter,    // replicated iterative construct (do / do while)
+  IterD,   // distributed (data-parallel) iterative construct
+  Condt,   // replicated conditional
+  CondtD,  // data-parallel conditional (forall mask)
+  Comm,    // communication operation
+  Reduct,  // global reduction (communication + combining computation)
+  IO,      // host input/output
+};
+
+[[nodiscard]] std::string_view aau_kind_name(AAUKind k) noexcept;
+
+/// Classification of one SPMD node into its AAU kind.
+[[nodiscard]] AAUKind classify_spmd_node(const compiler::SpmdNode& node) noexcept;
+
+}  // namespace hpf90d::core

@@ -1,0 +1,38 @@
+// critical.hpp — critical variable identification and resolution.
+//
+// The abstraction parse "identifies all critical variables in the
+// application description; a critical variable being defined as a variable
+// whose value effects the flow of execution, e.g. a loop limit. The
+// critical variables are then resolved either by tracing their definition
+// paths or by allowing the user to explicitly specify their values"
+// (paper §4.2).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compiler/spmd_ir.hpp"
+#include "hpf/fold.hpp"
+
+namespace hpf90d::core {
+
+struct CriticalVariableReport {
+  /// Variables controlling execution flow (loop limits, conditions, space
+  /// bounds), in first-appearance order.
+  std::vector<std::string> critical;
+  /// Resolved by tracing constant definition paths through the program.
+  std::vector<std::string> traced;
+  /// Resolved because the user supplied an explicit binding.
+  std::vector<std::string> bound;
+  /// Not resolvable: prediction requires a binding for these.
+  std::vector<std::string> unresolved;
+
+  [[nodiscard]] bool complete() const noexcept { return unresolved.empty(); }
+};
+
+/// Analyzes the program's critical variables against `bindings`.
+[[nodiscard]] CriticalVariableReport analyze_critical(
+    const compiler::CompiledProgram& prog, const front::Bindings& bindings);
+
+}  // namespace hpf90d::core

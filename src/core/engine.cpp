@@ -1,0 +1,512 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "compiler/opcount.hpp"
+#include "compiler/pipeline.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::core {
+
+using compiler::SpmdKind;
+using compiler::SpmdNode;
+using front::Expr;
+using front::ExprKind;
+using support::CompileError;
+
+InterpretationEngine::InterpretationEngine(const compiler::CompiledProgram& prog,
+                                           const compiler::DataLayout& layout,
+                                           const machine::MachineModel& machine,
+                                           const PredictOptions& options,
+                                           const front::Bindings& bindings)
+    : prog_(prog),
+      layout_(layout),
+      machine_(machine),
+      options_(options),
+      bindings_(bindings),
+      nprocs_(layout.nprocs()),
+      env_(prog.symbols.size()),
+      fn_(machine.node()),
+      clock_(static_cast<std::size_t>(nprocs_), 0.0),
+      metrics_(static_cast<std::size_t>(prog.node_count)) {
+  compiler::seed_environment(env_, prog_.symbols, bindings);
+}
+
+PredictionResult InterpretationEngine::interpret() {
+  walk_seq(prog_.root->children);
+
+  PredictionResult out;
+  out.total = *std::max_element(clock_.begin(), clock_.end());
+  out.proc_clock = clock_;
+  out.per_aau = metrics_;
+  for (auto& m : out.per_aau) {
+    m.comp /= nprocs_;
+    m.comm /= nprocs_;
+    m.overhead /= nprocs_;
+    m.wait /= nprocs_;
+  }
+  for (const auto& m : out.per_aau) {
+    out.comp += m.comp;
+    out.comm += m.comm;
+    out.overhead += m.overhead;
+    out.wait += m.wait;
+  }
+  out.trace = std::move(trace_);
+  return out;
+}
+
+void InterpretationEngine::charge(int aau, int proc, double t, char category) {
+  if (t <= 0) return;
+  const double begin = clock_[static_cast<std::size_t>(proc)];
+  clock_[static_cast<std::size_t>(proc)] += t;
+  AAUMetric& m = metric(aau);
+  switch (category) {
+    case 'C': m.comp += t; break;
+    case 'M': m.comm += t; break;
+    case 'O': m.overhead += t; break;
+    case 'W': m.wait += t; break;
+    case 'I': m.comm += t; break;
+    default: m.comp += t; break;
+  }
+  if (options_.trace && trace_.size() < options_.max_trace_events) {
+    trace_.push_back(TraceEvent{begin, begin + t, proc, aau, category});
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+void InterpretationEngine::walk_seq(const std::vector<compiler::SpmdNodePtr>& nodes) {
+  for (const auto& n : nodes) walk(*n);
+}
+
+void InterpretationEngine::walk(const SpmdNode& n) {
+  metric(n.id).visits++;
+  switch (n.kind) {
+    case SpmdKind::Seq: walk_seq(n.children); break;
+    case SpmdKind::ScalarAssign: walk_scalar_assign(n); break;
+    case SpmdKind::LocalLoop: walk_local_loop(n); break;
+    case SpmdKind::OverlapComm: walk_overlap(n); break;
+    case SpmdKind::CShiftComm: walk_cshift(n); break;
+    case SpmdKind::GatherComm:
+    case SpmdKind::ScatterComm: walk_irregular(n); break;
+    case SpmdKind::SliceBroadcast: walk_slice_bcast(n); break;
+    case SpmdKind::Reduce: walk_reduce(n); break;
+    case SpmdKind::DoLoop: walk_do(n); break;
+    case SpmdKind::WhileLoop: walk_while(n); break;
+    case SpmdKind::IfBlock: walk_if(n); break;
+    case SpmdKind::HostIO: walk_hostio(n); break;
+  }
+}
+
+void InterpretationEngine::walk_scalar_assign(const SpmdNode& n) {
+  // trace the definition path: scalar control values are evaluated, data
+  // values (reduction results, array elements) stay unknown
+  const std::optional<double> v =
+      compiler::try_eval_scalar(*n.rhs, env_, nullptr, prog_.symbols);
+  if (v) {
+    env_.define(n.lhs->symbol,
+                n.lhs->type == front::TypeBase::Integer ? std::trunc(*v) : *v);
+  }
+  const double t = fn_.seq(compiler::count_expr(*n.rhs));
+  for (int p = 0; p < nprocs_; ++p) charge(n.id, p, t, 'C');
+}
+
+void InterpretationEngine::walk_do(const SpmdNode& n) {
+  long long lo, hi, step;
+  try {
+    lo = compiler::eval_int(*n.do_lo, env_, nullptr, prog_.symbols);
+    hi = compiler::eval_int(*n.do_hi, env_, nullptr, prog_.symbols);
+    step = n.do_step ? compiler::eval_int(*n.do_step, env_, nullptr, prog_.symbols) : 1;
+  } catch (const CompileError& e) {
+    throw CompileError(n.loc, std::string("unresolved critical variable in do bounds: ") +
+                                  e.what());
+  }
+  if (step == 0) throw CompileError(n.loc, "do loop step is zero");
+  for (int p = 0; p < nprocs_; ++p) charge(n.id, p, fn_.iter_setup(), 'O');
+  for (long long v = lo; step > 0 ? v <= hi : v >= hi; v += step) {
+    env_.define(n.do_symbol, static_cast<double>(v));
+    for (int p = 0; p < nprocs_; ++p) charge(n.id, p, fn_.iter_overhead(), 'O');
+    walk_seq(n.children);
+  }
+}
+
+void InterpretationEngine::walk_while(const SpmdNode& n) {
+  long long trips = 0;
+  while (true) {
+    const std::optional<double> c =
+        compiler::try_eval_scalar(*n.mask, env_, nullptr, prog_.symbols);
+    if (!c) {
+      throw CompileError(n.loc,
+                         "do while condition depends on data values; supply an "
+                         "explicit binding for its critical variables");
+    }
+    for (int p = 0; p < nprocs_; ++p) {
+      charge(n.id, p, fn_.condt(compiler::count_expr(*n.mask)), 'O');
+    }
+    if (*c == 0.0) break;
+    if (++trips > 1000000) {
+      throw CompileError(n.loc, "do while exceeded the interpretation trip limit");
+    }
+    walk_seq(n.children);
+  }
+}
+
+void InterpretationEngine::walk_if(const SpmdNode& n) {
+  const std::optional<double> c =
+      compiler::try_eval_scalar(*n.mask, env_, nullptr, prog_.symbols);
+  for (int p = 0; p < nprocs_; ++p) {
+    charge(n.id, p, fn_.condt(compiler::count_expr(*n.mask)), 'O');
+  }
+  if (!c || *c != 0.0) {
+    walk_seq(n.children);  // unresolved conditions assume the then-branch
+  } else {
+    walk_seq(n.else_children);
+  }
+}
+
+void InterpretationEngine::walk_hostio(const SpmdNode& n) {
+  long long bytes = 16;
+  for (const auto& arg : n.io_args) {
+    bytes += arg->rank == 0 ? 16 : 64;  // arrays: abstraction charges a block
+  }
+  charge(n.id, 0, fn_.host_io(bytes), 'I');
+}
+
+// ---------------------------------------------------------------------------
+// iteration machinery
+// ---------------------------------------------------------------------------
+
+long long InterpretationEngine::ResolvedSpace::dim_count(std::size_t d) const {
+  if (step[d] > 0) return hi[d] >= lo[d] ? (hi[d] - lo[d]) / step[d] + 1 : 0;
+  return lo[d] >= hi[d] ? (lo[d] - hi[d]) / (-step[d]) + 1 : 0;
+}
+
+long long InterpretationEngine::ResolvedSpace::points() const {
+  long long total = 1;
+  for (std::size_t d = 0; d < lo.size(); ++d) total *= dim_count(d);
+  return total;
+}
+
+InterpretationEngine::ResolvedSpace InterpretationEngine::resolve_space(
+    const std::vector<compiler::IterIndex>& space) {
+  ResolvedSpace out;
+  for (const auto& ix : space) {
+    try {
+      out.lo.push_back(compiler::eval_int(*ix.lo, env_, nullptr, prog_.symbols));
+      out.hi.push_back(compiler::eval_int(*ix.hi, env_, nullptr, prog_.symbols));
+      out.step.push_back(
+          ix.stride ? compiler::eval_int(*ix.stride, env_, nullptr, prog_.symbols) : 1);
+    } catch (const CompileError& e) {
+      throw CompileError(ix.lo->loc,
+                         std::string("unresolved critical variable in forall bounds: ") +
+                             e.what());
+    }
+  }
+  return out;
+}
+
+std::vector<long long> InterpretationEngine::local_iterations(
+    const SpmdNode& n, const ResolvedSpace& space) const {
+  std::vector<long long> iters(static_cast<std::size_t>(nprocs_), 0);
+  const compiler::ArrayMap* home =
+      n.home_symbol >= 0 ? layout_.map_for(n.home_symbol) : nullptr;
+  if (home == nullptr) {
+    std::fill(iters.begin(), iters.end(), space.points());
+    return iters;
+  }
+  for (int p = 0; p < nprocs_; ++p) {
+    const std::vector<int> coords = layout_.grid().coords(p);
+    long long count = 1;
+    for (std::size_t d = 0; d < space.lo.size(); ++d) {
+      // find the home dim driven by this space index
+      int home_dim = -1;
+      for (std::size_t h = 0; h < n.home_driver.size(); ++h) {
+        if (n.home_driver[h] == static_cast<int>(d)) {
+          home_dim = static_cast<int>(h);
+          break;
+        }
+      }
+      long long dim_iters = space.dim_count(d);
+      if (home_dim >= 0) {
+        const auto& dd = home->dims[static_cast<std::size_t>(home_dim)];
+        if (dd.grid_dim >= 0 && dd.nprocs > 1) {
+          const int c = coords[static_cast<std::size_t>(dd.grid_dim)];
+          if (dd.kind == front::DistKind::Block) {
+            const auto range = dd.owned_range(c);
+            const long long off = n.home_driver_offset[static_cast<std::size_t>(home_dim)];
+            const long long a = std::max(space.lo[d], range.lo - off);
+            const long long b = std::min(space.hi[d], range.hi - off);
+            if (b < a) {
+              dim_iters = 0;
+            } else {
+              const long long st = space.step[d];
+              const long long first = (a - space.lo[d] + st - 1) / st;
+              const long long last = (b - space.lo[d]) / st;
+              dim_iters = last >= first ? last - first + 1 : 0;
+            }
+          } else {
+            // cyclic: proportional share of the iteration range
+            const long long owned = dd.local_count(c);
+            dim_iters = dim_iters * owned / std::max<long long>(dd.extent, 1);
+          }
+        }
+      }
+      count *= dim_iters;
+    }
+    iters[static_cast<std::size_t>(p)] = count;
+  }
+  return iters;
+}
+
+long long InterpretationEngine::slab_elements(const compiler::ArrayMap& map, int proc,
+                                              int dim, long long width) const {
+  const std::vector<int> coords = layout_.grid().coords(proc);
+  long long perp = 1;
+  for (std::size_t j = 0; j < map.dims.size(); ++j) {
+    if (static_cast<int>(j) == dim) continue;
+    const auto& od = map.dims[j];
+    const int c = od.grid_dim >= 0 ? coords[static_cast<std::size_t>(od.grid_dim)] : 0;
+    perp *= od.local_count(c);
+  }
+  return perp * width;
+}
+
+double InterpretationEngine::mask_probability() const {
+  if (const auto v = bindings_.get("mask__prob")) return *v;
+  return options_.mask_probability;
+}
+
+long long InterpretationEngine::working_set_estimate(const SpmdNode& n,
+                                                     const ResolvedSpace& space) const {
+  long long arrays = 1;
+  std::function<void(const Expr&)> scan = [&](const Expr& e) {
+    if (e.kind == ExprKind::ArrayRef) ++arrays;
+    for (const auto& a : e.args) scan(*a);
+    for (const auto& s : e.subs) {
+      if (s.scalar) scan(*s.scalar);
+    }
+  };
+  if (n.rhs) scan(*n.rhs);
+  if (n.inner) scan(*n.inner->arg);
+  if (n.reduce_arg) scan(*n.reduce_arg);
+  const int elem = n.lhs ? front::type_size_bytes(n.lhs->type) : 4;
+  return std::max<long long>(1, space.points()) * arrays * elem /
+         std::max(1, nprocs_);
+}
+
+// ---------------------------------------------------------------------------
+// computation AAUs
+// ---------------------------------------------------------------------------
+
+void InterpretationEngine::walk_local_loop(const SpmdNode& n) {
+  const ResolvedSpace space = resolve_space(n.space);
+  if (space.points() <= 0) return;
+  const std::vector<long long> iters = local_iterations(n, space);
+
+  compiler::OpCounts ops;
+  long long inner_m = 0;
+  if (n.inner) {
+    ops = compiler::count_expr(*n.inner->arg);
+    ops.fadd += 1;
+    inner_m = std::max<long long>(
+        0, compiler::eval_int(*n.inner->index.hi, env_, nullptr, prog_.symbols) -
+               compiler::eval_int(*n.inner->index.lo, env_, nullptr, prog_.symbols) + 1);
+  } else {
+    ops = compiler::count_assignment(*n.lhs, *n.rhs);
+  }
+  const int elem = front::type_size_bytes(n.lhs->type);
+  const long long ws = working_set_estimate(n, space);
+
+  for (int p = 0; p < nprocs_; ++p) {
+    const long long it = iters[static_cast<std::size_t>(p)];
+    if (it == 0) continue;
+    ComputeEstimate est;
+    if (n.mask) {
+      est = fn_.condt_d(ops, compiler::count_expr(*n.mask), mask_probability(), it,
+                        elem, ws, inner_m);
+    } else {
+      est = fn_.iter_d(ops, it, elem, ws, inner_m);
+    }
+    charge(n.id, p, est.comp, 'C');
+    charge(n.id, p, est.overhead, 'O');
+  }
+}
+
+void InterpretationEngine::walk_reduce(const SpmdNode& n) {
+  const ResolvedSpace space = resolve_space(n.space);
+  const std::vector<long long> iters = local_iterations(n, space);
+
+  compiler::OpCounts ops = compiler::count_expr(*n.reduce_arg);
+  ops.fadd += 1;
+  const long long ws = working_set_estimate(n, space);
+  const int arg_elem = front::type_size_bytes(n.reduce_arg->type);
+  for (int p = 0; p < nprocs_; ++p) {
+    const long long it = iters[static_cast<std::size_t>(p)];
+    if (it == 0) continue;
+    const ComputeEstimate est = fn_.iter_d(ops, it, arg_elem, ws);
+    charge(n.id, p, est.comp, 'C');
+    charge(n.id, p, est.overhead, 'O');
+  }
+
+  // the reduction result is a data value: it stays unknown to the engine
+
+  const compiler::ArrayMap* home =
+      n.home_symbol >= 0 ? layout_.map_for(n.home_symbol) : nullptr;
+  if (home != nullptr && nprocs_ > 1) {
+    const long long bytes = n.reduce_op == "maxloc" ? 12 : 8;
+    const double cost = fn_.comm().reduce(nprocs_, bytes,
+                                          machine_.node().proc.t_fadd,
+                                          options_.collective);
+    sync_then_charge_comm(n, std::vector<double>(static_cast<std::size_t>(nprocs_), cost));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// communication AAUs
+// ---------------------------------------------------------------------------
+
+void InterpretationEngine::sync_then_charge_comm(const SpmdNode& n,
+                                                 const std::vector<double>& cost) {
+  // loosely synchronous model: a global communication phase synchronizes
+  // its participants — idle time becomes wait, then the analytic cost is
+  // charged
+  const double tmax = *std::max_element(clock_.begin(), clock_.end());
+  for (int p = 0; p < nprocs_; ++p) {
+    const double idle = tmax - clock_[static_cast<std::size_t>(p)];
+    if (idle > 0) charge(n.id, p, idle, 'W');
+    if (cost[static_cast<std::size_t>(p)] > 0) {
+      charge(n.id, p, cost[static_cast<std::size_t>(p)], 'M');
+    }
+  }
+}
+
+void InterpretationEngine::walk_overlap(const SpmdNode& n) {
+  const compiler::ArrayMap* map = layout_.map_for(n.comm_array);
+  if (map == nullptr) return;
+  const auto& dd = map->dims[static_cast<std::size_t>(n.comm_dim)];
+  if (dd.grid_dim < 0 || dd.nprocs <= 1) return;
+  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+  const bool strided = n.comm_dim != 0;
+  std::vector<double> cost(static_cast<std::size_t>(nprocs_), 0.0);
+  for (int p = 0; p < nprocs_; ++p) {
+    const int c = layout_.grid().coords(p)[static_cast<std::size_t>(dd.grid_dim)];
+    const bool has_partner = n.comm_offset > 0 ? c + 1 < dd.nprocs : c > 0;
+    if (!has_partner) continue;
+    // BLOCK: only the ghost strip crosses; CYCLIC: every owned element's
+    // neighbour lives on another processor
+    const long long width =
+        dd.kind == front::DistKind::Cyclic
+            ? dd.local_count(c)
+            : std::min<long long>(std::llabs(n.comm_offset),
+                                  std::max<long long>(dd.block, 1));
+    const long long bytes = slab_elements(*map, p, n.comm_dim, width) * elem;
+    double t = fn_.comm().overlap_exchange(bytes, strided);
+    if (n.per_element) {
+      // message vectorization disabled: one message per boundary element
+      const long long elems = std::max<long long>(1, bytes / elem);
+      t = static_cast<double>(elems) * fn_.comm().ptp(elem);
+    }
+    if (n.comm_src_invariant && metric(n.id).visits > 1) {
+      // overlap heuristic: a re-issued exchange of unchanged data hides its
+      // setup latency behind the surrounding computation; only packing and
+      // wire occupancy remain on the critical path
+      t = 2.0 * fn_.comm().pack(bytes, strided) +
+          fn_.comm().component().per_byte * static_cast<double>(bytes);
+    }
+    cost[static_cast<std::size_t>(p)] = t;
+  }
+  sync_then_charge_comm(n, cost);
+}
+
+void InterpretationEngine::walk_cshift(const SpmdNode& n) {
+  const compiler::ArrayMap* map = layout_.map_for(n.comm_array);
+  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+  long long shift = 1;
+  if (const auto v = compiler::try_eval_scalar(*n.comm_amount, env_, nullptr,
+                                               prog_.symbols)) {
+    shift = static_cast<long long>(std::llround(*v));
+  }
+  std::vector<double> cost(static_cast<std::size_t>(nprocs_), 0.0);
+  if (map == nullptr ||
+      map->dims[static_cast<std::size_t>(n.comm_dim)].grid_dim < 0 ||
+      map->dims[static_cast<std::size_t>(n.comm_dim)].nprocs <= 1) {
+    // serial dimension: local circular copy
+    long long total_local = 0;
+    if (map != nullptr) {
+      total_local = map->local_elements(layout_.grid(), 0);
+    } else {
+      front::Bindings b;
+      for (const auto& [k, v] : bindings_.values()) b.set(k, v);
+      total_local = 1;
+      for (long long e : layout_.array_extents(n.comm_array)) total_local *= e;
+    }
+    const double t =
+        static_cast<double>(total_local * elem) / machine_.node().mem.mem_bandwidth;
+    std::fill(cost.begin(), cost.end(), t);
+    sync_then_charge_comm(n, cost);
+    return;
+  }
+  const auto& dd = map->dims[static_cast<std::size_t>(n.comm_dim)];
+  const bool strided = n.comm_dim != 0;
+  const long long w = std::min<long long>(std::llabs(shift), dd.block);
+  for (int p = 0; p < nprocs_; ++p) {
+    const int c = layout_.grid().coords(p)[static_cast<std::size_t>(dd.grid_dim)];
+    const long long own = dd.local_count(c);
+    const long long msg = slab_elements(*map, p, n.comm_dim, w) * elem;
+    const long long local = slab_elements(*map, p, n.comm_dim,
+                                          std::max<long long>(own - w, 0)) * elem;
+    cost[static_cast<std::size_t>(p)] = fn_.comm().cshift(msg, local, strided);
+  }
+  sync_then_charge_comm(n, cost);
+}
+
+void InterpretationEngine::walk_irregular(const SpmdNode& n) {
+  if (nprocs_ <= 1) return;
+  const ResolvedSpace space = resolve_space(n.space);
+  const long long total = std::max<long long>(space.points(), 0);
+  if (total == 0) return;
+  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+  const long long share = (total + nprocs_ - 1) / nprocs_;
+  double cost = n.gather_pattern == compiler::GatherPattern::Irregular
+                    ? fn_.comm().irregular(nprocs_, share, elem)
+                    : fn_.comm().remap(nprocs_, share, elem);
+  if (n.comm_src_invariant && metric(n.id).visits > 1) {
+    cost = fn_.comm().pack(share * elem, true) +
+           fn_.comm().component().per_byte * static_cast<double>(share * elem);
+  }
+  sync_then_charge_comm(n, std::vector<double>(static_cast<std::size_t>(nprocs_), cost));
+}
+
+void InterpretationEngine::walk_slice_bcast(const SpmdNode& n) {
+  const compiler::ArrayMap* map = layout_.map_for(n.comm_array);
+  if (map == nullptr || nprocs_ <= 1) return;
+  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+  const long long total = map->total_elements();
+  const long long dim_extent = map->dims[static_cast<std::size_t>(n.comm_dim)].extent;
+  const long long slice = total / std::max<long long>(dim_extent, 1);
+  const double cost = fn_.comm().bcast(nprocs_, slice * elem, options_.collective);
+  sync_then_charge_comm(n, std::vector<double>(static_cast<std::size_t>(nprocs_), cost));
+}
+
+// ---------------------------------------------------------------------------
+
+PredictionResult predict(const compiler::CompiledProgram& prog,
+                         const front::Bindings& bindings,
+                         const compiler::LayoutOptions& layout_options,
+                         const machine::MachineModel& machine,
+                         const PredictOptions& options) {
+  const CriticalVariableReport report = analyze_critical(prog, bindings);
+  if (!report.complete()) {
+    std::string names;
+    for (const auto& n : report.unresolved) names += (names.empty() ? "" : ", ") + n;
+    throw CompileError({}, "unresolved critical variables: " + names +
+                               " (supply bindings for them)");
+  }
+  const compiler::DataLayout layout = compiler::make_layout(prog, bindings, layout_options);
+  InterpretationEngine engine(prog, layout, machine, options, bindings);
+  return engine.interpret();
+}
+
+}  // namespace hpf90d::core

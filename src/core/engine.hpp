@@ -1,0 +1,130 @@
+// engine.hpp — the interpretation engine (paper §3.3, §4.2).
+//
+// The interpretation parse walks the SAAG and applies the per-AAU
+// interpretation functions against the SAU parameters, maintaining
+// computation / communication / overhead / wait times per AAU plus the
+// global clock. Replicated scalar control flow is traced by actually
+// evaluating it (the critical-variable machinery); data values are never
+// touched — iteration counts come from the data-mapping formulas, mask
+// effects from probabilities, and communication volumes from the layout.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/eval.hpp"
+#include "compiler/mapping.hpp"
+#include "compiler/spmd_ir.hpp"
+#include "core/aag.hpp"
+#include "core/critical.hpp"
+#include "core/interp_fn.hpp"
+#include "core/metrics.hpp"
+#include "machine/sag.hpp"
+
+namespace hpf90d::core {
+
+struct PredictOptions {
+  /// Assumed forall-mask truth probability when the binding "mask__prob"
+  /// is absent.
+  double mask_probability = 1.0;
+  machine::CollectiveAlgo collective = machine::CollectiveAlgo::RecursiveTree;
+  /// Record a ParaGraph-style event trace (see output.hpp).
+  bool trace = false;
+  std::size_t max_trace_events = 200000;
+};
+
+/// One interpreted event for the trace output (ParaGraph-compatible
+/// rendering is done by the output module).
+struct TraceEvent {
+  double t_begin = 0;
+  double t_end = 0;
+  int proc = 0;
+  int aau = -1;
+  char category = 'C';  // 'C'ompute, 'M'essage, 'O'verhead, 'I'/O
+};
+
+struct PredictionResult {
+  double total = 0;  // predicted execution time (global clock)
+  std::vector<double> proc_clock;
+  std::vector<AAUMetric> per_aau;  // indexed by AAU id, averaged over procs
+  double comp = 0, comm = 0, overhead = 0, wait = 0;
+  std::vector<TraceEvent> trace;
+};
+
+class InterpretationEngine {
+ public:
+  InterpretationEngine(const compiler::CompiledProgram& prog,
+                       const compiler::DataLayout& layout,
+                       const machine::MachineModel& machine,
+                       const PredictOptions& options, const front::Bindings& bindings);
+
+  /// Runs the interpretation algorithm over the whole SAAG.
+  [[nodiscard]] PredictionResult interpret();
+
+ private:
+  using SpmdNode = compiler::SpmdNode;
+
+  void walk_seq(const std::vector<compiler::SpmdNodePtr>& nodes);
+  void walk(const SpmdNode& n);
+  void walk_scalar_assign(const SpmdNode& n);
+  void walk_do(const SpmdNode& n);
+  void walk_while(const SpmdNode& n);
+  void walk_if(const SpmdNode& n);
+  void walk_local_loop(const SpmdNode& n);
+  void walk_reduce(const SpmdNode& n);
+  void walk_overlap(const SpmdNode& n);
+  void walk_cshift(const SpmdNode& n);
+  void walk_irregular(const SpmdNode& n);
+  void walk_slice_bcast(const SpmdNode& n);
+  void walk_hostio(const SpmdNode& n);
+
+  struct ResolvedSpace {
+    std::vector<long long> lo, hi, step;
+    [[nodiscard]] long long points() const;
+    [[nodiscard]] long long dim_count(std::size_t d) const;
+  };
+  [[nodiscard]] ResolvedSpace resolve_space(const std::vector<compiler::IterIndex>& space);
+
+  /// Analytic per-processor iteration counts under owner-computes.
+  [[nodiscard]] std::vector<long long> local_iterations(const SpmdNode& n,
+                                                        const ResolvedSpace& space) const;
+
+  /// Boundary-slab elements of `map` at `proc` for an exchange of `width`
+  /// along array dim `dim`.
+  [[nodiscard]] long long slab_elements(const compiler::ArrayMap& map, int proc, int dim,
+                                        long long width) const;
+
+  [[nodiscard]] double mask_probability() const;
+  [[nodiscard]] long long working_set_estimate(const SpmdNode& n,
+                                               const ResolvedSpace& space) const;
+
+  void charge(int aau, int proc, double t, char category);
+  void sync_then_charge_comm(const SpmdNode& n, const std::vector<double>& cost_per_proc);
+  AAUMetric& metric(int aau) { return metrics_.at(static_cast<std::size_t>(aau)); }
+
+  const compiler::CompiledProgram& prog_;
+  const compiler::DataLayout& layout_;
+  const machine::MachineModel& machine_;
+  PredictOptions options_;
+  front::Bindings bindings_;
+  int nprocs_;
+
+  compiler::ScalarEnv env_;
+  InterpretationFunctions fn_;
+
+  std::vector<double> clock_;
+  std::vector<AAUMetric> metrics_;
+  std::vector<TraceEvent> trace_;
+};
+
+/// Convenience wrapper: layout construction + critical-variable check +
+/// interpretation in one call. Throws support::CompileError when a critical
+/// variable is unresolved (listing it, as the interactive tool would).
+[[nodiscard]] PredictionResult predict(const compiler::CompiledProgram& prog,
+                                       const front::Bindings& bindings,
+                                       const compiler::LayoutOptions& layout_options,
+                                       const machine::MachineModel& machine,
+                                       const PredictOptions& options = {});
+
+}  // namespace hpf90d::core

@@ -1,0 +1,29 @@
+// metrics.hpp — performance metrics maintained per AAU (paper §4.2:
+// "Performance metrics maintained at each AAU are its computation,
+// communication and overheads times, and the value of the global clock. In
+// addition, cumulative metrics are also maintained for the entire SAAG.")
+#pragma once
+
+#include <string>
+
+namespace hpf90d::core {
+
+struct AAUMetric {
+  double comp = 0;      // local computation
+  double comm = 0;      // communication / synchronization
+  double overhead = 0;  // loop / branch / call overheads
+  double wait = 0;      // idle time at synchronization points
+  long long visits = 0;
+
+  [[nodiscard]] double total() const noexcept { return comp + comm + overhead + wait; }
+
+  void add(const AAUMetric& other) noexcept {
+    comp += other.comp;
+    comm += other.comm;
+    overhead += other.overhead;
+    wait += other.wait;
+    visits += other.visits;
+  }
+};
+
+}  // namespace hpf90d::core

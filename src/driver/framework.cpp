@@ -1,0 +1,30 @@
+#include "driver/framework.hpp"
+
+namespace hpf90d::driver {
+
+core::PredictionResult Framework::predict(const compiler::CompiledProgram& prog,
+                                          const ExperimentConfig& config) const {
+  return core::predict(prog, config.bindings, layout_options(config), machine_,
+                       config.predict);
+}
+
+sim::MeasuredResult Framework::measure(const compiler::CompiledProgram& prog,
+                                       const ExperimentConfig& config) const {
+  const sim::Simulator simulator(machine_);
+  return simulator.measure(prog, config.bindings, layout_options(config), config.sim,
+                           config.runs);
+}
+
+Comparison Framework::compare(const compiler::CompiledProgram& prog,
+                              const ExperimentConfig& config) const {
+  Comparison out;
+  out.estimated = predict(prog, config).total;
+  const sim::MeasuredResult measured = measure(prog, config);
+  out.measured_mean = measured.stats.mean;
+  out.measured_min = measured.stats.min;
+  out.measured_max = measured.stats.max;
+  out.measured_stddev = measured.stats.stddev;
+  return out;
+}
+
+}  // namespace hpf90d::driver

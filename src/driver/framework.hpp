@@ -1,0 +1,94 @@
+// framework.hpp — the HPF/Fortran 90D application development environment
+// facade: compiler + interpretation framework + simulated testbed in one
+// object (paper §1: "the environment integrates a HPF/Fortran 90D compiler,
+// a functional interpreter and the source based performance prediction
+// tool").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/pipeline.hpp"
+#include "core/aag.hpp"
+#include "core/engine.hpp"
+#include "core/output.hpp"
+#include "machine/ipsc860.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpf90d::driver {
+
+/// One experiment configuration: problem bindings + machine size.
+struct ExperimentConfig {
+  int nprocs = 1;
+  std::optional<std::vector<int>> grid_shape;  // e.g. {2,2}
+  front::Bindings bindings;
+  int runs = 3;  // simulated "measurement" repetitions
+  core::PredictOptions predict;
+  sim::SimOptions sim;
+};
+
+/// Estimated-vs-measured comparison for one configuration.
+struct Comparison {
+  double estimated = 0;
+  double measured_mean = 0;
+  double measured_min = 0;
+  double measured_max = 0;
+  double measured_stddev = 0;
+
+  /// Absolute error as a percentage of the measured time (Table 2 metric).
+  [[nodiscard]] double abs_error_pct() const {
+    if (measured_mean <= 0) return 0;
+    return 100.0 * std::abs(estimated - measured_mean) / measured_mean;
+  }
+  /// Paper §5.1: interpreted performance typically lies within the
+  /// measured variance band.
+  [[nodiscard]] bool within_variance() const {
+    const double slack = 1e-9 + 3.0 * measured_stddev +
+                         0.25 * (measured_max - measured_min);
+    return estimated >= measured_min - slack && estimated <= measured_max + slack;
+  }
+};
+
+class Framework {
+ public:
+  explicit Framework(int max_nodes = 8)
+      : machine_(machine::make_ipsc860(max_nodes)) {}
+
+  [[nodiscard]] const machine::MachineModel& machine() const noexcept { return machine_; }
+
+  /// Phase 1: compilation.
+  [[nodiscard]] compiler::CompiledProgram compile(
+      std::string_view source, const compiler::CompilerOptions& options = {}) const {
+    return compiler::compile(source, options);
+  }
+  [[nodiscard]] compiler::CompiledProgram compile_with_directives(
+      std::string_view source, const std::vector<std::string>& overrides,
+      const compiler::CompilerOptions& options = {}) const {
+    return compiler::compile_with_directives(source, overrides, options);
+  }
+
+  /// Phase 2: interpretation (source-driven performance prediction).
+  [[nodiscard]] core::PredictionResult predict(const compiler::CompiledProgram& prog,
+                                               const ExperimentConfig& config) const;
+
+  /// "Measurement" on the simulated iPSC/860.
+  [[nodiscard]] sim::MeasuredResult measure(const compiler::CompiledProgram& prog,
+                                            const ExperimentConfig& config) const;
+
+  /// Predict + measure + compare.
+  [[nodiscard]] Comparison compare(const compiler::CompiledProgram& prog,
+                                   const ExperimentConfig& config) const;
+
+ private:
+  [[nodiscard]] compiler::LayoutOptions layout_options(const ExperimentConfig& c) const {
+    compiler::LayoutOptions lo;
+    lo.nprocs = c.nprocs;
+    lo.grid_shape = c.grid_shape;
+    return lo;
+  }
+
+  machine::MachineModel machine_;
+};
+
+}  // namespace hpf90d::driver

@@ -1,0 +1,252 @@
+#include "hpf/directives.hpp"
+
+#include "hpf/lexer.hpp"
+#include "hpf/parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::front {
+
+using support::CompileError;
+
+std::string_view dist_kind_name(DistKind k) noexcept {
+  switch (k) {
+    case DistKind::Block: return "BLOCK";
+    case DistKind::Cyclic: return "CYCLIC";
+    case DistKind::Collapsed: return "*";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Cursor over one directive line's tokens.
+class DirectiveParser {
+ public:
+  DirectiveParser(const RawDirective& raw, DirectiveSet& out)
+      : raw_(raw), tokens_(lex_line(raw.text, raw.loc)), out_(out) {}
+
+  void parse() {
+    if (at_word("processors")) {
+      parse_processors();
+    } else if (at_word("template")) {
+      parse_template();
+    } else if (at_word("align")) {
+      parse_align();
+    } else if (at_word("distribute")) {
+      parse_distribute();
+    } else {
+      throw CompileError(raw_.loc, "unsupported HPF directive: '" + raw_.text + "'");
+    }
+  }
+
+ private:
+  [[nodiscard]] const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  [[nodiscard]] bool at(TokenKind k) const { return peek().kind == k; }
+  [[nodiscard]] bool at_word(std::string_view w) const { return peek().is_word(w); }
+  void expect(TokenKind k, std::string_view what) {
+    if (!at(k)) throw CompileError(peek().loc, "directive: expected " + std::string(what));
+    advance();
+  }
+  std::string expect_name(std::string_view what) {
+    if (!at(TokenKind::Identifier)) {
+      throw CompileError(peek().loc, "directive: expected " + std::string(what));
+    }
+    return advance().text;
+  }
+
+  /// Parses a scalar expression from the remaining tokens of this line up
+  /// to the next ',' or ')' at depth 0. Extents are simple (names,
+  /// integers, small arithmetic), so a sub-parse over the slice suffices.
+  ExprPtr parse_extent() {
+    std::size_t depth = 0;
+    std::size_t end = pos_;
+    while (end < tokens_.size()) {
+      const TokenKind k = tokens_[end].kind;
+      if (k == TokenKind::LParen) ++depth;
+      if (k == TokenKind::RParen) {
+        if (depth == 0) break;
+        --depth;
+      }
+      if (k == TokenKind::Comma && depth == 0) break;
+      if (k == TokenKind::Eol || k == TokenKind::Eof) break;
+      ++end;
+    }
+    std::string text;
+    for (std::size_t i = pos_; i < end; ++i) {
+      const Token& t = tokens_[i];
+      switch (t.kind) {
+        case TokenKind::Identifier: text += t.text; break;
+        case TokenKind::IntLiteral:
+        case TokenKind::RealLiteral: text += t.text; break;
+        case TokenKind::Plus: text += '+'; break;
+        case TokenKind::Minus: text += '-'; break;
+        case TokenKind::Star: text += '*'; break;
+        case TokenKind::Slash: text += '/'; break;
+        case TokenKind::Power: text += "**"; break;
+        case TokenKind::LParen: text += '('; break;
+        case TokenKind::RParen: text += ')'; break;
+        default:
+          throw CompileError(t.loc, "directive: unexpected token in extent");
+      }
+    }
+    pos_ = end;
+    if (text.empty()) throw CompileError(peek().loc, "directive: empty extent");
+    ExprPtr e = parse_expression_text(text);
+    e->loc = raw_.loc;
+    return e;
+  }
+
+  void parse_processors() {
+    advance();  // processors
+    ProcessorsDirective d;
+    d.loc = raw_.loc;
+    d.name = expect_name("processors arrangement name");
+    expect(TokenKind::LParen, "'('");
+    while (true) {
+      d.extents.push_back(parse_extent());
+      if (at(TokenKind::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::RParen, "')'");
+    out_.processors.push_back(std::move(d));
+  }
+
+  void parse_template() {
+    advance();  // template
+    TemplateDirective d;
+    d.loc = raw_.loc;
+    d.name = expect_name("template name");
+    expect(TokenKind::LParen, "'('");
+    while (true) {
+      d.extents.push_back(parse_extent());
+      if (at(TokenKind::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::RParen, "')'");
+    out_.templates.push_back(std::move(d));
+  }
+
+  void parse_align() {
+    advance();  // align
+    AlignDirective d;
+    d.loc = raw_.loc;
+    d.array = expect_name("aligned array name");
+    expect(TokenKind::LParen, "'('");
+    while (true) {
+      d.dummies.push_back(expect_name("align dummy index"));
+      if (at(TokenKind::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::RParen, "')'");
+    if (!at_word("with")) {
+      throw CompileError(peek().loc, "directive: expected WITH in ALIGN");
+    }
+    advance();
+    d.target = expect_name("align target name");
+    expect(TokenKind::LParen, "'('");
+    while (true) {
+      d.target_subs.push_back(parse_align_target_sub(d));
+      if (at(TokenKind::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::RParen, "')'");
+    out_.aligns.push_back(std::move(d));
+  }
+
+  AlignTargetSub parse_align_target_sub(const AlignDirective& d) {
+    AlignTargetSub sub;
+    if (at(TokenKind::Star)) {
+      advance();
+      sub.star = true;
+      return sub;
+    }
+    const std::string name = expect_name("align target subscript");
+    for (std::size_t i = 0; i < d.dummies.size(); ++i) {
+      if (d.dummies[i] == name) {
+        sub.dummy = static_cast<int>(i);
+        break;
+      }
+    }
+    if (sub.dummy < 0) {
+      throw CompileError(raw_.loc, "ALIGN target subscript '" + name +
+                                       "' is not a dummy of the source");
+    }
+    if (at(TokenKind::Plus) || at(TokenKind::Minus)) {
+      const bool neg = at(TokenKind::Minus);
+      advance();
+      if (!at(TokenKind::IntLiteral)) {
+        throw CompileError(peek().loc, "ALIGN offset must be an integer literal");
+      }
+      sub.offset = advance().int_value * (neg ? -1 : 1);
+    }
+    return sub;
+  }
+
+  void parse_distribute() {
+    advance();  // distribute
+    DistributeDirective d;
+    d.loc = raw_.loc;
+    d.target = expect_name("distribute target");
+    expect(TokenKind::LParen, "'('");
+    while (true) {
+      if (at(TokenKind::Star)) {
+        advance();
+        d.pattern.push_back(DistKind::Collapsed);
+      } else if (at_word("block")) {
+        advance();
+        d.pattern.push_back(DistKind::Block);
+      } else if (at_word("cyclic")) {
+        advance();
+        d.pattern.push_back(DistKind::Cyclic);
+      } else {
+        throw CompileError(peek().loc,
+                           "DISTRIBUTE pattern must be BLOCK, CYCLIC, or '*'");
+      }
+      if (at(TokenKind::Comma)) {
+        advance();
+        continue;
+      }
+      break;
+    }
+    expect(TokenKind::RParen, "')'");
+    if (at_word("onto")) {
+      advance();
+      d.onto = expect_name("processors arrangement name");
+    }
+    out_.distributes.push_back(std::move(d));
+  }
+
+  const RawDirective& raw_;
+  std::vector<Token> tokens_;
+  DirectiveSet& out_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+DirectiveSet parse_directives(const std::vector<RawDirective>& raw) {
+  DirectiveSet out;
+  for (const auto& line : raw) {
+    DirectiveParser parser(line, out);
+    parser.parse();
+  }
+  return out;
+}
+
+}  // namespace hpf90d::front

@@ -1,0 +1,77 @@
+// directives.hpp — structured form of the HPF mapping directives.
+//
+// HPF adopts a two-level mapping: arrays are ALIGNed with an abstract index
+// space (TEMPLATE), and templates are DISTRIBUTEd onto a rectilinear
+// arrangement of abstract PROCESSORS (paper §2). This module parses the raw
+// `!HPF$` lines collected by the lexer into that structure; the compiler's
+// mapping module (compiler/mapping.hpp) resolves it into concrete ownership
+// functions once extents and the machine configuration are known.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpf/ast.hpp"
+
+namespace hpf90d::front {
+
+/// `!HPF$ PROCESSORS p(e1[,e2])` — abstract processor arrangement.
+struct ProcessorsDirective {
+  std::string name;
+  std::vector<ExprPtr> extents;  // may reference PARAMETER names
+  SourceLoc loc;
+};
+
+/// `!HPF$ TEMPLATE t(e1[,e2])`.
+struct TemplateDirective {
+  std::string name;
+  std::vector<ExprPtr> extents;
+  SourceLoc loc;
+};
+
+/// One target subscript of an ALIGN: either a dummy index (+ constant
+/// offset) or `*` (replicate along that template dimension).
+struct AlignTargetSub {
+  int dummy = -1;          // position in AlignDirective::dummies; -1 for '*'
+  long long offset = 0;    // e.g. ALIGN a(i) WITH t(i+1) -> offset 1
+  bool star = false;
+};
+
+/// `!HPF$ ALIGN a(i,j) WITH t(j,i+1)`.
+struct AlignDirective {
+  std::string array;
+  std::vector<std::string> dummies;  // source dummy index names
+  std::string target;                // template (or array) aligned with
+  std::vector<AlignTargetSub> target_subs;
+  SourceLoc loc;
+};
+
+enum class DistKind {
+  Block,      // BLOCK
+  Cyclic,     // CYCLIC
+  Collapsed,  // '*' — dimension not distributed
+};
+
+[[nodiscard]] std::string_view dist_kind_name(DistKind k) noexcept;
+
+/// `!HPF$ DISTRIBUTE t(BLOCK,*) [ONTO p]`.
+struct DistributeDirective {
+  std::string target;  // template or array name
+  std::vector<DistKind> pattern;
+  std::string onto;  // empty = default processors arrangement
+  SourceLoc loc;
+};
+
+struct DirectiveSet {
+  std::vector<ProcessorsDirective> processors;
+  std::vector<TemplateDirective> templates;
+  std::vector<AlignDirective> aligns;
+  std::vector<DistributeDirective> distributes;
+};
+
+/// Parses every raw directive line. Throws support::CompileError on
+/// malformed directives or unsupported directive kinds.
+[[nodiscard]] DirectiveSet parse_directives(const std::vector<RawDirective>& raw);
+
+}  // namespace hpf90d::front

@@ -1,0 +1,212 @@
+#include "hpf/fold.hpp"
+
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::front {
+
+using support::CompileError;
+
+void Bindings::set(std::string name, double value) {
+  map_[std::move(name)] = value;
+}
+
+void Bindings::set_int(std::string name, long long value) {
+  map_[std::move(name)] = static_cast<double>(value);
+}
+
+std::optional<double> Bindings::get(std::string_view name) const {
+  const auto it = map_.find(name);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Bindings::contains(std::string_view name) const {
+  return map_.find(name) != map_.end();
+}
+
+void Bindings::merge(const Bindings& other) {
+  for (const auto& [k, v] : other.map_) map_[k] = v;
+}
+
+namespace {
+
+/// Value plus integer-ness so that Fortran integer division/mod semantics
+/// can be applied without depending on sema annotations.
+struct FoldValue {
+  double value = 0.0;
+  bool is_int = false;
+};
+
+std::optional<FoldValue> fold_rec(const Expr& e, const Bindings& env);
+
+std::optional<FoldValue> fold_call(const Expr& e, const Bindings& env) {
+  // Only elemental intrinsics of scalar arguments fold.
+  std::vector<FoldValue> argv;
+  argv.reserve(e.args.size());
+  for (const auto& a : e.args) {
+    auto v = fold_rec(*a, env);
+    if (!v) return std::nullopt;
+    argv.push_back(*v);
+  }
+  const std::string& n = e.name;
+  auto real1 = [&](double (*fn)(double)) -> std::optional<FoldValue> {
+    if (argv.size() != 1) return std::nullopt;
+    return FoldValue{fn(argv[0].value), false};
+  };
+  if (n == "exp") return real1([](double x) { return std::exp(x); });
+  if (n == "log") return real1([](double x) { return std::log(x); });
+  if (n == "sqrt") return real1([](double x) { return std::sqrt(x); });
+  if (n == "sin") return real1([](double x) { return std::sin(x); });
+  if (n == "cos") return real1([](double x) { return std::cos(x); });
+  if (n == "atan") return real1([](double x) { return std::atan(x); });
+  if (n == "abs" && argv.size() == 1) {
+    return FoldValue{std::fabs(argv[0].value), argv[0].is_int};
+  }
+  if ((n == "real" || n == "float" || n == "dble") && argv.size() == 1) {
+    return FoldValue{argv[0].value, false};
+  }
+  if (n == "int" && argv.size() == 1) {
+    return FoldValue{std::trunc(argv[0].value), true};
+  }
+  if (n == "nint" && argv.size() == 1) {
+    return FoldValue{std::nearbyint(argv[0].value), true};
+  }
+  if (n == "mod" && argv.size() == 2) {
+    if (argv[0].is_int && argv[1].is_int) {
+      const long long a = static_cast<long long>(argv[0].value);
+      const long long b = static_cast<long long>(argv[1].value);
+      if (b == 0) return std::nullopt;
+      return FoldValue{static_cast<double>(a % b), true};
+    }
+    return FoldValue{std::fmod(argv[0].value, argv[1].value), false};
+  }
+  if ((n == "min" || n == "max") && argv.size() >= 2) {
+    FoldValue acc = argv[0];
+    for (std::size_t i = 1; i < argv.size(); ++i) {
+      acc.value = n == "min" ? std::min(acc.value, argv[i].value)
+                             : std::max(acc.value, argv[i].value);
+      acc.is_int = acc.is_int && argv[i].is_int;
+    }
+    return acc;
+  }
+  return std::nullopt;
+}
+
+std::optional<FoldValue> fold_rec(const Expr& e, const Bindings& env) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return FoldValue{static_cast<double>(e.int_value), true};
+    case ExprKind::RealLit:
+      return FoldValue{e.real_value, false};
+    case ExprKind::LogicalLit:
+      return FoldValue{e.bool_value ? 1.0 : 0.0, true};
+    case ExprKind::Var: {
+      const auto v = env.get(e.name);
+      if (!v) return std::nullopt;
+      // Integer-ness of bindings: treat integral values bound to names as
+      // integers; this matches Fortran implicit typing for the loop-bound /
+      // extent contexts where folding is used.
+      return FoldValue{*v, std::nearbyint(*v) == *v};
+    }
+    case ExprKind::ArrayRef:
+      return std::nullopt;  // array-valued: not scalar-foldable
+    case ExprKind::Unary: {
+      auto v = fold_rec(*e.args[0], env);
+      if (!v) return std::nullopt;
+      switch (e.un_op) {
+        case UnOp::Neg: return FoldValue{-v->value, v->is_int};
+        case UnOp::Plus: return v;
+        case UnOp::Not: return FoldValue{v->value == 0.0 ? 1.0 : 0.0, true};
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Binary: {
+      auto a = fold_rec(*e.args[0], env);
+      auto b = fold_rec(*e.args[1], env);
+      if (!a || !b) return std::nullopt;
+      const bool ii = a->is_int && b->is_int;
+      switch (e.bin_op) {
+        case BinOp::Add: return FoldValue{a->value + b->value, ii};
+        case BinOp::Sub: return FoldValue{a->value - b->value, ii};
+        case BinOp::Mul: return FoldValue{a->value * b->value, ii};
+        case BinOp::Div:
+          if (ii) {
+            const long long bi = static_cast<long long>(b->value);
+            if (bi == 0) return std::nullopt;
+            const long long ai = static_cast<long long>(a->value);
+            return FoldValue{static_cast<double>(ai / bi), true};  // truncating
+          }
+          return FoldValue{a->value / b->value, false};
+        case BinOp::Pow:
+          if (ii && b->value >= 0) {
+            return FoldValue{std::pow(a->value, b->value), true};
+          }
+          return FoldValue{std::pow(a->value, b->value), false};
+        case BinOp::Lt: return FoldValue{a->value < b->value ? 1.0 : 0.0, true};
+        case BinOp::Le: return FoldValue{a->value <= b->value ? 1.0 : 0.0, true};
+        case BinOp::Gt: return FoldValue{a->value > b->value ? 1.0 : 0.0, true};
+        case BinOp::Ge: return FoldValue{a->value >= b->value ? 1.0 : 0.0, true};
+        case BinOp::Eq: return FoldValue{a->value == b->value ? 1.0 : 0.0, true};
+        case BinOp::Ne: return FoldValue{a->value != b->value ? 1.0 : 0.0, true};
+        case BinOp::And:
+          return FoldValue{(a->value != 0.0 && b->value != 0.0) ? 1.0 : 0.0, true};
+        case BinOp::Or:
+          return FoldValue{(a->value != 0.0 || b->value != 0.0) ? 1.0 : 0.0, true};
+      }
+      return std::nullopt;
+    }
+    case ExprKind::Call:
+      return fold_call(e, env);
+  }
+  return std::nullopt;
+}
+
+/// Finds the first unresolvable name for error messages.
+std::string first_unresolved(const Expr& e, const Bindings& env) {
+  switch (e.kind) {
+    case ExprKind::Var:
+      if (!env.contains(e.name)) return e.name;
+      return {};
+    case ExprKind::ArrayRef:
+      return e.name + "(...)";
+    default:
+      for (const auto& a : e.args) {
+        std::string s = first_unresolved(*a, env);
+        if (!s.empty()) return s;
+      }
+      return {};
+  }
+}
+
+}  // namespace
+
+std::optional<double> try_fold(const Expr& e, const Bindings& env) {
+  const auto v = fold_rec(e, env);
+  if (!v) return std::nullopt;
+  return v->value;
+}
+
+double fold_scalar(const Expr& e, const Bindings& env) {
+  const auto v = try_fold(e, env);
+  if (!v) {
+    const std::string missing = first_unresolved(e, env);
+    throw CompileError(e.loc, "cannot evaluate '" + e.str() + "'" +
+                                  (missing.empty() ? std::string{}
+                                                   : " (unresolved: " + missing + ")"));
+  }
+  return *v;
+}
+
+long long fold_int(const Expr& e, const Bindings& env) {
+  const double v = fold_scalar(e, env);
+  const double r = std::nearbyint(v);
+  if (std::fabs(v - r) > 1e-6) {
+    throw CompileError(e.loc, "expected integer value from '" + e.str() + "', got " +
+                                  std::to_string(v));
+  }
+  return static_cast<long long>(r);
+}
+
+}  // namespace hpf90d::front

@@ -1,0 +1,51 @@
+// fold.hpp — scalar constant evaluation of AST expressions against a set of
+// name→value bindings. Used wherever the pipeline needs a concrete number
+// from source text: PARAMETER definitions, template/array extents, forall
+// and do-loop bounds in the predictor, and critical-variable resolution.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hpf/ast.hpp"
+
+namespace hpf90d::front {
+
+/// Name → scalar value environment. Names are canonical lower case. Values
+/// are stored as double; integer semantics (truncating division, mod) are
+/// applied based on the expression's inferred types.
+class Bindings {
+ public:
+  Bindings() = default;
+
+  void set(std::string name, double value);
+  void set_int(std::string name, long long value);
+  [[nodiscard]] std::optional<double> get(std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Merges `other` over *this (entries in `other` win).
+  void merge(const Bindings& other);
+
+  [[nodiscard]] const std::map<std::string, double, std::less<>>& values() const {
+    return map_;
+  }
+
+ private:
+  std::map<std::string, double, std::less<>> map_;
+};
+
+/// Evaluates a scalar expression. Returns nullopt when the expression
+/// references a name absent from `env`, contains an array-valued term, or
+/// uses a non-foldable intrinsic.
+[[nodiscard]] std::optional<double> try_fold(const Expr& e, const Bindings& env);
+
+/// Like try_fold but throws support::CompileError naming the unresolved
+/// symbol — used where a value is mandatory (extents, loop bounds).
+[[nodiscard]] double fold_scalar(const Expr& e, const Bindings& env);
+
+/// Folds and truncates to a (checked) integer; throws when non-integral by
+/// more than rounding noise or unresolvable.
+[[nodiscard]] long long fold_int(const Expr& e, const Bindings& env);
+
+}  // namespace hpf90d::front

@@ -1,0 +1,55 @@
+#include "hpf/intrinsics.hpp"
+
+#include <array>
+
+namespace hpf90d::front {
+
+namespace {
+constexpr std::array<IntrinsicInfo, 25> kIntrinsics = {{
+    // elemental math
+    {"exp", IntrinsicKind::Elemental, 1, 1, ResultTyping::SameAsArg},
+    {"log", IntrinsicKind::Elemental, 1, 1, ResultTyping::SameAsArg},
+    {"sqrt", IntrinsicKind::Elemental, 1, 1, ResultTyping::SameAsArg},
+    {"abs", IntrinsicKind::Elemental, 1, 1, ResultTyping::SameAsArg},
+    {"sin", IntrinsicKind::Elemental, 1, 1, ResultTyping::SameAsArg},
+    {"cos", IntrinsicKind::Elemental, 1, 1, ResultTyping::SameAsArg},
+    {"atan", IntrinsicKind::Elemental, 1, 1, ResultTyping::SameAsArg},
+    {"mod", IntrinsicKind::Elemental, 2, 2, ResultTyping::SameAsArg},
+    {"min", IntrinsicKind::Elemental, 2, 8, ResultTyping::SameAsArg},
+    {"max", IntrinsicKind::Elemental, 2, 8, ResultTyping::SameAsArg},
+    {"sign", IntrinsicKind::Elemental, 2, 2, ResultTyping::SameAsArg},
+    {"merge", IntrinsicKind::Elemental, 3, 3, ResultTyping::SameAsArg},
+    // type conversion (elemental)
+    {"real", IntrinsicKind::Elemental, 1, 1, ResultTyping::ForceReal},
+    {"float", IntrinsicKind::Elemental, 1, 1, ResultTyping::ForceReal},
+    {"dble", IntrinsicKind::Elemental, 1, 1, ResultTyping::ForceDouble},
+    {"int", IntrinsicKind::Elemental, 1, 1, ResultTyping::ForceInteger},
+    {"nint", IntrinsicKind::Elemental, 1, 1, ResultTyping::ForceInteger},
+    // reductions
+    {"sum", IntrinsicKind::Reduction, 1, 2, ResultTyping::SameAsArg},
+    {"product", IntrinsicKind::Reduction, 1, 2, ResultTyping::SameAsArg},
+    {"maxval", IntrinsicKind::Reduction, 1, 2, ResultTyping::SameAsArg},
+    {"minval", IntrinsicKind::Reduction, 1, 2, ResultTyping::SameAsArg},
+    {"maxloc", IntrinsicKind::Location, 1, 1, ResultTyping::ForceInteger},
+    // shifts (tshift is the NPAC shift-to-temporary variant of cshift)
+    {"cshift", IntrinsicKind::Shift, 2, 3, ResultTyping::SameAsArg},
+    {"tshift", IntrinsicKind::Shift, 2, 3, ResultTyping::SameAsArg},
+    // inquiry
+    {"size", IntrinsicKind::Inquiry, 1, 2, ResultTyping::ForceInteger},
+}};
+}  // namespace
+
+std::optional<IntrinsicInfo> find_intrinsic(std::string_view name) {
+  for (const auto& info : kIntrinsics) {
+    if (info.name == name) return info;
+  }
+  return std::nullopt;
+}
+
+bool is_reduction_intrinsic(std::string_view name) {
+  const auto info = find_intrinsic(name);
+  return info && (info->kind == IntrinsicKind::Reduction ||
+                  info->kind == IntrinsicKind::Location);
+}
+
+}  // namespace hpf90d::front

@@ -1,0 +1,43 @@
+// intrinsics.hpp — registry of the Fortran 90 / HPF intrinsics supported by
+// the subset. The paper's framework parameterizes the "HPF parallel
+// intrinsic library" (cshift, tshift, sum, product, maxloc, ...) via
+// benchmarking runs; this registry is the compile-time side: classification
+// and typing rules. Cost parameters live in machine/sau.hpp.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "hpf/ast.hpp"
+
+namespace hpf90d::front {
+
+enum class IntrinsicKind {
+  Elemental,   // exp, sqrt, abs, ... applied element-wise; rank preserved
+  Reduction,   // sum, product, maxval, minval; full or dim reduction
+  Location,    // maxloc, minloc — index of extremum (rank-1 arrays)
+  Shift,       // cshift, eoshift, tshift — nearest-neighbour comm
+  Inquiry,     // size — resolved at interpretation time, no runtime cost
+};
+
+/// How the result type derives from the argument types.
+enum class ResultTyping { SameAsArg, ForceReal, ForceDouble, ForceInteger, ForceLogical };
+
+struct IntrinsicInfo {
+  std::string_view name;
+  IntrinsicKind kind;
+  int min_args;
+  int max_args;
+  ResultTyping typing;
+};
+
+/// Looks up an intrinsic by (lower-case) name; nullopt if `name` is not an
+/// intrinsic of the subset.
+[[nodiscard]] std::optional<IntrinsicInfo> find_intrinsic(std::string_view name);
+
+/// True when `name` denotes a full/dim reduction (sum, product, maxval,
+/// minval) — these lower to partial local reductions plus a recursive
+/// combining collective.
+[[nodiscard]] bool is_reduction_intrinsic(std::string_view name);
+
+}  // namespace hpf90d::front

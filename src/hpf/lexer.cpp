@@ -1,0 +1,326 @@
+#include "hpf/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/text.hpp"
+
+namespace hpf90d::front {
+
+using support::CompileError;
+using support::SourceLoc;
+
+std::string_view token_kind_name(TokenKind kind) noexcept {
+  switch (kind) {
+    case TokenKind::Eof: return "end of file";
+    case TokenKind::Eol: return "end of line";
+    case TokenKind::Identifier: return "identifier";
+    case TokenKind::IntLiteral: return "integer literal";
+    case TokenKind::RealLiteral: return "real literal";
+    case TokenKind::TrueLiteral: return ".true.";
+    case TokenKind::FalseLiteral: return ".false.";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Colon: return "':'";
+    case TokenKind::DoubleColon: return "'::'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Power: return "'**'";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::Eq: return "'=='";
+    case TokenKind::Ne: return "'/='";
+    case TokenKind::And: return "'.and.'";
+    case TokenKind::Or: return "'.or.'";
+    case TokenKind::Not: return "'.not.'";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Character-level scanner over one line.
+class LineScanner {
+ public:
+  LineScanner(std::string_view line, SourceLoc base, std::vector<Token>& out)
+      : line_(line), base_(base), out_(out) {}
+
+  /// Returns true if the line ends with a continuation marker `&`.
+  bool run() {
+    while (true) {
+      skip_spaces();
+      if (done()) return false;
+      if (peek() == '!') return false;  // trailing comment
+      if (peek() == '&' && is_last_nonspace()) return true;
+      scan_token();
+    }
+  }
+
+ private:
+  [[nodiscard]] bool done() const noexcept { return pos_ >= line_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const noexcept {
+    return pos_ + ahead < line_.size() ? line_[pos_ + ahead] : '\0';
+  }
+  char advance() noexcept { return line_[pos_++]; }
+  [[nodiscard]] SourceLoc loc_here() const noexcept {
+    return SourceLoc{base_.line, static_cast<std::uint32_t>(pos_ + 1)};
+  }
+  void skip_spaces() noexcept {
+    while (!done() && (peek() == ' ' || peek() == '\t' || peek() == '\r')) ++pos_;
+  }
+  [[nodiscard]] bool is_last_nonspace() const noexcept {
+    for (std::size_t i = pos_ + 1; i < line_.size(); ++i) {
+      const char c = line_[i];
+      if (c == '!') break;
+      if (c != ' ' && c != '\t' && c != '\r') return false;
+    }
+    return true;
+  }
+
+  void push(TokenKind kind, SourceLoc loc, std::string text = {}) {
+    Token tok;
+    tok.kind = kind;
+    tok.loc = loc;
+    tok.text = std::move(text);
+    out_.push_back(std::move(tok));
+  }
+
+  void scan_token() {
+    const SourceLoc loc = loc_here();
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      scan_number(loc);
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      scan_identifier(loc);
+      return;
+    }
+    if (c == '.') {
+      scan_dot_operator(loc);
+      return;
+    }
+    scan_symbol(loc);
+  }
+
+  void scan_number(SourceLoc loc) {
+    const std::size_t start = pos_;
+    bool is_real = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    // A '.' begins a fraction unless it starts a dot-operator like
+    // `1.and.`; `1.d0` / `1.e5` exponent forms are fractions.
+    auto dot_starts_fraction = [&] {
+      if (peek() != '.') return false;
+      const char c1 = peek(1);
+      if (!std::isalpha(static_cast<unsigned char>(c1))) return true;
+      if (c1 != 'd' && c1 != 'D' && c1 != 'e' && c1 != 'E') return false;
+      const char c2 = peek(2);
+      const char c3 = (c2 == '+' || c2 == '-') ? peek(3) : c2;
+      return std::isdigit(static_cast<unsigned char>(c3)) != 0;
+    };
+    if (dot_starts_fraction()) {
+      is_real = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+    }
+    char expo = peek();
+    if (expo == 'e' || expo == 'E' || expo == 'd' || expo == 'D') {
+      const char sign = peek(1);
+      const char digit = (sign == '+' || sign == '-') ? peek(2) : sign;
+      if (std::isdigit(static_cast<unsigned char>(digit))) {
+        is_real = true;
+        advance();  // e/d
+        if (sign == '+' || sign == '-') advance();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) advance();
+      }
+    }
+    std::string text(line_.substr(start, pos_ - start));
+    if (is_real) {
+      // Fortran double-precision exponent letter 'd' is not valid for strtod.
+      std::string cxx_text = text;
+      for (char& ch : cxx_text) {
+        if (ch == 'd' || ch == 'D') ch = 'e';
+      }
+      Token tok;
+      tok.kind = TokenKind::RealLiteral;
+      tok.loc = loc;
+      tok.text = std::move(text);
+      tok.real_value = std::strtod(cxx_text.c_str(), nullptr);
+      out_.push_back(std::move(tok));
+    } else {
+      Token tok;
+      tok.kind = TokenKind::IntLiteral;
+      tok.loc = loc;
+      tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      tok.real_value = static_cast<double>(tok.int_value);
+      tok.text = std::move(text);
+      out_.push_back(std::move(tok));
+    }
+  }
+
+  void scan_identifier(SourceLoc loc) {
+    const std::size_t start = pos_;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') advance();
+    push(TokenKind::Identifier, loc,
+         support::to_lower(line_.substr(start, pos_ - start)));
+  }
+
+  void scan_dot_operator(SourceLoc loc) {
+    // `.xxx.` forms: relational / logical operators and logical literals.
+    const std::size_t start = pos_;
+    advance();  // '.'
+    std::string word;
+    while (std::isalpha(static_cast<unsigned char>(peek()))) {
+      word += static_cast<char>(std::tolower(static_cast<unsigned char>(advance())));
+    }
+    if (peek() != '.') {
+      throw CompileError(loc, "malformed dot-operator starting at '" +
+                                  std::string(line_.substr(start, pos_ - start)) + "'");
+    }
+    advance();  // trailing '.'
+    if (word == "lt") push(TokenKind::Lt, loc);
+    else if (word == "le") push(TokenKind::Le, loc);
+    else if (word == "gt") push(TokenKind::Gt, loc);
+    else if (word == "ge") push(TokenKind::Ge, loc);
+    else if (word == "eq") push(TokenKind::Eq, loc);
+    else if (word == "ne") push(TokenKind::Ne, loc);
+    else if (word == "and") push(TokenKind::And, loc);
+    else if (word == "or") push(TokenKind::Or, loc);
+    else if (word == "not") push(TokenKind::Not, loc);
+    else if (word == "true") push(TokenKind::TrueLiteral, loc);
+    else if (word == "false") push(TokenKind::FalseLiteral, loc);
+    else throw CompileError(loc, "unknown dot-operator '." + word + ".'");
+  }
+
+  void scan_symbol(SourceLoc loc) {
+    const char c = advance();
+    switch (c) {
+      case '(': push(TokenKind::LParen, loc); return;
+      case ')': push(TokenKind::RParen, loc); return;
+      case ',': push(TokenKind::Comma, loc); return;
+      case ':':
+        if (peek() == ':') { advance(); push(TokenKind::DoubleColon, loc); }
+        else push(TokenKind::Colon, loc);
+        return;
+      case '+': push(TokenKind::Plus, loc); return;
+      case '-': push(TokenKind::Minus, loc); return;
+      case '*':
+        if (peek() == '*') { advance(); push(TokenKind::Power, loc); }
+        else push(TokenKind::Star, loc);
+        return;
+      case '/':
+        if (peek() == '=') { advance(); push(TokenKind::Ne, loc); }
+        else push(TokenKind::Slash, loc);
+        return;
+      case '=':
+        if (peek() == '=') { advance(); push(TokenKind::Eq, loc); }
+        else push(TokenKind::Assign, loc);
+        return;
+      case '<':
+        if (peek() == '=') { advance(); push(TokenKind::Le, loc); }
+        else push(TokenKind::Lt, loc);
+        return;
+      case '>':
+        if (peek() == '=') { advance(); push(TokenKind::Ge, loc); }
+        else push(TokenKind::Gt, loc);
+        return;
+      default:
+        throw CompileError(loc, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view line_;
+  SourceLoc base_;
+  std::vector<Token>& out_;
+  std::size_t pos_ = 0;
+};
+
+/// True for a directive sentinel at the start of a (trimmed) line.
+bool is_directive_line(std::string_view trimmed, std::string_view& payload) {
+  for (std::string_view sentinel : {"!hpf$", "chpf$", "!hpf90d$"}) {
+    if (support::starts_with_ci(trimmed, sentinel)) {
+      payload = trimmed.substr(sentinel.size());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+LexResult lex_source(std::string_view source) {
+  LexResult result;
+  std::uint32_t line_no = 0;
+  bool continuing = false;  // previous line ended with '&'
+
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    std::size_t eol = source.find('\n', pos);
+    if (eol == std::string_view::npos) eol = source.size();
+    std::string_view line = source.substr(pos, eol - pos);
+    ++line_no;
+
+    const std::string_view trimmed = support::trim(line);
+    std::string_view payload;
+    if (is_directive_line(trimmed, payload)) {
+      result.directives.push_back(
+          DirectiveLine{SourceLoc{line_no, 1}, std::string(payload)});
+    } else if (!trimmed.empty() && trimmed[0] != '!') {
+      // A continued statement swallows the Eol of the previous line.
+      std::string_view body = line;
+      if (continuing) {
+        std::string_view t = support::trim(body);
+        if (!t.empty() && t[0] == '&') {
+          // optional leading '&' on continuation lines
+          const std::size_t amp = body.find('&');
+          body = body.substr(amp + 1);
+        }
+      }
+      LineScanner scanner(body, SourceLoc{line_no, 1}, result.tokens);
+      const bool wants_continuation = scanner.run();
+      if (wants_continuation) {
+        continuing = true;
+      } else {
+        Token eol_tok;
+        eol_tok.kind = TokenKind::Eol;
+        eol_tok.loc = SourceLoc{line_no, static_cast<std::uint32_t>(line.size() + 1)};
+        result.tokens.push_back(eol_tok);
+        continuing = false;
+      }
+    }
+    // blank/comment lines produce no tokens at all
+
+    if (eol == source.size()) break;
+    pos = eol + 1;
+  }
+
+  Token eof;
+  eof.kind = TokenKind::Eof;
+  eof.loc = SourceLoc{line_no, 1};
+  result.tokens.push_back(eof);
+  return result;
+}
+
+std::vector<Token> lex_line(std::string_view line, SourceLoc base_loc) {
+  std::vector<Token> tokens;
+  LineScanner scanner(line, base_loc, tokens);
+  (void)scanner.run();
+  Token eol;
+  eol.kind = TokenKind::Eol;
+  eol.loc = base_loc;
+  tokens.push_back(eol);
+  Token eof;
+  eof.kind = TokenKind::Eof;
+  eof.loc = base_loc;
+  tokens.push_back(eof);
+  return tokens;
+}
+
+}  // namespace hpf90d::front

@@ -1,0 +1,40 @@
+// lexer.hpp — lexer for the HPF/Fortran 90D subset.
+//
+// The lexer is line oriented (Fortran statements end at end-of-line unless
+// continued with a trailing `&`). Comment lines beginning with `!HPF$` or
+// `CHPF$` are *directive* lines: they are not tokenized into the main stream
+// but collected separately for the directive parser (see directives.hpp),
+// mirroring how the NPAC compiler front end treats them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hpf/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::front {
+
+/// A raw `!HPF$` directive line with its location, handed to the directive
+/// parser after lexing.
+struct DirectiveLine {
+  support::SourceLoc loc;
+  std::string text;  // text after the !HPF$ sentinel, original spelling
+};
+
+struct LexResult {
+  std::vector<Token> tokens;          // always terminated by Eof
+  std::vector<DirectiveLine> directives;
+};
+
+/// Tokenizes a whole source file. Throws support::CompileError on malformed
+/// input (bad characters, unterminated dot-operators, malformed numbers).
+[[nodiscard]] LexResult lex_source(std::string_view source);
+
+/// Tokenizes a single logical line (used by the directive parser); no
+/// directive collection, no continuation handling.
+[[nodiscard]] std::vector<Token> lex_line(std::string_view line,
+                                          support::SourceLoc base_loc);
+
+}  // namespace hpf90d::front

@@ -1,0 +1,36 @@
+// parser.hpp — recursive-descent parser for the HPF/Fortran 90D subset.
+//
+// Grammar covered (the subset the NPAC validation suite exercises):
+//   program        ::= PROGRAM name EOL { decl | parameter | stmt } END [PROGRAM [name]]
+//   decl           ::= type-spec item {, item}
+//   type-spec      ::= INTEGER | REAL | DOUBLE PRECISION | LOGICAL
+//   item           ::= name [ '(' dim {, dim} ')' ]
+//   parameter      ::= PARAMETER '(' name '=' expr {, name '=' expr} ')'
+//   stmt           ::= assignment | forall | where | do | do-while | if | print
+//   forall         ::= FORALL '(' index {, index} [, mask] ')' ( assignment | EOL body END FORALL )
+//   where          ::= WHERE '(' mask ')' ( assignment | EOL body [ELSEWHERE body] END WHERE )
+//   do             ::= DO name '=' expr ',' expr [',' expr] EOL body END DO
+//   do-while       ::= DO WHILE '(' expr ')' EOL body END DO
+//   if             ::= IF '(' expr ')' ( stmt | THEN EOL body [ELSE body] END IF )
+//   print          ::= PRINT '*' {, expr}
+//
+// HPF directives are parsed separately from the DirectiveLine list collected
+// by the lexer (see directives.hpp).
+#pragma once
+
+#include <string_view>
+
+#include "hpf/ast.hpp"
+#include "hpf/lexer.hpp"
+
+namespace hpf90d::front {
+
+/// Parses a complete source file (lexes it first). Throws
+/// support::CompileError on syntax errors.
+[[nodiscard]] Program parse_program(std::string_view source);
+
+/// Parses a single expression from text (used by tests and by the critical
+/// variable resolver for user-supplied bindings).
+[[nodiscard]] ExprPtr parse_expression_text(std::string_view text);
+
+}  // namespace hpf90d::front

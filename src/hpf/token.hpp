@@ -1,0 +1,68 @@
+// token.hpp — token kinds for the HPF/Fortran 90D subset lexer.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::front {
+
+enum class TokenKind {
+  // end markers
+  Eof,
+  Eol,  // Fortran is line oriented; statement boundaries matter
+
+  // literals & names
+  Identifier,
+  IntLiteral,
+  RealLiteral,
+  TrueLiteral,   // .true.
+  FalseLiteral,  // .false.
+
+  // punctuation
+  LParen,
+  RParen,
+  Comma,
+  Colon,
+  DoubleColon,
+  Assign,  // =
+
+  // arithmetic
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Power,  // **
+
+  // relational (both F77 dot-form and F90 symbolic form map here)
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+
+  // logical
+  And,
+  Or,
+  Not,
+};
+
+[[nodiscard]] std::string_view token_kind_name(TokenKind kind) noexcept;
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  support::SourceLoc loc;
+  std::string text;       // identifier text (lower-cased) or literal spelling
+  long long int_value = 0;
+  double real_value = 0.0;
+
+  [[nodiscard]] bool is(TokenKind k) const noexcept { return kind == k; }
+  /// True when this token is the identifier `word` (case already folded).
+  [[nodiscard]] bool is_word(std::string_view word) const noexcept {
+    return kind == TokenKind::Identifier && text == word;
+  }
+};
+
+}  // namespace hpf90d::front

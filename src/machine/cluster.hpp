@@ -1,0 +1,22 @@
+// cluster.hpp — a second machine abstraction (paper §7 future work: "moving
+// it to high performance distributed computing systems and exploiting its
+// potential as a system design evaluation tool").
+//
+// The SAG methodology is machine-independent: this factory abstracts a
+// 1994-era workstation cluster — faster superscalar nodes (HyperSPARC
+// class), bigger caches, but an Ethernet-class interconnect with millisecond
+// software latency — so the same programs can be "moved" between machines
+// by swapping the abstraction, and design questions ("would the Laplace
+// solver still scale on a LAN?") can be answered by interpretation alone.
+#pragma once
+
+#include "machine/sag.hpp"
+
+namespace hpf90d::machine {
+
+/// Builds the abstraction of a `nodes`-workstation cluster connected by a
+/// shared 10 Mb/s Ethernet-class network (modelled as a 1-hop fabric with
+/// heavy per-message software overhead).
+[[nodiscard]] MachineModel make_cluster(int nodes = 8);
+
+}  // namespace hpf90d::machine

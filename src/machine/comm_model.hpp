@@ -1,0 +1,111 @@
+// comm_model.hpp — closed-form communication cost functions.
+//
+// These are the interpretation functions' view of the machine: contention-
+// free analytic costs built from the SAU communication component (paper
+// §4.4: low-level primitives + the benchmarked collective library). The
+// simulator implements the same operations over an event-driven network
+// with link occupancy, so the *difference* between these formulas and the
+// simulated times is exactly the abstraction error the paper studies.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/sau.hpp"
+
+namespace hpf90d::machine {
+
+/// Algorithm used by reduction/broadcast collectives. The iPSC library uses
+/// recursive halving/doubling over cube dimensions; Linear exists for the
+/// ablation bench.
+enum class CollectiveAlgo { RecursiveTree, Linear };
+
+class CommModel {
+ public:
+  explicit CommModel(const CommComponent& c) : c_(c) {}
+
+  /// Point-to-point message time (send overhead + wire + per-hop routing).
+  [[nodiscard]] double ptp(long long bytes, int hops = 1) const {
+    const double setup = bytes <= c_.short_threshold ? c_.latency_short : c_.latency_long;
+    return setup + c_.per_byte * static_cast<double>(bytes) +
+           c_.per_hop * std::max(0, hops - 1);
+  }
+
+  /// Buffer packing cost for `bytes` of data; strided data (non-contiguous
+  /// boundary, e.g. a row of a column-major / column of a row-major array)
+  /// pays the strided factor.
+  [[nodiscard]] double pack(long long bytes, bool strided) const {
+    return c_.pack_per_byte * static_cast<double>(bytes) *
+           (strided ? c_.pack_strided_factor : 1.0);
+  }
+
+  /// Ghost-cell overlap exchange with one neighbour in one direction:
+  /// pack + send (pairwise exchanges proceed concurrently; the receive is
+  /// covered by the partner's symmetric send).
+  [[nodiscard]] double overlap_exchange(long long bytes, bool strided) const {
+    return pack(bytes, strided) + ptp(bytes) + pack(bytes, strided);
+  }
+
+  /// cshift: every processor sends its boundary block to one neighbour and
+  /// receives the complement; the shifted remainder is a local copy
+  /// (charged via memcpy bandwidth through pack()).
+  [[nodiscard]] double cshift(long long msg_bytes, long long local_copy_bytes,
+                              bool strided) const {
+    return pack(msg_bytes, strided) + ptp(msg_bytes) +
+           pack(local_copy_bytes + msg_bytes, false);
+  }
+
+  /// Reduction combine of `bytes` (already locally reduced) across P
+  /// processors. RecursiveTree: ceil(log2 P) exchange stages.
+  [[nodiscard]] double reduce(int procs, long long bytes, double op_time,
+                              CollectiveAlgo algo = CollectiveAlgo::RecursiveTree) const {
+    if (procs <= 1) return 0.0;
+    if (algo == CollectiveAlgo::Linear) {
+      return (procs - 1) * (ptp(bytes) + op_time + c_.coll_stage_setup) +
+             bcast(procs, bytes, CollectiveAlgo::Linear);
+    }
+    const double stages = std::ceil(std::log2(static_cast<double>(procs)));
+    // recursive doubling leaves the result replicated (allreduce style)
+    return stages * (ptp(bytes) + op_time + c_.coll_stage_setup);
+  }
+
+  /// Broadcast of `bytes` from one node to P-1 others.
+  [[nodiscard]] double bcast(int procs, long long bytes,
+                             CollectiveAlgo algo = CollectiveAlgo::RecursiveTree) const {
+    if (procs <= 1) return 0.0;
+    if (algo == CollectiveAlgo::Linear) return (procs - 1) * ptp(bytes);
+    const double stages = std::ceil(std::log2(static_cast<double>(procs)));
+    return stages * (ptp(bytes) + c_.coll_stage_setup);
+  }
+
+  /// Irregular gather/scatter: each processor exchanges ~count*(P-1)/P
+  /// randomly-destined elements. Modelled as P-1 pipelined pairwise
+  /// exchanges of the per-partner share plus per-element index translation.
+  [[nodiscard]] double irregular(int procs, long long count, int elem_bytes) const {
+    if (procs <= 1) {
+      return c_.per_element_index * static_cast<double>(count);
+    }
+    const long long remote = count * (procs - 1) / procs;
+    const long long per_partner = std::max<long long>(1, remote / (procs - 1));
+    return c_.per_element_index * static_cast<double>(count) +
+           (procs - 1) * (ptp(per_partner * elem_bytes) + c_.coll_stage_setup) +
+           pack(remote * elem_bytes, true);
+  }
+
+  /// Regular remap (transpose / non-unit-stride redistribution): an
+  /// all-to-all personalized exchange of `count` local elements.
+  [[nodiscard]] double remap(int procs, long long count, int elem_bytes) const {
+    if (procs <= 1) return 0.0;
+    const long long per_partner =
+        std::max<long long>(1, count / std::max(1, procs - 1));
+    return (procs - 1) * (ptp(per_partner * elem_bytes) + c_.coll_stage_setup) +
+           pack(count * elem_bytes, true);
+  }
+
+  [[nodiscard]] const CommComponent& component() const noexcept { return c_; }
+
+ private:
+  CommComponent c_;
+};
+
+}  // namespace hpf90d::machine

@@ -1,0 +1,57 @@
+// sag.hpp — the System Abstraction Graph (paper §3.1): a rooted tree of
+// SAUs produced by hierarchically decomposing the HPC system. For the
+// iPSC/860 the decomposition is
+//
+//     system ── SRM host
+//            └─ i860 cube ── node 0..P-1
+//
+// Nodes are homogeneous, so the cube SAU carries the node parameters; the
+// graph structure is kept (rather than a flat parameter set) because the
+// paper's methodology is explicitly hierarchical and the framework exposes
+// per-unit queries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/sau.hpp"
+
+namespace hpf90d::machine {
+
+class SystemAbstractionGraph {
+ public:
+  /// Adds a SAU; parent = -1 for the root. Returns the unit's index.
+  int add_unit(SAU sau, int parent);
+
+  [[nodiscard]] const SAU& unit(int index) const { return units_.at(static_cast<std::size_t>(index)).sau; }
+  [[nodiscard]] int parent_of(int index) const { return units_.at(static_cast<std::size_t>(index)).parent; }
+  [[nodiscard]] std::size_t size() const noexcept { return units_.size(); }
+
+  /// Finds a unit by name (first match in preorder); -1 when absent.
+  [[nodiscard]] int find(std::string_view name) const;
+
+  /// Renders the decomposition for reports.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  struct Entry {
+    SAU sau;
+    int parent = -1;
+  };
+  std::vector<Entry> units_;
+};
+
+/// A fully configured abstract machine: the SAG plus the roles the
+/// framework needs resolved (which SAU describes a compute node, which the
+/// host) and the machine size.
+struct MachineModel {
+  SystemAbstractionGraph sag;
+  int node_unit = -1;  // SAU index of a compute node
+  int host_unit = -1;  // SAU index of the SRM host
+  int max_nodes = 0;   // cube size
+
+  [[nodiscard]] const SAU& node() const { return sag.unit(node_unit); }
+  [[nodiscard]] const SAU& host() const { return sag.unit(host_unit); }
+};
+
+}  // namespace hpf90d::machine

@@ -1,0 +1,127 @@
+// executor.hpp — functional execution of the SPMD node program with
+// discrete-event timing. This is the repository's stand-in for "run it on
+// the iPSC/860 and measure": the same compiler output the interpretation
+// engine prices is executed here with real data, per-processor clocks, an
+// event-driven hypercube network, the fine i860 cost model, and seeded OS
+// noise (see DESIGN.md's substitution table).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/eval.hpp"
+#include "compiler/mapping.hpp"
+#include "compiler/spmd_ir.hpp"
+#include "machine/sag.hpp"
+#include "machine/comm_model.hpp"
+#include "sim/exec_cost.hpp"
+#include "sim/network.hpp"
+#include "sim/noise.hpp"
+#include "sim/values.hpp"
+
+namespace hpf90d::sim {
+
+struct SimOptions {
+  std::uint64_t seed = 42;
+  bool noise = true;
+  bool contention = true;
+  machine::CollectiveAlgo collective = machine::CollectiveAlgo::RecursiveTree;
+  long long max_while_trips = 1000000;
+};
+
+/// Per-SPMD-node time attribution (averaged over processors on output).
+struct NodeMetric {
+  double comp = 0;
+  double comm = 0;
+  double overhead = 0;
+  long long visits = 0;
+
+  [[nodiscard]] double total() const noexcept { return comp + comm + overhead; }
+};
+
+struct SimResult {
+  double total = 0;  // program time: max processor clock
+  std::vector<double> proc_clock;
+  std::vector<NodeMetric> per_node;  // indexed by SpmdNode::id
+  double comp = 0, comm = 0, overhead = 0;
+  /// Values produced by `print *` statements, keyed by expression text.
+  std::map<std::string, double> printed;
+  /// Final values of user scalars (numerical validation).
+  std::map<std::string, double> scalars;
+};
+
+class Executor {
+ public:
+  Executor(const compiler::CompiledProgram& prog, const compiler::DataLayout& layout,
+           const machine::MachineModel& machine, const SimOptions& options,
+           const front::Bindings& bindings);
+
+  [[nodiscard]] SimResult run();
+
+ private:
+  using SpmdNode = compiler::SpmdNode;
+
+  // --- control flow ---------------------------------------------------------
+  void exec_seq(const std::vector<compiler::SpmdNodePtr>& nodes);
+  void exec(const SpmdNode& n);
+  void exec_scalar_assign(const SpmdNode& n);
+  void exec_do(const SpmdNode& n);
+  void exec_while(const SpmdNode& n);
+  void exec_if(const SpmdNode& n);
+  void exec_hostio(const SpmdNode& n);
+  void exec_local_loop(const SpmdNode& n);
+  void exec_reduce(const SpmdNode& n);
+  void exec_overlap(const SpmdNode& n);
+  void exec_cshift(const SpmdNode& n);
+  void exec_irregular(const SpmdNode& n);
+  void exec_slice_bcast(const SpmdNode& n);
+
+  // --- helpers ------------------------------------------------------------------
+  struct ResolvedSpace {
+    std::vector<long long> lo, hi, step;
+    [[nodiscard]] long long points() const;
+  };
+  [[nodiscard]] ResolvedSpace resolve_space(const std::vector<compiler::IterIndex>& space);
+
+  /// Owner (grid-linear processor) of one iteration point, or -1 when the
+  /// loop is replicated.
+  [[nodiscard]] int owner_of_point(const SpmdNode& n, const compiler::ArrayMap* home,
+                                   std::span<const long long> point) const;
+
+  [[nodiscard]] std::vector<AccessPattern> access_patterns(const SpmdNode& n) const;
+  [[nodiscard]] long long working_set_bytes(const front::Expr& lhs,
+                                            const front::Expr* rhs,
+                                            const ResolvedSpace& space) const;
+
+  void charge_comp(int node_id, int proc, double t);
+  void charge_comm(int node_id, int proc, double t);
+  void charge_overhead(int node_id, int proc, double t);
+  void charge_all_comp(int node_id, double t);
+  void charge_all_overhead(int node_id, double t);
+
+  NodeMetric& metric(int node_id) { return metrics_.at(static_cast<std::size_t>(node_id)); }
+
+  /// Pairwise recursive-doubling collective over all processors: per stage
+  /// both partners exchange `bytes` and apply `per_stage_extra` time.
+  void collective_stages(int node_id, long long bytes, double per_stage_extra);
+
+  const compiler::CompiledProgram& prog_;
+  const compiler::DataLayout& layout_;
+  const machine::MachineModel& machine_;
+  SimOptions options_;
+  int nprocs_;
+
+  compiler::ScalarEnv env_;
+  Storage storage_;
+  NodeCostModel cost_;
+  machine::CommModel comm_model_;
+  SimNetwork network_;
+  NoiseModel noise_;
+
+  std::vector<double> clock_;
+  std::vector<NodeMetric> metrics_;
+  SimResult result_;
+};
+
+}  // namespace hpf90d::sim

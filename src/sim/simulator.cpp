@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hpf90d::sim {
+
+MeasuredResult Simulator::measure(const compiler::CompiledProgram& prog,
+                                  const front::Bindings& bindings,
+                                  const compiler::LayoutOptions& layout_options,
+                                  const SimOptions& options, int runs) const {
+  const compiler::DataLayout layout = compiler::make_layout(prog, bindings, layout_options);
+
+  MeasuredResult out;
+  out.stats.min = 1e300;
+  out.stats.max = 0.0;
+  for (int r = 0; r < std::max(1, runs); ++r) {
+    SimOptions run_opts = options;
+    run_opts.seed = options.seed + static_cast<std::uint64_t>(r) * 0x9e3779b97f4a7c15ULL;
+    Executor exec(prog, layout, machine_, run_opts, bindings);
+    SimResult res = exec.run();
+    out.stats.samples.push_back(res.total);
+    out.stats.mean += res.total;
+    out.stats.min = std::min(out.stats.min, res.total);
+    out.stats.max = std::max(out.stats.max, res.total);
+    if (r == 0) out.detail = std::move(res);
+  }
+  const double n = static_cast<double>(out.stats.samples.size());
+  out.stats.mean /= n;
+  double var = 0.0;
+  for (double s : out.stats.samples) {
+    var += (s - out.stats.mean) * (s - out.stats.mean);
+  }
+  out.stats.stddev = std::sqrt(var / n);
+  return out;
+}
+
+}  // namespace hpf90d::sim

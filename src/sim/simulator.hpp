@@ -1,0 +1,47 @@
+// simulator.hpp — the "measurement" facade.
+//
+// The paper's measured timings are averages of 1000 runs on the real cube
+// with the variance attributed to timing tolerance and system load (§5.1).
+// Simulator::measure repeats the functional simulation with different noise
+// seeds and reports the same statistics (mean / min / max / stddev) so the
+// accuracy benches can test the paper's claim that interpreted times
+// typically fall within the measured variance.
+#pragma once
+
+#include "compiler/mapping.hpp"
+#include "compiler/pipeline.hpp"
+#include "compiler/spmd_ir.hpp"
+#include "machine/sag.hpp"
+#include "sim/executor.hpp"
+
+namespace hpf90d::sim {
+
+struct RunStats {
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+  std::vector<double> samples;
+};
+
+struct MeasuredResult {
+  SimResult detail;  // the first run's full breakdown
+  RunStats stats;    // total-time statistics across runs
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const machine::MachineModel& machine) : machine_(machine) {}
+
+  /// Runs the program `runs` times with derived seeds.
+  [[nodiscard]] MeasuredResult measure(const compiler::CompiledProgram& prog,
+                                       const front::Bindings& bindings,
+                                       const compiler::LayoutOptions& layout_options,
+                                       const SimOptions& options = {},
+                                       int runs = 3) const;
+
+ private:
+  const machine::MachineModel& machine_;
+};
+
+}  // namespace hpf90d::sim

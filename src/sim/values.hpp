@@ -1,0 +1,63 @@
+// values.hpp — runtime array storage for the functional simulator.
+//
+// The simulator executes the SPMD program with real data so that numerical
+// results can be validated against serial evaluation (the environment's
+// "functional interpreter" role, paper §1). Storage is global (the
+// simulator sees all of memory) while *timing* attribution follows the
+// DataLayout ownership maps; this keeps data movement exact without
+// duplicating every block per processor.
+//
+// Local storage is row-major (last dimension contiguous) — see DESIGN.md:
+// this mirrors (transposed) the Fortran column-major layout and preserves
+// the (BLOCK,*) vs (*,BLOCK) packing asymmetry the paper's Laplace study
+// depends on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "compiler/eval.hpp"
+#include "compiler/mapping.hpp"
+#include "hpf/sema.hpp"
+
+namespace hpf90d::sim {
+
+class Storage final : public compiler::ArrayAccess {
+ public:
+  Storage(const front::SymbolTable& symbols, const compiler::DataLayout& layout);
+
+  /// ArrayAccess interface (1-based Fortran indices).
+  [[nodiscard]] double load(int symbol, std::span<const long long> index) override;
+  [[nodiscard]] long long extent(int symbol, int dim) override;
+
+  void store(int symbol, std::span<const long long> index, double value);
+
+  /// Linearized (0-based, row-major) offset of a 1-based index vector;
+  /// bounds-checked; allocates the array on first touch.
+  [[nodiscard]] std::size_t offset(int symbol, std::span<const long long> index);
+
+  [[nodiscard]] std::span<double> raw(int symbol);
+  [[nodiscard]] const std::vector<long long>& extents(int symbol) const;
+  [[nodiscard]] long long total_elements(int symbol) const;
+
+  /// Fortran cshift semantics into another array of identical shape:
+  /// dst(..., i, ...) = src(..., 1 + mod(i - 1 + shift, n), ...) along
+  /// `dim` (0-based).
+  void cshift_into(int dst_symbol, int src_symbol, int dim, long long shift);
+
+ private:
+  struct ArrayStore {
+    std::vector<long long> extents;
+    std::vector<long long> strides;  // row-major element strides
+    std::vector<double> data;
+    bool allocated = false;
+  };
+
+  ArrayStore& ensure(int symbol);
+
+  const front::SymbolTable& symbols_;
+  const compiler::DataLayout& layout_;
+  std::vector<ArrayStore> arrays_;
+};
+
+}  // namespace hpf90d::sim

@@ -1,0 +1,35 @@
+// table.hpp — fixed-width text tables used by the bench harness to print
+// paper-style rows (Table 1, Table 2, and the figure series).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpf90d::support {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+/// Numeric-looking cells are right-aligned, everything else left-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace hpf90d::support

@@ -1,0 +1,285 @@
+// Compiler middle-end tests: normalization, communication detection,
+// lowering structure for the suite programs, op counting, F77 codegen.
+#include <gtest/gtest.h>
+
+#include "compiler/codegen_f77.hpp"
+#include "compiler/opcount.hpp"
+#include "compiler/pipeline.hpp"
+#include "hpf/parser.hpp"
+#include "suite/suite.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpf90d {
+namespace {
+
+using compiler::CompiledProgram;
+using compiler::SpmdKind;
+using compiler::SpmdNode;
+
+CompiledProgram comp(std::string_view src) { return compiler::compile(src); }
+
+int count_kind(const SpmdNode& n, SpmdKind k) {
+  int c = n.kind == k ? 1 : 0;
+  for (const auto& ch : n.children) c += count_kind(*ch, k);
+  for (const auto& ch : n.else_children) c += count_kind(*ch, k);
+  return c;
+}
+
+const SpmdNode* find_kind(const SpmdNode& n, SpmdKind k) {
+  if (n.kind == k) return &n;
+  for (const auto& ch : n.children) {
+    if (const SpmdNode* f = find_kind(*ch, k)) return f;
+  }
+  for (const auto& ch : n.else_children) {
+    if (const SpmdNode* f = find_kind(*ch, k)) return f;
+  }
+  return nullptr;
+}
+
+constexpr const char* kHeader = R"f90(
+program t
+  parameter (n = 64)
+  real a(n), b(n), c(n)
+!hpf$ template d(n)
+!hpf$ align a(i) with d(i)
+!hpf$ align b(i) with d(i)
+!hpf$ align c(i) with d(i)
+!hpf$ distribute d(block)
+)f90";
+
+CompiledProgram comp_body(std::string_view body) {
+  return comp(std::string(kHeader) + std::string(body) + "\nend program t\n");
+}
+
+TEST(Normalize, ArrayAssignmentBecomesForallLoop) {
+  auto p = comp_body("a = b");
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::LocalLoop), 1);
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::OverlapComm), 0);
+}
+
+TEST(Normalize, SectionAssignmentRespectsBounds) {
+  auto p = comp_body("a(2:n-1) = b(1:n-2)");
+  const SpmdNode* loop = find_kind(*p.root, SpmdKind::LocalLoop);
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->space[0].lo->str(), "2");
+  // reading b at i-1 relative to the loop index => one overlap exchange
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::OverlapComm), 1);
+}
+
+TEST(Normalize, WhereBecomesMaskedLoop) {
+  auto p = comp_body("where (b .gt. 0.0) a = 1.0/b");
+  const SpmdNode* loop = find_kind(*p.root, SpmdKind::LocalLoop);
+  ASSERT_NE(loop, nullptr);
+  ASSERT_NE(loop->mask, nullptr);
+}
+
+TEST(Normalize, WhereElsewhereProducesTwoLoops) {
+  auto p = comp_body("where (b .gt. 0.0)\n  a = 1.0\nelsewhere\n  a = 0.0\nend where");
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::LocalLoop), 2);
+}
+
+TEST(CommDetect, AlignedReadNeedsNoComm) {
+  auto p = comp_body("forall (i = 1:n) a(i) = b(i) + c(i)");
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::OverlapComm), 0);
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::GatherComm), 0);
+}
+
+TEST(CommDetect, ShiftedReadIsOverlap) {
+  auto p = comp_body("forall (i = 2:n-1) a(i) = b(i-1) + b(i+1)");
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::OverlapComm), 2);  // both directions
+}
+
+TEST(CommDetect, SameDirectionOffsetsMerge) {
+  auto p = comp_body("forall (i = 1:n-11) a(i) = b(i+10) + b(i+11)");
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::OverlapComm), 1);
+  const SpmdNode* comm = find_kind(*p.root, SpmdKind::OverlapComm);
+  EXPECT_EQ(comm->comm_offset, 11);  // widest wins (message vectorization)
+}
+
+TEST(CommDetect, NonUnitStrideIsRemapGather) {
+  auto p = comp_body("forall (i = 1:n/2) a(i) = b(2*i)");
+  const SpmdNode* g = find_kind(*p.root, SpmdKind::GatherComm);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->gather_pattern, compiler::GatherPattern::Remap);
+}
+
+TEST(CommDetect, VectorSubscriptIsIrregularGather) {
+  auto p = comp(std::string(kHeader) +
+                "  integer ix(n)\n"
+                "!hpf$ align ix(i) with d(i)\n"
+                "  forall (i = 1:n) a(i) = b(ix(i))\nend program t\n");
+  const SpmdNode* g = find_kind(*p.root, SpmdKind::GatherComm);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->gather_pattern, compiler::GatherPattern::Irregular);
+}
+
+TEST(CommDetect, VectorSubscriptedStoreScatters) {
+  auto p = comp(std::string(kHeader) +
+                "  integer ix(n)\n"
+                "!hpf$ align ix(i) with d(i)\n"
+                "  forall (i = 1:n) a(ix(i)) = b(i)\nend program t\n");
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::ScatterComm), 1);
+}
+
+TEST(CommDetect, ReplicatedArrayReadIsLocal) {
+  auto p = comp(std::string(kHeader) + "  real r(n)\n"
+                "  forall (i = 1:n) a(i) = r(i)\nend program t\n");
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::GatherComm), 0);
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::OverlapComm), 0);
+}
+
+TEST(Lower, FullReductionBecomesReduceNode) {
+  auto p = comp_body("x = sum(a*b)");
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::Reduce), 1);
+  const SpmdNode* r = find_kind(*p.root, SpmdKind::Reduce);
+  EXPECT_EQ(r->reduce_op, "sum");
+  EXPECT_GE(r->home_symbol, 0);
+}
+
+TEST(Lower, NestedReductionsBothExtracted) {
+  auto p = comp_body("x = sum(a) + product(b)");
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::Reduce), 2);
+}
+
+TEST(Lower, CshiftMakesTempAndComm) {
+  auto p = comp_body("a = cshift(b, 1)");
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::CShiftComm), 1);
+  const SpmdNode* s = find_kind(*p.root, SpmdKind::CShiftComm);
+  EXPECT_GE(s->comm_temp, 0);
+  ASSERT_EQ(p.temp_aliases.size(), 1u);
+  EXPECT_EQ(p.temp_aliases[0].first, s->comm_temp);
+}
+
+TEST(Lower, DimReductionBecomesInnerLoop) {
+  auto p = comp(R"f90(
+program t
+  parameter (n = 32, m = 8)
+  real a(n,m), q(n)
+!hpf$ template d(n)
+!hpf$ align a(i,j) with d(i)
+!hpf$ align q(i) with d(i)
+!hpf$ distribute d(block)
+  q = product(a, 2)
+end program t
+)f90");
+  const SpmdNode* loop = find_kind(*p.root, SpmdKind::LocalLoop);
+  ASSERT_NE(loop, nullptr);
+  ASSERT_TRUE(loop->inner.has_value());
+  EXPECT_EQ(loop->inner->op, "product");
+}
+
+TEST(Lower, LaplaceHasFourOverlapsPerSweep) {
+  const auto& app = suite::app("laplace_bb");
+  auto p = compiler::compile_with_directives(app.source, app.directive_overrides);
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::OverlapComm), 4);
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::DoLoop), 1);
+}
+
+TEST(Lower, Lfk2HasRemapAndScatter) {
+  auto p = comp(suite::app("lfk2").source);
+  EXPECT_GE(count_kind(*p.root, SpmdKind::GatherComm), 2);
+  EXPECT_EQ(count_kind(*p.root, SpmdKind::ScatterComm), 1);
+}
+
+TEST(Lower, InvariantCommFlaggedInsideLoop) {
+  // z is read (shifted) but never written inside the do loop
+  auto p = comp_body("do it = 1, 4\n  forall (i = 1:n-1) a(i) = b(i+1)\nend do");
+  const SpmdNode* comm = find_kind(*p.root, SpmdKind::OverlapComm);
+  ASSERT_NE(comm, nullptr);
+  EXPECT_TRUE(comm->comm_src_invariant);
+}
+
+TEST(Lower, DependentCommNotFlagged) {
+  auto p = comp_body("do it = 1, 4\n  forall (i = 1:n-1) a(i) = a(i+1)\nend do");
+  const SpmdNode* comm = find_kind(*p.root, SpmdKind::OverlapComm);
+  ASSERT_NE(comm, nullptr);
+  EXPECT_FALSE(comm->comm_src_invariant);
+}
+
+TEST(Lower, EverySuiteProgramCompiles) {
+  for (const auto& app : suite::validation_suite()) {
+    EXPECT_NO_THROW({
+      auto p = app.directive_overrides.empty()
+                   ? compiler::compile(app.source)
+                   : compiler::compile_with_directives(app.source,
+                                                       app.directive_overrides);
+      EXPECT_GT(p.node_count, 1) << app.id;
+    }) << app.id;
+  }
+}
+
+TEST(Lower, NodeIdsAreDenseAndUnique) {
+  auto p = comp(suite::app("finance").source);
+  std::vector<int> seen(static_cast<std::size_t>(p.node_count), 0);
+  std::function<void(const SpmdNode&)> visit = [&](const SpmdNode& n) {
+    ASSERT_GE(n.id, 0);
+    ASSERT_LT(n.id, p.node_count);
+    seen[static_cast<std::size_t>(n.id)]++;
+    for (const auto& c : n.children) visit(*c);
+    for (const auto& c : n.else_children) visit(*c);
+  };
+  visit(*p.root);
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(DirectiveOverride, ReplacesDistributeAndProcessors) {
+  const auto& app = suite::app("laplace_bx");
+  auto p = compiler::compile_with_directives(app.source, app.directive_overrides);
+  ASSERT_EQ(p.directives.distributes.size(), 1u);
+  EXPECT_EQ(p.directives.distributes[0].pattern[1], front::DistKind::Collapsed);
+  ASSERT_EQ(p.directives.processors.size(), 1u);
+  EXPECT_EQ(p.directives.processors[0].extents.size(), 1u);
+}
+
+TEST(OpCount, CountsMatchExpressionStructure) {
+  auto prog = front::parse_program(
+      "program t\nreal v(8)\nx = v(1)*v(2) + exp(v(3))/2.0\nend program t\n");
+  (void)front::analyze(prog);
+  const compiler::OpCounts ops = compiler::count_expr(*prog.stmts[0]->rhs);
+  EXPECT_EQ(ops.fmul, 1);
+  EXPECT_EQ(ops.fadd, 1);
+  EXPECT_EQ(ops.fdiv, 1);
+  EXPECT_EQ(ops.loads, 3);
+  EXPECT_EQ(ops.intrinsics.at("exp"), 1);
+  EXPECT_GT(ops.depth, 2);
+}
+
+TEST(OpCount, AssignmentAddsStore) {
+  auto prog = front::parse_program(
+      "program t\nreal v(8)\nv(2) = 1.0\nend program t\n");
+  (void)front::analyze(prog);
+  const compiler::OpCounts ops =
+      compiler::count_assignment(*prog.stmts[0]->lhs, *prog.stmts[0]->rhs);
+  EXPECT_EQ(ops.stores, 1);
+  EXPECT_EQ(ops.loads, 0);
+}
+
+TEST(CodegenF77, EmitsCommCallsAndLoops) {
+  const auto& app = suite::app("laplace_bb");
+  auto p = compiler::compile_with_directives(app.source, app.directive_overrides);
+  const std::string f77 = compiler::codegen_f77(p);
+  EXPECT_NE(f77.find("call exchange_overlap"), std::string::npos);
+  EXPECT_NE(f77.find("do "), std::string::npos);
+  EXPECT_NE(f77.find("program laplace_node"), std::string::npos);
+}
+
+TEST(CodegenF77, EmitsCollectiveCalls) {
+  auto p = comp(suite::app("pi").source);
+  const std::string f77 = compiler::codegen_f77(p);
+  EXPECT_NE(f77.find("call gsum"), std::string::npos);
+  EXPECT_NE(f77.find("mynode()"), std::string::npos);
+}
+
+TEST(MessageVectorizationOption, RecordedOnCommNodes) {
+  compiler::CompilerOptions opts;
+  opts.message_vectorization = false;
+  auto p = compiler::compile(std::string(kHeader) +
+                                 "  forall (i = 2:n) a(i) = b(i-1)\nend program t\n",
+                             opts);
+  const SpmdNode* comm = find_kind(*p.root, SpmdKind::OverlapComm);
+  ASSERT_NE(comm, nullptr);
+  EXPECT_TRUE(comm->per_element);
+}
+
+}  // namespace
+}  // namespace hpf90d

@@ -1,0 +1,163 @@
+// Lexer unit tests: tokens, literals, continuation lines, directive
+// collection, dot-operators, and error handling.
+#include <gtest/gtest.h>
+
+#include "hpf/lexer.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::front {
+namespace {
+
+std::vector<Token> toks(std::string_view src) { return lex_source(src).tokens; }
+
+TEST(Lexer, EmptySourceYieldsEof) {
+  const auto t = toks("");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].kind, TokenKind::Eof);
+}
+
+TEST(Lexer, IdentifiersAreLowerCased) {
+  const auto t = toks("Program LFK1");
+  EXPECT_EQ(t[0].text, "program");
+  EXPECT_EQ(t[1].text, "lfk1");
+}
+
+TEST(Lexer, IntegerLiteralValue) {
+  const auto t = toks("4096");
+  EXPECT_EQ(t[0].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(t[0].int_value, 4096);
+  EXPECT_DOUBLE_EQ(t[0].real_value, 4096.0);
+}
+
+TEST(Lexer, RealLiteralForms) {
+  const auto t = toks("1.5 0.5e-3 2e10 1.d0 .25");
+  ASSERT_GE(t.size(), 5u);
+  EXPECT_EQ(t[0].kind, TokenKind::RealLiteral);
+  EXPECT_DOUBLE_EQ(t[0].real_value, 1.5);
+  EXPECT_DOUBLE_EQ(t[1].real_value, 0.5e-3);
+  EXPECT_DOUBLE_EQ(t[2].real_value, 2e10);
+  EXPECT_DOUBLE_EQ(t[3].real_value, 1.0);  // Fortran d-exponent
+  EXPECT_DOUBLE_EQ(t[4].real_value, 0.25);
+}
+
+TEST(Lexer, DotOperators) {
+  const auto t = toks("a .lt. b .and. .not. c .or. d .ge. e");
+  EXPECT_EQ(t[1].kind, TokenKind::Lt);
+  EXPECT_EQ(t[3].kind, TokenKind::And);
+  EXPECT_EQ(t[4].kind, TokenKind::Not);
+  EXPECT_EQ(t[6].kind, TokenKind::Or);
+  EXPECT_EQ(t[8].kind, TokenKind::Ge);
+}
+
+TEST(Lexer, LogicalLiterals) {
+  const auto t = toks(".true. .false.");
+  EXPECT_EQ(t[0].kind, TokenKind::TrueLiteral);
+  EXPECT_EQ(t[1].kind, TokenKind::FalseLiteral);
+}
+
+TEST(Lexer, SymbolicRelationalOperators) {
+  const auto t = toks("a < b <= c > d >= e == f /= g");
+  EXPECT_EQ(t[1].kind, TokenKind::Lt);
+  EXPECT_EQ(t[3].kind, TokenKind::Le);
+  EXPECT_EQ(t[5].kind, TokenKind::Gt);
+  EXPECT_EQ(t[7].kind, TokenKind::Ge);
+  EXPECT_EQ(t[9].kind, TokenKind::Eq);
+  EXPECT_EQ(t[11].kind, TokenKind::Ne);
+}
+
+TEST(Lexer, PowerVersusStar) {
+  const auto t = toks("a ** b * c");
+  EXPECT_EQ(t[1].kind, TokenKind::Power);
+  EXPECT_EQ(t[3].kind, TokenKind::Star);
+}
+
+TEST(Lexer, DoubleColon) {
+  const auto t = toks("real :: x");
+  EXPECT_EQ(t[1].kind, TokenKind::DoubleColon);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto t = toks("x = 1 ! trailing comment\n! full line comment\ny = 2");
+  // x = 1 EOL y = 2 EOL EOF
+  ASSERT_EQ(t.size(), 9u);
+  EXPECT_EQ(t[3].kind, TokenKind::Eol);
+  EXPECT_EQ(t[4].text, "y");
+}
+
+TEST(Lexer, ContinuationJoinsLines) {
+  const auto t = toks("x = a + &\n    b");
+  // single statement: x = a + b EOL EOF
+  std::size_t eols = 0;
+  for (const auto& tok : t) {
+    if (tok.kind == TokenKind::Eol) ++eols;
+  }
+  EXPECT_EQ(eols, 1u);
+}
+
+TEST(Lexer, ContinuationWithLeadingAmpersand) {
+  const auto t = toks("x = a + &\n  & b");
+  std::size_t eols = 0;
+  for (const auto& tok : t) {
+    if (tok.kind == TokenKind::Eol) ++eols;
+  }
+  EXPECT_EQ(eols, 1u);
+  // 'b' must appear as an identifier
+  bool saw_b = false;
+  for (const auto& tok : t) saw_b = saw_b || tok.is_word("b");
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(Lexer, DirectiveLinesAreCollectedNotTokenized) {
+  const LexResult r = lex_source("x = 1\n!hpf$ distribute t(block)\ny = 2");
+  ASSERT_EQ(r.directives.size(), 1u);
+  EXPECT_EQ(r.directives[0].text, " distribute t(block)");
+  for (const auto& tok : r.tokens) {
+    EXPECT_FALSE(tok.is_word("distribute"));
+  }
+}
+
+TEST(Lexer, ChpfSentinelAccepted) {
+  const LexResult r = lex_source("chpf$ processors p(4)\n");
+  ASSERT_EQ(r.directives.size(), 1u);
+}
+
+TEST(Lexer, DirectiveLocationTracksLine) {
+  const LexResult r = lex_source("x = 1\n\n!hpf$ template t(n)\n");
+  ASSERT_EQ(r.directives.size(), 1u);
+  EXPECT_EQ(r.directives[0].loc.line, 3u);
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  EXPECT_THROW((void)lex_source("x = #"), support::CompileError);
+}
+
+TEST(Lexer, MalformedDotOperatorThrows) {
+  EXPECT_THROW((void)lex_source("a .bogus. b"), support::CompileError);
+}
+
+TEST(Lexer, SourceLocationsAreOneBased) {
+  const auto t = toks("  x = 1");
+  EXPECT_EQ(t[0].loc.line, 1u);
+  EXPECT_EQ(t[0].loc.column, 3u);
+}
+
+TEST(Lexer, DotBetweenDigitsIsRealNotOperator) {
+  const auto t = toks("1.and.x");  // `1.` would be malformed real + and
+  // Fortran tokenization subtlety: digit '.' followed by letters is a
+  // dot-operator boundary; we expect Int(1) And Ident(x)
+  EXPECT_EQ(t[0].kind, TokenKind::IntLiteral);
+  EXPECT_EQ(t[1].kind, TokenKind::And);
+  EXPECT_EQ(t[2].text, "x");
+}
+
+TEST(Lexer, LexLineProducesEolAndEof) {
+  const auto t = lex_line("block , *", support::SourceLoc{7, 1});
+  ASSERT_GE(t.size(), 5u);
+  EXPECT_EQ(t[0].text, "block");
+  EXPECT_EQ(t[t.size() - 2].kind, TokenKind::Eol);
+  EXPECT_EQ(t.back().kind, TokenKind::Eof);
+  EXPECT_EQ(t[0].loc.line, 7u);
+}
+
+}  // namespace
+}  // namespace hpf90d::front

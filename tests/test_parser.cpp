@@ -1,0 +1,215 @@
+// Parser unit tests: expression precedence, statements, constructs,
+// declarations, sections, and syntax errors.
+#include <gtest/gtest.h>
+
+#include "hpf/parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::front {
+namespace {
+
+Program parse(std::string_view body) {
+  std::string src = "program t\n" + std::string(body) + "\nend program t\n";
+  return parse_program(src);
+}
+
+std::string expr_str(std::string_view text) { return parse_expression_text(text)->str(); }
+
+TEST(Parser, ProgramNameParsed) {
+  const Program p = parse("x = 1");
+  EXPECT_EQ(p.name, "t");
+}
+
+TEST(Parser, MissingEndThrows) {
+  EXPECT_THROW((void)parse_program("program t\nx = 1\n"), support::CompileError);
+}
+
+TEST(Parser, MulBindsTighterThanAdd) {
+  EXPECT_EQ(expr_str("a + b * c"), "(a + (b * c))");
+}
+
+TEST(Parser, PowerIsRightAssociative) {
+  EXPECT_EQ(expr_str("a ** b ** c"), "(a ** (b ** c))");
+}
+
+TEST(Parser, UnaryMinusAndPower) {
+  EXPECT_EQ(expr_str("-a ** 2"), "(-(a ** 2))");
+  EXPECT_EQ(expr_str("a ** -2"), "(a ** (-2))");
+}
+
+TEST(Parser, RelationalBelowAdditive) {
+  EXPECT_EQ(expr_str("a + b .gt. c"), "((a + b) .gt. c)");
+}
+
+TEST(Parser, LogicalPrecedence) {
+  EXPECT_EQ(expr_str("a .lt. b .and. c .gt. d .or. e .le. f"),
+            "(((a .lt. b) .and. (c .gt. d)) .or. (e .le. f))");
+}
+
+TEST(Parser, NotBindsAboveAnd) {
+  EXPECT_EQ(expr_str(".not. a .and. b"), "((.not. a) .and. b)");
+}
+
+TEST(Parser, ParenthesesOverride) {
+  EXPECT_EQ(expr_str("(a + b) * c"), "((a + b) * c)");
+}
+
+TEST(Parser, CallArgumentsAndNesting) {
+  EXPECT_EQ(expr_str("max(a, min(b, c))"), "max(a,min(b,c))");
+}
+
+TEST(Parser, SectionForms) {
+  EXPECT_EQ(expr_str("a(1:n)"), "a(1:n)");
+  EXPECT_EQ(expr_str("a(:)"), "a(:)");
+  EXPECT_EQ(expr_str("a(2:n-1:2)"), "a(2:(n - 1):2)");
+  EXPECT_EQ(expr_str("a(:, j)"), "a(:,j)");
+  EXPECT_EQ(expr_str("a(:n)"), "a(:n)");
+}
+
+TEST(Parser, ScalarSubscriptsStayCalls) {
+  // the parser cannot know arrays from intrinsics; scalar-subscript forms
+  // become Call nodes for sema to re-classify
+  const ExprPtr e = parse_expression_text("a(i, j)");
+  EXPECT_EQ(e->kind, ExprKind::Call);
+}
+
+TEST(Parser, SectionFormsAreArrayRefs) {
+  const ExprPtr e = parse_expression_text("a(1:n, j)");
+  EXPECT_EQ(e->kind, ExprKind::ArrayRef);
+  ASSERT_EQ(e->subs.size(), 2u);
+  EXPECT_EQ(e->subs[0].kind, Subscript::Kind::Triplet);
+  EXPECT_EQ(e->subs[1].kind, Subscript::Kind::Scalar);
+}
+
+TEST(Parser, Declarations) {
+  const Program p = parse("real x(n), y\ninteger k\ndouble precision d(4,5)\nx(1) = 1.0");
+  ASSERT_EQ(p.decls.size(), 3u);
+  EXPECT_EQ(p.decls[0].items[0].name, "x");
+  EXPECT_EQ(p.decls[0].items[0].dims.size(), 1u);
+  EXPECT_EQ(p.decls[0].items[1].name, "y");
+  EXPECT_EQ(p.decls[1].type, TypeBase::Integer);
+  EXPECT_EQ(p.decls[2].type, TypeBase::Double);
+  EXPECT_EQ(p.decls[2].items[0].dims.size(), 2u);
+}
+
+TEST(Parser, ParameterStatement) {
+  const Program p = parse("parameter (n = 1024, m = 2*n)\nx = 1");
+  ASSERT_EQ(p.parameters.size(), 2u);
+  EXPECT_EQ(p.parameters[0].name, "n");
+  EXPECT_EQ(p.parameters[1].value->str(), "(2 * n)");
+}
+
+TEST(Parser, ForallSingleStatement) {
+  const Program p = parse("forall (i = 1:n) x(i) = 0.0");
+  ASSERT_EQ(p.stmts.size(), 1u);
+  const Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, StmtKind::Forall);
+  ASSERT_EQ(s.forall_indices.size(), 1u);
+  EXPECT_EQ(s.forall_indices[0].name, "i");
+  EXPECT_EQ(s.body.size(), 1u);
+  EXPECT_EQ(s.mask, nullptr);
+}
+
+TEST(Parser, ForallWithMask) {
+  const Program p = parse("forall (i = 1:n, v(i) .gt. 0.0) x(i) = 1.0/v(i)");
+  const Stmt& s = *p.stmts[0];
+  ASSERT_NE(s.mask, nullptr);
+  EXPECT_EQ(s.forall_indices.size(), 1u);
+}
+
+TEST(Parser, ForallMultiIndexAndStride) {
+  const Program p = parse("forall (i = 1:n, j = 2:m:2) a(i,j) = 0.0");
+  const Stmt& s = *p.stmts[0];
+  ASSERT_EQ(s.forall_indices.size(), 2u);
+  ASSERT_NE(s.forall_indices[1].stride, nullptr);
+}
+
+TEST(Parser, ForallConstruct) {
+  const Program p = parse("forall (i = 1:n)\n  x(i) = 1.0\n  y(i) = 2.0\nend forall");
+  const Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, StmtKind::Forall);
+  EXPECT_EQ(s.body.size(), 2u);
+}
+
+TEST(Parser, WhereStatementAndConstruct) {
+  const Program p1 = parse("where (v .gt. 0.0) x = 1.0/v");
+  EXPECT_EQ(p1.stmts[0]->kind, StmtKind::Where);
+  const Program p2 =
+      parse("where (v .gt. 0.0)\n  x = 1.0\nelsewhere\n  x = 0.0\nend where");
+  EXPECT_EQ(p2.stmts[0]->body.size(), 1u);
+  EXPECT_EQ(p2.stmts[0]->else_body.size(), 1u);
+}
+
+TEST(Parser, DoLoopWithStep) {
+  const Program p = parse("do i = 1, n, 2\n  x = x + 1\nend do");
+  const Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, StmtKind::Do);
+  EXPECT_EQ(s.do_var, "i");
+  ASSERT_NE(s.do_step, nullptr);
+}
+
+TEST(Parser, EndDoSpellings) {
+  EXPECT_NO_THROW((void)parse("do i = 1, 3\n  x = 1\nenddo"));
+  EXPECT_NO_THROW((void)parse("do i = 1, 3\n  x = 1\nend do"));
+}
+
+TEST(Parser, DoWhile) {
+  const Program p = parse("do while (x .lt. 10.0)\n  x = x + 1.0\nend do");
+  EXPECT_EQ(p.stmts[0]->kind, StmtKind::DoWhile);
+}
+
+TEST(Parser, BlockIfElse) {
+  const Program p = parse("if (x .gt. 0.0) then\n  y = 1\nelse\n  y = 2\nend if");
+  const Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, StmtKind::If);
+  EXPECT_EQ(s.body.size(), 1u);
+  EXPECT_EQ(s.else_body.size(), 1u);
+}
+
+TEST(Parser, ElseIfChainsAsNestedIf) {
+  const Program p = parse(
+      "if (x .gt. 0.0) then\n  y = 1\nelseif (x .lt. 0.0) then\n  y = 2\nelse\n"
+      "  y = 3\nend if");
+  const Stmt& s = *p.stmts[0];
+  ASSERT_EQ(s.else_body.size(), 1u);
+  EXPECT_EQ(s.else_body[0]->kind, StmtKind::If);
+  EXPECT_EQ(s.else_body[0]->else_body.size(), 1u);
+}
+
+TEST(Parser, LogicalIf) {
+  const Program p = parse("if (x .gt. 0.0) y = 1");
+  const Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, StmtKind::If);
+  ASSERT_EQ(s.body.size(), 1u);
+  EXPECT_TRUE(s.else_body.empty());
+}
+
+TEST(Parser, PrintStatement) {
+  const Program p = parse("print *, x, y + 1");
+  const Stmt& s = *p.stmts[0];
+  EXPECT_EQ(s.kind, StmtKind::Print);
+  EXPECT_EQ(s.print_args.size(), 2u);
+}
+
+TEST(Parser, DirectivesRecordedInProgram) {
+  const Program p = parse_program(
+      "program t\n!hpf$ template d(n)\nx = 1\nend program t\n");
+  ASSERT_EQ(p.raw_directives.size(), 1u);
+}
+
+TEST(Parser, SyntaxErrorsThrow) {
+  EXPECT_THROW((void)parse("forall i = 1:n) x(i) = 0"), support::CompileError);
+  EXPECT_THROW((void)parse("do i = 1\n  x = 1\nend do"), support::CompileError);
+  EXPECT_THROW((void)parse("x = "), support::CompileError);
+  EXPECT_THROW((void)parse("x = (a + b"), support::CompileError);
+}
+
+TEST(Parser, StmtRoundTripText) {
+  const Program p = parse("forall (i = 1:n) x(i) = y(i) + 1.0");
+  const std::string s = p.stmts[0]->str();
+  EXPECT_NE(s.find("forall (i=1:n)"), std::string::npos);
+  EXPECT_NE(s.find("x(i) = (y(i) + 1.0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpf90d::front
