@@ -1,4 +1,5 @@
-// ablations — design-choice ablation benches called out in DESIGN.md §5:
+// ablations — design-choice ablation benches called out in DESIGN.md §5,
+// driven through the experiment-session API (api::Session):
 //   1. message vectorization on/off (compiler option),
 //   2. network contention modelling on/off in the simulator,
 //   3. collective algorithm: recursive tree vs linear,
@@ -21,10 +22,9 @@ void msgvec_ablation() {
   for (bool on : {true, false}) {
     compiler::CompilerOptions copts;
     copts.message_vectorization = on;
-    auto prog = bench::framework().compile_with_directives(
+    const auto prog = bench::session().compile_with_directives(
         app.source, app.directive_overrides, copts);
-    const auto pred =
-        bench::framework().predict(prog, bench::config_for(app, 128, 4));
+    const auto pred = bench::session().predict(prog, bench::config_for(app, 128, 4));
     table.add_row({on ? "on" : "off", support::format_seconds(pred.total),
                    on ? "one aggregate ghost message per sweep"
                       : "one message per boundary element"});
@@ -35,12 +35,12 @@ void msgvec_ablation() {
 void contention_ablation() {
   std::printf("Ablation 2: simulator network contention (LFK 14, n=1024, P=8)\n");
   const auto& app = suite::app("lfk14");
-  auto prog = bench::compile_app(app);
+  const auto prog = bench::compile_app_cached(app);
   support::TextTable table({"contention", "measured mean"});
   for (bool on : {true, false}) {
     auto cfg = bench::config_for(app, 1024, 8);
     cfg.sim.contention = on;
-    const auto meas = bench::framework().measure(prog, cfg);
+    const auto meas = bench::session().measure(prog, cfg);
     table.add_row({on ? "on" : "off", support::format_seconds(meas.stats.mean)});
   }
   std::printf("%s\n", table.str().c_str());
@@ -49,15 +49,15 @@ void contention_ablation() {
 void collective_ablation() {
   std::printf("Ablation 3: collective algorithm (PI, n=4096, P=8)\n");
   const auto& app = suite::app("pi");
-  auto prog = bench::compile_app(app);
+  const auto prog = bench::compile_app_cached(app);
   support::TextTable table({"algorithm", "estimated", "measured mean"});
   for (auto algo : {machine::CollectiveAlgo::RecursiveTree,
                     machine::CollectiveAlgo::Linear}) {
     auto cfg = bench::config_for(app, 4096, 8);
     cfg.predict.collective = algo;
     cfg.sim.collective = algo;
-    const auto pred = bench::framework().predict(prog, cfg);
-    const auto meas = bench::framework().measure(prog, cfg);
+    const auto pred = bench::session().predict(prog, cfg);
+    const auto meas = bench::session().measure(prog, cfg);
     table.add_row({algo == machine::CollectiveAlgo::RecursiveTree
                        ? "recursive halving/doubling"
                        : "linear",
@@ -73,10 +73,10 @@ void overlap_ablation() {
   // assumption; show the error trend across sizes (cache-resident to
   // memory-bound)
   const auto& app = suite::app("lfk9");
-  auto prog = bench::compile_app(app);
+  const auto prog = bench::compile_app_cached(app);
   support::TextTable table({"n", "estimated", "measured", "error"});
   for (long long n : {128LL, 512LL, 2048LL}) {
-    const auto cmp = bench::framework().compare(prog, bench::config_for(app, n, 1));
+    const auto cmp = bench::session().compare(prog, bench::config_for(app, n, 1));
     table.add_row({std::to_string(n), support::format_seconds(cmp.estimated),
                    support::format_seconds(cmp.measured_mean),
                    support::strfmt("%.2f%%", cmp.abs_error_pct())});
@@ -91,5 +91,9 @@ int main() {
   contention_ablation();
   collective_ablation();
   overlap_ablation();
+  const auto& stats = bench::session().cache_stats();
+  std::printf("session caches: compile %zu hit / %zu miss, layout %zu hit / %zu miss\n",
+              stats.compile_hits, stats.compile_misses, stats.layout_hits,
+              stats.layout_misses);
   return 0;
 }

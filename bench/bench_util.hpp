@@ -2,13 +2,24 @@
 #pragma once
 
 #include <cstdlib>
+#include <optional>
 #include <string>
 
+#include "api/api.hpp"
 #include "driver/framework.hpp"
 #include "suite/suite.hpp"
 
 namespace hpf90d::bench {
 
+/// The shared experiment session: one machine registry plus compilation and
+/// layout caches for every bench in a process.
+inline api::Session& session() {
+  static api::Session s;
+  return s;
+}
+
+/// Legacy single-machine facade, kept for the benches that predate the
+/// session API (it is itself a shim over api::Session).
 inline driver::Framework& framework() {
   static driver::Framework fw;
   return fw;
@@ -20,6 +31,13 @@ inline compiler::CompiledProgram compile_app(const suite::BenchmarkApp& app) {
              : framework().compile_with_directives(app.source, app.directive_overrides);
 }
 
+/// Session-cached compilation of a suite application.
+inline api::Session::ProgramHandle compile_app_cached(const suite::BenchmarkApp& app) {
+  return app.directive_overrides.empty()
+             ? session().compile(app.source)
+             : session().compile_with_directives(app.source, app.directive_overrides);
+}
+
 /// FULL=1 in the environment runs the complete paper sweeps (the N-body
 /// 4096-particle points take a few minutes of functional simulation);
 /// the default trims the heaviest points so `for b in build/bench/*` stays
@@ -29,17 +47,20 @@ inline bool full_sweep() {
   return v != nullptr && std::string(v) == "1";
 }
 
-inline driver::ExperimentConfig config_for(const suite::BenchmarkApp& app,
-                                           long long size, int nprocs, int runs = 3) {
-  driver::ExperimentConfig cfg;
+/// The forced grid rank for an application's plan variant: the Laplace
+/// (BLOCK,BLOCK) rows run on the paper's near-square 2-D grids.
+inline std::optional<int> grid_rank_for(const suite::BenchmarkApp& app) {
+  return app.id == "laplace_bb" ? std::optional<int>(2) : std::nullopt;
+}
+
+inline api::RunConfig config_for(const suite::BenchmarkApp& app, long long size,
+                                 int nprocs, int runs = 3) {
+  api::RunConfig cfg;
   cfg.nprocs = nprocs;
   cfg.bindings = app.bindings(size);
   cfg.runs = runs;
-  if (app.id == "laplace_bb") {
-    cfg.grid_shape = nprocs == 4   ? std::optional<std::vector<int>>({2, 2})
-                     : nprocs == 8 ? std::optional<std::vector<int>>({2, 4})
-                     : nprocs == 2 ? std::optional<std::vector<int>>({1, 2})
-                                   : std::optional<std::vector<int>>({1, 1});
+  if (grid_rank_for(app)) {
+    cfg.grid_shape = compiler::ProcGrid::factorized(nprocs, *grid_rank_for(app)).shape;
   }
   return cfg;
 }

@@ -2,13 +2,14 @@
 // time for the three Laplace implementations using the interpretive
 // framework versus measurement on the iPSC/860.
 //
-// The interpreter column is *measured here* (wall-clock of compile +
-// abstract + interpret, plus the paper's ~10 minutes of interactive user
-// time per implementation). The iPSC/860 column uses the paper's reported
-// workflow constants: editing code, cross-compiling and linking,
-// transferring the executable to the front end, loading it onto the cube,
-// and running each instance — 27 to ~60 minutes per implementation.
-#include <chrono>
+// The interpreter column is *measured here* — each implementation is one
+// predict-only ExperimentPlan (all problem sizes on one system size) and
+// RunReport::wall_seconds is the tool time, plus the paper's ~10 minutes of
+// interactive user time per implementation. The iPSC/860 column uses the
+// paper's reported workflow constants: editing code, cross-compiling and
+// linking, transferring the executable to the front end, loading it onto
+// the cube, and running each instance — 27 to ~60 minutes per
+// implementation.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -28,19 +29,21 @@ int main() {
   const char* ids[3] = {"laplace_bb", "laplace_bx", "laplace_xb"};
   for (int k = 0; k < 3; ++k) {
     const auto& app = suite::app(ids[k]);
-    const auto t0 = std::chrono::steady_clock::now();
-    auto prog = bench::compile_app(app);
     // the experiment of §5.2.1: all problem sizes on one system size
+    api::ExperimentPlan plan(app.name);
+    plan.source(app.source)
+        .nprocs({4})
+        .add_variant(app.name, app.directive_overrides, bench::grid_rank_for(app))
+        .runs(0);
     for (long long n : app.problem_sizes) {
-      (void)bench::framework().predict(prog, bench::config_for(app, n, 4));
+      plan.add_problem(support::strfmt("n=%lld", n), app.bindings(n));
     }
-    const auto t1 = std::chrono::steady_clock::now();
-    const double tool_seconds =
-        std::chrono::duration<double>(t1 - t0).count();
-    table.add_row({app.name,
-                   support::strfmt("%.1f", interactive_minutes + tool_seconds / 60.0),
-                   support::strfmt("%.3f", tool_seconds),
-                   support::strfmt("%.0f", ipsc_minutes[k])});
+    const api::RunReport report = bench::session().run(plan);
+    table.add_row(
+        {app.name,
+         support::strfmt("%.1f", interactive_minutes + report.wall_seconds / 60.0),
+         support::strfmt("%.3f", report.wall_seconds),
+         support::strfmt("%.0f", ipsc_minutes[k])});
   }
   std::printf("%s", table.str().c_str());
   std::printf("(paper: ~10 min per implementation with the interpreter vs 27-60 min\n"

@@ -1,6 +1,7 @@
 // table2_accuracy — regenerates paper Table 2: accuracy of the performance
-// prediction framework. For every application the problem size and system
-// size are swept, estimated (interpreted) times are compared with the
+// prediction framework. Every application becomes one ExperimentPlan (its
+// problem-size x system-size cross product) executed batched through the
+// shared session; estimated (interpreted) times are compared with the
 // simulated-measured times, and min/max absolute errors are reported as
 // percentages of the measured time.
 #include <cstdio>
@@ -20,20 +21,32 @@ int main() {
                             "Max Abs Error", "Within Variance"});
   double global_worst = 0;
   for (const auto& app : suite::validation_suite()) {
-    const auto prog = bench::compile_app(app);
-    std::vector<driver::SweepPoint> sweep;
+    std::vector<long long> sizes;
     for (long long size : app.problem_sizes) {
       // trim the most expensive functional simulations unless FULL=1
       if (!full && app.id == "nbody" && size > 256) continue;
       if (!full && app.id != "nbody" && size > 2048) continue;
-      for (int nprocs : suite::paper_system_sizes()) {
-        driver::SweepPoint pt;
-        pt.problem_size = app.data_elements(size);
-        pt.nprocs = nprocs;
-        pt.comparison =
-            bench::framework().compare(prog, bench::config_for(app, size, nprocs));
-        sweep.push_back(pt);
-      }
+      sizes.push_back(size);
+    }
+
+    api::ExperimentPlan plan(app.name);
+    plan.source(app.source)
+        .nprocs(suite::paper_system_sizes())
+        .add_variant(app.name, app.directive_overrides, bench::grid_rank_for(app));
+    for (long long size : sizes) {
+      plan.add_problem(support::strfmt("n=%lld", size), app.bindings(size));
+    }
+    const api::RunReport report = bench::session().run(plan);
+
+    // records iterate problems then nprocs (single machine, single variant)
+    const std::size_t per_size = suite::paper_system_sizes().size();
+    std::vector<driver::SweepPoint> sweep;
+    for (std::size_t i = 0; i < report.records.size(); ++i) {
+      driver::SweepPoint pt;
+      pt.problem_size = app.data_elements(sizes[i / per_size]);
+      pt.nprocs = report.records[i].nprocs;
+      pt.comparison = report.records[i].comparison;
+      sweep.push_back(pt);
     }
     const auto row = driver::AccuracyRow::from_sweep(app.name, sweep);
     global_worst = std::max(global_worst, row.max_abs_error_pct);
@@ -46,5 +59,9 @@ int main() {
   std::printf("worst-case interpreted-vs-measured error: %.2f%% "
               "(paper: within 20%% worst case, 18.6%% max row)\n",
               global_worst);
+  const auto& stats = bench::session().cache_stats();
+  std::printf("session caches: compile %zu hit / %zu miss, layout %zu hit / %zu miss\n",
+              stats.compile_hits, stats.compile_misses, stats.layout_hits,
+              stats.layout_misses);
   return 0;
 }

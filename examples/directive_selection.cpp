@@ -1,58 +1,77 @@
 // directive_selection.cpp — the paper's §5.2.1 use case: select the best
 // DISTRIBUTE directive for the Laplace solver from interpreted performance,
-// without ever "running" on the machine. The three candidate distributions
-// are evaluated across problem sizes and the winner is reported; a final
-// simulated measurement confirms the choice.
+// without ever "running" on the machine. One ExperimentPlan sweeps the three
+// candidate distributions across problem sizes; the winner is reported and a
+// final simulated measurement confirms the choice.
 #include <cstdio>
+#include <map>
 
-#include "driver/framework.hpp"
+#include "api/api.hpp"
 #include "suite/suite.hpp"
 #include "support/text.hpp"
 
+namespace {
+
+struct Candidate {
+  const char* label;   // plan variant name
+  const char* app_id;  // suite id carrying the directive overrides
+  std::optional<int> grid_rank;
+};
+
+constexpr int kNprocs = 4;
+
+const Candidate kCandidates[] = {
+    {"(Block,Block)", "laplace_bb", 2},
+    {"(Block,*)", "laplace_bx", std::nullopt},
+    {"(*,Block)", "laplace_xb", std::nullopt},
+};
+
+}  // namespace
+
 int main() {
   using namespace hpf90d;
-  driver::Framework framework;
+  api::Session session;
+  const auto& base = suite::app("laplace_bb");  // the variants share one source
 
-  const char* ids[3] = {"laplace_bb", "laplace_bx", "laplace_xb"};
-  const int nprocs = 4;
+  std::printf("Directive selection for the Laplace solver (P=%d)\n\n", kNprocs);
 
-  std::printf("Directive selection for the Laplace solver (P=%d)\n\n", nprocs);
-  std::printf("%8s  %16s  %16s  %16s\n", "size", "(Block,Block)", "(Block,*)",
-              "(*,Block)");
-
-  double totals[3] = {0, 0, 0};
-  for (long long n : {16LL, 64LL, 128LL, 256LL}) {
-    double est[3];
-    for (int k = 0; k < 3; ++k) {
-      const auto& app = suite::app(ids[k]);
-      auto prog = framework.compile_with_directives(app.source, app.directive_overrides);
-      driver::ExperimentConfig cfg;
-      cfg.nprocs = nprocs;
-      if (k == 0) cfg.grid_shape = std::vector<int>{2, 2};
-      cfg.bindings = app.bindings(n);
-      est[k] = framework.predict(prog, cfg).total;
-      totals[k] += est[k];
-    }
-    std::printf("%8lld  %16s  %16s  %16s\n", n,
-                support::format_seconds(est[0]).c_str(),
-                support::format_seconds(est[1]).c_str(),
-                support::format_seconds(est[2]).c_str());
+  api::ExperimentPlan plan("Laplace directive selection");
+  plan.source(base.source)
+      .nprocs({kNprocs})
+      .runs(0);  // predict-only: the interactive experimentation mode
+  for (const Candidate& c : kCandidates) {
+    plan.add_variant(c.label, suite::app(c.app_id).directive_overrides, c.grid_rank);
   }
+  for (long long n : {16LL, 64LL, 128LL, 256LL}) {
+    plan.add_problem(support::strfmt("n=%lld", n), base.bindings(n));
+  }
+  const api::RunReport report = session.run(plan);
+  std::printf("%s\n", report.ascii().c_str());
 
-  const int best = static_cast<int>(std::min_element(totals, totals + 3) - totals);
-  const char* names[3] = {"(Block,Block)", "(Block,*)", "(*,Block)"};
-  std::printf("\nrecommended DISTRIBUTE directive: %s\n", names[best]);
+  std::map<std::string, double> totals;
+  for (const auto& r : report.records) totals[r.variant] += r.comparison.estimated;
+  const auto best_candidate = std::min_element(
+      std::begin(kCandidates), std::end(kCandidates),
+      [&](const Candidate& a, const Candidate& b) {
+        return totals.at(a.label) < totals.at(b.label);
+      });
+  std::printf("recommended DISTRIBUTE directive: %s\n", best_candidate->label);
 
   // confirm on the simulated machine, the way a developer would double-check
-  const auto& app = suite::app(ids[best]);
-  auto prog = framework.compile_with_directives(app.source, app.directive_overrides);
-  driver::ExperimentConfig cfg;
-  cfg.nprocs = nprocs;
-  if (best == 0) cfg.grid_shape = std::vector<int>{2, 2};
+  const auto& app = suite::app(best_candidate->app_id);
+  const auto prog = session.compile_with_directives(app.source, app.directive_overrides);
+  api::RunConfig cfg;
+  cfg.nprocs = kNprocs;
+  if (best_candidate->grid_rank) {
+    cfg.grid_shape = compiler::ProcGrid::factorized(kNprocs, *best_candidate->grid_rank).shape;
+  }
   cfg.bindings = app.bindings(256);
-  const auto cmp = framework.compare(prog, cfg);
+  const api::Comparison cmp = session.compare(prog, cfg);
   std::printf("confirmation at n=256: estimated %s, measured %s (error %.2f%%)\n",
               support::format_seconds(cmp.estimated).c_str(),
               support::format_seconds(cmp.measured_mean).c_str(), cmp.abs_error_pct());
+  std::printf("(session caches: %zu programs, %zu layouts; compile %zu hit / %zu miss)\n",
+              session.cached_programs(), session.cached_layouts(),
+              session.cache_stats().compile_hits, session.cache_stats().compile_misses);
   return 0;
 }

@@ -3,53 +3,44 @@
 // interpretation model ... to automatically evaluate directives and
 // transformation choices and optimize the application at compile time."
 //
-// The driver enumerates candidate PROCESSORS/DISTRIBUTE combinations for a
-// program, interprets each, and picks the fastest — an automatic version of
-// the §5.2.1 experiment.
+// The candidate PROCESSORS/DISTRIBUTE combinations become directive
+// variants of one ExperimentPlan; the session interprets each (predict-only)
+// and the fastest record wins — an automatic version of the §5.2.1
+// experiment.
 #include <cstdio>
 
-#include "driver/framework.hpp"
+#include "api/api.hpp"
 #include "suite/suite.hpp"
 #include "support/text.hpp"
 
 int main() {
   using namespace hpf90d;
-  driver::Framework framework;
+  api::Session session;
   const auto& app = suite::app("laplace_bb");  // base source; directives replaced
-
-  struct Candidate {
-    const char* name;
-    std::vector<std::string> directives;
-    std::optional<std::vector<int>> grid;
-  };
-  const Candidate candidates[] = {
-      {"(block,block) on 2x2", {"processors p(2,2)", "distribute d(block,block)"},
-       std::vector<int>{2, 2}},
-      {"(block,*)    on 4", {"processors p(4)", "distribute d(block,*)"}, {}},
-      {"(*,block)    on 4", {"processors p(4)", "distribute d(*,block)"}, {}},
-      {"(cyclic,*)   on 4", {"processors p(4)", "distribute d(cyclic,*)"}, {}},
-  };
 
   std::printf("Intelligent compiler prototype: automatic directive search\n");
   std::printf("application: Laplace solver, n=128, P=4\n\n");
 
-  double best_time = 1e300;
-  const Candidate* best = nullptr;
-  for (const auto& cand : candidates) {
-    auto prog = framework.compile_with_directives(app.source, cand.directives);
-    driver::ExperimentConfig cfg;
-    cfg.nprocs = 4;
-    cfg.grid_shape = cand.grid;
-    cfg.bindings = app.bindings(128);
-    const double t = framework.predict(prog, cfg).total;
-    std::printf("  %-22s -> interpreted %s\n", cand.name,
-                support::format_seconds(t).c_str());
-    if (t < best_time) {
-      best_time = t;
-      best = &cand;
-    }
+  api::ExperimentPlan plan("automatic directive search");
+  plan.source(app.source)
+      .nprocs({4})
+      .add_variant("(block,block) on 2x2",
+                   {"processors p(2,2)", "distribute d(block,block)"}, 2)
+      .add_variant("(block,*)    on 4", {"processors p(4)", "distribute d(block,*)"})
+      .add_variant("(*,block)    on 4", {"processors p(4)", "distribute d(*,block)"})
+      .add_variant("(cyclic,*)   on 4", {"processors p(4)", "distribute d(cyclic,*)"})
+      .add_problem("n=128", app.bindings(128))
+      .runs(0);
+  const api::RunReport report = session.run(plan);
+
+  for (const auto& r : report.records) {
+    std::printf("  %-22s -> interpreted %s\n", r.variant.c_str(),
+                support::format_seconds(r.comparison.estimated).c_str());
   }
-  std::printf("\ncompiler selects: %s (%s)\n", best->name,
-              support::format_seconds(best_time).c_str());
+  const api::RunRecord* best = report.best_estimated();
+  std::printf("\ncompiler selects: %s (%s)\n", best->variant.c_str(),
+              support::format_seconds(best->comparison.estimated).c_str());
+  std::printf("(%zu candidates interpreted in %.3f s of tool time)\n",
+              report.records.size(), report.wall_seconds);
   return 0;
 }

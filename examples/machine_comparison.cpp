@@ -1,50 +1,50 @@
 // machine_comparison.cpp — the paper's §7 "system design evaluation tool"
-// direction: evaluate the same HPF application on two machine abstractions
-// (iPSC/860 cube vs an Ethernet workstation cluster) purely by
-// interpretation, and compare the scaling stories: the cluster's faster
-// nodes win on raw time, but its millisecond message latency costs it
-// parallel efficiency relative to the cube.
+// direction: evaluate the same HPF application on two registered machine
+// abstractions (iPSC/860 cube vs an Ethernet workstation cluster) purely by
+// interpretation, with one ExperimentPlan sweeping both machines, and
+// compare the scaling stories: the cluster's faster nodes win on raw time,
+// but its millisecond message latency costs it parallel efficiency.
 #include <cstdio>
 
-#include "compiler/pipeline.hpp"
-#include "core/engine.hpp"
-#include "machine/cluster.hpp"
-#include "machine/ipsc860.hpp"
+#include "api/api.hpp"
 #include "suite/suite.hpp"
-#include "support/text.hpp"
 
 int main() {
   using namespace hpf90d;
   const auto& app = suite::app("laplace_bx");
-  auto prog = compiler::compile_with_directives(app.source, app.directive_overrides);
 
-  const machine::MachineModel cube = machine::make_ipsc860();
-  const machine::MachineModel lan = machine::make_cluster();
-
+  api::Session session;
   std::printf("System design evaluation: Laplace (Block,*), n=256\n\n");
-  std::printf("machine decompositions:\n%s\n%s\n", cube.sag.str().c_str(),
-              lan.sag.str().c_str());
-
-  std::printf("%6s  %18s  %18s\n", "procs", "iPSC/860 cube", "ethernet cluster");
-  for (int p : {1, 2, 4, 8}) {
-    compiler::LayoutOptions lo;
-    lo.nprocs = p;
-    const front::Bindings b = app.bindings(256);
-    const double t_cube = core::predict(prog, b, lo, cube).total;
-    const double t_lan = core::predict(prog, b, lo, lan).total;
-    std::printf("%6d  %18s  %18s\n", p, support::format_seconds(t_cube).c_str(),
-                support::format_seconds(t_lan).c_str());
+  std::printf("registered machines:\n");
+  for (const auto& name : session.machines().names()) {
+    std::printf("  %-8s  %s\n", name.c_str(),
+                session.machines().description(name).c_str());
   }
+  std::printf("\nmachine decompositions:\n%s\n%s\n",
+              session.machine("ipsc860").sag.str().c_str(),
+              session.machine("cluster").sag.str().c_str());
+
+  // predict-only sweep (runs(0)): both machines, four system sizes
+  api::ExperimentPlan plan("Laplace (Block,*) across machines");
+  plan.source(app.source)
+      .machines({"ipsc860", "cluster"})
+      .nprocs({1, 2, 4, 8})
+      .add_variant("(block,*)", app.directive_overrides)
+      .add_problem("n=256", app.bindings(256))
+      .runs(0);
+  const api::RunReport report = session.run(plan);
+  std::printf("%s\n", report.ascii().c_str());
+
   // relative speedups tell the design story
-  compiler::LayoutOptions l1, l8;
-  l1.nprocs = 1;
-  l8.nprocs = 8;
-  const front::Bindings b = app.bindings(256);
-  const double su_cube = core::predict(prog, b, l1, cube).total /
-                         core::predict(prog, b, l8, cube).total;
-  const double su_lan = core::predict(prog, b, l1, lan).total /
-                        core::predict(prog, b, l8, lan).total;
-  std::printf("\nspeedup at P=8: cube %.2fx, cluster %.2fx\n", su_cube, su_lan);
+  auto estimated = [&](const std::string& machine, int p) {
+    for (const auto& r : report.records) {
+      if (r.machine == machine && r.nprocs == p) return r.comparison.estimated;
+    }
+    return 0.0;
+  };
+  const double su_cube = estimated("ipsc860", 1) / estimated("ipsc860", 8);
+  const double su_lan = estimated("cluster", 1) / estimated("cluster", 8);
+  std::printf("speedup at P=8: cube %.2fx, cluster %.2fx\n", su_cube, su_lan);
   std::printf("(the cluster's faster nodes win outright at this size, but its\n"
               " millisecond message latency costs it parallel efficiency --\n"
               " the design question the paper's SAG methodology answers without\n"

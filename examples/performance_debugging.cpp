@@ -4,20 +4,20 @@
 // a running application. Also dumps a ParaGraph-style interpretation trace.
 #include <cstdio>
 
+#include "api/api.hpp"
 #include "core/aag.hpp"
 #include "core/output.hpp"
-#include "driver/framework.hpp"
 #include "suite/suite.hpp"
 #include "support/text.hpp"
 
 int main() {
   using namespace hpf90d;
-  driver::Framework framework;
+  api::Session session;
   const auto& app = suite::app("finance");
-  auto prog = framework.compile(app.source);
+  const auto prog = session.compile(app.source);
 
   // abstraction parse
-  core::SynchronizedAAG saag(prog);
+  core::SynchronizedAAG saag(*prog);
   std::printf("== SAAG for the financial model ==\n%s\n", saag.str().c_str());
 
   std::printf("== communication table ==\n");
@@ -27,11 +27,11 @@ int main() {
   }
 
   // interpretation parse with tracing on
-  driver::ExperimentConfig cfg;
+  api::RunConfig cfg;
   cfg.nprocs = 4;
   cfg.bindings = app.bindings(256);
   cfg.predict.trace = true;
-  const auto pred = framework.predict(prog, cfg);
+  const auto pred = session.predict(prog, cfg);
   core::OutputModule out(saag, pred);
 
   std::printf("\n== performance profile ==\n%s\n", out.profile().c_str());

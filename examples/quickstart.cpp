@@ -1,13 +1,13 @@
-// quickstart.cpp — minimal end-to-end use of the framework: compile an HPF
-// program, predict its performance on the iPSC/860 abstraction, "measure"
-// it on the simulated cube, and print the comparison plus the performance
-// profile (the workflow of paper §4).
+// quickstart.cpp — minimal end-to-end use of the experiment-session API:
+// compile an HPF program once, sweep processor counts through an
+// ExperimentPlan (predicted vs "measured" on the simulated iPSC/860), and
+// print the run report plus the performance profile (the workflow of paper
+// §4, batched as in §5.2).
 #include <cstdio>
 
+#include "api/api.hpp"
 #include "core/aag.hpp"
 #include "core/output.hpp"
-#include "driver/framework.hpp"
-#include "support/text.hpp"
 
 namespace {
 
@@ -31,38 +31,35 @@ end program quickstart
 int main() {
   using namespace hpf90d;
 
-  driver::Framework framework;
+  api::Session session;
 
   // Phase 1: compilation (parse, partition, sequentialize, detect
-  // communication, emit the loosely synchronous SPMD program).
-  const compiler::CompiledProgram prog = framework.compile(kSource);
-  std::printf("== SPMD node program (IR) ==\n%s\n", prog.str().c_str());
+  // communication, emit the loosely synchronous SPMD program). The handle
+  // is memoized: the plan below reuses it without recompiling.
+  const api::Session::ProgramHandle prog = session.compile(kSource);
+  std::printf("== SPMD node program (IR) ==\n%s\n", prog->str().c_str());
 
   // Abstraction parse: AAG / SAAG.
-  const core::SynchronizedAAG saag(prog);
+  const core::SynchronizedAAG saag(*prog);
   std::printf("== Synchronized Application Abstraction Graph ==\n%s\n",
               saag.str().c_str());
 
-  for (const int nprocs : {1, 2, 4, 8}) {
-    driver::ExperimentConfig config;
-    config.nprocs = nprocs;
-    const driver::Comparison cmp = framework.compare(prog, config);
-    std::printf("P=%d  estimated %-12s measured %-12s error %.2f%%\n", nprocs,
-                support::format_seconds(cmp.estimated).c_str(),
-                support::format_seconds(cmp.measured_mean).c_str(),
-                cmp.abs_error_pct());
-  }
+  // One declarative sweep replaces the config-per-call loop.
+  api::ExperimentPlan plan("quickstart: pi quadrature on the cube");
+  plan.source(kSource).nprocs({1, 2, 4, 8});
+  const api::RunReport report = session.run(plan);
+  std::printf("%s\n", report.ascii().c_str());
 
   // Interpretation profile on 4 processors.
-  driver::ExperimentConfig config;
+  api::RunConfig config;
   config.nprocs = 4;
-  const core::PredictionResult pred = framework.predict(prog, config);
+  const core::PredictionResult pred = session.predict(prog, config);
   const core::OutputModule output(saag, pred);
-  std::printf("\n== Interpreted performance profile (P=4) ==\n%s\n",
+  std::printf("== Interpreted performance profile (P=4) ==\n%s\n",
               output.profile().c_str());
 
   // Functional check: the simulated program really computes pi.
-  const sim::MeasuredResult meas = framework.measure(prog, config);
+  const sim::MeasuredResult meas = session.measure(prog, config);
   const auto it = meas.detail.printed.find("pival");
   if (it != meas.detail.printed.end()) {
     std::printf("simulated program printed pival = %.6f\n", it->second);

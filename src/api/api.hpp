@@ -1,0 +1,20 @@
+// api.hpp — umbrella header for the hpf90d::api facade: experiment sessions
+// (cached compilation + layouts), named machine models, declarative batched
+// sweeps, and structured run reports.
+//
+//   api::Session session;                       // owns machines + caches
+//   auto prog = session.compile(source);        // memoized
+//   api::ExperimentPlan plan("laplace");
+//   plan.source(source)
+//       .machines({"ipsc860", "cluster"})
+//       .nprocs({1, 2, 4, 8})
+//       .add_variant("(block,*)", {"distribute d(block,*)"})
+//       .add_problem("n=256", bindings);
+//   api::RunReport report = session.run(plan);  // batched, cache-backed
+//   std::puts(report.ascii().c_str());
+#pragma once
+
+#include "api/experiment_plan.hpp"
+#include "api/machine_registry.hpp"
+#include "api/run_report.hpp"
+#include "api/session.hpp"

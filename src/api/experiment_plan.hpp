@@ -1,0 +1,99 @@
+// experiment_plan.hpp — declarative description of a batched experiment.
+//
+// The paper's §5.2 workflow sweeps directives, problem sizes, and system
+// sizes interactively ("select directives from the interface", "vary the
+// problem size from the interface"). An ExperimentPlan captures one such
+// sweep declaratively as a cross product
+//
+//     machines x directive variants x problem cases x processor counts
+//
+// and Session::run executes the whole batch through the compilation and
+// layout caches, returning a RunReport.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/spmd_ir.hpp"
+#include "core/engine.hpp"
+#include "hpf/fold.hpp"
+#include "sim/executor.hpp"
+
+namespace hpf90d::api {
+
+/// One directive choice to evaluate (§5.2.1). Empty overrides = use the
+/// directives already in the source.
+struct DirectiveVariant {
+  std::string name;                     // display label, e.g. "(block,*)"
+  std::vector<std::string> overrides;   // compile_with_directives payloads
+  /// Processor-grid rank forced for this variant; the grid shape at P
+  /// processors is the near-square factorization (2 -> 2x2 at P=4, 2x4 at
+  /// P=8 — the paper's Laplace grids). nullopt = the compiler's default.
+  std::optional<int> grid_rank;
+};
+
+/// One problem instance: a named set of scalar bindings.
+struct ProblemCase {
+  std::string name;  // display label, e.g. "n=256"
+  front::Bindings bindings;
+};
+
+class ExperimentPlan {
+ public:
+  explicit ExperimentPlan(std::string title = "experiment")
+      : title_(std::move(title)) {}
+
+  // --- builder --------------------------------------------------------------
+  ExperimentPlan& source(std::string hpf_source);
+  ExperimentPlan& machines(std::vector<std::string> names);
+  ExperimentPlan& add_machine(std::string name);
+  ExperimentPlan& nprocs(std::vector<int> counts);
+  ExperimentPlan& add_variant(DirectiveVariant v);
+  ExperimentPlan& add_variant(std::string name, std::vector<std::string> overrides,
+                              std::optional<int> grid_rank = std::nullopt);
+  ExperimentPlan& add_problem(std::string name, front::Bindings bindings);
+  /// Simulated-measurement repetitions; 0 disables measurement entirely
+  /// (predict-only sweep, the paper's interactive mode).
+  ExperimentPlan& runs(int n);
+  ExperimentPlan& compiler_options(compiler::CompilerOptions opts);
+  ExperimentPlan& predict_options(core::PredictOptions opts);
+  ExperimentPlan& sim_options(sim::SimOptions opts);
+
+  // --- accessors (defaults applied) -----------------------------------------
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::string& program_source() const noexcept { return source_; }
+  [[nodiscard]] const std::vector<std::string>& machine_names() const;
+  [[nodiscard]] const std::vector<int>& nprocs_list() const;
+  [[nodiscard]] const std::vector<DirectiveVariant>& variants() const;
+  [[nodiscard]] const std::vector<ProblemCase>& problems() const;
+  [[nodiscard]] int measure_runs() const noexcept { return runs_; }
+  [[nodiscard]] const compiler::CompilerOptions& compiler_opts() const noexcept {
+    return compiler_opts_;
+  }
+  [[nodiscard]] const core::PredictOptions& predict_opts() const noexcept {
+    return predict_opts_;
+  }
+  [[nodiscard]] const sim::SimOptions& sim_opts() const noexcept { return sim_opts_; }
+
+  /// Number of sweep points Session::run will execute.
+  [[nodiscard]] std::size_t point_count() const;
+
+  /// Throws std::invalid_argument when the plan cannot run (no source,
+  /// non-positive processor count, duplicate variant/problem names).
+  void validate() const;
+
+ private:
+  std::string title_;
+  std::string source_;
+  std::vector<std::string> machines_;        // default: {"ipsc860"}
+  std::vector<int> nprocs_;                  // default: {1}
+  std::vector<DirectiveVariant> variants_;   // default: one pass-through variant
+  std::vector<ProblemCase> problems_;        // default: one empty-bindings case
+  int runs_ = 3;
+  compiler::CompilerOptions compiler_opts_;
+  core::PredictOptions predict_opts_;
+  sim::SimOptions sim_opts_;
+};
+
+}  // namespace hpf90d::api

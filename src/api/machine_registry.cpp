@@ -1,0 +1,75 @@
+#include "api/machine_registry.hpp"
+
+#include <stdexcept>
+
+#include "machine/cluster.hpp"
+#include "machine/ipsc860.hpp"
+
+namespace hpf90d::api {
+
+MachineRegistry::MachineRegistry() {
+  register_machine("ipsc860", [](int nodes) { return machine::make_ipsc860(nodes); },
+                   "Intel iPSC/860 hypercube (the paper's calibrated testbed)");
+  register_machine("cluster", [](int nodes) { return machine::make_cluster(nodes); },
+                   "Ethernet workstation cluster (paper section 7 extension)");
+}
+
+void MachineRegistry::register_machine(std::string name, MachineFactory factory,
+                                       std::string description) {
+  if (name.empty()) throw std::invalid_argument("machine name must be non-empty");
+  if (!factory) throw std::invalid_argument("machine factory must be callable");
+  // Replacing a registration retires models built from the old factory:
+  // future get() calls use the new factory, but references already handed
+  // out stay valid (get() documents registry-lifetime validity).
+  for (auto it = instances_.begin(); it != instances_.end();) {
+    if (it->first.first == name) {
+      retired_.push_back(std::move(it->second));
+      it = instances_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  entries_[std::move(name)] = Entry{std::move(factory), std::move(description)};
+}
+
+bool MachineRegistry::contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> MachineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+const std::string& MachineRegistry::description(std::string_view name) const {
+  return entry(name).description;
+}
+
+const MachineRegistry::Entry& MachineRegistry::entry(std::string_view name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [n, e] : entries_) known += (known.empty() ? "" : ", ") + n;
+    throw std::out_of_range("unknown machine \"" + std::string(name) +
+                            "\" (registered: " + known + ")");
+  }
+  return it->second;
+}
+
+const machine::MachineModel& MachineRegistry::get(std::string_view name,
+                                                  int nodes) const {
+  if (nodes < 1) throw std::invalid_argument("machine node count must be >= 1");
+  const Entry& e = entry(name);  // throws before caching for unknown names
+  const auto key = std::make_pair(std::string(name), nodes);
+  auto it = instances_.find(key);
+  if (it == instances_.end()) {
+    it = instances_
+             .emplace(key, std::make_unique<machine::MachineModel>(e.factory(nodes)))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace hpf90d::api

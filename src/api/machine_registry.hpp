@@ -1,0 +1,69 @@
+// machine_registry.hpp — named machine abstractions for the experiment
+// session.
+//
+// The SAG methodology is machine-independent (paper §3.1, §7): a program is
+// "moved" between machines by swapping the System Abstraction Graph. The
+// registry gives every abstraction a name — the built-in "ipsc860" cube and
+// "cluster" Ethernet LAN, plus any user-registered model — so experiment
+// plans can sweep machines declaratively and sessions can share one
+// instantiated MachineModel per (name, node count).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "machine/sag.hpp"
+
+namespace hpf90d::api {
+
+/// Builds a MachineModel with `nodes` compute nodes.
+using MachineFactory = std::function<machine::MachineModel(int nodes)>;
+
+class MachineRegistry {
+ public:
+  /// Registers the built-in abstractions: "ipsc860" (the paper's calibrated
+  /// Intel iPSC/860 cube) and "cluster" (the §7 Ethernet workstation LAN).
+  MachineRegistry();
+
+  /// Registers (or replaces) a named abstraction. Names are case-sensitive
+  /// registry keys; keep them short and lower-case like the built-ins.
+  void register_machine(std::string name, MachineFactory factory,
+                        std::string description = "");
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// One-line description for a registered name ("" when none was given).
+  [[nodiscard]] const std::string& description(std::string_view name) const;
+
+  /// The model for `name` at `nodes` processors. Models are instantiated
+  /// lazily and cached per (name, nodes); the returned reference stays
+  /// valid for the registry's lifetime. Throws std::out_of_range listing
+  /// the known names when `name` is not registered.
+  [[nodiscard]] const machine::MachineModel& get(std::string_view name,
+                                                 int nodes = 8) const;
+
+ private:
+  struct Entry {
+    MachineFactory factory;
+    std::string description;
+  };
+  [[nodiscard]] const Entry& entry(std::string_view name) const;
+
+  std::map<std::string, Entry, std::less<>> entries_;
+  // Models live on the heap so get()'s references stay valid for the
+  // registry's lifetime even when a re-registration retires an instance.
+  mutable std::map<std::pair<std::string, int>, std::unique_ptr<machine::MachineModel>,
+                   std::less<>>
+      instances_;
+  mutable std::vector<std::unique_ptr<machine::MachineModel>> retired_;
+};
+
+}  // namespace hpf90d::api

@@ -1,0 +1,120 @@
+#include "api/run_report.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace hpf90d::api {
+
+namespace {
+
+constexpr const char* kCsvHeader =
+    "machine,variant,problem,nprocs,measured,estimated,measured_mean,"
+    "measured_min,measured_max,measured_stddev";
+
+/// CSV fields never contain commas by construction (names come from
+/// registry keys and plan labels); escape defensively anyway.
+std::string csv_field(const std::string& s) {
+  std::string out = s;
+  std::replace(out.begin(), out.end(), ',', ';');
+  return out;
+}
+
+}  // namespace
+
+const RunRecord* RunReport::best_estimated() const {
+  const auto it = std::min_element(
+      records.begin(), records.end(), [](const RunRecord& a, const RunRecord& b) {
+        return a.comparison.estimated < b.comparison.estimated;
+      });
+  return it == records.end() ? nullptr : &*it;
+}
+
+double RunReport::worst_error_pct() const {
+  double worst = 0;
+  for (const auto& r : records) {
+    if (r.measured) worst = std::max(worst, r.comparison.abs_error_pct());
+  }
+  return worst;
+}
+
+std::string RunReport::ascii() const {
+  support::TextTable table(
+      {"machine", "variant", "problem", "P", "estimated", "measured", "error"});
+  for (const auto& r : records) {
+    table.add_row({r.machine, r.variant, r.problem, std::to_string(r.nprocs),
+                   support::format_seconds(r.comparison.estimated),
+                   r.measured ? support::format_seconds(r.comparison.measured_mean)
+                              : std::string("-"),
+                   r.measured ? support::strfmt("%.2f%%", r.comparison.abs_error_pct())
+                              : std::string("-")});
+  }
+  std::string out;
+  if (!title.empty()) out += "# " + title + "\n";
+  out += table.str();
+  out += support::strfmt(
+      "%zu points in %.3f s | compile cache %zu hit / %zu miss | "
+      "layout cache %zu hit / %zu miss\n",
+      records.size(), wall_seconds, cache.compile_hits, cache.compile_misses,
+      cache.layout_hits, cache.layout_misses);
+  return out;
+}
+
+std::string RunReport::csv() const {
+  std::string out = kCsvHeader;
+  out += '\n';
+  for (const auto& r : records) {
+    out += support::strfmt(
+        "%s,%s,%s,%d,%d,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+        csv_field(r.machine).c_str(), csv_field(r.variant).c_str(),
+        csv_field(r.problem).c_str(), r.nprocs, r.measured ? 1 : 0,
+        r.comparison.estimated, r.comparison.measured_mean, r.comparison.measured_min,
+        r.comparison.measured_max, r.comparison.measured_stddev);
+  }
+  return out;
+}
+
+RunReport RunReport::from_csv(std::string_view text) {
+  RunReport report;
+  bool saw_header = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = support::trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (!saw_header) {
+      if (line != kCsvHeader) {
+        throw std::invalid_argument("RunReport::from_csv: unrecognized header: " +
+                                    std::string(line));
+      }
+      saw_header = true;
+      continue;
+    }
+    const auto cells = support::split(line, ',');
+    if (cells.size() != 10) {
+      throw std::invalid_argument("RunReport::from_csv: expected 10 fields, got " +
+                                  std::to_string(cells.size()) + " in: " +
+                                  std::string(line));
+    }
+    RunRecord r;
+    r.machine = cells[0];
+    r.variant = cells[1];
+    r.problem = cells[2];
+    r.nprocs = std::stoi(cells[3]);
+    r.measured = std::stoi(cells[4]) != 0;
+    r.comparison.estimated = std::stod(cells[5]);
+    r.comparison.measured_mean = std::stod(cells[6]);
+    r.comparison.measured_min = std::stod(cells[7]);
+    r.comparison.measured_max = std::stod(cells[8]);
+    r.comparison.measured_stddev = std::stod(cells[9]);
+    report.records.push_back(std::move(r));
+  }
+  if (!saw_header) throw std::invalid_argument("RunReport::from_csv: empty input");
+  return report;
+}
+
+}  // namespace hpf90d::api

@@ -1,0 +1,90 @@
+// run_report.hpp — structured results of an experiment-session sweep.
+//
+// The paper's workflow (§5.2) is comparative: many (machine, directive,
+// problem size, system size) points are interpreted and/or "measured" and
+// the developer reads them side by side. RunReport is that side-by-side
+// object: one RunRecord per sweep point, the session cache statistics for
+// the batch, and table/CSV renderings for reports and downstream tooling.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpf90d::api {
+
+/// Estimated-vs-measured comparison for one configuration (the Table 2
+/// point metric; previously driver::Comparison).
+struct Comparison {
+  double estimated = 0;
+  double measured_mean = 0;
+  double measured_min = 0;
+  double measured_max = 0;
+  double measured_stddev = 0;
+
+  /// Absolute error as a percentage of the measured time (Table 2 metric).
+  [[nodiscard]] double abs_error_pct() const {
+    if (measured_mean <= 0) return 0;
+    return 100.0 * std::abs(estimated - measured_mean) / measured_mean;
+  }
+  /// Paper §5.1: interpreted performance typically lies within the
+  /// measured variance band.
+  [[nodiscard]] bool within_variance() const {
+    const double slack = 1e-9 + 3.0 * measured_stddev +
+                         0.25 * (measured_max - measured_min);
+    return estimated >= measured_min - slack && estimated <= measured_max + slack;
+  }
+};
+
+/// Session cache counters. Also used as a delta (per-run statistics).
+struct CacheStats {
+  std::size_t compile_hits = 0;
+  std::size_t compile_misses = 0;
+  std::size_t layout_hits = 0;
+  std::size_t layout_misses = 0;
+
+  [[nodiscard]] CacheStats operator-(const CacheStats& rhs) const {
+    return {compile_hits - rhs.compile_hits, compile_misses - rhs.compile_misses,
+            layout_hits - rhs.layout_hits, layout_misses - rhs.layout_misses};
+  }
+};
+
+/// One executed sweep point.
+struct RunRecord {
+  std::string machine;  // registry name, e.g. "ipsc860"
+  std::string variant;  // directive-variant name, e.g. "(block,*)"
+  std::string problem;  // problem-case name, e.g. "n=256"
+  int nprocs = 0;
+  Comparison comparison;
+  bool measured = false;  // false = predict-only point (measured_* are zero)
+};
+
+/// The result of Session::run over one ExperimentPlan.
+struct RunReport {
+  std::string title;
+  std::vector<RunRecord> records;
+  CacheStats cache;        // cache activity attributable to this run
+  double wall_seconds = 0; // tool time for the whole batch (the Fig 8 metric)
+
+  /// Record with the smallest estimated time; nullptr when empty.
+  [[nodiscard]] const RunRecord* best_estimated() const;
+
+  /// Worst abs_error_pct over the measured records (0 when none measured).
+  [[nodiscard]] double worst_error_pct() const;
+
+  /// Paper-style fixed-width table (support::TextTable) plus a cache/time
+  /// footer.
+  [[nodiscard]] std::string ascii() const;
+
+  /// Machine-readable export: a header row then one line per record.
+  [[nodiscard]] std::string csv() const;
+
+  /// Parses the output of csv() back into records (title/cache/wall are
+  /// not part of the CSV payload). Throws std::invalid_argument on a
+  /// malformed header or row.
+  [[nodiscard]] static RunReport from_csv(std::string_view text);
+};
+
+}  // namespace hpf90d::api

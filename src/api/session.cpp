@@ -1,0 +1,209 @@
+#include "api/session.hpp"
+
+#include <chrono>
+
+#include "api/experiment_plan.hpp"
+#include "support/text.hpp"
+
+namespace hpf90d::api {
+
+namespace {
+
+/// FNV-1a 64-bit: cheap, stable source fingerprint for cache keys. The key
+/// also embeds the source length, so a collision needs same-length inputs.
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string program_key(std::string_view source,
+                        const std::vector<std::string>& overrides,
+                        const compiler::CompilerOptions& options) {
+  std::string key = support::strfmt("%016llx:%zu:%d:%.17g",
+                                    static_cast<unsigned long long>(fnv1a64(source)),
+                                    source.size(), options.message_vectorization ? 1 : 0,
+                                    options.default_mask_probability);
+  for (const auto& o : overrides) {
+    key += '\x1f';
+    key += o;
+  }
+  return key;
+}
+
+std::string layout_key(const compiler::CompiledProgram* prog,
+                       const front::Bindings& bindings,
+                       const compiler::LayoutOptions& lo) {
+  std::string key = support::strfmt("%p:%d:", static_cast<const void*>(prog), lo.nprocs);
+  if (lo.grid_shape) {
+    for (int s : *lo.grid_shape) key += support::strfmt("%dx", s);
+  }
+  for (const auto& [name, value] : bindings.values()) {
+    key += support::strfmt("\x1f%s=%.17g", name.c_str(), value);
+  }
+  return key;
+}
+
+}  // namespace
+
+Session::ProgramHandle Session::compile(std::string_view source,
+                                        const compiler::CompilerOptions& options) {
+  return compile_cached(source, {}, options);
+}
+
+Session::ProgramHandle Session::compile_with_directives(
+    std::string_view source, const std::vector<std::string>& overrides,
+    const compiler::CompilerOptions& options) {
+  return compile_cached(source, overrides, options);
+}
+
+Session::ProgramHandle Session::compile_cached(std::string_view source,
+                                               const std::vector<std::string>& overrides,
+                                               const compiler::CompilerOptions& options) {
+  const std::string key = program_key(source, overrides, options);
+  if (const auto it = program_cache_.find(key); it != program_cache_.end()) {
+    ++stats_.compile_hits;
+    return it->second;
+  }
+  ++stats_.compile_misses;
+  auto prog = std::make_shared<compiler::CompiledProgram>(
+      overrides.empty() ? compiler::compile(source, options)
+                        : compiler::compile_with_directives(source, overrides, options));
+  program_cache_.emplace(key, prog);
+  return prog;
+}
+
+const compiler::DataLayout& Session::layout_for(const ProgramHandle& prog,
+                                                const front::Bindings& bindings,
+                                                const compiler::LayoutOptions& lo) {
+  const std::string key = layout_key(prog.get(), bindings, lo);
+  if (const auto it = layout_cache_.find(key); it != layout_cache_.end()) {
+    ++stats_.layout_hits;
+    return *it->second.layout;
+  }
+  ++stats_.layout_misses;
+  auto layout =
+      std::make_unique<compiler::DataLayout>(compiler::make_layout(*prog, bindings, lo));
+  const auto it = layout_cache_.emplace(key, LayoutEntry{prog, std::move(layout)}).first;
+  return *it->second.layout;
+}
+
+core::PredictionResult Session::predict(const ProgramHandle& prog,
+                                        const RunConfig& config) {
+  core::require_critical_complete(*prog, config.bindings);
+  const compiler::DataLayout& layout =
+      layout_for(prog, config.bindings, layout_options(config));
+  core::InterpretationEngine engine(*prog, layout, machine(config.machine),
+                                    config.predict, config.bindings);
+  return engine.interpret();
+}
+
+sim::MeasuredResult Session::measure(const ProgramHandle& prog, const RunConfig& config) {
+  core::require_critical_complete(*prog, config.bindings);
+  const compiler::DataLayout& layout =
+      layout_for(prog, config.bindings, layout_options(config));
+  const sim::Simulator simulator(machine(config.machine));
+  return simulator.measure(*prog, config.bindings, layout, config.sim, config.runs);
+}
+
+Comparison Session::compare(const ProgramHandle& prog, const RunConfig& config) {
+  Comparison out;
+  out.estimated = predict(prog, config).total;
+  const sim::MeasuredResult measured = measure(prog, config);
+  out.measured_mean = measured.stats.mean;
+  out.measured_min = measured.stats.min;
+  out.measured_max = measured.stats.max;
+  out.measured_stddev = measured.stats.stddev;
+  return out;
+}
+
+core::PredictionResult Session::predict(const compiler::CompiledProgram& prog,
+                                        const RunConfig& config) const {
+  return core::predict(prog, config.bindings, layout_options(config),
+                       machine(config.machine), config.predict);
+}
+
+sim::MeasuredResult Session::measure(const compiler::CompiledProgram& prog,
+                                     const RunConfig& config) const {
+  core::require_critical_complete(prog, config.bindings);
+  const sim::Simulator simulator(machine(config.machine));
+  return simulator.measure(prog, config.bindings, layout_options(config), config.sim,
+                           config.runs);
+}
+
+Comparison Session::compare(const compiler::CompiledProgram& prog,
+                            const RunConfig& config) const {
+  Comparison out;
+  out.estimated = predict(prog, config).total;
+  const sim::MeasuredResult measured = measure(prog, config);
+  out.measured_mean = measured.stats.mean;
+  out.measured_min = measured.stats.min;
+  out.measured_max = measured.stats.max;
+  out.measured_stddev = measured.stats.stddev;
+  return out;
+}
+
+RunReport Session::run(const ExperimentPlan& plan) {
+  plan.validate();
+  const auto t0 = std::chrono::steady_clock::now();
+  const CacheStats before = stats_;
+
+  RunReport report;
+  report.title = plan.title();
+  report.records.reserve(plan.point_count());
+
+  // fail fast on unknown names, before any point of the sweep runs
+  for (const auto& machine_name : plan.machine_names()) (void)machine(machine_name);
+
+  for (const auto& machine_name : plan.machine_names()) {
+    for (const auto& variant : plan.variants()) {
+      const ProgramHandle prog =
+          variant.overrides.empty()
+              ? compile(plan.program_source(), plan.compiler_opts())
+              : compile_with_directives(plan.program_source(), variant.overrides,
+                                        plan.compiler_opts());
+      for (const auto& problem : plan.problems()) {
+        for (const int np : plan.nprocs_list()) {
+          RunConfig cfg;
+          cfg.machine = machine_name;
+          cfg.nprocs = np;
+          if (variant.grid_rank) {
+            cfg.grid_shape = compiler::ProcGrid::factorized(np, *variant.grid_rank).shape;
+          }
+          cfg.bindings = problem.bindings;
+          cfg.runs = plan.measure_runs();
+          cfg.predict = plan.predict_opts();
+          cfg.sim = plan.sim_opts();
+
+          RunRecord rec;
+          rec.machine = machine_name;
+          rec.variant = variant.name;
+          rec.problem = problem.name;
+          rec.nprocs = np;
+          if (plan.measure_runs() > 0) {
+            rec.comparison = compare(prog, cfg);
+            rec.measured = true;
+          } else {
+            rec.comparison.estimated = predict(prog, cfg).total;
+          }
+          report.records.push_back(std::move(rec));
+        }
+      }
+    }
+  }
+
+  report.cache = stats_ - before;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return report;
+}
+
+void Session::clear_caches() {
+  program_cache_.clear();
+  layout_cache_.clear();
+}
+
+}  // namespace hpf90d::api

@@ -1,0 +1,141 @@
+// session.hpp — the experiment session, the framework's public entry point.
+//
+// The paper's environment is interactive (§5.2): compile once, then sweep
+// directives, problem sizes, and machine sizes while comparing predicted
+// and measured times. A Session makes that workflow first-class:
+//
+//   * it owns a MachineRegistry of named machine abstractions,
+//   * it memoizes CompiledPrograms keyed by (source hash, directive
+//     overrides, compiler options) so re-evaluating a variant never
+//     re-runs the compiler,
+//   * it memoizes DataLayouts keyed by (program, bindings, nprocs, grid
+//     shape) so repeated predict/measure calls on one configuration never
+//     re-resolve the two-level mapping,
+//   * it executes whole ExperimentPlans batched, returning a RunReport.
+//
+// driver::Framework remains as a thin compatibility shim over Session.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/machine_registry.hpp"
+#include "api/run_report.hpp"
+#include "compiler/pipeline.hpp"
+#include "core/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpf90d::api {
+
+class ExperimentPlan;
+
+/// One experiment configuration addressed at a *named* machine. The shape
+/// is driver::ExperimentConfig plus the machine name (the driver aliases
+/// this type for backward compatibility).
+struct RunConfig {
+  std::string machine = "ipsc860";
+  int nprocs = 1;
+  std::optional<std::vector<int>> grid_shape;  // e.g. {2,2}
+  front::Bindings bindings;
+  int runs = 3;  // simulated "measurement" repetitions
+  core::PredictOptions predict;
+  sim::SimOptions sim;
+};
+
+class Session {
+ public:
+  /// Programs are cached and shared; handles stay valid for the session's
+  /// lifetime (and beyond, being shared_ptr).
+  using ProgramHandle = std::shared_ptr<const compiler::CompiledProgram>;
+
+  /// `max_nodes` sizes every machine model instantiated by this session.
+  explicit Session(int max_nodes = 8) : max_nodes_(max_nodes) {}
+
+  [[nodiscard]] MachineRegistry& machines() noexcept { return registry_; }
+  [[nodiscard]] const MachineRegistry& machines() const noexcept { return registry_; }
+  [[nodiscard]] int max_nodes() const noexcept { return max_nodes_; }
+
+  /// The session-sized model for a registry name (default: the paper's
+  /// testbed). Throws std::out_of_range for unregistered names.
+  [[nodiscard]] const machine::MachineModel& machine(
+      std::string_view name = "ipsc860") const {
+    return registry_.get(name, max_nodes_);
+  }
+
+  // --- phase 1: compilation (memoized) --------------------------------------
+  [[nodiscard]] ProgramHandle compile(std::string_view source,
+                                      const compiler::CompilerOptions& options = {});
+  [[nodiscard]] ProgramHandle compile_with_directives(
+      std::string_view source, const std::vector<std::string>& overrides,
+      const compiler::CompilerOptions& options = {});
+
+  // --- phase 2: interpretation / simulated measurement -----------------------
+  /// Source-driven performance prediction (layout memoized per config).
+  [[nodiscard]] core::PredictionResult predict(const ProgramHandle& prog,
+                                               const RunConfig& config);
+  /// "Measurement" on the simulated machine.
+  [[nodiscard]] sim::MeasuredResult measure(const ProgramHandle& prog,
+                                            const RunConfig& config);
+  /// Predict + measure + compare.
+  [[nodiscard]] Comparison compare(const ProgramHandle& prog, const RunConfig& config);
+
+  // Overloads for externally owned programs (the driver::Framework shim
+  // hands these in). Layouts for external programs are built fresh — the
+  // session cannot tie their lifetime to its caches.
+  [[nodiscard]] core::PredictionResult predict(const compiler::CompiledProgram& prog,
+                                               const RunConfig& config) const;
+  [[nodiscard]] sim::MeasuredResult measure(const compiler::CompiledProgram& prog,
+                                            const RunConfig& config) const;
+  [[nodiscard]] Comparison compare(const compiler::CompiledProgram& prog,
+                                   const RunConfig& config) const;
+
+  // --- batched execution ------------------------------------------------------
+  /// Executes the plan's whole cross product through the caches; the
+  /// report's cache stats cover exactly this run.
+  [[nodiscard]] RunReport run(const ExperimentPlan& plan);
+
+  [[nodiscard]] const CacheStats& cache_stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t cached_programs() const noexcept {
+    return program_cache_.size();
+  }
+  [[nodiscard]] std::size_t cached_layouts() const noexcept {
+    return layout_cache_.size();
+  }
+  void clear_caches();
+
+ private:
+  [[nodiscard]] ProgramHandle compile_cached(std::string_view source,
+                                             const std::vector<std::string>& overrides,
+                                             const compiler::CompilerOptions& options);
+  /// Memoized layout for a session-owned program; the cache entry shares
+  /// ownership of the program so the layout's symbol-table reference stays
+  /// valid.
+  [[nodiscard]] const compiler::DataLayout& layout_for(const ProgramHandle& prog,
+                                                       const front::Bindings& bindings,
+                                                       const compiler::LayoutOptions& lo);
+
+  [[nodiscard]] static compiler::LayoutOptions layout_options(const RunConfig& c) {
+    compiler::LayoutOptions lo;
+    lo.nprocs = c.nprocs;
+    lo.grid_shape = c.grid_shape;
+    return lo;
+  }
+
+  int max_nodes_;
+  MachineRegistry registry_;
+  CacheStats stats_;
+
+  struct LayoutEntry {
+    ProgramHandle prog;  // keeps prog.symbols alive for the layout
+    std::unique_ptr<compiler::DataLayout> layout;
+  };
+  std::map<std::string, ProgramHandle, std::less<>> program_cache_;
+  std::map<std::string, LayoutEntry, std::less<>> layout_cache_;
+};
+
+}  // namespace hpf90d::api

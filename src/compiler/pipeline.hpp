@@ -6,6 +6,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "compiler/mapping.hpp"
 #include "compiler/spmd_ir.hpp"

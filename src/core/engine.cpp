@@ -492,11 +492,8 @@ void InterpretationEngine::walk_slice_bcast(const SpmdNode& n) {
 
 // ---------------------------------------------------------------------------
 
-PredictionResult predict(const compiler::CompiledProgram& prog,
-                         const front::Bindings& bindings,
-                         const compiler::LayoutOptions& layout_options,
-                         const machine::MachineModel& machine,
-                         const PredictOptions& options) {
+void require_critical_complete(const compiler::CompiledProgram& prog,
+                               const front::Bindings& bindings) {
   const CriticalVariableReport report = analyze_critical(prog, bindings);
   if (!report.complete()) {
     std::string names;
@@ -504,6 +501,14 @@ PredictionResult predict(const compiler::CompiledProgram& prog,
     throw CompileError({}, "unresolved critical variables: " + names +
                                " (supply bindings for them)");
   }
+}
+
+PredictionResult predict(const compiler::CompiledProgram& prog,
+                         const front::Bindings& bindings,
+                         const compiler::LayoutOptions& layout_options,
+                         const machine::MachineModel& machine,
+                         const PredictOptions& options) {
+  require_critical_complete(prog, bindings);
   const compiler::DataLayout layout = compiler::make_layout(prog, bindings, layout_options);
   InterpretationEngine engine(prog, layout, machine, options, bindings);
   return engine.interpret();

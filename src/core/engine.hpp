@@ -118,6 +118,12 @@ class InterpretationEngine {
   std::vector<TraceEvent> trace_;
 };
 
+/// Throws support::CompileError listing every unresolved critical variable
+/// (as the interactive tool would) when `bindings` leaves the program's
+/// critical-variable set incomplete.
+void require_critical_complete(const compiler::CompiledProgram& prog,
+                               const front::Bindings& bindings);
+
 /// Convenience wrapper: layout construction + critical-variable check +
 /// interpretation in one call. Throws support::CompileError when a critical
 /// variable is unresolved (listing it, as the interactive tool would).

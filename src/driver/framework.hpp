@@ -1,63 +1,39 @@
-// framework.hpp — the HPF/Fortran 90D application development environment
-// facade: compiler + interpretation framework + simulated testbed in one
-// object (paper §1: "the environment integrates a HPF/Fortran 90D compiler,
-// a functional interpreter and the source based performance prediction
-// tool").
+// framework.hpp — backward-compatibility shim over the experiment-session
+// API (api::Session). The original facade (paper §1: "the environment
+// integrates a HPF/Fortran 90D compiler, a functional interpreter and the
+// source based performance prediction tool") predates named machines and
+// batched sweeps; new code should use hpf90d::api directly. This header
+// preserves the old single-machine, one-config-at-a-time surface:
+// Framework is a Session pinned to the "ipsc860" registry entry, and
+// ExperimentConfig / Comparison are aliases of the api types.
 #pragma once
 
-#include <optional>
-#include <string>
+#include <string_view>
 #include <vector>
 
-#include "compiler/pipeline.hpp"
-#include "core/aag.hpp"
-#include "core/engine.hpp"
-#include "core/output.hpp"
-#include "machine/ipsc860.hpp"
-#include "sim/simulator.hpp"
+#include "api/session.hpp"
 
 namespace hpf90d::driver {
 
-/// One experiment configuration: problem bindings + machine size.
-struct ExperimentConfig {
-  int nprocs = 1;
-  std::optional<std::vector<int>> grid_shape;  // e.g. {2,2}
-  front::Bindings bindings;
-  int runs = 3;  // simulated "measurement" repetitions
-  core::PredictOptions predict;
-  sim::SimOptions sim;
-};
+/// One experiment configuration: problem bindings + machine size. The
+/// `machine` field (added by the session API) defaults to "ipsc860", which
+/// is the only machine Framework ever addressed.
+using ExperimentConfig = api::RunConfig;
 
 /// Estimated-vs-measured comparison for one configuration.
-struct Comparison {
-  double estimated = 0;
-  double measured_mean = 0;
-  double measured_min = 0;
-  double measured_max = 0;
-  double measured_stddev = 0;
-
-  /// Absolute error as a percentage of the measured time (Table 2 metric).
-  [[nodiscard]] double abs_error_pct() const {
-    if (measured_mean <= 0) return 0;
-    return 100.0 * std::abs(estimated - measured_mean) / measured_mean;
-  }
-  /// Paper §5.1: interpreted performance typically lies within the
-  /// measured variance band.
-  [[nodiscard]] bool within_variance() const {
-    const double slack = 1e-9 + 3.0 * measured_stddev +
-                         0.25 * (measured_max - measured_min);
-    return estimated >= measured_min - slack && estimated <= measured_max + slack;
-  }
-};
+using Comparison = api::Comparison;
 
 class Framework {
  public:
-  explicit Framework(int max_nodes = 8)
-      : machine_(machine::make_ipsc860(max_nodes)) {}
+  explicit Framework(int max_nodes = 8) : session_(max_nodes) {}
 
-  [[nodiscard]] const machine::MachineModel& machine() const noexcept { return machine_; }
+  [[nodiscard]] const machine::MachineModel& machine() const {
+    return session_.machine("ipsc860");
+  }
 
-  /// Phase 1: compilation.
+  /// Phase 1: compilation. CompiledProgram is move-only, so the historical
+  /// by-value surface cannot hand out the session's cached programs; it
+  /// compiles fresh. Use api::Session::compile for memoized handles.
   [[nodiscard]] compiler::CompiledProgram compile(
       std::string_view source, const compiler::CompilerOptions& options = {}) const {
     return compiler::compile(source, options);
@@ -70,25 +46,32 @@ class Framework {
 
   /// Phase 2: interpretation (source-driven performance prediction).
   [[nodiscard]] core::PredictionResult predict(const compiler::CompiledProgram& prog,
-                                               const ExperimentConfig& config) const;
+                                               const ExperimentConfig& config) const {
+    return session_.predict(prog, pinned(config));
+  }
 
   /// "Measurement" on the simulated iPSC/860.
   [[nodiscard]] sim::MeasuredResult measure(const compiler::CompiledProgram& prog,
-                                            const ExperimentConfig& config) const;
+                                            const ExperimentConfig& config) const {
+    return session_.measure(prog, pinned(config));
+  }
 
   /// Predict + measure + compare.
   [[nodiscard]] Comparison compare(const compiler::CompiledProgram& prog,
-                                   const ExperimentConfig& config) const;
-
- private:
-  [[nodiscard]] compiler::LayoutOptions layout_options(const ExperimentConfig& c) const {
-    compiler::LayoutOptions lo;
-    lo.nprocs = c.nprocs;
-    lo.grid_shape = c.grid_shape;
-    return lo;
+                                   const ExperimentConfig& config) const {
+    return session_.compare(prog, pinned(config));
   }
 
-  machine::MachineModel machine_;
+ private:
+  /// Framework predates machine selection: every call goes to the cube.
+  [[nodiscard]] static ExperimentConfig pinned(ExperimentConfig config) {
+    config.machine = "ipsc860";
+    return config;
+  }
+
+  // mutable: compilation memoization is invisible to the historical
+  // const-qualified surface.
+  mutable api::Session session_;
 };
 
 }  // namespace hpf90d::driver

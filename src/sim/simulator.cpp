@@ -10,7 +10,13 @@ MeasuredResult Simulator::measure(const compiler::CompiledProgram& prog,
                                   const compiler::LayoutOptions& layout_options,
                                   const SimOptions& options, int runs) const {
   const compiler::DataLayout layout = compiler::make_layout(prog, bindings, layout_options);
+  return measure(prog, bindings, layout, options, runs);
+}
 
+MeasuredResult Simulator::measure(const compiler::CompiledProgram& prog,
+                                  const front::Bindings& bindings,
+                                  const compiler::DataLayout& layout,
+                                  const SimOptions& options, int runs) const {
   MeasuredResult out;
   out.stats.min = 1e300;
   out.stats.max = 0.0;

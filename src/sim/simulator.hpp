@@ -40,6 +40,13 @@ class Simulator {
                                        const SimOptions& options = {},
                                        int runs = 3) const;
 
+  /// Same, against a prebuilt layout (the session API's memoized path).
+  [[nodiscard]] MeasuredResult measure(const compiler::CompiledProgram& prog,
+                                       const front::Bindings& bindings,
+                                       const compiler::DataLayout& layout,
+                                       const SimOptions& options = {},
+                                       int runs = 3) const;
+
  private:
   const machine::MachineModel& machine_;
 };

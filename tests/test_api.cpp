@@ -1,0 +1,288 @@
+// Experiment-session API tests: machine registry lookup (including the
+// unknown-name error path), compilation/layout cache behaviour across an
+// ExperimentPlan sweep, RunReport CSV export round-trip, and the
+// driver::Framework compatibility shim.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/api.hpp"
+#include "driver/framework.hpp"
+#include "machine/ipsc860.hpp"
+#include "suite/suite.hpp"
+
+namespace hpf90d {
+namespace {
+
+// --- machine registry ---------------------------------------------------------
+
+TEST(MachineRegistry, BuiltinsRegistered) {
+  api::MachineRegistry registry;
+  EXPECT_TRUE(registry.contains("ipsc860"));
+  EXPECT_TRUE(registry.contains("cluster"));
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"cluster", "ipsc860"}));
+  EXPECT_FALSE(registry.description("ipsc860").empty());
+
+  const machine::MachineModel& cube = registry.get("ipsc860", 8);
+  EXPECT_EQ(cube.max_nodes, 8);
+  // models are cached per (name, nodes): same reference back
+  EXPECT_EQ(&cube, &registry.get("ipsc860", 8));
+  EXPECT_NE(&cube, &registry.get("ipsc860", 4));
+}
+
+TEST(MachineRegistry, UnknownNameListsRegistered) {
+  api::MachineRegistry registry;
+  EXPECT_FALSE(registry.contains("paragon"));
+  try {
+    (void)registry.get("paragon");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("paragon"), std::string::npos);
+    EXPECT_NE(msg.find("ipsc860"), std::string::npos);
+    EXPECT_NE(msg.find("cluster"), std::string::npos);
+  }
+  EXPECT_THROW((void)registry.get("ipsc860", 0), std::invalid_argument);
+}
+
+TEST(MachineRegistry, CustomMachineRegistersAndReplaces) {
+  api::MachineRegistry registry;
+  registry.register_machine(
+      "slowcube", [](int nodes) {
+        machine::MachineModel m = machine::make_ipsc860(nodes);
+        return m;
+      },
+      "a re-badged cube");
+  EXPECT_TRUE(registry.contains("slowcube"));
+  EXPECT_EQ(registry.description("slowcube"), "a re-badged cube");
+  EXPECT_EQ(registry.get("slowcube", 4).max_nodes, 4);
+  // re-registering drops cached instances built from the old factory
+  registry.register_machine("slowcube",
+                            [](int nodes) { return machine::make_ipsc860(2 * nodes); });
+  EXPECT_EQ(registry.get("slowcube", 4).max_nodes, 8);
+}
+
+// --- session caches -----------------------------------------------------------
+
+TEST(Session, CompilationIsMemoized) {
+  api::Session session;
+  const auto& app = suite::app("pi");
+  const auto a = session.compile(app.source);
+  const auto b = session.compile(app.source);
+  EXPECT_EQ(a.get(), b.get());  // the same shared program
+  EXPECT_EQ(session.cache_stats().compile_misses, 1u);
+  EXPECT_EQ(session.cache_stats().compile_hits, 1u);
+
+  // different compiler options are a different cache entry
+  compiler::CompilerOptions copts;
+  copts.message_vectorization = false;
+  const auto c = session.compile(app.source, copts);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(session.cache_stats().compile_misses, 2u);
+
+  // so are directive overrides
+  const auto& lap = suite::app("laplace_bx");
+  const auto d = session.compile_with_directives(lap.source, lap.directive_overrides);
+  const auto e = session.compile_with_directives(lap.source, lap.directive_overrides);
+  EXPECT_EQ(d.get(), e.get());
+  EXPECT_EQ(session.cached_programs(), 3u);
+}
+
+TEST(Session, LayoutsAreMemoizedPerConfiguration) {
+  api::Session session;
+  const auto& app = suite::app("pi");
+  const auto prog = session.compile(app.source);
+
+  api::RunConfig cfg;
+  cfg.nprocs = 4;
+  cfg.bindings = app.bindings(256);
+  cfg.runs = 1;
+
+  const double t1 = session.predict(prog, cfg).total;
+  EXPECT_EQ(session.cache_stats().layout_misses, 1u);
+  EXPECT_EQ(session.cache_stats().layout_hits, 0u);
+
+  // same configuration again: prediction identical, layout reused
+  const double t2 = session.predict(prog, cfg).total;
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(session.cache_stats().layout_hits, 1u);
+
+  // measurement of the same configuration also reuses the layout
+  (void)session.measure(prog, cfg);
+  EXPECT_EQ(session.cache_stats().layout_hits, 2u);
+  EXPECT_EQ(session.cache_stats().layout_misses, 1u);
+
+  // a different processor count is a different layout
+  cfg.nprocs = 8;
+  (void)session.predict(prog, cfg);
+  EXPECT_EQ(session.cache_stats().layout_misses, 2u);
+
+  session.clear_caches();
+  EXPECT_EQ(session.cached_programs(), 0u);
+  EXPECT_EQ(session.cached_layouts(), 0u);
+}
+
+// --- experiment plans ---------------------------------------------------------
+
+TEST(ExperimentPlan, DefaultsAndValidation) {
+  api::ExperimentPlan plan("p");
+  EXPECT_THROW(plan.validate(), std::invalid_argument);  // no source
+
+  plan.source("program p\nend program p\n");
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_EQ(plan.machine_names(), (std::vector<std::string>{"ipsc860"}));
+  EXPECT_EQ(plan.nprocs_list(), (std::vector<int>{1}));
+  EXPECT_EQ(plan.variants().size(), 1u);
+  EXPECT_EQ(plan.problems().size(), 1u);
+  EXPECT_EQ(plan.point_count(), 1u);
+
+  plan.nprocs({0});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);
+  plan.nprocs({1, 2});
+
+  plan.add_variant("v", {});
+  plan.add_variant("v", {});
+  EXPECT_THROW(plan.validate(), std::invalid_argument);  // duplicate variant
+}
+
+TEST(ExperimentPlan, SweepRunsBatchedWithCacheHits) {
+  // the acceptance sweep: 2 machines x 3 nprocs x 2 directive variants
+  api::Session session;
+  const auto& app = suite::app("laplace_bb");
+
+  api::ExperimentPlan plan("laplace acceptance sweep");
+  plan.source(app.source)
+      .machines({"ipsc860", "cluster"})
+      .nprocs({1, 2, 4})
+      .add_variant("(block,block)", suite::app("laplace_bb").directive_overrides, 2)
+      .add_variant("(block,*)", suite::app("laplace_bx").directive_overrides)
+      .add_problem("n=16", app.bindings(16))
+      .runs(1);
+
+  EXPECT_EQ(plan.point_count(), 12u);
+  const api::RunReport report = session.run(plan);
+  ASSERT_EQ(report.records.size(), 12u);
+
+  for (const auto& r : report.records) {
+    EXPECT_GT(r.comparison.estimated, 0.0);
+    EXPECT_TRUE(r.measured);
+    EXPECT_GT(r.comparison.measured_mean, 0.0);
+  }
+  // each variant compiles once; the second machine reuses both programs
+  EXPECT_EQ(report.cache.compile_misses, 2u);
+  EXPECT_GE(report.cache.compile_hits, 1u);
+  // layouts are machine-independent: the cluster points reuse every layout,
+  // and each point's measurement reuses its prediction's layout
+  EXPECT_GE(report.cache.layout_hits, report.cache.layout_misses);
+  EXPECT_GT(report.wall_seconds, 0.0);
+
+  // the ascii rendering mentions every variant and the cache footer
+  const std::string text = report.ascii();
+  EXPECT_NE(text.find("(block,*)"), std::string::npos);
+  EXPECT_NE(text.find("compile cache"), std::string::npos);
+
+  // a second identical run is fully cache-served
+  const api::RunReport again = session.run(plan);
+  EXPECT_EQ(again.cache.compile_misses, 0u);
+  EXPECT_EQ(again.cache.layout_misses, 0u);
+  EXPECT_EQ(again.records.size(), 12u);
+  for (std::size_t i = 0; i < again.records.size(); ++i) {
+    EXPECT_EQ(again.records[i].comparison.estimated,
+              report.records[i].comparison.estimated);
+  }
+}
+
+TEST(ExperimentPlan, UnknownMachineFailsBeforeRunning) {
+  api::Session session;
+  api::ExperimentPlan plan("bad machine");
+  plan.source(suite::app("pi").source).machines({"paragon"});
+  EXPECT_THROW((void)session.run(plan), std::out_of_range);
+}
+
+TEST(ExperimentPlan, PredictOnlySweep) {
+  api::Session session;
+  api::ExperimentPlan plan("predict only");
+  plan.source(suite::app("pi").source).nprocs({1, 4}).runs(0);
+  const api::RunReport report = session.run(plan);
+  ASSERT_EQ(report.records.size(), 2u);
+  for (const auto& r : report.records) {
+    EXPECT_FALSE(r.measured);
+    EXPECT_GT(r.comparison.estimated, 0.0);
+    EXPECT_EQ(r.comparison.measured_mean, 0.0);
+  }
+  EXPECT_EQ(report.worst_error_pct(), 0.0);
+  ASSERT_NE(report.best_estimated(), nullptr);
+  EXPECT_EQ(report.best_estimated()->nprocs, 4);  // pi scales on the cube
+}
+
+// --- run report export --------------------------------------------------------
+
+TEST(RunReport, CsvRoundTrip) {
+  api::Session session;
+  const auto& app = suite::app("pi");
+  api::ExperimentPlan plan("csv round trip");
+  plan.source(app.source)
+      .machines({"ipsc860", "cluster"})
+      .nprocs({1, 2})
+      .add_problem("n=256", app.bindings(256))
+      .runs(1);
+  const api::RunReport report = session.run(plan);
+
+  const std::string csv = report.csv();
+  const api::RunReport parsed = api::RunReport::from_csv(csv);
+  ASSERT_EQ(parsed.records.size(), report.records.size());
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    const auto& a = report.records[i];
+    const auto& b = parsed.records[i];
+    EXPECT_EQ(a.machine, b.machine);
+    EXPECT_EQ(a.variant, b.variant);
+    EXPECT_EQ(a.problem, b.problem);
+    EXPECT_EQ(a.nprocs, b.nprocs);
+    EXPECT_EQ(a.measured, b.measured);
+    // %.17g round-trips doubles exactly
+    EXPECT_EQ(a.comparison.estimated, b.comparison.estimated);
+    EXPECT_EQ(a.comparison.measured_mean, b.comparison.measured_mean);
+    EXPECT_EQ(a.comparison.measured_min, b.comparison.measured_min);
+    EXPECT_EQ(a.comparison.measured_max, b.comparison.measured_max);
+    EXPECT_EQ(a.comparison.measured_stddev, b.comparison.measured_stddev);
+  }
+  // and the re-exported CSV is byte-identical
+  EXPECT_EQ(parsed.csv(), csv);
+}
+
+TEST(RunReport, CsvRejectsMalformedInput) {
+  EXPECT_THROW((void)api::RunReport::from_csv(""), std::invalid_argument);
+  EXPECT_THROW((void)api::RunReport::from_csv("bogus,header\n"), std::invalid_argument);
+  const std::string good = api::RunReport{}.csv();
+  EXPECT_THROW((void)api::RunReport::from_csv(good + "short,row\n"),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)api::RunReport::from_csv(good));
+}
+
+// --- driver::Framework compatibility shim -------------------------------------
+
+TEST(FrameworkShim, MatchesSessionResults) {
+  driver::Framework framework;
+  api::Session session;
+  const auto& app = suite::app("pi");
+
+  auto legacy_prog = framework.compile(app.source);
+  const auto prog = session.compile(app.source);
+
+  driver::ExperimentConfig cfg;  // = api::RunConfig
+  cfg.nprocs = 4;
+  cfg.bindings = app.bindings(256);
+  cfg.runs = 2;
+
+  const driver::Comparison a = framework.compare(legacy_prog, cfg);
+  const api::Comparison b = session.compare(prog, cfg);
+  EXPECT_EQ(a.estimated, b.estimated);
+  EXPECT_EQ(a.measured_mean, b.measured_mean);
+  EXPECT_EQ(a.measured_stddev, b.measured_stddev);
+
+  // the machine field is pinned to the cube by the shim
+  EXPECT_EQ(framework.machine().max_nodes, 8);
+}
+
+}  // namespace
+}  // namespace hpf90d

@@ -3,6 +3,8 @@
 // directive-selection and performance-debugging use cases.
 #include <gtest/gtest.h>
 
+#include <chrono>
+
 #include "core/aag.hpp"
 #include "core/output.hpp"
 #include "driver/framework.hpp"
