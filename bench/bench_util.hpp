@@ -1,4 +1,6 @@
-// bench_util.hpp — shared helpers for the paper-reproduction benches.
+// bench_util.hpp — shared helpers for the paper-reproduction benches. All
+// benches run through the experiment-session API (api::Session /
+// ExperimentPlan); the legacy driver::Framework shim is no longer used.
 #pragma once
 
 #include <cstdlib>
@@ -6,7 +8,6 @@
 #include <string>
 
 #include "api/api.hpp"
-#include "driver/framework.hpp"
 #include "suite/suite.hpp"
 
 namespace hpf90d::bench {
@@ -16,19 +17,6 @@ namespace hpf90d::bench {
 inline api::Session& session() {
   static api::Session s;
   return s;
-}
-
-/// Legacy single-machine facade, kept for the benches that predate the
-/// session API (it is itself a shim over api::Session).
-inline driver::Framework& framework() {
-  static driver::Framework fw;
-  return fw;
-}
-
-inline compiler::CompiledProgram compile_app(const suite::BenchmarkApp& app) {
-  return app.directive_overrides.empty()
-             ? framework().compile(app.source)
-             : framework().compile_with_directives(app.source, app.directive_overrides);
 }
 
 /// Session-cached compilation of a suite application.
@@ -51,6 +39,12 @@ inline bool full_sweep() {
 /// (BLOCK,BLOCK) rows run on the paper's near-square 2-D grids.
 inline std::optional<int> grid_rank_for(const suite::BenchmarkApp& app) {
   return app.id == "laplace_bb" ? std::optional<int>(2) : std::nullopt;
+}
+
+/// The plan variant for a suite application: its directive overrides plus
+/// the forced grid rank.
+inline api::DirectiveVariant variant_for(const suite::BenchmarkApp& app) {
+  return {app.name, app.directive_overrides, grid_rank_for(app)};
 }
 
 inline api::RunConfig config_for(const suite::BenchmarkApp& app, long long size,

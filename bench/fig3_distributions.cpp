@@ -11,14 +11,14 @@ int main() {
   std::printf("Figure 3: Laplace Solver - Data Distributions (4 processors)\n\n");
   for (const char* id : {"laplace_bb", "laplace_bx", "laplace_xb"}) {
     const auto& app = suite::app(id);
-    auto prog = bench::compile_app(app);
+    const auto prog = bench::compile_app_cached(app);
     auto cfg = bench::config_for(app, 64, 4);
     compiler::LayoutOptions lo;
     lo.nprocs = cfg.nprocs;
     lo.grid_shape = cfg.grid_shape;
-    const auto layout = compiler::make_layout(prog, cfg.bindings, lo);
+    const auto layout = compiler::make_layout(*prog, cfg.bindings, lo);
     std::printf("%s:\n%s\n", app.name.c_str(),
-                layout.ownership_picture(prog.symbols.find("u"), 4, 4).c_str());
+                layout.ownership_picture(prog->symbols.find("u"), 4, 4).c_str());
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 // fig4_laplace4 — regenerates paper Figure 4: Laplace solver estimated and
 // measured execution times on 4 processors, for the three distributions,
-// over problem sizes 16..256.
+// over problem sizes 16..256. Each distribution is one ExperimentPlan
+// (problem-size sweep at P=4) run batched through the shared session.
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -11,11 +12,18 @@ int main() {
   std::printf("Figure 4: Laplace Solver (4 Procs) - Estimated/Measured Times\n\n");
   for (const char* id : {"laplace_bb", "laplace_bx", "laplace_xb"}) {
     const auto& app = suite::app(id);
-    auto prog = bench::compile_app(app);
+    api::ExperimentPlan plan(app.name);
+    plan.source(app.source)
+        .nprocs({4})
+        .add_variant(bench::variant_for(app))
+        .problems_from(app.problem_sizes, app.bindings)
+        .runs(3);
+    const api::RunReport report = bench::session().run(plan);
+
+    // one machine, one variant, one system size: records follow problem order
     std::vector<std::pair<long long, driver::Comparison>> series;
-    for (long long n : app.problem_sizes) {
-      series.emplace_back(
-          n, bench::framework().compare(prog, bench::config_for(app, n, 4)));
+    for (std::size_t i = 0; i < report.records.size(); ++i) {
+      series.emplace_back(app.problem_sizes[i], report.records[i].comparison);
     }
     const std::string title =
         app.name + (app.id == "laplace_bb" ? " - 2x2 Proc Grid" : " - 4 Procs");

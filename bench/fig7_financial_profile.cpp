@@ -13,15 +13,15 @@
 int main() {
   using namespace hpf90d;
   const auto& app = suite::app("finance");
-  auto prog = bench::compile_app(app);
-  core::SynchronizedAAG saag(prog);
+  const auto prog = bench::compile_app_cached(app);
+  core::SynchronizedAAG saag(*prog);
 
   std::printf("Figure 6: Financial Model - Application Phases\n");
   std::printf("  Phase 1: Create Stock Price Lattice (shift)\n");
   std::printf("  Phase 2: Compute Call Price\n\n");
 
   const auto cfg = bench::config_for(app, 256, 4);
-  const auto pred = bench::framework().predict(prog, cfg);
+  const auto pred = bench::session().predict(prog, cfg);
   core::OutputModule out(saag, pred);
 
   // phase 1 = the lattice do-loop subtree; phase 2 = the top-level payoff
@@ -51,7 +51,7 @@ int main() {
               " phase 2 requires no communication)\n");
 
   // cross-check against the simulated measurement
-  const auto meas = bench::framework().measure(prog, cfg);
+  const auto meas = bench::session().measure(prog, cfg);
   std::printf("\nsimulated-measured totals for comparison: %s (estimated %s)\n",
               support::format_seconds(meas.stats.mean).c_str(),
               support::format_seconds(pred.total).c_str());

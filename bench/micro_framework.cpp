@@ -3,29 +3,38 @@
 // problem size grows. These support the paper's §5.3 cost-effectiveness
 // claim quantitatively: interpretation cost is independent of problem size
 // while simulation (a stand-in for running on the machine) is not.
+// Prediction/measurement run through the shared api::Session (cached
+// programs + content-addressed layouts); BM_Compile calls the compiler
+// directly so it measures real compilation, not a cache hit.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "compiler/pipeline.hpp"
 #include "core/aag.hpp"
 
 using namespace hpf90d;
 
 namespace {
 
+compiler::CompiledProgram compile_fresh(const suite::BenchmarkApp& app) {
+  return app.directive_overrides.empty()
+             ? compiler::compile(app.source)
+             : compiler::compile_with_directives(app.source, app.directive_overrides);
+}
+
 void BM_Compile(benchmark::State& state) {
   const auto& app = suite::app("laplace_bx");
   for (auto _ : state) {
-    auto prog = bench::compile_app(app);
+    auto prog = compile_fresh(app);
     benchmark::DoNotOptimize(prog.node_count);
   }
 }
 BENCHMARK(BM_Compile);
 
 void BM_AbstractionParse(benchmark::State& state) {
-  const auto& app = suite::app("finance");
-  auto prog = bench::compile_app(app);
+  const auto prog = bench::compile_app_cached(suite::app("finance"));
   for (auto _ : state) {
-    core::SynchronizedAAG saag(prog);
+    core::SynchronizedAAG saag(*prog);
     benchmark::DoNotOptimize(saag.aaus().size());
   }
 }
@@ -33,11 +42,11 @@ BENCHMARK(BM_AbstractionParse);
 
 void BM_Interpretation(benchmark::State& state) {
   const auto& app = suite::app("laplace_bx");
-  auto prog = bench::compile_app(app);
+  const auto prog = bench::compile_app_cached(app);
   const long long n = state.range(0);
   const auto cfg = bench::config_for(app, n, 8);
   for (auto _ : state) {
-    const auto pred = bench::framework().predict(prog, cfg);
+    const auto pred = bench::session().predict(prog, cfg);
     benchmark::DoNotOptimize(pred.total);
   }
   state.SetLabel("n=" + std::to_string(n));
@@ -46,12 +55,12 @@ BENCHMARK(BM_Interpretation)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_Simulation(benchmark::State& state) {
   const auto& app = suite::app("laplace_bx");
-  auto prog = bench::compile_app(app);
+  const auto prog = bench::compile_app_cached(app);
   const long long n = state.range(0);
   auto cfg = bench::config_for(app, n, 8);
   cfg.runs = 1;
   for (auto _ : state) {
-    const auto meas = bench::framework().measure(prog, cfg);
+    const auto meas = bench::session().measure(prog, cfg);
     benchmark::DoNotOptimize(meas.stats.mean);
   }
   state.SetLabel("n=" + std::to_string(n));
@@ -59,13 +68,15 @@ void BM_Simulation(benchmark::State& state) {
 BENCHMARK(BM_Simulation)->Arg(16)->Arg(64)->Arg(256);
 
 void BM_PredictAllSuiteApps(benchmark::State& state) {
-  std::vector<compiler::CompiledProgram> progs;
-  for (const auto& app : suite::validation_suite()) progs.push_back(bench::compile_app(app));
+  std::vector<api::Session::ProgramHandle> progs;
+  for (const auto& app : suite::validation_suite()) {
+    progs.push_back(bench::compile_app_cached(app));
+  }
   for (auto _ : state) {
     double total = 0;
     std::size_t k = 0;
     for (const auto& app : suite::validation_suite()) {
-      total += bench::framework()
+      total += bench::session()
                    .predict(progs[k++], bench::config_for(app, app.problem_sizes.front(), 4))
                    .total;
     }
@@ -73,6 +84,26 @@ void BM_PredictAllSuiteApps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PredictAllSuiteApps);
+
+/// The tentpole's headline: one predict-only Laplace sweep executed serially
+/// vs on the worker pool (identical RunReports; only wall time differs).
+void BM_ParallelSweep(benchmark::State& state) {
+  const auto& app = suite::app("laplace_bx");
+  api::ExperimentPlan plan(app.name);
+  plan.source(app.source)
+      .nprocs({1, 2, 4, 8})
+      .add_variant(bench::variant_for(app))
+      .problems_from(app.problem_sizes, app.bindings)
+      .runs(0);
+  api::RunOptions opts;
+  opts.workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto report = bench::session().run(plan, opts);
+    benchmark::DoNotOptimize(report.records.size());
+  }
+  state.SetLabel("workers=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(0);
 
 }  // namespace
 

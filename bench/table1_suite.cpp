@@ -17,11 +17,11 @@ int main() {
       table.add_rule();
       group = g;
     }
-    const auto prog = bench::compile_app(app);
+    const auto prog = bench::compile_app_cached(app);
     const std::string sizes =
         std::to_string(app.data_elements(app.problem_sizes.front())) + " - " +
         std::to_string(app.data_elements(app.problem_sizes.back()));
-    table.add_row({app.name, app.description, sizes, std::to_string(prog.node_count)});
+    table.add_row({app.name, app.description, sizes, std::to_string(prog->node_count)});
   }
   std::printf("%s", table.str().c_str());
   return 0;

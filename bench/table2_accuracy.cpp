@@ -32,10 +32,8 @@ int main() {
     api::ExperimentPlan plan(app.name);
     plan.source(app.source)
         .nprocs(suite::paper_system_sizes())
-        .add_variant(app.name, app.directive_overrides, bench::grid_rank_for(app));
-    for (long long size : sizes) {
-      plan.add_problem(support::strfmt("n=%lld", size), app.bindings(size));
-    }
+        .add_variant(bench::variant_for(app))
+        .problems_from(sizes, app.bindings);
     const api::RunReport report = bench::session().run(plan);
 
     // records iterate problems then nprocs (single machine, single variant)

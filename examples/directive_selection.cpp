@@ -42,9 +42,7 @@ int main() {
   for (const Candidate& c : kCandidates) {
     plan.add_variant(c.label, suite::app(c.app_id).directive_overrides, c.grid_rank);
   }
-  for (long long n : {16LL, 64LL, 128LL, 256LL}) {
-    plan.add_problem(support::strfmt("n=%lld", n), base.bindings(n));
-  }
+  plan.problems_from({16, 64, 128, 256}, base.bindings);
   const api::RunReport report = session.run(plan);
   std::printf("%s\n", report.ascii().c_str());
 

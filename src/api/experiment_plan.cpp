@@ -49,6 +49,20 @@ ExperimentPlan& ExperimentPlan::add_problem(std::string name, front::Bindings bi
   return *this;
 }
 
+ExperimentPlan& ExperimentPlan::problems_from(
+    const std::vector<long long>& sizes,
+    const std::function<front::Bindings(long long)>& make_bindings,
+    std::string_view label_prefix) {
+  if (!make_bindings) {
+    throw std::invalid_argument("ExperimentPlan \"" + title_ +
+                                "\": problems_from requires a bindings factory");
+  }
+  for (const long long size : sizes) {
+    add_problem(std::string(label_prefix) + std::to_string(size), make_bindings(size));
+  }
+  return *this;
+}
+
 ExperimentPlan& ExperimentPlan::runs(int n) {
   runs_ = n;
   return *this;

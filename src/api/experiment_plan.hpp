@@ -11,8 +11,10 @@
 // layout caches, returning a RunReport.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "compiler/spmd_ir.hpp"
@@ -53,6 +55,14 @@ class ExperimentPlan {
   ExperimentPlan& add_variant(std::string name, std::vector<std::string> overrides,
                               std::optional<int> grid_rank = std::nullopt);
   ExperimentPlan& add_problem(std::string name, front::Bindings bindings);
+  /// Adds one problem case per size, labelled "<label_prefix><size>", with
+  /// bindings produced by `make_bindings(size)`. Tailored to the suite's
+  /// BenchmarkApp shape: problems_from(app.problem_sizes, app.bindings)
+  /// replaces the add_problem loop every caller used to write.
+  ExperimentPlan& problems_from(
+      const std::vector<long long>& sizes,
+      const std::function<front::Bindings(long long)>& make_bindings,
+      std::string_view label_prefix = "n=");
   /// Simulated-measurement repetitions; 0 disables measurement entirely
   /// (predict-only sweep, the paper's interactive mode).
   ExperimentPlan& runs(int n);

@@ -12,12 +12,15 @@ MachineRegistry::MachineRegistry() {
                    "Intel iPSC/860 hypercube (the paper's calibrated testbed)");
   register_machine("cluster", [](int nodes) { return machine::make_cluster(nodes); },
                    "Ethernet workstation cluster (paper section 7 extension)");
+  register_whatif("whatif", {},
+                  "parameterized iPSC/860 derivative (latency/bandwidth/cpu knobs)");
 }
 
 void MachineRegistry::register_machine(std::string name, MachineFactory factory,
                                        std::string description) {
   if (name.empty()) throw std::invalid_argument("machine name must be non-empty");
   if (!factory) throw std::invalid_argument("machine factory must be callable");
+  const std::lock_guard<std::recursive_mutex> lock(mutex_);
   // Replacing a registration retires models built from the old factory:
   // future get() calls use the new factory, but references already handed
   // out stay valid (get() documents registry-lifetime validity).
@@ -32,22 +35,37 @@ void MachineRegistry::register_machine(std::string name, MachineFactory factory,
   entries_[std::move(name)] = Entry{std::move(factory), std::move(description)};
 }
 
+void MachineRegistry::register_whatif(std::string name, machine::WhatIfParams params,
+                                      std::string description) {
+  // Validate eagerly so a bad knob fails at registration, not first get().
+  if (params.latency_scale <= 0 || params.bandwidth_scale <= 0 || params.cpu_scale <= 0) {
+    throw std::invalid_argument("whatif machine scales must be > 0");
+  }
+  register_machine(
+      std::move(name),
+      [params](int nodes) { return machine::make_whatif(nodes, params); },
+      std::move(description));
+}
+
 bool MachineRegistry::contains(std::string_view name) const {
+  const std::lock_guard<std::recursive_mutex> lock(mutex_);
   return entries_.find(name) != entries_.end();
 }
 
 std::vector<std::string> MachineRegistry::names() const {
+  const std::lock_guard<std::recursive_mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(name);
   return out;  // std::map iteration is already sorted
 }
 
-const std::string& MachineRegistry::description(std::string_view name) const {
-  return entry(name).description;
+std::string MachineRegistry::description(std::string_view name) const {
+  const std::lock_guard<std::recursive_mutex> lock(mutex_);
+  return entry_locked(name).description;
 }
 
-const MachineRegistry::Entry& MachineRegistry::entry(std::string_view name) const {
+const MachineRegistry::Entry& MachineRegistry::entry_locked(std::string_view name) const {
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     std::string known;
@@ -61,10 +79,14 @@ const MachineRegistry::Entry& MachineRegistry::entry(std::string_view name) cons
 const machine::MachineModel& MachineRegistry::get(std::string_view name,
                                                   int nodes) const {
   if (nodes < 1) throw std::invalid_argument("machine node count must be >= 1");
-  const Entry& e = entry(name);  // throws before caching for unknown names
+  const std::lock_guard<std::recursive_mutex> lock(mutex_);
+  const Entry& e = entry_locked(name);  // throws before caching for unknown names
   const auto key = std::make_pair(std::string(name), nodes);
   auto it = instances_.find(key);
   if (it == instances_.end()) {
+    // Instantiation happens under the lock: concurrent first touches of one
+    // (name, nodes) pair build the model exactly once, which keeps the
+    // session's cache statistics deterministic across worker counts.
     it = instances_
              .emplace(key, std::make_unique<machine::MachineModel>(e.factory(nodes)))
              .first;

@@ -3,21 +3,28 @@
 //
 // The SAG methodology is machine-independent (paper §3.1, §7): a program is
 // "moved" between machines by swapping the System Abstraction Graph. The
-// registry gives every abstraction a name — the built-in "ipsc860" cube and
-// "cluster" Ethernet LAN, plus any user-registered model — so experiment
-// plans can sweep machines declaratively and sessions can share one
-// instantiated MachineModel per (name, node count).
+// registry gives every abstraction a name — the built-in "ipsc860" cube,
+// "cluster" Ethernet LAN, and parameterized "whatif" design-evaluation
+// machine, plus any user-registered model — so experiment plans can sweep
+// machines declaratively and sessions can share one instantiated
+// MachineModel per (name, node count).
+//
+// Thread safety: every member function may be called concurrently (the
+// session's worker pool resolves machines from many threads). References
+// returned by get() stay valid for the registry's lifetime.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 #include "machine/sag.hpp"
+#include "machine/whatif.hpp"
 
 namespace hpf90d::api {
 
@@ -27,7 +34,9 @@ using MachineFactory = std::function<machine::MachineModel(int nodes)>;
 class MachineRegistry {
  public:
   /// Registers the built-in abstractions: "ipsc860" (the paper's calibrated
-  /// Intel iPSC/860 cube) and "cluster" (the §7 Ethernet workstation LAN).
+  /// Intel iPSC/860 cube), "cluster" (the §7 Ethernet workstation LAN), and
+  /// "whatif" (the cube with default — i.e. unity — design knobs; use
+  /// register_whatif for custom knob settings).
   MachineRegistry();
 
   /// Registers (or replaces) a named abstraction. Names are case-sensitive
@@ -35,13 +44,18 @@ class MachineRegistry {
   void register_machine(std::string name, MachineFactory factory,
                         std::string description = "");
 
+  /// Registers a named what-if derivative of the iPSC/860 (paper §7 design
+  /// evaluation): latency/bandwidth/cpu scale knobs applied to every SAU.
+  void register_whatif(std::string name, machine::WhatIfParams params,
+                       std::string description = "");
+
   [[nodiscard]] bool contains(std::string_view name) const;
 
   /// Registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;
 
   /// One-line description for a registered name ("" when none was given).
-  [[nodiscard]] const std::string& description(std::string_view name) const;
+  [[nodiscard]] std::string description(std::string_view name) const;
 
   /// The model for `name` at `nodes` processors. Models are instantiated
   /// lazily and cached per (name, nodes); the returned reference stays
@@ -55,8 +69,12 @@ class MachineRegistry {
     MachineFactory factory;
     std::string description;
   };
-  [[nodiscard]] const Entry& entry(std::string_view name) const;
+  /// Looks up an entry; the caller must hold mutex_.
+  [[nodiscard]] const Entry& entry_locked(std::string_view name) const;
 
+  // Recursive: a user factory may compose from other registered models by
+  // calling back into get() on the same thread.
+  mutable std::recursive_mutex mutex_;
   std::map<std::string, Entry, std::less<>> entries_;
   // Models live on the heap so get()'s references stay valid for the
   // registry's lifetime even when a re-registration retires an instance.

@@ -1,7 +1,10 @@
 #include "api/run_report.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <map>
 #include <stdexcept>
+#include <tuple>
 
 #include "support/table.hpp"
 #include "support/text.hpp"
@@ -73,6 +76,79 @@ std::string RunReport::csv() const {
         r.comparison.estimated, r.comparison.measured_mean, r.comparison.measured_min,
         r.comparison.measured_max, r.comparison.measured_stddev);
   }
+  return out;
+}
+
+double ReportDiff::worst_delta_pct() const {
+  double worst = 0;
+  for (const auto& r : records) worst = std::max(worst, std::abs(r.delta_pct()));
+  return worst;
+}
+
+std::string ReportDiff::ascii() const {
+  support::TextTable table(
+      {"machine", "variant", "problem", "P", "before", "after", "delta", "delta%"});
+  for (const auto& r : records) {
+    table.add_row({r.machine, r.variant, r.problem, std::to_string(r.nprocs),
+                   support::format_seconds(r.estimated_before),
+                   support::format_seconds(r.estimated_after),
+                   support::strfmt("%+.3g s", r.delta()),
+                   support::strfmt("%+.2f%%", r.delta_pct())});
+  }
+  std::string out = table.str();
+  out += support::strfmt("%zu points diffed | worst delta %.2f%%", records.size(),
+                         worst_delta_pct());
+  if (only_before + only_after > 0) {
+    out += support::strfmt(" | unmatched: %zu before-only, %zu after-only",
+                           only_before, only_after);
+  }
+  out += '\n';
+  return out;
+}
+
+std::string ReportDiff::csv() const {
+  std::string out =
+      "machine,variant,problem,nprocs,estimated_before,estimated_after,delta,"
+      "delta_pct\n";
+  for (const auto& r : records) {
+    out += support::strfmt("%s,%s,%s,%d,%.17g,%.17g,%.17g,%.17g\n",
+                           csv_field(r.machine).c_str(), csv_field(r.variant).c_str(),
+                           csv_field(r.problem).c_str(), r.nprocs, r.estimated_before,
+                           r.estimated_after, r.delta(), r.delta_pct());
+  }
+  return out;
+}
+
+ReportDiff RunReport::diff(const RunReport& before, const RunReport& after) {
+  using Key = std::tuple<std::string, std::string, std::string, int>;
+  const auto key_of = [](const RunRecord& r) {
+    return Key{r.machine, r.variant, r.problem, r.nprocs};
+  };
+  // Plan-produced reports have unique keys, but from_csv accepts arbitrary
+  // files: records are consumed pairwise per key, so duplicates diff
+  // one-to-one and any surplus is counted as unmatched, never dropped.
+  std::map<Key, std::deque<const RunRecord*>> after_by_key;
+  for (const auto& r : after.records) after_by_key[key_of(r)].push_back(&r);
+
+  ReportDiff out;
+  for (const auto& a : before.records) {
+    const auto it = after_by_key.find(key_of(a));
+    if (it == after_by_key.end() || it->second.empty()) {
+      ++out.only_before;
+      continue;
+    }
+    const RunRecord* b = it->second.front();
+    it->second.pop_front();
+    DiffRecord d;
+    d.machine = a.machine;
+    d.variant = a.variant;
+    d.problem = a.problem;
+    d.nprocs = a.nprocs;
+    d.estimated_before = a.comparison.estimated;
+    d.estimated_after = b->comparison.estimated;
+    out.records.push_back(std::move(d));
+  }
+  for (const auto& [key, remaining] : after_by_key) out.only_after += remaining.size();
   return out;
 }
 

@@ -61,6 +61,40 @@ struct RunRecord {
   bool measured = false;  // false = predict-only point (measured_* are zero)
 };
 
+/// Per-point estimated-time delta between two reports (cross-PR regression
+/// tracking: diff yesterday's exported CSV against today's run).
+struct DiffRecord {
+  std::string machine;
+  std::string variant;
+  std::string problem;
+  int nprocs = 0;
+  double estimated_before = 0;
+  double estimated_after = 0;
+
+  [[nodiscard]] double delta() const { return estimated_after - estimated_before; }
+  /// Signed percentage change relative to `before` (0 when before == 0).
+  [[nodiscard]] double delta_pct() const {
+    return estimated_before == 0 ? 0 : 100.0 * delta() / estimated_before;
+  }
+};
+
+/// The result of RunReport::diff: one DiffRecord per sweep point present in
+/// both reports, plus counts of unmatched points.
+struct ReportDiff {
+  std::vector<DiffRecord> records;
+  std::size_t only_before = 0;  // points present only in the first report
+  std::size_t only_after = 0;   // points present only in the second report
+
+  /// Largest |delta_pct| over the matched points (0 when none matched).
+  [[nodiscard]] double worst_delta_pct() const;
+
+  /// Fixed-width table of per-point deltas.
+  [[nodiscard]] std::string ascii() const;
+
+  /// Machine-readable export: a header row then one line per record.
+  [[nodiscard]] std::string csv() const;
+};
+
 /// The result of Session::run over one ExperimentPlan.
 struct RunReport {
   std::string title;
@@ -85,6 +119,12 @@ struct RunReport {
   /// not part of the CSV payload). Throws std::invalid_argument on a
   /// malformed header or row.
   [[nodiscard]] static RunReport from_csv(std::string_view text);
+
+  /// Per-point estimated-time deltas between two reports. Points are
+  /// matched by (machine, variant, problem, nprocs); unmatched points are
+  /// counted, not diffed. Matched records keep `before`'s order.
+  [[nodiscard]] static ReportDiff diff(const RunReport& before,
+                                       const RunReport& after);
 };
 
 }  // namespace hpf90d::api

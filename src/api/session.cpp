@@ -1,6 +1,9 @@
 #include "api/session.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <exception>
+#include <thread>
 
 #include "api/experiment_plan.hpp"
 #include "support/text.hpp"
@@ -9,8 +12,9 @@ namespace hpf90d::api {
 
 namespace {
 
-/// FNV-1a 64-bit: cheap, stable source fingerprint for cache keys. The key
-/// also embeds the source length, so a collision needs same-length inputs.
+/// FNV-1a 64-bit: cheap, stable fingerprint used to pick a cache shard and
+/// to compact the program key. The program key also embeds the source
+/// length, so a collision needs same-length inputs.
 std::uint64_t fnv1a64(std::string_view s) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (unsigned char c : s) {
@@ -34,17 +38,8 @@ std::string program_key(std::string_view source,
   return key;
 }
 
-std::string layout_key(const compiler::CompiledProgram* prog,
-                       const front::Bindings& bindings,
-                       const compiler::LayoutOptions& lo) {
-  std::string key = support::strfmt("%p:%d:", static_cast<const void*>(prog), lo.nprocs);
-  if (lo.grid_shape) {
-    for (int s : *lo.grid_shape) key += support::strfmt("%dx", s);
-  }
-  for (const auto& [name, value] : bindings.values()) {
-    key += support::strfmt("\x1f%s=%.17g", name.c_str(), value);
-  }
-  return key;
+std::size_t shard_of(std::string_view key, std::size_t shard_count) {
+  return static_cast<std::size_t>(fnv1a64(key)) % shard_count;
 }
 
 }  // namespace
@@ -64,74 +59,71 @@ Session::ProgramHandle Session::compile_cached(std::string_view source,
                                                const std::vector<std::string>& overrides,
                                                const compiler::CompilerOptions& options) {
   const std::string key = program_key(source, overrides, options);
-  if (const auto it = program_cache_.find(key); it != program_cache_.end()) {
+  ProgramShard& shard = program_shards_[shard_of(key, kShards)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const auto it = shard.map.find(key); it != shard.map.end()) {
     ++stats_.compile_hits;
     return it->second;
   }
+  // Built under the shard lock: a concurrent compile of the same source
+  // waits and then hits, so each unique key misses exactly once.
   ++stats_.compile_misses;
   auto prog = std::make_shared<compiler::CompiledProgram>(
       overrides.empty() ? compiler::compile(source, options)
                         : compiler::compile_with_directives(source, overrides, options));
-  program_cache_.emplace(key, prog);
+  shard.map.emplace(key, prog);
   return prog;
 }
 
-const compiler::DataLayout& Session::layout_for(const ProgramHandle& prog,
+const compiler::DataLayout& Session::layout_for(const compiler::CompiledProgram& prog,
                                                 const front::Bindings& bindings,
-                                                const compiler::LayoutOptions& lo) {
-  const std::string key = layout_key(prog.get(), bindings, lo);
-  if (const auto it = layout_cache_.find(key); it != layout_cache_.end()) {
+                                                const compiler::LayoutOptions& lo) const {
+  // Content-addressed key: two structurally identical programs (identical
+  // directives, symbols, aliases) share one entry regardless of who owns
+  // them, and the entry outlives both (DataLayout is self-contained).
+  const std::string key = compiler::layout_fingerprint(prog, bindings, lo);
+  LayoutShard& shard = layout_shards_[shard_of(key, kShards)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const auto it = shard.map.find(key); it != shard.map.end()) {
     ++stats_.layout_hits;
-    return *it->second.layout;
+    return *it->second;
   }
   ++stats_.layout_misses;
   auto layout =
-      std::make_unique<compiler::DataLayout>(compiler::make_layout(*prog, bindings, lo));
-  const auto it = layout_cache_.emplace(key, LayoutEntry{prog, std::move(layout)}).first;
-  return *it->second.layout;
+      std::make_unique<compiler::DataLayout>(compiler::make_layout(prog, bindings, lo));
+  const auto it = shard.map.emplace(key, std::move(layout)).first;
+  return *it->second;
 }
 
 core::PredictionResult Session::predict(const ProgramHandle& prog,
                                         const RunConfig& config) {
-  core::require_critical_complete(*prog, config.bindings);
-  const compiler::DataLayout& layout =
-      layout_for(prog, config.bindings, layout_options(config));
-  core::InterpretationEngine engine(*prog, layout, machine(config.machine),
-                                    config.predict, config.bindings);
-  return engine.interpret();
+  return predict(*prog, config);
 }
 
 sim::MeasuredResult Session::measure(const ProgramHandle& prog, const RunConfig& config) {
-  core::require_critical_complete(*prog, config.bindings);
-  const compiler::DataLayout& layout =
-      layout_for(prog, config.bindings, layout_options(config));
-  const sim::Simulator simulator(machine(config.machine));
-  return simulator.measure(*prog, config.bindings, layout, config.sim, config.runs);
+  return measure(*prog, config);
 }
 
 Comparison Session::compare(const ProgramHandle& prog, const RunConfig& config) {
-  Comparison out;
-  out.estimated = predict(prog, config).total;
-  const sim::MeasuredResult measured = measure(prog, config);
-  out.measured_mean = measured.stats.mean;
-  out.measured_min = measured.stats.min;
-  out.measured_max = measured.stats.max;
-  out.measured_stddev = measured.stats.stddev;
-  return out;
+  return compare(*prog, config);
 }
 
 core::PredictionResult Session::predict(const compiler::CompiledProgram& prog,
                                         const RunConfig& config) const {
-  return core::predict(prog, config.bindings, layout_options(config),
-                       machine(config.machine), config.predict);
+  core::require_critical_complete(prog, config.bindings);
+  const compiler::DataLayout& layout =
+      layout_for(prog, config.bindings, layout_options(config));
+  return core::predict(prog, config.bindings, layout, machine(config.machine),
+                       config.predict);
 }
 
 sim::MeasuredResult Session::measure(const compiler::CompiledProgram& prog,
                                      const RunConfig& config) const {
   core::require_critical_complete(prog, config.bindings);
+  const compiler::DataLayout& layout =
+      layout_for(prog, config.bindings, layout_options(config));
   const sim::Simulator simulator(machine(config.machine));
-  return simulator.measure(prog, config.bindings, layout_options(config), config.sim,
-                           config.runs);
+  return simulator.measure(prog, config.bindings, layout, config.sim, config.runs);
 }
 
 Comparison Session::compare(const compiler::CompiledProgram& prog,
@@ -146,64 +138,153 @@ Comparison Session::compare(const compiler::CompiledProgram& prog,
   return out;
 }
 
-RunReport Session::run(const ExperimentPlan& plan) {
+RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   plan.validate();
   const auto t0 = std::chrono::steady_clock::now();
-  const CacheStats before = stats_;
+  const CacheStats before = stats_.snapshot();
 
   RunReport report;
   report.title = plan.title();
-  report.records.reserve(plan.point_count());
 
   // fail fast on unknown names, before any point of the sweep runs
   for (const auto& machine_name : plan.machine_names()) (void)machine(machine_name);
 
-  for (const auto& machine_name : plan.machine_names()) {
-    for (const auto& variant : plan.variants()) {
-      const ProgramHandle prog =
+  // Compile every (machine, variant) pair serially, replicating the serial
+  // sweep's cache-call pattern (each variant misses once, later machines
+  // hit) so report.cache is identical for every worker count.
+  std::vector<ProgramHandle> variant_progs(plan.variants().size());
+  for (std::size_t m = 0; m < plan.machine_names().size(); ++m) {
+    for (std::size_t v = 0; v < plan.variants().size(); ++v) {
+      const auto& variant = plan.variants()[v];
+      variant_progs[v] =
           variant.overrides.empty()
               ? compile(plan.program_source(), plan.compiler_opts())
               : compile_with_directives(plan.program_source(), variant.overrides,
                                         plan.compiler_opts());
+    }
+  }
+
+  // Flatten the cross product in sweep order; records are assembled by
+  // point index, so the report ordering is independent of scheduling.
+  struct Point {
+    const std::string* machine = nullptr;
+    std::size_t variant = 0;
+    const ProblemCase* problem = nullptr;
+    int nprocs = 0;
+  };
+  std::vector<Point> points;
+  points.reserve(plan.point_count());
+  for (const auto& machine_name : plan.machine_names()) {
+    for (std::size_t v = 0; v < plan.variants().size(); ++v) {
       for (const auto& problem : plan.problems()) {
         for (const int np : plan.nprocs_list()) {
-          RunConfig cfg;
-          cfg.machine = machine_name;
-          cfg.nprocs = np;
-          if (variant.grid_rank) {
-            cfg.grid_shape = compiler::ProcGrid::factorized(np, *variant.grid_rank).shape;
-          }
-          cfg.bindings = problem.bindings;
-          cfg.runs = plan.measure_runs();
-          cfg.predict = plan.predict_opts();
-          cfg.sim = plan.sim_opts();
-
-          RunRecord rec;
-          rec.machine = machine_name;
-          rec.variant = variant.name;
-          rec.problem = problem.name;
-          rec.nprocs = np;
-          if (plan.measure_runs() > 0) {
-            rec.comparison = compare(prog, cfg);
-            rec.measured = true;
-          } else {
-            rec.comparison.estimated = predict(prog, cfg).total;
-          }
-          report.records.push_back(std::move(rec));
+          points.push_back(Point{&machine_name, v, &problem, np});
         }
       }
     }
   }
+  report.records.resize(points.size());
 
-  report.cache = stats_ - before;
+  const auto run_point = [&](std::size_t i) {
+    const Point& pt = points[i];
+    const auto& variant = plan.variants()[pt.variant];
+
+    RunConfig cfg;
+    cfg.machine = *pt.machine;
+    cfg.nprocs = pt.nprocs;
+    if (variant.grid_rank) {
+      cfg.grid_shape = compiler::ProcGrid::factorized(pt.nprocs, *variant.grid_rank).shape;
+    }
+    cfg.bindings = pt.problem->bindings;
+    cfg.runs = plan.measure_runs();
+    cfg.predict = plan.predict_opts();
+    cfg.sim = plan.sim_opts();
+
+    RunRecord rec;
+    rec.machine = *pt.machine;
+    rec.variant = variant.name;
+    rec.problem = pt.problem->name;
+    rec.nprocs = pt.nprocs;
+    const compiler::CompiledProgram& prog = *variant_progs[pt.variant];
+    if (plan.measure_runs() > 0) {
+      rec.comparison = compare(prog, cfg);
+      rec.measured = true;
+    } else {
+      rec.comparison.estimated = predict(prog, cfg).total;
+    }
+    report.records[i] = std::move(rec);
+  };
+
+  int workers = options.workers;
+  if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());
+  workers = std::clamp<int>(workers, 1, static_cast<int>(points.size()));
+
+  if (workers == 1) {
+    // the serial path: no threads, points executed in order
+    for (std::size_t i = 0; i < points.size(); ++i) run_point(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= points.size() || failed.load()) return;
+        try {
+          run_point(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+          failed.store(true);
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  report.cache = stats_.snapshot() - before;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return report;
 }
 
+std::size_t Session::cached_programs() const {
+  std::size_t n = 0;
+  for (auto& shard : program_shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+std::size_t Session::cached_layouts() const {
+  std::size_t n = 0;
+  for (auto& shard : layout_shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    n += shard.map.size();
+  }
+  return n;
+}
+
 void Session::clear_caches() {
-  program_cache_.clear();
-  layout_cache_.clear();
+  clear_program_cache();
+  for (auto& shard : layout_shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+  }
+}
+
+void Session::clear_program_cache() {
+  for (auto& shard : program_shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+  }
 }
 
 }  // namespace hpf90d::api

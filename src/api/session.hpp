@@ -8,17 +8,30 @@
 //   * it memoizes CompiledPrograms keyed by (source hash, directive
 //     overrides, compiler options) so re-evaluating a variant never
 //     re-runs the compiler,
-//   * it memoizes DataLayouts keyed by (program, bindings, nprocs, grid
-//     shape) so repeated predict/measure calls on one configuration never
-//     re-resolve the two-level mapping,
-//   * it executes whole ExperimentPlans batched, returning a RunReport.
+//   * it memoizes DataLayouts keyed by *content* — a structural fingerprint
+//     of (directives, symbol extents, bindings, nprocs, grid shape) — so
+//     session-owned and externally owned programs share entries, and
+//     entries survive program eviction,
+//   * it executes whole ExperimentPlans batched on a worker pool (sweep
+//     points are independent), returning a RunReport whose records,
+//     ordering, estimates, and cache statistics are identical for any
+//     worker count.
+//
+// Thread safety: compile/predict/measure/compare and the caches they use
+// may be called concurrently. The caches are sharded maps; entries are
+// built under their shard lock, so every unique key misses exactly once —
+// which is what keeps RunReport cache statistics deterministic under
+// parallel execution. clear_caches() must not race with in-flight calls.
 //
 // driver::Framework remains as a thin compatibility shim over Session.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -45,6 +58,17 @@ struct RunConfig {
   int runs = 3;  // simulated "measurement" repetitions
   core::PredictOptions predict;
   sim::SimOptions sim;
+};
+
+/// Execution options for Session::run. Sweep points are independent
+/// (prediction is pure; measurement derives its noise seeds per point), so
+/// the cross product is dispatched to a pool of workers.
+struct RunOptions {
+  /// Worker threads: 0 = std::thread::hardware_concurrency, 1 = today's
+  /// serial path (no threads spawned). The RunReport's records, ordering,
+  /// estimates, and cache statistics are identical for every setting; only
+  /// wall_seconds changes.
+  int workers = 0;
 };
 
 class Session {
@@ -85,8 +109,9 @@ class Session {
   [[nodiscard]] Comparison compare(const ProgramHandle& prog, const RunConfig& config);
 
   // Overloads for externally owned programs (the driver::Framework shim
-  // hands these in). Layouts for external programs are built fresh — the
-  // session cannot tie their lifetime to its caches.
+  // hands these in). The layout cache is content-addressed, so external
+  // programs hit the same entries as session-owned ones: a structurally
+  // identical program reuses a cached layout instead of rebuilding it.
   [[nodiscard]] core::PredictionResult predict(const compiler::CompiledProgram& prog,
                                                const RunConfig& config) const;
   [[nodiscard]] sim::MeasuredResult measure(const compiler::CompiledProgram& prog,
@@ -95,29 +120,46 @@ class Session {
                                    const RunConfig& config) const;
 
   // --- batched execution ------------------------------------------------------
-  /// Executes the plan's whole cross product through the caches; the
-  /// report's cache stats cover exactly this run.
-  [[nodiscard]] RunReport run(const ExperimentPlan& plan);
+  /// Executes the plan's whole cross product through the caches on a worker
+  /// pool; the report's cache stats cover exactly this run.
+  [[nodiscard]] RunReport run(const ExperimentPlan& plan,
+                              const RunOptions& options = {});
 
-  [[nodiscard]] const CacheStats& cache_stats() const noexcept { return stats_; }
-  [[nodiscard]] std::size_t cached_programs() const noexcept {
-    return program_cache_.size();
-  }
-  [[nodiscard]] std::size_t cached_layouts() const noexcept {
-    return layout_cache_.size();
-  }
+  [[nodiscard]] CacheStats cache_stats() const noexcept { return stats_.snapshot(); }
+  [[nodiscard]] std::size_t cached_programs() const;
+  [[nodiscard]] std::size_t cached_layouts() const;
+  /// Drops programs and layouts. Not safe to call concurrently with other
+  /// session operations.
   void clear_caches();
+  /// Drops cached programs only. Layout entries are content-addressed and
+  /// self-contained, so they survive program eviction and keep serving
+  /// structurally identical programs.
+  void clear_program_cache();
 
  private:
+  /// Cache counters, atomically incremented by concurrent workers; CacheStats
+  /// snapshots are taken for reports.
+  struct AtomicCacheStats {
+    std::atomic<std::size_t> compile_hits{0};
+    std::atomic<std::size_t> compile_misses{0};
+    std::atomic<std::size_t> layout_hits{0};
+    std::atomic<std::size_t> layout_misses{0};
+
+    [[nodiscard]] CacheStats snapshot() const {
+      return {compile_hits.load(), compile_misses.load(), layout_hits.load(),
+              layout_misses.load()};
+    }
+  };
+
   [[nodiscard]] ProgramHandle compile_cached(std::string_view source,
                                              const std::vector<std::string>& overrides,
                                              const compiler::CompilerOptions& options);
-  /// Memoized layout for a session-owned program; the cache entry shares
-  /// ownership of the program so the layout's symbol-table reference stays
-  /// valid.
-  [[nodiscard]] const compiler::DataLayout& layout_for(const ProgramHandle& prog,
-                                                       const front::Bindings& bindings,
-                                                       const compiler::LayoutOptions& lo);
+  /// Memoized layout lookup by content fingerprint. The entry is built under
+  /// its shard lock (every unique key misses exactly once); the returned
+  /// reference stays valid until clear_caches().
+  [[nodiscard]] const compiler::DataLayout& layout_for(
+      const compiler::CompiledProgram& prog, const front::Bindings& bindings,
+      const compiler::LayoutOptions& lo) const;
 
   [[nodiscard]] static compiler::LayoutOptions layout_options(const RunConfig& c) {
     compiler::LayoutOptions lo;
@@ -128,14 +170,22 @@ class Session {
 
   int max_nodes_;
   MachineRegistry registry_;
-  CacheStats stats_;
+  mutable AtomicCacheStats stats_;
 
-  struct LayoutEntry {
-    ProgramHandle prog;  // keeps prog.symbols alive for the layout
-    std::unique_ptr<compiler::DataLayout> layout;
+  /// Sharded caches: each shard is an independently locked map, so worker
+  /// threads touching different keys rarely contend.
+  static constexpr std::size_t kShards = 16;
+  struct ProgramShard {
+    std::mutex mutex;
+    std::map<std::string, ProgramHandle, std::less<>> map;
   };
-  std::map<std::string, ProgramHandle, std::less<>> program_cache_;
-  std::map<std::string, LayoutEntry, std::less<>> layout_cache_;
+  struct LayoutShard {
+    std::mutex mutex;
+    // unique_ptr: entry addresses stay stable while the map rehashes/grows.
+    std::map<std::string, std::unique_ptr<compiler::DataLayout>, std::less<>> map;
+  };
+  mutable std::array<ProgramShard, kShards> program_shards_;
+  mutable std::array<LayoutShard, kShards> layout_shards_;
 };
 
 }  // namespace hpf90d::api

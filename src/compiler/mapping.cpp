@@ -147,7 +147,29 @@ front::Bindings parameter_env(const front::SymbolTable& symbols,
 DataLayout::DataLayout(const front::DirectiveSet& directives,
                        const front::SymbolTable& symbols, const front::Bindings& env,
                        const LayoutOptions& options)
-    : symbols_(symbols), env_(parameter_env(symbols, env)) {
+    : env_(parameter_env(symbols, env)) {
+  // Snapshot resolved extents for every symbol up front: the layout must
+  // not reference the symbol table after construction (content-addressed
+  // cache entries outlive the programs they were built from).
+  extents_.reserve(symbols.size());
+  for (const auto& sym : symbols.symbols()) {
+    SymbolExtents se;
+    se.name = sym.name;
+    std::vector<long long> dims;
+    dims.reserve(sym.dims.size());
+    bool resolved = true;
+    for (const auto& d : sym.dims) {
+      try {
+        dims.push_back(front::fold_int(*d, env_));
+      } catch (const CompileError&) {
+        resolved = false;
+        break;
+      }
+    }
+    if (resolved) se.dims = std::move(dims);
+    extents_.push_back(std::move(se));
+  }
+
   // --- resolve templates ---------------------------------------------------
   struct ResolvedTemplate {
     std::string name;
@@ -229,11 +251,11 @@ DataLayout::DataLayout(const front::DirectiveSet& directives,
 
   // --- apply ALIGN: build per-array maps ---------------------------------------
   for (const auto& a : directives.aligns) {
-    const int sym_id = symbols_.find(a.array);
-    if (sym_id < 0 || symbols_.at(sym_id).kind != front::SymbolKind::Array) {
+    const int sym_id = symbols.find(a.array);
+    if (sym_id < 0 || symbols.at(sym_id).kind != front::SymbolKind::Array) {
       throw CompileError(a.loc, "ALIGN of undeclared array '" + a.array + "'");
     }
-    const front::Symbol& sym = symbols_.at(sym_id);
+    const front::Symbol& sym = symbols.at(sym_id);
     const int ti = find_template(a.target);
     if (ti < 0) {
       throw CompileError(a.loc, "ALIGN target '" + a.target + "' is not a TEMPLATE");
@@ -292,11 +314,12 @@ void DataLayout::add_alias(int temp_symbol, int like_symbol, std::string name) {
 }
 
 std::vector<long long> DataLayout::array_extents(int symbol) const {
-  const front::Symbol& sym = symbols_.at(symbol);
-  std::vector<long long> out;
-  out.reserve(sym.dims.size());
-  for (const auto& d : sym.dims) out.push_back(front::fold_int(*d, env_));
-  return out;
+  const SymbolExtents& se = extents_.at(static_cast<std::size_t>(symbol));
+  if (!se.dims) {
+    throw CompileError({}, "extents of '" + se.name +
+                               "' are not resolvable in this configuration");
+  }
+  return *se.dims;
 }
 
 std::string DataLayout::ownership_picture(int symbol, int cell_rows, int cell_cols) const {

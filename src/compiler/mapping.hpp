@@ -99,6 +99,13 @@ struct LayoutOptions {
 };
 
 /// Resolved mapping for every distributed array in a program.
+///
+/// A DataLayout is self-contained: construction snapshots everything it
+/// needs from the symbol table (resolved array extents), so a layout stays
+/// valid after the program it was built from is destroyed. That is what
+/// lets the session cache layouts by *content* (structural fingerprint)
+/// rather than by program identity, and lets cached entries survive
+/// program eviction.
 class DataLayout {
  public:
   DataLayout(const front::DirectiveSet& directives, const front::SymbolTable& symbols,
@@ -118,7 +125,9 @@ class DataLayout {
   [[nodiscard]] const std::vector<ArrayMap>& maps() const noexcept { return maps_; }
 
   /// Resolved extents (from declarations) for any array symbol, mapped or
-  /// not; used by the simulator's storage allocator.
+  /// not; used by the simulator's storage allocator. Throws
+  /// support::CompileError when the symbol's extents did not resolve under
+  /// this configuration's bindings.
   [[nodiscard]] std::vector<long long> array_extents(int symbol) const;
 
   /// Renders an ownership picture of a 2-D array for documentation and the
@@ -127,11 +136,19 @@ class DataLayout {
                                               int cell_cols = 8) const;
 
  private:
-  const front::SymbolTable& symbols_;
+  /// Per-symbol extent snapshot (index = symbol id). `dims` is nullopt when
+  /// the declaration's extent expressions were not resolvable against this
+  /// configuration's environment.
+  struct SymbolExtents {
+    std::string name;
+    std::optional<std::vector<long long>> dims;
+  };
+
   front::Bindings env_;
   ProcGrid grid_;
   std::vector<ArrayMap> maps_;
   std::vector<std::string> template_names_;
+  std::vector<SymbolExtents> extents_;
 };
 
 }  // namespace hpf90d::compiler

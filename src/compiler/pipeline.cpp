@@ -15,8 +15,10 @@ CompiledProgram compile(std::string_view source, const CompilerOptions& options)
   front::DirectiveSet directives = front::parse_directives(ast.raw_directives);
   normalize(ast, symbols);
   std::string name = ast.name;
-  return lower_program(std::move(name), std::move(ast), std::move(symbols),
-                       std::move(directives), options);
+  CompiledProgram prog = lower_program(std::move(name), std::move(ast),
+                                       std::move(symbols), std::move(directives), options);
+  prog.structure_fingerprint = structure_fingerprint(prog);
+  return prog;
 }
 
 CompiledProgram compile_with_directives(std::string_view source,
@@ -55,8 +57,10 @@ CompiledProgram compile_with_directives(std::string_view source,
   front::DirectiveSet directives = front::parse_directives(ast.raw_directives);
   normalize(ast, symbols);
   std::string name = ast.name;
-  return lower_program(std::move(name), std::move(ast), std::move(symbols),
-                       std::move(directives), options);
+  CompiledProgram prog = lower_program(std::move(name), std::move(ast),
+                                       std::move(symbols), std::move(directives), options);
+  prog.structure_fingerprint = structure_fingerprint(prog);
+  return prog;
 }
 
 DataLayout make_layout(const CompiledProgram& prog, const front::Bindings& bindings,
@@ -66,6 +70,96 @@ DataLayout make_layout(const CompiledProgram& prog, const front::Bindings& bindi
     layout.add_alias(temp, like, prog.symbols.at(temp).name);
   }
   return layout;
+}
+
+namespace {
+
+/// Serializes one expression for the fingerprint. Expr::str() renders
+/// round-trippable Fortran-ish text, which captures the structure (names,
+/// operators, literals) that extent resolution depends on.
+void fp_expr(std::string& out, const front::ExprPtr& e) {
+  out += e ? e->str() : std::string("~");
+  out += '\x1e';
+}
+
+}  // namespace
+
+std::string structure_fingerprint(const CompiledProgram& prog) {
+  std::string fp;
+  fp.reserve(512);
+
+  // directives
+  for (const auto& p : prog.directives.processors) {
+    fp += "proc:" + p.name + '\x1f';
+    for (const auto& e : p.extents) fp_expr(fp, e);
+  }
+  for (const auto& t : prog.directives.templates) {
+    fp += "tmpl:" + t.name + '\x1f';
+    for (const auto& e : t.extents) fp_expr(fp, e);
+  }
+  for (const auto& a : prog.directives.aligns) {
+    fp += "align:" + a.array + '\x1f' + a.target + '\x1f';
+    for (const auto& d : a.dummies) fp += d + ",";
+    for (const auto& s : a.target_subs) {
+      fp += support::strfmt("(%d%+lld%d)", s.dummy, s.offset, s.star ? 1 : 0);
+    }
+    fp += '\x1e';
+  }
+  for (const auto& d : prog.directives.distributes) {
+    fp += "dist:" + d.target + '\x1f' + d.onto + '\x1f';
+    for (const auto k : d.pattern) fp += front::dist_kind_name(k);
+    fp += '\x1e';
+  }
+  fp += '\x1d';
+
+  // symbols: ids are positional, so the table is serialized in order.
+  // Kind, type, and extent expressions cover everything the layout snapshot
+  // resolves; PARAMETER defining expressions cover the extent environment.
+  for (const auto& sym : prog.symbols.symbols()) {
+    fp += sym.name;
+    fp += support::strfmt(":%d:%d:", static_cast<int>(sym.kind),
+                          static_cast<int>(sym.type));
+    for (const auto& d : sym.dims) fp_expr(fp, d);
+    if (sym.param_value) fp_expr(fp, sym.param_value);
+    fp += '\x1e';
+  }
+  fp += '\x1d';
+
+  // shift-temporary aliases replayed by make_layout
+  for (const auto& [temp, like] : prog.temp_aliases) {
+    fp += support::strfmt("%d~%d;", temp, like);
+  }
+  return fp;
+}
+
+std::string layout_fingerprint(const CompiledProgram& prog,
+                               const front::Bindings& bindings,
+                               const LayoutOptions& options) {
+  std::string fp;
+  fp.reserve(prog.structure_fingerprint.size() + 128);
+
+  // layout options
+  fp += "P=" + std::to_string(options.nprocs);
+  if (options.grid_shape) {
+    fp += ":g";
+    for (int s : *options.grid_shape) fp += std::to_string(s) + "x";
+  }
+  fp += '\x1d';
+
+  // bindings (map iteration is name-sorted, so the order is canonical)
+  for (const auto& [name, value] : bindings.values()) {
+    fp += name;
+    fp += '=';
+    fp += support::strfmt("%.17g", value);
+    fp += '\x1e';
+  }
+  fp += '\x1d';
+
+  // program structure: precomputed by the pipeline; recomputed only for
+  // hand-built programs that never went through compile()
+  fp += prog.structure_fingerprint.empty() ? structure_fingerprint(prog)
+                                           : prog.structure_fingerprint;
+  return fp;
 }
 
 }  // namespace hpf90d::compiler

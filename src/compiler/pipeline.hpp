@@ -35,4 +35,21 @@ namespace hpf90d::compiler {
                                      const front::Bindings& bindings,
                                      const LayoutOptions& options);
 
+/// Serializes the layout-relevant program structure: the directive set,
+/// every symbol's kind/type/extent expressions, and the shift-temporary
+/// aliases. compile() stores the result in
+/// CompiledProgram::structure_fingerprint so per-lookup fingerprints are
+/// cheap.
+[[nodiscard]] std::string structure_fingerprint(const CompiledProgram& prog);
+
+/// Structural fingerprint of everything `make_layout` consumes: the
+/// program structure (see structure_fingerprint) plus the bindings and the
+/// layout options. Two programs with equal fingerprints produce
+/// interchangeable layouts, even when compiled separately — this is the
+/// session's content-addressed layout-cache key, so externally owned
+/// programs share cache entries with session-owned ones.
+[[nodiscard]] std::string layout_fingerprint(const CompiledProgram& prog,
+                                             const front::Bindings& bindings,
+                                             const LayoutOptions& options);
+
 }  // namespace hpf90d::compiler

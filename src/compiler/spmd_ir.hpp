@@ -145,6 +145,11 @@ struct CompiledProgram {
   /// replays these as aliases when a configuration is resolved.
   std::vector<std::pair<int, int>> temp_aliases;
   int node_count = 0;
+  /// Serialization of the layout-relevant structure (directives, symbols,
+  /// temp aliases), filled by the pipeline so layout_fingerprint need not
+  /// re-walk the program on every cache lookup. Empty for hand-built
+  /// programs; layout_fingerprint then computes it on the fly.
+  std::string structure_fingerprint;
 
   [[nodiscard]] std::string str() const { return root ? root->str() : std::string{}; }
 };

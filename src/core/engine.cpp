@@ -508,8 +508,19 @@ PredictionResult predict(const compiler::CompiledProgram& prog,
                          const compiler::LayoutOptions& layout_options,
                          const machine::MachineModel& machine,
                          const PredictOptions& options) {
+  // Check critical variables before layout resolution so missing bindings
+  // surface as the curated diagnostic, not a raw extent-fold error.
   require_critical_complete(prog, bindings);
   const compiler::DataLayout layout = compiler::make_layout(prog, bindings, layout_options);
+  return predict(prog, bindings, layout, machine, options);
+}
+
+PredictionResult predict(const compiler::CompiledProgram& prog,
+                         const front::Bindings& bindings,
+                         const compiler::DataLayout& layout,
+                         const machine::MachineModel& machine,
+                         const PredictOptions& options) {
+  require_critical_complete(prog, bindings);
   InterpretationEngine engine(prog, layout, machine, options, bindings);
   return engine.interpret();
 }

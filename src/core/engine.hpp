@@ -133,4 +133,13 @@ void require_critical_complete(const compiler::CompiledProgram& prog,
                                        const machine::MachineModel& machine,
                                        const PredictOptions& options = {});
 
+/// Same, against a prebuilt layout (the session's content-addressed cache
+/// path). Pure: reads the program, layout, and machine without mutating
+/// shared state, so concurrent calls over the same arguments are safe.
+[[nodiscard]] PredictionResult predict(const compiler::CompiledProgram& prog,
+                                       const front::Bindings& bindings,
+                                       const compiler::DataLayout& layout,
+                                       const machine::MachineModel& machine,
+                                       const PredictOptions& options = {});
+
 }  // namespace hpf90d::core

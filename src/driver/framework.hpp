@@ -31,6 +31,10 @@ class Framework {
     return session_.machine("ipsc860");
   }
 
+  /// The underlying experiment session (registry, caches, statistics).
+  [[nodiscard]] api::Session& session() noexcept { return session_; }
+  [[nodiscard]] const api::Session& session() const noexcept { return session_; }
+
   /// Phase 1: compilation. CompiledProgram is move-only, so the historical
   /// by-value surface cannot hand out the session's cached programs; it
   /// compiles fresh. Use api::Session::compile for memoized handles.

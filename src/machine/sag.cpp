@@ -10,6 +10,10 @@ int SystemAbstractionGraph::add_unit(SAU sau, int parent) {
   return id;
 }
 
+void SystemAbstractionGraph::replace_unit(int index, SAU sau) {
+  units_.at(static_cast<std::size_t>(index)).sau = std::move(sau);
+}
+
 int SystemAbstractionGraph::find(std::string_view name) const {
   for (std::size_t i = 0; i < units_.size(); ++i) {
     if (units_[i].sau.name == name) return static_cast<int>(i);

@@ -23,6 +23,10 @@ class SystemAbstractionGraph {
   /// Adds a SAU; parent = -1 for the root. Returns the unit's index.
   int add_unit(SAU sau, int parent);
 
+  /// Replaces the SAU at `index`, keeping its place in the hierarchy (used
+  /// by parameterized abstractions that derive from a calibrated SAG).
+  void replace_unit(int index, SAU sau);
+
   [[nodiscard]] const SAU& unit(int index) const { return units_.at(static_cast<std::size_t>(index)).sau; }
   [[nodiscard]] int parent_of(int index) const { return units_.at(static_cast<std::size_t>(index)).parent; }
   [[nodiscard]] std::size_t size() const noexcept { return units_.size(); }

@@ -1,0 +1,33 @@
+// whatif.hpp — a parameterized "what-if" machine abstraction (paper §7:
+// "exploiting its potential as a system design evaluation tool").
+//
+// The SAG methodology makes design evaluation a matter of editing SAU
+// parameters: "what if the interconnect had a quarter of the latency?"
+// becomes a factory knob rather than new hardware. make_whatif scales the
+// calibrated iPSC/860 abstraction's communication and processing
+// parameters, so sweeps can bracket a design space ("2x bandwidth",
+// "10x latency", "4x faster nodes") against the real testbed.
+#pragma once
+
+#include "machine/sag.hpp"
+
+namespace hpf90d::machine {
+
+/// Scale knobs applied on top of the calibrated iPSC/860 SAU parameters.
+/// All default to 1.0 (= the stock cube).
+struct WhatIfParams {
+  /// Multiplies message setup costs (latency_short/latency_long/per_hop and
+  /// the collective library's per-stage setup). 0.5 = twice as responsive.
+  double latency_scale = 1.0;
+  /// Divides per-byte transfer and packing costs. 2.0 = double bandwidth.
+  double bandwidth_scale = 1.0;
+  /// Divides every processing-component cost. 2.0 = nodes twice as fast.
+  double cpu_scale = 1.0;
+};
+
+/// Builds an iPSC/860-derived abstraction with `params` applied to every
+/// SAU carrying communication or processing parameters. Throws
+/// std::invalid_argument for non-positive scales.
+[[nodiscard]] MachineModel make_whatif(int nodes, const WhatIfParams& params = {});
+
+}  // namespace hpf90d::machine

@@ -1,14 +1,19 @@
 // Experiment-session API tests: machine registry lookup (including the
 // unknown-name error path), compilation/layout cache behaviour across an
-// ExperimentPlan sweep, RunReport CSV export round-trip, and the
-// driver::Framework compatibility shim.
+// ExperimentPlan sweep, content-addressed layout sharing with externally
+// owned programs, worker-pool determinism, RunReport CSV export/diff, and
+// the driver::Framework compatibility shim.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <thread>
 
 #include "api/api.hpp"
 #include "driver/framework.hpp"
 #include "machine/ipsc860.hpp"
+#include "machine/whatif.hpp"
 #include "suite/suite.hpp"
 
 namespace hpf90d {
@@ -20,7 +25,9 @@ TEST(MachineRegistry, BuiltinsRegistered) {
   api::MachineRegistry registry;
   EXPECT_TRUE(registry.contains("ipsc860"));
   EXPECT_TRUE(registry.contains("cluster"));
-  EXPECT_EQ(registry.names(), (std::vector<std::string>{"cluster", "ipsc860"}));
+  EXPECT_TRUE(registry.contains("whatif"));
+  EXPECT_EQ(registry.names(),
+            (std::vector<std::string>{"cluster", "ipsc860", "whatif"}));
   EXPECT_FALSE(registry.description("ipsc860").empty());
 
   const machine::MachineModel& cube = registry.get("ipsc860", 8);
@@ -60,6 +67,70 @@ TEST(MachineRegistry, CustomMachineRegistersAndReplaces) {
   registry.register_machine("slowcube",
                             [](int nodes) { return machine::make_ipsc860(2 * nodes); });
   EXPECT_EQ(registry.get("slowcube", 4).max_nodes, 8);
+}
+
+TEST(MachineRegistry, FactoryMayComposeFromRegistry) {
+  // a user factory may call back into the registry (the lock is recursive)
+  api::MachineRegistry registry;
+  registry.register_machine("composed", [&registry](int nodes) {
+    machine::MachineModel m = registry.get("ipsc860", nodes);
+    m.sag.replace_unit(0, machine::SAU{});
+    return m;
+  });
+  EXPECT_EQ(registry.get("composed", 4).max_nodes, 4);
+}
+
+TEST(MachineRegistry, WhatIfKnobsScaleTheCube) {
+  api::MachineRegistry registry;
+  // unity knobs reproduce the calibrated cube's parameters
+  const auto& stock = registry.get("ipsc860", 4);
+  const auto& unity = registry.get("whatif", 4);
+  EXPECT_DOUBLE_EQ(unity.node().comm.latency_short, stock.node().comm.latency_short);
+  EXPECT_DOUBLE_EQ(unity.node().proc.t_fadd, stock.node().proc.t_fadd);
+
+  machine::WhatIfParams params;
+  params.latency_scale = 0.25;
+  params.bandwidth_scale = 2.0;
+  params.cpu_scale = 4.0;
+  registry.register_whatif("dream_cube", params, "what the cube could be");
+  const auto& dream = registry.get("dream_cube", 4);
+  EXPECT_DOUBLE_EQ(dream.node().comm.latency_short,
+                   0.25 * stock.node().comm.latency_short);
+  EXPECT_DOUBLE_EQ(dream.node().comm.per_byte, stock.node().comm.per_byte / 2.0);
+  EXPECT_DOUBLE_EQ(dream.node().proc.t_fadd, stock.node().proc.t_fadd / 4.0);
+
+  machine::WhatIfParams bad;
+  bad.latency_scale = 0;
+  EXPECT_THROW(registry.register_whatif("bad", bad), std::invalid_argument);
+}
+
+TEST(MachineRegistry, WhatIfSweepTellsTheDesignStory) {
+  // paper section 7: evaluate a design change by interpretation alone — a
+  // cube with 4x the communication latency must predict slower comm-bound
+  // runs, and a latency-free-ish cube faster ones.
+  api::Session session;
+  machine::WhatIfParams slow;
+  slow.latency_scale = 4.0;
+  session.machines().register_whatif("slow_net", slow);
+  machine::WhatIfParams fast;
+  fast.latency_scale = 0.1;
+  session.machines().register_whatif("fast_net", fast);
+
+  const auto& app = suite::app("laplace_bx");
+  api::ExperimentPlan plan("what-if latency");
+  plan.source(app.source)
+      .machines({"fast_net", "ipsc860", "slow_net"})
+      .nprocs({4})
+      .add_variant(app.name, app.directive_overrides)
+      .add_problem("n=64", app.bindings(64))
+      .runs(0);
+  const api::RunReport report = session.run(plan);
+  ASSERT_EQ(report.records.size(), 3u);
+  const double fast_t = report.records[0].comparison.estimated;
+  const double stock_t = report.records[1].comparison.estimated;
+  const double slow_t = report.records[2].comparison.estimated;
+  EXPECT_LT(fast_t, stock_t);
+  EXPECT_LT(stock_t, slow_t);
 }
 
 // --- session caches -----------------------------------------------------------
@@ -120,6 +191,169 @@ TEST(Session, LayoutsAreMemoizedPerConfiguration) {
   session.clear_caches();
   EXPECT_EQ(session.cached_programs(), 0u);
   EXPECT_EQ(session.cached_layouts(), 0u);
+}
+
+TEST(Session, LayoutCacheIsContentAddressed) {
+  // Two externally owned programs compiled from the same source are
+  // structurally identical, so they share one content-addressed layout
+  // entry — no session-owned handle involved at all.
+  api::Session session;
+  const auto& app = suite::app("laplace_bx");
+  const compiler::CompiledProgram ext1 =
+      compiler::compile_with_directives(app.source, app.directive_overrides);
+  const compiler::CompiledProgram ext2 =
+      compiler::compile_with_directives(app.source, app.directive_overrides);
+
+  api::RunConfig cfg;
+  cfg.nprocs = 4;
+  cfg.bindings = app.bindings(64);
+
+  const double t1 = session.predict(ext1, cfg).total;
+  EXPECT_EQ(session.cache_stats().layout_misses, 1u);
+  const double t2 = session.predict(ext2, cfg).total;
+  EXPECT_EQ(session.cache_stats().layout_misses, 1u);
+  EXPECT_EQ(session.cache_stats().layout_hits, 1u);
+  EXPECT_EQ(t1, t2);
+
+  // a session-owned handle of the same source hits the same entry
+  const auto owned = session.compile_with_directives(app.source, app.directive_overrides);
+  EXPECT_EQ(session.predict(owned, cfg).total, t1);
+  EXPECT_EQ(session.cache_stats().layout_misses, 1u);
+  EXPECT_EQ(session.cache_stats().layout_hits, 2u);
+
+  // different bindings are a different configuration
+  cfg.bindings = app.bindings(128);
+  (void)session.predict(ext1, cfg);
+  EXPECT_EQ(session.cache_stats().layout_misses, 2u);
+}
+
+TEST(Session, LayoutEntriesSurviveProgramEviction) {
+  api::Session session;
+  const auto& app = suite::app("pi");
+  api::RunConfig cfg;
+  cfg.nprocs = 4;
+  cfg.bindings = app.bindings(256);
+
+  {
+    const auto prog = session.compile(app.source);
+    (void)session.predict(prog, cfg);
+  }
+  EXPECT_EQ(session.cache_stats().layout_misses, 1u);
+
+  // evict every program; layouts are self-contained and stay usable
+  session.clear_program_cache();
+  EXPECT_EQ(session.cached_programs(), 0u);
+  EXPECT_EQ(session.cached_layouts(), 1u);
+
+  // a freshly compiled external program still hits the surviving entry
+  const compiler::CompiledProgram ext = compiler::compile(app.source);
+  (void)session.predict(ext, cfg);
+  EXPECT_EQ(session.cache_stats().layout_misses, 1u);
+  EXPECT_GE(session.cache_stats().layout_hits, 1u);
+}
+
+TEST(Session, FrameworkSweepHitsTheLayoutCache) {
+  // The driver::Framework path hands in externally owned programs; with
+  // content-addressed keys a repeated sweep must be layout-cache-served.
+  driver::Framework framework;
+  const auto& app = suite::app("pi");
+  const auto prog = framework.compile(app.source);
+
+  driver::ExperimentConfig cfg;
+  cfg.nprocs = 4;
+  cfg.bindings = app.bindings(256);
+  cfg.runs = 1;
+
+  std::size_t hits_after_first = 0;
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (int np : {1, 2, 4}) {
+      cfg.nprocs = np;
+      (void)framework.compare(prog, cfg);
+    }
+    if (sweep == 0) hits_after_first = framework.session().cache_stats().layout_hits;
+  }
+  const api::CacheStats stats = framework.session().cache_stats();
+  EXPECT_EQ(stats.layout_misses, 3u);  // one per processor count
+  EXPECT_GT(stats.layout_hits, hits_after_first);  // second sweep fully served
+  EXPECT_GT(stats.layout_hits, 0u);
+}
+
+// --- parallel execution -------------------------------------------------------
+
+api::ExperimentPlan determinism_plan() {
+  const auto& app = suite::app("laplace_bb");
+  api::ExperimentPlan plan("determinism");
+  plan.source(app.source)
+      .machines({"ipsc860", "cluster"})
+      .nprocs({1, 2, 4})
+      .add_variant("(block,block)", suite::app("laplace_bb").directive_overrides, 2)
+      .add_variant("(block,*)", suite::app("laplace_bx").directive_overrides)
+      .problems_from({16, 32}, app.bindings)
+      .runs(2);
+  return plan;
+}
+
+TEST(Session, RunReportIsIdenticalForAnyWorkerCount) {
+  const api::ExperimentPlan plan = determinism_plan();
+
+  api::Session serial_session;
+  api::RunOptions serial;
+  serial.workers = 1;
+  const api::RunReport a = serial_session.run(plan, serial);
+
+  api::Session parallel_session;
+  api::RunOptions pool;
+  pool.workers = 8;
+  const api::RunReport b = parallel_session.run(plan, pool);
+
+  // records, ordering, and every estimate/measurement agree byte-for-byte
+  EXPECT_EQ(a.csv(), b.csv());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].comparison.estimated, b.records[i].comparison.estimated);
+    EXPECT_EQ(a.records[i].comparison.measured_mean,
+              b.records[i].comparison.measured_mean);
+    EXPECT_EQ(a.records[i].comparison.measured_stddev,
+              b.records[i].comparison.measured_stddev);
+  }
+  // cache statistics are deterministic too: entries are built under their
+  // shard lock, so every unique key misses exactly once
+  EXPECT_EQ(a.cache.compile_hits, b.cache.compile_hits);
+  EXPECT_EQ(a.cache.compile_misses, b.cache.compile_misses);
+  EXPECT_EQ(a.cache.layout_hits, b.cache.layout_hits);
+  EXPECT_EQ(a.cache.layout_misses, b.cache.layout_misses);
+}
+
+TEST(Session, ConcurrentSessionUseIsSafe) {
+  // ThreadSanitizer smoke: many threads compile the same sources and
+  // predict overlapping configurations through one session.
+  api::Session session;
+  const auto& pi = suite::app("pi");
+  const auto& lap = suite::app("laplace_bx");
+
+  std::atomic<int> failures{0};
+  const auto hammer = [&](int tid) {
+    try {
+      for (int round = 0; round < 3; ++round) {
+        const auto prog = tid % 2 == 0
+                              ? session.compile(pi.source)
+                              : session.compile_with_directives(lap.source,
+                                                                lap.directive_overrides);
+        api::RunConfig cfg;
+        cfg.nprocs = 1 << (tid % 3);
+        cfg.bindings = tid % 2 == 0 ? pi.bindings(256) : lap.bindings(32);
+        if (session.predict(prog, cfg).total <= 0) ++failures;
+        (void)session.machine(tid % 2 == 0 ? "ipsc860" : "cluster");
+      }
+    } catch (...) {
+      ++failures;
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) threads.emplace_back(hammer, t);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(session.cached_programs(), 2u);
 }
 
 // --- experiment plans ---------------------------------------------------------
@@ -215,6 +449,22 @@ TEST(ExperimentPlan, PredictOnlySweep) {
   EXPECT_EQ(report.best_estimated()->nprocs, 4);  // pi scales on the cube
 }
 
+TEST(ExperimentPlan, ProblemsFromGeneratesLabelledCases) {
+  const auto& app = suite::app("pi");
+  api::ExperimentPlan plan("generated problems");
+  plan.source(app.source).problems_from({16, 256}, app.bindings);
+  ASSERT_EQ(plan.problems().size(), 2u);
+  EXPECT_EQ(plan.problems()[0].name, "n=16");
+  EXPECT_EQ(plan.problems()[1].name, "n=256");
+  EXPECT_EQ(plan.problems()[0].bindings.get("n"), app.bindings(16).get("n"));
+
+  api::ExperimentPlan custom("custom prefix");
+  custom.source(app.source).problems_from({8}, app.bindings, "particles=");
+  EXPECT_EQ(custom.problems()[0].name, "particles=8");
+
+  EXPECT_THROW(plan.problems_from({1}, nullptr), std::invalid_argument);
+}
+
 // --- run report export --------------------------------------------------------
 
 TEST(RunReport, CsvRoundTrip) {
@@ -257,6 +507,63 @@ TEST(RunReport, CsvRejectsMalformedInput) {
   EXPECT_THROW((void)api::RunReport::from_csv(good + "short,row\n"),
                std::invalid_argument);
   EXPECT_NO_THROW((void)api::RunReport::from_csv(good));
+}
+
+TEST(RunReport, DiffTracksPerPointEstimatedDeltas) {
+  api::Session session;
+  const auto& app = suite::app("pi");
+  api::ExperimentPlan plan("diff base");
+  plan.source(app.source).nprocs({1, 4}).problems_from({256}, app.bindings).runs(0);
+  const api::RunReport before = session.run(plan);
+
+  // identical runs diff to zero everywhere
+  const api::ReportDiff same = api::RunReport::diff(before, session.run(plan));
+  ASSERT_EQ(same.records.size(), 2u);
+  EXPECT_EQ(same.worst_delta_pct(), 0.0);
+  EXPECT_EQ(same.only_before, 0u);
+  EXPECT_EQ(same.only_after, 0u);
+
+  // a perturbed copy shows signed per-point deltas
+  api::RunReport after = before;
+  after.records[0].comparison.estimated *= 1.10;  // 10% regression
+  after.records[1].comparison.estimated *= 0.50;  // 2x improvement
+  const api::ReportDiff diff = api::RunReport::diff(before, after);
+  ASSERT_EQ(diff.records.size(), 2u);
+  EXPECT_NEAR(diff.records[0].delta_pct(), 10.0, 1e-9);
+  EXPECT_NEAR(diff.records[1].delta_pct(), -50.0, 1e-9);
+  EXPECT_GT(diff.records[0].delta(), 0.0);
+  EXPECT_LT(diff.records[1].delta(), 0.0);
+  EXPECT_NEAR(diff.worst_delta_pct(), 50.0, 1e-9);
+
+  // csv export carries the header and one row per matched point
+  const std::string csv = diff.csv();
+  EXPECT_NE(csv.find("estimated_before"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(diff.ascii().find("worst delta"), std::string::npos);
+
+  // unmatched points are counted, not diffed
+  after.records.pop_back();
+  api::RunRecord extra;
+  extra.machine = "cluster";
+  extra.variant = "v";
+  extra.problem = "n=1";
+  extra.nprocs = 2;
+  after.records.push_back(extra);
+  const api::ReportDiff partial = api::RunReport::diff(before, after);
+  EXPECT_EQ(partial.records.size(), 1u);
+  EXPECT_EQ(partial.only_before, 1u);
+  EXPECT_EQ(partial.only_after, 1u);
+
+  // duplicate keys (possible in hand-edited CSVs) are consumed pairwise;
+  // the surplus is counted, never silently dropped
+  api::RunReport dup = before;
+  dup.records.push_back(before.records[0]);
+  const api::ReportDiff surplus = api::RunReport::diff(before, dup);
+  EXPECT_EQ(surplus.records.size(), 2u);
+  EXPECT_EQ(surplus.only_after, 1u);
+  const api::ReportDiff deficit = api::RunReport::diff(dup, before);
+  EXPECT_EQ(deficit.records.size(), 2u);
+  EXPECT_EQ(deficit.only_before, 1u);
 }
 
 // --- driver::Framework compatibility shim -------------------------------------
