@@ -1,0 +1,166 @@
+// bench_sweep — Google-benchmark harness for the sweep execution core.
+//
+// The paper's §7 design studies run thousands of what-if points through the
+// interpretation engine; this harness pins down the tool-side throughput of
+// exactly that loop (predict-only sweep points through Session::run) along
+// the axes this repo has been optimizing:
+//
+//   * cold vs warm caches   — first-contact compile/layout cost vs the
+//                             steady state a long-lived sweep service sees,
+//   * serial vs worker pool — RunOptions::workers,
+//   * engine arenas on/off  — RunOptions::reuse_engines; "off" is PR 2's
+//                             per-point engine construction, kept as the
+//                             baseline the arena path is measured against,
+//   * bounded layout store  — RunOptions::layout_cache_capacity under
+//                             eviction pressure.
+//
+// Note on baselines: the `per_point` variants re-enact PR 2's control flow
+// (fresh engines per point, per-point critical-variable checks, two layout
+// lookups per measured point) but still benefit from this PR's engine-
+// internal work (exception-free value probing, cached op counts,
+// precomputed coords), so they UNDERSTATE the delta. The acceptance
+// comparison against the real pre-PR binary is recorded in the committed
+// BENCH_sweep.json context (pre_pr_baseline_us_per_point) and in the
+// README's sweep-performance table. BM_ArenaSpeedup reports the in-tree
+// arena-vs-per-point ratio as the `speedup` counter.
+//
+// Run:  bench_sweep --benchmark_out=BENCH_sweep.json --benchmark_out_format=json
+// (the harness injects those flags itself when none are given, so a bare
+// `bench_sweep` also leaves BENCH_sweep.json behind; SWEEP_POINTS in the
+// environment scales the plan for smoke runs, default 1000).
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "suite/suite.hpp"
+
+namespace {
+
+using namespace hpf90d;
+
+long long sweep_points() {
+  if (const char* v = std::getenv("SWEEP_POINTS")) {
+    const long long n = std::atoll(v);
+    if (n >= 4) return n;
+  }
+  return 1000;
+}
+
+/// Predict-only plan with `points` sweep points: pi (pure forall + global
+/// sum, no data-dependent control flow — the interpretation itself is
+/// analytic, so the per-point framework overhead is what dominates) across
+/// distinct problem sizes x {1,2,4,8} processors. Every point is a distinct
+/// layout-cache key.
+api::ExperimentPlan sweep_plan(long long points) {
+  const auto& app = suite::app("pi");
+  const long long problems = (points + 3) / 4;
+  std::vector<long long> sizes;
+  sizes.reserve(static_cast<std::size_t>(problems));
+  for (long long i = 0; i < problems; ++i) sizes.push_back(16 + 4 * i);
+  api::ExperimentPlan plan("sweep throughput");
+  plan.source(app.source).nprocs({1, 2, 4, 8}).problems_from(sizes, app.bindings).runs(0);
+  return plan;
+}
+
+api::RunOptions options(int workers, bool arenas) {
+  api::RunOptions opts;
+  opts.workers = workers;
+  opts.reuse_engines = arenas;
+  return opts;
+}
+
+/// Shared warmed session: one full pass populates the compile cache and the
+/// content-addressed layout store, so warm benchmarks measure pure sweep
+/// execution.
+api::Session& warm_session(const api::ExperimentPlan& plan) {
+  static api::Session session;
+  static bool warmed = false;
+  if (!warmed) {
+    (void)session.run(plan, options(1, true));
+    warmed = true;
+  }
+  return session;
+}
+
+void BM_ColdSweep_serial(benchmark::State& state) {
+  const api::ExperimentPlan plan = sweep_plan(sweep_points());
+  for (auto _ : state) {
+    api::Session session;  // cold: compiles + builds every layout
+    benchmark::DoNotOptimize(session.run(plan, options(1, true)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.point_count()));
+}
+BENCHMARK(BM_ColdSweep_serial)->Unit(benchmark::kMillisecond);
+
+void BM_WarmSweep(benchmark::State& state, int workers, bool arenas) {
+  const api::ExperimentPlan plan = sweep_plan(sweep_points());
+  api::Session& session = warm_session(plan);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.run(plan, options(workers, arenas)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.point_count()));
+}
+BENCHMARK_CAPTURE(BM_WarmSweep, serial_arena, 1, true)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WarmSweep, serial_per_point, 1, false)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WarmSweep, pooled4_arena, 4, true)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WarmSweep, pooled4_per_point, 4, false)->Unit(benchmark::kMillisecond);
+
+void BM_WarmSweep_pooled4_arena_lru256(benchmark::State& state) {
+  // Eviction pressure: 1000 distinct layouts through a 256-entry bound —
+  // every point rebuilds its layout, the worst case for the LRU path.
+  const api::ExperimentPlan plan = sweep_plan(sweep_points());
+  api::Session session;
+  api::RunOptions opts = options(4, true);
+  opts.layout_cache_capacity = 256;
+  (void)session.run(plan, opts);  // warm the compile cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.run(plan, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.point_count()));
+}
+BENCHMARK(BM_WarmSweep_pooled4_arena_lru256)->Unit(benchmark::kMillisecond);
+
+void BM_ArenaSpeedup_pooled4(benchmark::State& state) {
+  // The acceptance ratio, measured back to back on the same warm session:
+  // per-point engines (PR 2's hot path) vs per-worker arenas.
+  const api::ExperimentPlan plan = sweep_plan(sweep_points());
+  api::Session& session = warm_session(plan);
+  double arena_s = 0, per_point_s = 0;
+  for (auto _ : state) {
+    per_point_s += session.run(plan, options(4, false)).wall_seconds;
+    arena_s += session.run(plan, options(4, true)).wall_seconds;
+  }
+  state.counters["speedup"] = per_point_s / arena_s;
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          static_cast<int64_t>(plan.point_count()));
+}
+BENCHMARK(BM_ArenaSpeedup_pooled4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default to leaving BENCH_sweep.json behind so every invocation records
+  // the perf trajectory; explicit --benchmark_out wins.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_sweep.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

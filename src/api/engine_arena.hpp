@@ -1,0 +1,56 @@
+// engine_arena.hpp — per-worker reusable execution state for sweep runs.
+//
+// PR 2's worker pool still constructed a fresh InterpretationEngine (and,
+// for measured points, one Executor per simulated run) at every sweep
+// point: scratch clocks, per-AAU metric tables, scalar environments, and
+// simulator storage were allocated and thrown away thousands of times per
+// design study. An EngineArena is the fix: each Session::run worker owns
+// one, and every point it executes rebinds the same engine/executor pair,
+// so the steady-state hot path performs no per-point heap allocation while
+// producing bit-identical records (rebinding is defined as equivalent to
+// fresh construction).
+//
+// The arena itself is not thread-safe — it is one worker's private state.
+#pragma once
+
+#include "api/run_report.hpp"
+#include "core/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace hpf90d::api {
+
+class EngineArena {
+ public:
+  /// Predicted total time for one configuration against a prebuilt layout.
+  /// Identical arithmetic to core::predict; callers are expected to have
+  /// validated critical variables for (prog, bindings) already (Session::run
+  /// does so once per (variant, problem) pair instead of once per point).
+  [[nodiscard]] double predict_total(const compiler::CompiledProgram& prog,
+                                     const compiler::DataLayout& layout,
+                                     const machine::MachineModel& machine,
+                                     const core::PredictOptions& options,
+                                     const front::Bindings& bindings);
+
+  /// Simulated measurement through the reusable executor (one rebind per
+  /// run instead of one Executor construction per run).
+  [[nodiscard]] sim::MeasuredResult measure(const compiler::CompiledProgram& prog,
+                                            const compiler::DataLayout& layout,
+                                            const machine::MachineModel& machine,
+                                            const sim::SimOptions& options, int runs,
+                                            const front::Bindings& bindings);
+
+  /// Predict + measure + compare for one sweep point.
+  [[nodiscard]] Comparison compare(const compiler::CompiledProgram& prog,
+                                   const compiler::DataLayout& layout,
+                                   const machine::MachineModel& machine,
+                                   const core::PredictOptions& predict_options,
+                                   const sim::SimOptions& sim_options, int runs,
+                                   const front::Bindings& bindings);
+
+ private:
+  core::InterpretationEngine engine_;
+  sim::Executor executor_;
+  core::PredictionResult prediction_;  // reused across points
+};
+
+}  // namespace hpf90d::api

@@ -1,0 +1,84 @@
+#include "api/layout_store.hpp"
+
+namespace hpf90d::api {
+
+LayoutStore::LayoutPtr LayoutStore::get_or_build(const std::string& key,
+                                                 const Builder& build) {
+  std::promise<LayoutPtr> promise;
+  std::shared_future<LayoutPtr> future;
+  std::uint64_t owner = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = map_.find(key); it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      future = it->second.future;
+    } else {
+      ++misses_;
+      owner = ++next_owner_;
+      lru_.push_front(key);
+      map_.emplace(key, Entry{promise.get_future().share(), lru_.begin(), owner});
+      // The new entry sits at the hot end, so eviction can only claim other
+      // keys (possibly ones whose build is still in flight — their waiters
+      // hold the shared state, so the build completes normally).
+      evict_excess_locked();
+    }
+  }
+  if (future.valid()) {
+    LayoutPtr shared = future.get();  // rethrows a failed build
+    // counted only on success: a waiter on a failing build leaves no
+    // spurious hit, so misses = build attempts and hits = served layouts
+    ++hits_;
+    return shared;
+  }
+
+  try {
+    auto layout = std::make_shared<const compiler::DataLayout>(build());
+    promise.set_value(layout);
+    return layout;
+  } catch (...) {
+    {
+      // Erase only our own placeholder: eviction may already have dropped
+      // it and a concurrent miss re-inserted a healthy one for this key.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (const auto it = map_.find(key); it != map_.end() && it->second.owner == owner) {
+        lru_.erase(it->second.lru_it);
+        map_.erase(it);
+      }
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+void LayoutStore::evict_excess_locked() {
+  if (capacity_ == 0) return;
+  while (map_.size() > capacity_ && !lru_.empty()) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void LayoutStore::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  evict_excess_locked();
+}
+
+std::size_t LayoutStore::capacity() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return capacity_;
+}
+
+std::size_t LayoutStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+void LayoutStore::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  map_.clear();
+  lru_.clear();
+}
+
+}  // namespace hpf90d::api

@@ -1,0 +1,98 @@
+// layout_store.hpp — content-addressed, LRU-bounded store of DataLayouts.
+//
+// The session's layout cache has three jobs on the sweep hot path:
+//
+//   1. *Once-build semantics.* A placeholder future is inserted under the
+//      store lock and the layout is built OUTSIDE it, so distinct keys never
+//      serialize their make_layout work while concurrent lookups of the
+//      same key still build exactly once (every unique key misses exactly
+//      once — the property that keeps RunReport cache statistics
+//      deterministic for any worker count).
+//   2. *Bounded residency.* set_capacity(n) installs an LRU bound (0 =
+//      unbounded): lookups touch their entry, inserts evict from the cold
+//      end. Entries are handed out as shared_ptr, so an evicted layout
+//      stays alive for whoever is still using it.
+//   3. *Observability.* Hit / miss / eviction counters feed the session's
+//      CacheStats.
+//
+// PR 2 sharded this map because entries were built under their shard lock;
+// with builds moved outside the lock the critical section is an O(1) map
+// probe plus a list splice, and a single mutex buys an *exact* global LRU
+// order instead of a per-shard approximation.
+//
+// Determinism note: with capacity 0 the counters are reproducible for any
+// worker count. A finite bound under concurrent inserts can evict a key one
+// schedule would have kept, so re-miss/evict counts are only guaranteed
+// reproducible for serial execution or capacities >= the working set.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "compiler/mapping.hpp"
+
+namespace hpf90d::api {
+
+class LayoutStore {
+ public:
+  using LayoutPtr = std::shared_ptr<const compiler::DataLayout>;
+  using Builder = std::function<compiler::DataLayout()>;
+
+  struct Counters {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t evictions = 0;
+  };
+
+  explicit LayoutStore(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Returns the layout for `key`, invoking `build` (outside the store
+  /// lock) when the key is absent. Concurrent callers of one key share a
+  /// single build; concurrent builds of distinct keys proceed in parallel.
+  /// A throwing builder propagates to every waiter and leaves the key
+  /// absent, so the next lookup retries.
+  [[nodiscard]] LayoutPtr get_or_build(const std::string& key, const Builder& build);
+
+  /// Installs the LRU bound (0 = unbounded), evicting immediately when the
+  /// store is over the new capacity.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  [[nodiscard]] Counters counters() const {
+    return {hits_.load(), misses_.load(), evictions_.load()};
+  }
+
+ private:
+  struct Entry {
+    std::shared_future<LayoutPtr> future;
+    std::list<std::string>::iterator lru_it;  // position in lru_
+    std::uint64_t owner = 0;  // which insert created this placeholder
+  };
+
+  /// Evicts cold entries until size() <= capacity_; caller holds mutex_.
+  void evict_excess_locked();
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::size_t capacity_ = 0;    // 0 = unbounded
+
+  std::uint64_t next_owner_ = 0;  // guarded by mutex_
+
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> evictions_{0};
+};
+
+}  // namespace hpf90d::api

@@ -4,12 +4,15 @@
 
 #include "machine/cluster.hpp"
 #include "machine/ipsc860.hpp"
+#include "machine/paragon.hpp"
 
 namespace hpf90d::api {
 
 MachineRegistry::MachineRegistry() {
   register_machine("ipsc860", [](int nodes) { return machine::make_ipsc860(nodes); },
                    "Intel iPSC/860 hypercube (the paper's calibrated testbed)");
+  register_machine("paragon", [](int nodes) { return machine::make_paragon(nodes); },
+                   "Intel Paragon XP/S mesh (the cube's successor, section 7 target)");
   register_machine("cluster", [](int nodes) { return machine::make_cluster(nodes); },
                    "Ethernet workstation cluster (paper section 7 extension)");
   register_whatif("whatif", {},

@@ -59,9 +59,13 @@ std::string RunReport::ascii() const {
   out += table.str();
   out += support::strfmt(
       "%zu points in %.3f s | compile cache %zu hit / %zu miss | "
-      "layout cache %zu hit / %zu miss\n",
+      "layout cache %zu hit / %zu miss",
       records.size(), wall_seconds, cache.compile_hits, cache.compile_misses,
       cache.layout_hits, cache.layout_misses);
+  if (cache.layout_evictions > 0) {
+    out += support::strfmt(" / %zu evicted", cache.layout_evictions);
+  }
+  out += '\n';
   return out;
 }
 
@@ -86,18 +90,28 @@ double ReportDiff::worst_delta_pct() const {
 }
 
 std::string ReportDiff::ascii() const {
-  support::TextTable table(
-      {"machine", "variant", "problem", "P", "before", "after", "delta", "delta%"});
+  support::TextTable table({"machine", "variant", "problem", "P", "before", "after",
+                            "delta", "delta%", "measured%", "sig"});
   for (const auto& r : records) {
     table.add_row({r.machine, r.variant, r.problem, std::to_string(r.nprocs),
                    support::format_seconds(r.estimated_before),
                    support::format_seconds(r.estimated_after),
                    support::strfmt("%+.3g s", r.delta()),
-                   support::strfmt("%+.2f%%", r.delta_pct())});
+                   support::strfmt("%+.2f%%", r.delta_pct()),
+                   r.measured ? support::strfmt("%+.2f%%", r.measured_delta_pct())
+                              : std::string("-"),
+                   r.measured ? (r.significant() ? std::string("*") : std::string(""))
+                              : std::string("-")});
   }
   std::string out = table.str();
   out += support::strfmt("%zu points diffed | worst delta %.2f%%", records.size(),
                          worst_delta_pct());
+  std::size_t significant = 0;
+  for (const auto& r : records) significant += r.significant() ? 1 : 0;
+  if (significant > 0) {
+    out += support::strfmt(" | %zu significant measured shift%s (*)", significant,
+                           significant == 1 ? "" : "s");
+  }
   if (only_before + only_after > 0) {
     out += support::strfmt(" | unmatched: %zu before-only, %zu after-only",
                            only_before, only_after);
@@ -109,12 +123,17 @@ std::string ReportDiff::ascii() const {
 std::string ReportDiff::csv() const {
   std::string out =
       "machine,variant,problem,nprocs,estimated_before,estimated_after,delta,"
-      "delta_pct\n";
+      "delta_pct,measured,measured_before,measured_after,measured_delta,"
+      "measured_delta_pct,stddev_before,stddev_after,significant\n";
   for (const auto& r : records) {
-    out += support::strfmt("%s,%s,%s,%d,%.17g,%.17g,%.17g,%.17g\n",
-                           csv_field(r.machine).c_str(), csv_field(r.variant).c_str(),
-                           csv_field(r.problem).c_str(), r.nprocs, r.estimated_before,
-                           r.estimated_after, r.delta(), r.delta_pct());
+    out += support::strfmt(
+        "%s,%s,%s,%d,%.17g,%.17g,%.17g,%.17g,%d,%.17g,%.17g,%.17g,%.17g,%.17g,"
+        "%.17g,%d\n",
+        csv_field(r.machine).c_str(), csv_field(r.variant).c_str(),
+        csv_field(r.problem).c_str(), r.nprocs, r.estimated_before, r.estimated_after,
+        r.delta(), r.delta_pct(), r.measured ? 1 : 0, r.measured_before,
+        r.measured_after, r.measured_delta(), r.measured_delta_pct(), r.stddev_before,
+        r.stddev_after, r.significant() ? 1 : 0);
   }
   return out;
 }
@@ -146,6 +165,13 @@ ReportDiff RunReport::diff(const RunReport& before, const RunReport& after) {
     d.nprocs = a.nprocs;
     d.estimated_before = a.comparison.estimated;
     d.estimated_after = b->comparison.estimated;
+    if (a.measured && b->measured) {
+      d.measured = true;
+      d.measured_before = a.comparison.measured_mean;
+      d.measured_after = b->comparison.measured_mean;
+      d.stddev_before = a.comparison.measured_stddev;
+      d.stddev_after = b->comparison.measured_stddev;
+    }
     out.records.push_back(std::move(d));
   }
   for (const auto& [key, remaining] : after_by_key) out.only_after += remaining.size();

@@ -44,10 +44,14 @@ struct CacheStats {
   std::size_t compile_misses = 0;
   std::size_t layout_hits = 0;
   std::size_t layout_misses = 0;
+  /// Layout entries retired by the LRU bound (0 when the store is
+  /// unbounded, the default).
+  std::size_t layout_evictions = 0;
 
   [[nodiscard]] CacheStats operator-(const CacheStats& rhs) const {
     return {compile_hits - rhs.compile_hits, compile_misses - rhs.compile_misses,
-            layout_hits - rhs.layout_hits, layout_misses - rhs.layout_misses};
+            layout_hits - rhs.layout_hits, layout_misses - rhs.layout_misses,
+            layout_evictions - rhs.layout_evictions};
   }
 };
 
@@ -61,8 +65,10 @@ struct RunRecord {
   bool measured = false;  // false = predict-only point (measured_* are zero)
 };
 
-/// Per-point estimated-time delta between two reports (cross-PR regression
-/// tracking: diff yesterday's exported CSV against today's run).
+/// Per-point delta between two reports (cross-PR regression tracking: diff
+/// yesterday's exported CSV against today's run). Estimated times diff
+/// always; measured (simulator) means diff when both sides measured the
+/// point, with the run-to-run variance deciding significance.
 struct DiffRecord {
   std::string machine;
   std::string variant;
@@ -70,11 +76,34 @@ struct DiffRecord {
   int nprocs = 0;
   double estimated_before = 0;
   double estimated_after = 0;
+  /// True when the point was measured in both reports (the measured_* and
+  /// stddev_* fields are zero otherwise).
+  bool measured = false;
+  double measured_before = 0;
+  double measured_after = 0;
+  double stddev_before = 0;
+  double stddev_after = 0;
 
   [[nodiscard]] double delta() const { return estimated_after - estimated_before; }
   /// Signed percentage change relative to `before` (0 when before == 0).
   [[nodiscard]] double delta_pct() const {
     return estimated_before == 0 ? 0 : 100.0 * delta() / estimated_before;
+  }
+  [[nodiscard]] double measured_delta() const {
+    return measured_after - measured_before;
+  }
+  [[nodiscard]] double measured_delta_pct() const {
+    return measured_before == 0 ? 0 : 100.0 * measured_delta() / measured_before;
+  }
+  /// Variance-aware significance for the measured-mean shift: the means
+  /// moved by more than twice the combined run-to-run standard deviation
+  /// (~95% under the simulator's noise model). Always false for
+  /// predict-only points; a zero-variance pair flags any non-zero shift.
+  [[nodiscard]] bool significant() const {
+    if (!measured) return false;
+    const double spread =
+        std::sqrt(stddev_before * stddev_before + stddev_after * stddev_after);
+    return std::abs(measured_delta()) > 2.0 * spread;
   }
 };
 

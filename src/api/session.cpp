@@ -4,7 +4,9 @@
 #include <chrono>
 #include <exception>
 #include <thread>
+#include <utility>
 
+#include "api/engine_arena.hpp"
 #include "api/experiment_plan.hpp"
 #include "support/text.hpp"
 
@@ -60,39 +62,68 @@ Session::ProgramHandle Session::compile_cached(std::string_view source,
                                                const compiler::CompilerOptions& options) {
   const std::string key = program_key(source, overrides, options);
   ProgramShard& shard = program_shards_[shard_of(key, kShards)];
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  if (const auto it = shard.map.find(key); it != shard.map.end()) {
-    ++stats_.compile_hits;
-    return it->second;
+
+  // Per-entry once semantics: the placeholder future is inserted under the
+  // shard lock and the compiler runs OUTSIDE it — a concurrent compile of
+  // the same source waits on the future and then hits (each unique key
+  // misses exactly once), while distinct keys that collide into this shard
+  // compile in parallel. This mirrors LayoutStore::get_or_build minus the
+  // LRU machinery; unlike there, the failure-path erase below needs no
+  // owner check because nothing but clear_program_cache() (documented
+  // non-racing) can remove a placeholder. If this cache ever gains
+  // eviction, fold it into LayoutStore's owner-guarded implementation
+  // instead of growing a second copy.
+  std::promise<ProgramHandle> promise;
+  std::shared_future<ProgramHandle> future;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
+      future = it->second;
+    } else {
+      ++stats_.compile_misses;
+      shard.map.emplace(key, promise.get_future().share());
+    }
   }
-  // Built under the shard lock: a concurrent compile of the same source
-  // waits and then hits, so each unique key misses exactly once.
-  ++stats_.compile_misses;
-  auto prog = std::make_shared<compiler::CompiledProgram>(
-      overrides.empty() ? compiler::compile(source, options)
-                        : compiler::compile_with_directives(source, overrides, options));
-  shard.map.emplace(key, prog);
-  return prog;
+  if (future.valid()) {
+    ProgramHandle shared = future.get();  // rethrows a failed build
+    // counted only on success, so a failed shared build leaves no spurious
+    // hit behind (misses = compilation attempts, hits = served results)
+    ++stats_.compile_hits;
+    return shared;
+  }
+
+  try {
+    auto prog = std::make_shared<compiler::CompiledProgram>(
+        overrides.empty()
+            ? compiler::compile(source, options)
+            : compiler::compile_with_directives(source, overrides, options));
+    promise.set_value(prog);
+    return prog;
+  } catch (...) {
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.map.erase(key);  // the next lookup retries the compilation
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
 }
 
-const compiler::DataLayout& Session::layout_for(const compiler::CompiledProgram& prog,
-                                                const front::Bindings& bindings,
-                                                const compiler::LayoutOptions& lo) const {
+LayoutStore::LayoutPtr Session::layout_for(const compiler::CompiledProgram& prog,
+                                           const front::Bindings& bindings,
+                                           const compiler::LayoutOptions& lo) const {
   // Content-addressed key: two structurally identical programs (identical
   // directives, symbols, aliases) share one entry regardless of who owns
   // them, and the entry outlives both (DataLayout is self-contained).
   const std::string key = compiler::layout_fingerprint(prog, bindings, lo);
-  LayoutShard& shard = layout_shards_[shard_of(key, kShards)];
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  if (const auto it = shard.map.find(key); it != shard.map.end()) {
-    ++stats_.layout_hits;
-    return *it->second;
-  }
-  ++stats_.layout_misses;
-  auto layout =
-      std::make_unique<compiler::DataLayout>(compiler::make_layout(prog, bindings, lo));
-  const auto it = shard.map.emplace(key, std::move(layout)).first;
-  return *it->second;
+  return layout_store_.get_or_build(
+      key, [&] { return compiler::make_layout(prog, bindings, lo); });
+}
+
+CacheStats Session::cache_stats() const noexcept {
+  const LayoutStore::Counters layouts = layout_store_.counters();
+  return {stats_.compile_hits.load(), stats_.compile_misses.load(), layouts.hits,
+          layouts.misses, layouts.evictions};
 }
 
 core::PredictionResult Session::predict(const ProgramHandle& prog,
@@ -111,19 +142,22 @@ Comparison Session::compare(const ProgramHandle& prog, const RunConfig& config) 
 core::PredictionResult Session::predict(const compiler::CompiledProgram& prog,
                                         const RunConfig& config) const {
   core::require_critical_complete(prog, config.bindings);
-  const compiler::DataLayout& layout =
+  const LayoutStore::LayoutPtr layout =
       layout_for(prog, config.bindings, layout_options(config));
-  return core::predict(prog, config.bindings, layout, machine(config.machine),
-                       config.predict);
+  // core::predict's layout overload re-validates critical variables; call
+  // the engine directly so the (potentially expensive) analysis runs once.
+  core::InterpretationEngine engine(prog, *layout, machine(config.machine),
+                                    config.predict, config.bindings);
+  return engine.interpret();
 }
 
 sim::MeasuredResult Session::measure(const compiler::CompiledProgram& prog,
                                      const RunConfig& config) const {
   core::require_critical_complete(prog, config.bindings);
-  const compiler::DataLayout& layout =
+  const LayoutStore::LayoutPtr layout =
       layout_for(prog, config.bindings, layout_options(config));
   const sim::Simulator simulator(machine(config.machine));
-  return simulator.measure(prog, config.bindings, layout, config.sim, config.runs);
+  return simulator.measure(prog, config.bindings, *layout, config.sim, config.runs);
 }
 
 Comparison Session::compare(const compiler::CompiledProgram& prog,
@@ -141,7 +175,12 @@ Comparison Session::compare(const compiler::CompiledProgram& prog,
 RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   plan.validate();
   const auto t0 = std::chrono::steady_clock::now();
-  const CacheStats before = stats_.snapshot();
+  const CacheStats before = cache_stats();
+  // After the snapshot: evictions triggered by installing this run's
+  // capacity belong to this run's reported cache stats.
+  if (options.layout_cache_capacity) {
+    set_layout_cache_capacity(*options.layout_cache_capacity);
+  }
 
   RunReport report;
   report.title = plan.title();
@@ -161,6 +200,16 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
               ? compile(plan.program_source(), plan.compiler_opts())
               : compile_with_directives(plan.program_source(), variant.overrides,
                                         plan.compiler_opts());
+    }
+  }
+
+  // Critical-variable validation depends only on (program, bindings), so it
+  // is hoisted out of the sweep: once per (variant, problem) pair instead of
+  // once (or twice) per point, and every diagnostic fires before any thread
+  // starts.
+  for (std::size_t v = 0; v < plan.variants().size(); ++v) {
+    for (const auto& problem : plan.problems()) {
+      core::require_critical_complete(*variant_progs[v], problem.bindings);
     }
   }
 
@@ -185,20 +234,9 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   }
   report.records.resize(points.size());
 
-  const auto run_point = [&](std::size_t i) {
+  const auto run_point = [&](std::size_t i, EngineArena* arena) {
     const Point& pt = points[i];
     const auto& variant = plan.variants()[pt.variant];
-
-    RunConfig cfg;
-    cfg.machine = *pt.machine;
-    cfg.nprocs = pt.nprocs;
-    if (variant.grid_rank) {
-      cfg.grid_shape = compiler::ProcGrid::factorized(pt.nprocs, *variant.grid_rank).shape;
-    }
-    cfg.bindings = pt.problem->bindings;
-    cfg.runs = plan.measure_runs();
-    cfg.predict = plan.predict_opts();
-    cfg.sim = plan.sim_opts();
 
     RunRecord rec;
     rec.machine = *pt.machine;
@@ -206,11 +244,49 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     rec.problem = pt.problem->name;
     rec.nprocs = pt.nprocs;
     const compiler::CompiledProgram& prog = *variant_progs[pt.variant];
-    if (plan.measure_runs() > 0) {
-      rec.comparison = compare(prog, cfg);
-      rec.measured = true;
+    if (arena != nullptr) {
+      // The arena hot path: one layout lookup per point (prediction and
+      // measurement share it), no per-point engine construction, and the
+      // problem's bindings passed by reference instead of copied into a
+      // RunConfig.
+      compiler::LayoutOptions lo;
+      lo.nprocs = pt.nprocs;
+      if (variant.grid_rank) {
+        lo.grid_shape =
+            compiler::ProcGrid::factorized(pt.nprocs, *variant.grid_rank).shape;
+      }
+      const LayoutStore::LayoutPtr layout =
+          layout_for(prog, pt.problem->bindings, lo);
+      const machine::MachineModel& mach = machine(*pt.machine);
+      if (plan.measure_runs() > 0) {
+        rec.comparison =
+            arena->compare(prog, *layout, mach, plan.predict_opts(), plan.sim_opts(),
+                           plan.measure_runs(), pt.problem->bindings);
+        rec.measured = true;
+      } else {
+        rec.comparison.estimated = arena->predict_total(
+            prog, *layout, mach, plan.predict_opts(), pt.problem->bindings);
+      }
     } else {
-      rec.comparison.estimated = predict(prog, cfg).total;
+      // Legacy per-point-engine path (RunOptions::reuse_engines = false):
+      // PR 2's behaviour, kept as the bench baseline.
+      RunConfig cfg;
+      cfg.machine = *pt.machine;
+      cfg.nprocs = pt.nprocs;
+      if (variant.grid_rank) {
+        cfg.grid_shape =
+            compiler::ProcGrid::factorized(pt.nprocs, *variant.grid_rank).shape;
+      }
+      cfg.bindings = pt.problem->bindings;
+      cfg.runs = plan.measure_runs();
+      cfg.predict = plan.predict_opts();
+      cfg.sim = plan.sim_opts();
+      if (plan.measure_runs() > 0) {
+        rec.comparison = compare(prog, cfg);
+        rec.measured = true;
+      } else {
+        rec.comparison.estimated = predict(prog, cfg).total;
+      }
     }
     report.records[i] = std::move(rec);
   };
@@ -220,19 +296,23 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   workers = std::clamp<int>(workers, 1, static_cast<int>(points.size()));
 
   if (workers == 1) {
-    // the serial path: no threads, points executed in order
-    for (std::size_t i = 0; i < points.size(); ++i) run_point(i);
+    // the serial path: no threads, points executed in order through one arena
+    EngineArena arena;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      run_point(i, options.reuse_engines ? &arena : nullptr);
+    }
   } else {
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::exception_ptr error;
     std::mutex error_mutex;
     const auto worker = [&] {
+      EngineArena arena;  // worker-owned: reused across all its points
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= points.size() || failed.load()) return;
         try {
-          run_point(i);
+          run_point(i, options.reuse_engines ? &arena : nullptr);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!error) error = std::current_exception();
@@ -248,7 +328,7 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     if (error) std::rethrow_exception(error);
   }
 
-  report.cache = stats_.snapshot() - before;
+  report.cache = cache_stats() - before;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return report;
@@ -263,21 +343,11 @@ std::size_t Session::cached_programs() const {
   return n;
 }
 
-std::size_t Session::cached_layouts() const {
-  std::size_t n = 0;
-  for (auto& shard : layout_shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    n += shard.map.size();
-  }
-  return n;
-}
+std::size_t Session::cached_layouts() const { return layout_store_.size(); }
 
 void Session::clear_caches() {
   clear_program_cache();
-  for (auto& shard : layout_shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.map.clear();
-  }
+  layout_store_.clear();
 }
 
 void Session::clear_program_cache() {

@@ -18,10 +18,19 @@
 //     worker count.
 //
 // Thread safety: compile/predict/measure/compare and the caches they use
-// may be called concurrently. The caches are sharded maps; entries are
-// built under their shard lock, so every unique key misses exactly once —
-// which is what keeps RunReport cache statistics deterministic under
-// parallel execution. clear_caches() must not race with in-flight calls.
+// may be called concurrently. Cache entries have per-entry once semantics:
+// a placeholder future is inserted under the (shard/store) lock and the
+// program or layout is built OUTSIDE it, so concurrent builds of distinct
+// keys proceed in parallel while every unique key still misses exactly
+// once — which is what keeps RunReport cache statistics deterministic
+// under parallel execution. The layout store can additionally be bounded
+// (layout_cache_capacity / RunOptions::layout_cache_capacity): entries are
+// retired in LRU order and eviction counts surface in the cache stats.
+// clear_caches() must not race with in-flight calls.
+//
+// Session::run executes sweeps on a worker pool whose workers each own an
+// EngineArena — a reusable InterpretationEngine/Executor pair — so the
+// steady-state hot path allocates nothing per point (see engine_arena.hpp).
 //
 // driver::Framework remains as a thin compatibility shim over Session.
 #pragma once
@@ -29,6 +38,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,6 +47,7 @@
 #include <string_view>
 #include <vector>
 
+#include "api/layout_store.hpp"
 #include "api/machine_registry.hpp"
 #include "api/run_report.hpp"
 #include "compiler/pipeline.hpp"
@@ -66,9 +77,27 @@ struct RunConfig {
 struct RunOptions {
   /// Worker threads: 0 = std::thread::hardware_concurrency, 1 = today's
   /// serial path (no threads spawned). The RunReport's records, ordering,
-  /// estimates, and cache statistics are identical for every setting; only
-  /// wall_seconds changes.
+  /// and estimates are identical for every setting; only wall_seconds
+  /// changes. Cache statistics are also identical while the layout store
+  /// is unbounded (the default) — under a finite layout_cache_capacity,
+  /// concurrent inserts can evict a key one schedule would have kept, so
+  /// miss/evict counts are only reproducible for serial runs or capacities
+  /// covering the working set (see layout_store.hpp).
   int workers = 0;
+
+  /// Per-worker engine arenas: each worker reuses one
+  /// InterpretationEngine/Executor across its points (the allocation-free
+  /// steady state). false reverts to PR 2's per-point construction — the
+  /// bench baseline; records are identical either way, but the legacy path
+  /// performs two layout lookups per measured point (predict + measure)
+  /// where the arena path performs one, so cache *stats* differ between
+  /// modes (each mode is still deterministic across worker counts).
+  bool reuse_engines = true;
+
+  /// Applied to the session's layout store before the sweep when set:
+  /// the LRU capacity in entries, 0 = unbounded. nullopt leaves the
+  /// session's current setting untouched.
+  std::optional<std::size_t> layout_cache_capacity;
 };
 
 class Session {
@@ -125,9 +154,20 @@ class Session {
   [[nodiscard]] RunReport run(const ExperimentPlan& plan,
                               const RunOptions& options = {});
 
-  [[nodiscard]] CacheStats cache_stats() const noexcept { return stats_.snapshot(); }
+  [[nodiscard]] CacheStats cache_stats() const noexcept;
   [[nodiscard]] std::size_t cached_programs() const;
   [[nodiscard]] std::size_t cached_layouts() const;
+
+  /// LRU bound on the content-addressed layout store, in entries; 0 (the
+  /// default) keeps it unbounded. Shrinking evicts immediately, coldest
+  /// first; in-use layouts stay alive through their shared_ptr.
+  void set_layout_cache_capacity(std::size_t capacity) {
+    layout_store_.set_capacity(capacity);
+  }
+  [[nodiscard]] std::size_t layout_cache_capacity() const {
+    return layout_store_.capacity();
+  }
+
   /// Drops programs and layouts. Not safe to call concurrently with other
   /// session operations.
   void clear_caches();
@@ -137,27 +177,22 @@ class Session {
   void clear_program_cache();
 
  private:
-  /// Cache counters, atomically incremented by concurrent workers; CacheStats
-  /// snapshots are taken for reports.
+  /// Compile-cache counters, atomically incremented by concurrent workers
+  /// (the layout counters live in the LayoutStore).
   struct AtomicCacheStats {
     std::atomic<std::size_t> compile_hits{0};
     std::atomic<std::size_t> compile_misses{0};
-    std::atomic<std::size_t> layout_hits{0};
-    std::atomic<std::size_t> layout_misses{0};
-
-    [[nodiscard]] CacheStats snapshot() const {
-      return {compile_hits.load(), compile_misses.load(), layout_hits.load(),
-              layout_misses.load()};
-    }
   };
 
   [[nodiscard]] ProgramHandle compile_cached(std::string_view source,
                                              const std::vector<std::string>& overrides,
                                              const compiler::CompilerOptions& options);
-  /// Memoized layout lookup by content fingerprint. The entry is built under
-  /// its shard lock (every unique key misses exactly once); the returned
-  /// reference stays valid until clear_caches().
-  [[nodiscard]] const compiler::DataLayout& layout_for(
+  /// Memoized layout lookup by content fingerprint. The entry is built
+  /// outside the store lock (per-entry once semantics: every unique key
+  /// misses exactly once, distinct keys build in parallel). The returned
+  /// shared_ptr keeps the layout alive across clear_caches() and LRU
+  /// eviction.
+  [[nodiscard]] LayoutStore::LayoutPtr layout_for(
       const compiler::CompiledProgram& prog, const front::Bindings& bindings,
       const compiler::LayoutOptions& lo) const;
 
@@ -172,20 +207,19 @@ class Session {
   MachineRegistry registry_;
   mutable AtomicCacheStats stats_;
 
-  /// Sharded caches: each shard is an independently locked map, so worker
-  /// threads touching different keys rarely contend.
+  /// Sharded program cache: each shard is an independently locked map of
+  /// per-entry futures — the shard lock covers only the probe/placeholder
+  /// insert, never a compilation.
   static constexpr std::size_t kShards = 16;
   struct ProgramShard {
     std::mutex mutex;
-    std::map<std::string, ProgramHandle, std::less<>> map;
-  };
-  struct LayoutShard {
-    std::mutex mutex;
-    // unique_ptr: entry addresses stay stable while the map rehashes/grows.
-    std::map<std::string, std::unique_ptr<compiler::DataLayout>, std::less<>> map;
+    std::map<std::string, std::shared_future<ProgramHandle>, std::less<>> map;
   };
   mutable std::array<ProgramShard, kShards> program_shards_;
-  mutable std::array<LayoutShard, kShards> layout_shards_;
+
+  /// Content-addressed layout store: once-build futures + optional LRU
+  /// bound (see layout_store.hpp for why it is not sharded).
+  mutable LayoutStore layout_store_;
 };
 
 }  // namespace hpf90d::api

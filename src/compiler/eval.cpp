@@ -20,11 +20,31 @@ bool both_int(const Expr& e) {
          e.args[1]->type == TypeBase::Integer;
 }
 
-double eval_call(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
-                 const front::SymbolTable& symbols);
+/// Failure context for the throwing entry points. The evaluator itself is
+/// exception-free: interpretation probes unavailable data values on every
+/// sweep point (try_eval_scalar), and throwing/catching a CompileError —
+/// with its diagnostic report and message formatting — made the *expected*
+/// outcome the most expensive path in the engine's hot loop. Failures
+/// instead propagate as nullopt; `err`, when non-null, captures where and
+/// why so eval_scalar can still throw the precise curated diagnostic.
+struct EvalError {
+  front::SourceLoc loc;
+  std::string message;
+};
 
-double eval_rec(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
-                const front::SymbolTable& symbols) {
+void fail(EvalError* err, const front::SourceLoc& loc, std::string message) {
+  if (err != nullptr && err->message.empty()) {
+    err->loc = loc;
+    err->message = std::move(message);
+  }
+}
+
+std::optional<double> eval_call(const Expr& e, const ScalarEnv& env,
+                                ArrayAccess* arrays, const front::SymbolTable& symbols,
+                                EvalError* err);
+
+std::optional<double> eval_rec(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
+                               const front::SymbolTable& symbols, EvalError* err) {
   switch (e.kind) {
     case ExprKind::IntLit:
       return static_cast<double>(e.int_value);
@@ -42,37 +62,46 @@ double eval_rec(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
           return *sym.const_value;
         }
       }
-      throw CompileError(e.loc, "value of '" + e.name +
-                                    "' is not available (unresolved critical variable?)");
+      fail(err, e.loc, "value of '" + e.name +
+                           "' is not available (unresolved critical variable?)");
+      return std::nullopt;
     }
     case ExprKind::ArrayRef: {
       if (arrays == nullptr) {
-        throw CompileError(e.loc, "array element '" + e.name +
-                                      "' cannot be read during interpretation");
+        fail(err, e.loc, "array element '" + e.name +
+                             "' cannot be read during interpretation");
+        return std::nullopt;
       }
       std::vector<long long> idx;
       idx.reserve(e.subs.size());
       for (const auto& sub : e.subs) {
         if (sub.kind != front::Subscript::Kind::Scalar) {
-          throw CompileError(e.loc, "internal: section in scalar evaluation");
+          fail(err, e.loc, "internal: section in scalar evaluation");
+          return std::nullopt;
         }
-        const double v = eval_rec(*sub.scalar, env, arrays, symbols);
-        idx.push_back(static_cast<long long>(std::llround(v)));
+        const std::optional<double> v = eval_rec(*sub.scalar, env, arrays, symbols, err);
+        if (!v) return std::nullopt;
+        idx.push_back(static_cast<long long>(std::llround(*v)));
       }
       return arrays->load(e.symbol, idx);
     }
     case ExprKind::Unary: {
-      const double v = eval_rec(*e.args[0], env, arrays, symbols);
+      const std::optional<double> v = eval_rec(*e.args[0], env, arrays, symbols, err);
+      if (!v) return std::nullopt;
       switch (e.un_op) {
-        case front::UnOp::Neg: return -v;
-        case front::UnOp::Plus: return v;
-        case front::UnOp::Not: return v == 0.0 ? 1.0 : 0.0;
+        case front::UnOp::Neg: return -*v;
+        case front::UnOp::Plus: return *v;
+        case front::UnOp::Not: return *v == 0.0 ? 1.0 : 0.0;
       }
       return 0.0;
     }
     case ExprKind::Binary: {
-      const double a = eval_rec(*e.args[0], env, arrays, symbols);
-      const double b = eval_rec(*e.args[1], env, arrays, symbols);
+      const std::optional<double> av = eval_rec(*e.args[0], env, arrays, symbols, err);
+      if (!av) return std::nullopt;
+      const std::optional<double> bv = eval_rec(*e.args[1], env, arrays, symbols, err);
+      if (!bv) return std::nullopt;
+      const double a = *av;
+      const double b = *bv;
       switch (e.bin_op) {
         case front::BinOp::Add: return a + b;
         case front::BinOp::Sub: return a - b;
@@ -80,7 +109,10 @@ double eval_rec(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
         case front::BinOp::Div:
           if (both_int(e)) {
             const long long bi = static_cast<long long>(b);
-            if (bi == 0) throw CompileError(e.loc, "integer division by zero");
+            if (bi == 0) {
+              fail(err, e.loc, "integer division by zero");
+              return std::nullopt;
+            }
             return static_cast<double>(static_cast<long long>(a) / bi);
           }
           return a / b;
@@ -97,38 +129,50 @@ double eval_rec(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
       return 0.0;
     }
     case ExprKind::Call:
-      return eval_call(e, env, arrays, symbols);
+      return eval_call(e, env, arrays, symbols, err);
   }
   return 0.0;
 }
 
-double eval_call(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
-                 const front::SymbolTable& symbols) {
+std::optional<double> eval_call(const Expr& e, const ScalarEnv& env,
+                                ArrayAccess* arrays, const front::SymbolTable& symbols,
+                                EvalError* err) {
   const std::string& n = e.name;
   if (n == "size") {
     if (arrays == nullptr) {
       // extents are static: fall back to folding the declared extent
-      const front::Symbol& sym = symbols.at(e.args[0]->symbol);
-      front::Bindings env2;
-      for (const auto& s : symbols.symbols()) {
-        if (s.kind == front::SymbolKind::Param && s.const_value) {
-          env2.set(s.name, *s.const_value);
+      try {
+        const front::Symbol& sym = symbols.at(e.args[0]->symbol);
+        front::Bindings env2;
+        for (const auto& s : symbols.symbols()) {
+          if (s.kind == front::SymbolKind::Param && s.const_value) {
+            env2.set(s.name, *s.const_value);
+          }
         }
+        if (e.args.size() == 2) {
+          const std::optional<double> dv =
+              eval_rec(*e.args[1], env, arrays, symbols, err);
+          if (!dv) return std::nullopt;
+          const long long d = static_cast<long long>(*dv);
+          return static_cast<double>(
+              front::fold_int(*sym.dims.at(static_cast<std::size_t>(d - 1)), env2));
+        }
+        long long total = 1;
+        for (const auto& dim : sym.dims) total *= front::fold_int(*dim, env2);
+        return static_cast<double>(total);
+      } catch (const CompileError& fold_err) {
+        // keep the fold failure's own location (the unfoldable declaration),
+        // not the size() call site
+        fail(err, fold_err.loc(), fold_err.what());
+        return std::nullopt;
       }
-      if (e.args.size() == 2) {
-        const long long d = static_cast<long long>(
-            eval_rec(*e.args[1], env, arrays, symbols));
-        return static_cast<double>(front::fold_int(*sym.dims.at(static_cast<std::size_t>(d - 1)), env2));
-      }
-      long long total = 1;
-      for (const auto& dim : sym.dims) total *= front::fold_int(*dim, env2);
-      return static_cast<double>(total);
     }
     const int sym = e.args[0]->symbol;
     if (e.args.size() == 2) {
-      const long long d =
-          static_cast<long long>(eval_rec(*e.args[1], env, arrays, symbols));
-      return static_cast<double>(arrays->extent(sym, static_cast<int>(d - 1)));
+      const std::optional<double> dv = eval_rec(*e.args[1], env, arrays, symbols, err);
+      if (!dv) return std::nullopt;
+      return static_cast<double>(
+          arrays->extent(sym, static_cast<int>(static_cast<long long>(*dv) - 1)));
     }
     long long total = 1;
     const front::Symbol& s = symbols.at(sym);
@@ -138,7 +182,11 @@ double eval_call(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
 
   std::vector<double> argv;
   argv.reserve(e.args.size());
-  for (const auto& a : e.args) argv.push_back(eval_rec(*a, env, arrays, symbols));
+  for (const auto& a : e.args) {
+    const std::optional<double> v = eval_rec(*a, env, arrays, symbols, err);
+    if (!v) return std::nullopt;
+    argv.push_back(*v);
+  }
 
   if (n == "exp") return std::exp(argv[0]);
   if (n == "log") return std::log(argv[0]);
@@ -169,14 +217,18 @@ double eval_call(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
     return v;
   }
   if (n == "merge") return argv[2] != 0.0 ? argv[0] : argv[1];
-  throw CompileError(e.loc, "intrinsic '" + n + "' cannot be evaluated here");
+  fail(err, e.loc, "intrinsic '" + n + "' cannot be evaluated here");
+  return std::nullopt;
 }
 
 }  // namespace
 
 double eval_scalar(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
                    const front::SymbolTable& symbols) {
-  return eval_rec(e, env, arrays, symbols);
+  EvalError err;
+  const std::optional<double> v = eval_rec(e, env, arrays, symbols, &err);
+  if (!v) throw CompileError(err.loc, err.message);
+  return *v;
 }
 
 long long eval_int(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
@@ -187,8 +239,12 @@ long long eval_int(const Expr& e, const ScalarEnv& env, ArrayAccess* arrays,
 std::optional<double> try_eval_scalar(const Expr& e, const ScalarEnv& env,
                                       ArrayAccess* arrays,
                                       const front::SymbolTable& symbols) {
+  // err = nullptr: probing an unavailable value costs nothing beyond the
+  // walk itself — no message formatting, no exception, no diagnostic. The
+  // catch covers throwing callees outside the evaluator (e.g. an
+  // out-of-bounds ArrayAccess::load), preserving the old contract.
   try {
-    return eval_rec(e, env, arrays, symbols);
+    return eval_rec(e, env, arrays, symbols, nullptr);
   } catch (const CompileError&) {
     return std::nullopt;
   }

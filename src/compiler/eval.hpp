@@ -35,6 +35,13 @@ class ScalarEnv {
   explicit ScalarEnv(std::size_t symbol_count)
       : values_(symbol_count, 0.0), defined_(symbol_count, 0) {}
 
+  /// Re-initializes for a (possibly different) symbol count, reusing the
+  /// existing buffers; equivalent to constructing a fresh environment.
+  void reset(std::size_t symbol_count) {
+    values_.assign(symbol_count, 0.0);
+    defined_.assign(symbol_count, 0);
+  }
+
   void define(int symbol, double value) {
     values_[static_cast<std::size_t>(symbol)] = value;
     defined_[static_cast<std::size_t>(symbol)] = 1;

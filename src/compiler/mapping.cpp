@@ -295,13 +295,28 @@ DataLayout::DataLayout(const front::DirectiveSet& directives,
     }
     maps_.push_back(std::move(map));
   }
+
+  // Hot-path tables: per-processor grid coordinates (one allocation for the
+  // layout's lifetime instead of one per coords() call) and the symbol ->
+  // map index (map_for is asked per node visit).
+  const int total = grid_.total();
+  const std::size_t rank = static_cast<std::size_t>(grid_.rank());
+  coords_flat_.resize(static_cast<std::size_t>(total) * rank);
+  for (int p = 0; p < total; ++p) {
+    const std::vector<int> c = grid_.coords(p);
+    std::copy(c.begin(), c.end(),
+              coords_flat_.begin() + static_cast<std::size_t>(p) * rank);
+  }
+  map_index_.assign(extents_.size(), -1);
+  for (std::size_t m = 0; m < maps_.size(); ++m) {
+    map_index_.at(static_cast<std::size_t>(maps_[m].symbol)) = static_cast<int>(m);
+  }
 }
 
 const ArrayMap* DataLayout::map_for(int symbol) const {
-  for (const auto& m : maps_) {
-    if (m.symbol == symbol) return &m;
-  }
-  return nullptr;
+  if (symbol < 0 || static_cast<std::size_t>(symbol) >= map_index_.size()) return nullptr;
+  const int m = map_index_[static_cast<std::size_t>(symbol)];
+  return m < 0 ? nullptr : &maps_[static_cast<std::size_t>(m)];
 }
 
 void DataLayout::add_alias(int temp_symbol, int like_symbol, std::string name) {
@@ -310,6 +325,12 @@ void DataLayout::add_alias(int temp_symbol, int like_symbol, std::string name) {
   ArrayMap copy = *base;
   copy.symbol = temp_symbol;
   copy.name = std::move(name);
+  if (temp_symbol >= 0) {
+    if (static_cast<std::size_t>(temp_symbol) >= map_index_.size()) {
+      map_index_.resize(static_cast<std::size_t>(temp_symbol) + 1, -1);
+    }
+    map_index_[static_cast<std::size_t>(temp_symbol)] = static_cast<int>(maps_.size());
+  }
   maps_.push_back(std::move(copy));
 }
 

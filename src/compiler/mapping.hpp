@@ -114,8 +114,17 @@ class DataLayout {
   [[nodiscard]] const ProcGrid& grid() const noexcept { return grid_; }
   [[nodiscard]] int nprocs() const noexcept { return grid_.total(); }
 
+  /// Grid coordinates of linear processor `p`, precomputed at layout
+  /// construction. The hot-path replacement for grid().coords(p), which
+  /// allocates a vector per call — the interpretation engine and the
+  /// simulator ask for coordinates once per (processor, node) visit.
+  [[nodiscard]] std::span<const int> proc_coords(int p) const noexcept {
+    const std::size_t rank = static_cast<std::size_t>(grid_.rank());
+    return {coords_flat_.data() + static_cast<std::size_t>(p) * rank, rank};
+  }
+
   /// Mapping for a symbol; nullptr when the symbol is replicated (scalars,
-  /// arrays without directives).
+  /// arrays without directives). O(1): indexed by symbol id.
   [[nodiscard]] const ArrayMap* map_for(int symbol) const;
 
   /// Registers `temp_symbol` with the same mapping as `like_symbol`
@@ -149,6 +158,8 @@ class DataLayout {
   std::vector<ArrayMap> maps_;
   std::vector<std::string> template_names_;
   std::vector<SymbolExtents> extents_;
+  std::vector<int> coords_flat_;  // nprocs x rank, row per processor
+  std::vector<int> map_index_;    // symbol id -> index into maps_ (-1 = replicated)
 };
 
 }  // namespace hpf90d::compiler

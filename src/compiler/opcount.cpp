@@ -155,4 +155,12 @@ OpCounts count_assignment(const Expr& lhs, const Expr& rhs) {
   return out;
 }
 
+void count_array_refs(const front::Expr& e, long long& count) {
+  if (e.kind == ExprKind::ArrayRef) ++count;
+  for (const auto& a : e.args) count_array_refs(*a, count);
+  for (const auto& s : e.subs) {
+    if (s.scalar) count_array_refs(*s.scalar, count);
+  }
+}
+
 }  // namespace hpf90d::compiler

@@ -46,4 +46,11 @@ struct OpCounts {
 /// subscript arithmetic.
 [[nodiscard]] OpCounts count_assignment(const front::Expr& lhs, const front::Expr& rhs);
 
+/// Adds the number of ArrayRef nodes under `e` (subscripts included) to
+/// `count`. Shared by the engine's and the simulator's working-set
+/// heuristics — one definition so the two cost models cannot drift — and
+/// deliberately plain recursion: it runs per node visit on the sweep hot
+/// path.
+void count_array_refs(const front::Expr& e, long long& count);
+
 }  // namespace hpf90d::compiler

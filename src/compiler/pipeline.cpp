@@ -1,5 +1,7 @@
 #include "compiler/pipeline.hpp"
 
+#include <atomic>
+
 #include "compiler/lower.hpp"
 #include "compiler/normalize.hpp"
 #include "hpf/directives.hpp"
@@ -8,6 +10,17 @@
 #include "support/text.hpp"
 
 namespace hpf90d::compiler {
+
+namespace {
+
+/// Monotonic CompiledProgram::compile_id source (0 is reserved for
+/// hand-built programs).
+std::uint64_t next_compile_id() {
+  static std::atomic<std::uint64_t> next{0};
+  return ++next;
+}
+
+}  // namespace
 
 CompiledProgram compile(std::string_view source, const CompilerOptions& options) {
   front::Program ast = front::parse_program(source);
@@ -18,6 +31,7 @@ CompiledProgram compile(std::string_view source, const CompilerOptions& options)
   CompiledProgram prog = lower_program(std::move(name), std::move(ast),
                                        std::move(symbols), std::move(directives), options);
   prog.structure_fingerprint = structure_fingerprint(prog);
+  prog.compile_id = next_compile_id();
   return prog;
 }
 
@@ -60,6 +74,7 @@ CompiledProgram compile_with_directives(std::string_view source,
   CompiledProgram prog = lower_program(std::move(name), std::move(ast),
                                        std::move(symbols), std::move(directives), options);
   prog.structure_fingerprint = structure_fingerprint(prog);
+  prog.compile_id = next_compile_id();
   return prog;
 }
 

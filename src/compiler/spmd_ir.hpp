@@ -12,6 +12,7 @@
 //   * sim/executor.hpp  — the functional simulator  (measured time).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -150,6 +151,10 @@ struct CompiledProgram {
   /// re-walk the program on every cache lookup. Empty for hand-built
   /// programs; layout_fingerprint then computes it on the fly.
   std::string structure_fingerprint;
+  /// Process-unique id stamped by the pipeline (0 for hand-built
+  /// programs). Lets per-program caches (the engine's node op counts)
+  /// detect that a reused address holds a *different* compilation.
+  std::uint64_t compile_id = 0;
 
   [[nodiscard]] std::string str() const { return root ? root->str() : std::string{}; }
 };

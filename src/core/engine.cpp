@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
+#include <span>
 
 #include "compiler/opcount.hpp"
 #include "compiler/pipeline.hpp"
@@ -20,27 +20,87 @@ InterpretationEngine::InterpretationEngine(const compiler::CompiledProgram& prog
                                            const compiler::DataLayout& layout,
                                            const machine::MachineModel& machine,
                                            const PredictOptions& options,
-                                           const front::Bindings& bindings)
-    : prog_(prog),
-      layout_(layout),
-      machine_(machine),
-      options_(options),
-      bindings_(bindings),
-      nprocs_(layout.nprocs()),
-      env_(prog.symbols.size()),
-      fn_(machine.node()),
-      clock_(static_cast<std::size_t>(nprocs_), 0.0),
-      metrics_(static_cast<std::size_t>(prog.node_count)) {
-  compiler::seed_environment(env_, prog_.symbols, bindings);
+                                           const front::Bindings& bindings) {
+  rebind(prog, layout, machine, options, bindings);
+}
+
+void InterpretationEngine::rebind(const compiler::CompiledProgram& prog,
+                                  const compiler::DataLayout& layout,
+                                  const machine::MachineModel& machine,
+                                  const PredictOptions& options,
+                                  const front::Bindings& bindings) {
+  if (ops_for_ != &prog || ops_for_id_ != prog.compile_id || prog.compile_id == 0) {
+    // New program: drop the per-node operation counts (kept across rebinds
+    // to the same program, where they are what makes re-interpretation
+    // cheap). compile_id guards against a *different* compilation reusing a
+    // freed program's address; hand-built programs (id 0) never cache.
+    ops_for_ = &prog;
+    ops_for_id_ = prog.compile_id;
+    node_ops_.assign(static_cast<std::size_t>(prog.node_count), NodeOps{});
+  }
+  prog_ = &prog;
+  layout_ = &layout;
+  machine_ = &machine;
+  options_ = options;
+  bindings_ = &bindings;
+  nprocs_ = layout.nprocs();
+  env_.reset(prog.symbols.size());
+  fn_.emplace(machine.node());
+  clock_.assign(static_cast<std::size_t>(nprocs_), 0.0);
+  metrics_.assign(static_cast<std::size_t>(prog.node_count), AAUMetric{});
+  trace_.clear();
+  compiler::seed_environment(env_, prog_->symbols, bindings);
+}
+
+const compiler::OpCounts& InterpretationEngine::body_ops(const SpmdNode& n) {
+  NodeOps& slot = node_ops_.at(static_cast<std::size_t>(n.id));
+  if (!slot.body_valid) {
+    switch (n.kind) {
+      case SpmdKind::ScalarAssign:
+        slot.body = compiler::count_expr(*n.rhs);
+        break;
+      case SpmdKind::LocalLoop:
+        if (n.inner) {
+          slot.body = compiler::count_expr(*n.inner->arg);
+          slot.body.fadd += 1;  // accumulate
+        } else {
+          slot.body = compiler::count_assignment(*n.lhs, *n.rhs);
+        }
+        break;
+      case SpmdKind::Reduce:
+        slot.body = compiler::count_expr(*n.reduce_arg);
+        slot.body.fadd += 1;
+        break;
+      default:
+        break;
+    }
+    slot.body_valid = true;
+  }
+  return slot.body;
+}
+
+const compiler::OpCounts& InterpretationEngine::cond_ops(const SpmdNode& n) {
+  NodeOps& slot = node_ops_.at(static_cast<std::size_t>(n.id));
+  if (!slot.cond_valid) {
+    if (n.mask) slot.cond = compiler::count_expr(*n.mask);
+    slot.cond_valid = true;
+  }
+  return slot.cond;
 }
 
 PredictionResult InterpretationEngine::interpret() {
-  walk_seq(prog_.root->children);
-
   PredictionResult out;
+  interpret_into(out);
+  return out;
+}
+
+void InterpretationEngine::interpret_into(PredictionResult& out) {
+  walk_seq(prog_->root->children);
+
   out.total = *std::max_element(clock_.begin(), clock_.end());
   out.proc_clock = clock_;
   out.per_aau = metrics_;
+  out.comp = out.comm = out.overhead = out.wait = 0;
   for (auto& m : out.per_aau) {
     m.comp /= nprocs_;
     m.comm /= nprocs_;
@@ -54,7 +114,7 @@ PredictionResult InterpretationEngine::interpret() {
     out.wait += m.wait;
   }
   out.trace = std::move(trace_);
-  return out;
+  trace_.clear();
 }
 
 void InterpretationEngine::charge(int aau, int proc, double t, char category) {
@@ -104,30 +164,30 @@ void InterpretationEngine::walk_scalar_assign(const SpmdNode& n) {
   // trace the definition path: scalar control values are evaluated, data
   // values (reduction results, array elements) stay unknown
   const std::optional<double> v =
-      compiler::try_eval_scalar(*n.rhs, env_, nullptr, prog_.symbols);
+      compiler::try_eval_scalar(*n.rhs, env_, nullptr, prog_->symbols);
   if (v) {
     env_.define(n.lhs->symbol,
                 n.lhs->type == front::TypeBase::Integer ? std::trunc(*v) : *v);
   }
-  const double t = fn_.seq(compiler::count_expr(*n.rhs));
+  const double t = fn_->seq(body_ops(n));
   for (int p = 0; p < nprocs_; ++p) charge(n.id, p, t, 'C');
 }
 
 void InterpretationEngine::walk_do(const SpmdNode& n) {
   long long lo, hi, step;
   try {
-    lo = compiler::eval_int(*n.do_lo, env_, nullptr, prog_.symbols);
-    hi = compiler::eval_int(*n.do_hi, env_, nullptr, prog_.symbols);
-    step = n.do_step ? compiler::eval_int(*n.do_step, env_, nullptr, prog_.symbols) : 1;
+    lo = compiler::eval_int(*n.do_lo, env_, nullptr, prog_->symbols);
+    hi = compiler::eval_int(*n.do_hi, env_, nullptr, prog_->symbols);
+    step = n.do_step ? compiler::eval_int(*n.do_step, env_, nullptr, prog_->symbols) : 1;
   } catch (const CompileError& e) {
     throw CompileError(n.loc, std::string("unresolved critical variable in do bounds: ") +
                                   e.what());
   }
   if (step == 0) throw CompileError(n.loc, "do loop step is zero");
-  for (int p = 0; p < nprocs_; ++p) charge(n.id, p, fn_.iter_setup(), 'O');
+  for (int p = 0; p < nprocs_; ++p) charge(n.id, p, fn_->iter_setup(), 'O');
   for (long long v = lo; step > 0 ? v <= hi : v >= hi; v += step) {
     env_.define(n.do_symbol, static_cast<double>(v));
-    for (int p = 0; p < nprocs_; ++p) charge(n.id, p, fn_.iter_overhead(), 'O');
+    for (int p = 0; p < nprocs_; ++p) charge(n.id, p, fn_->iter_overhead(), 'O');
     walk_seq(n.children);
   }
 }
@@ -136,14 +196,14 @@ void InterpretationEngine::walk_while(const SpmdNode& n) {
   long long trips = 0;
   while (true) {
     const std::optional<double> c =
-        compiler::try_eval_scalar(*n.mask, env_, nullptr, prog_.symbols);
+        compiler::try_eval_scalar(*n.mask, env_, nullptr, prog_->symbols);
     if (!c) {
       throw CompileError(n.loc,
                          "do while condition depends on data values; supply an "
                          "explicit binding for its critical variables");
     }
     for (int p = 0; p < nprocs_; ++p) {
-      charge(n.id, p, fn_.condt(compiler::count_expr(*n.mask)), 'O');
+      charge(n.id, p, fn_->condt(cond_ops(n)), 'O');
     }
     if (*c == 0.0) break;
     if (++trips > 1000000) {
@@ -155,9 +215,9 @@ void InterpretationEngine::walk_while(const SpmdNode& n) {
 
 void InterpretationEngine::walk_if(const SpmdNode& n) {
   const std::optional<double> c =
-      compiler::try_eval_scalar(*n.mask, env_, nullptr, prog_.symbols);
+      compiler::try_eval_scalar(*n.mask, env_, nullptr, prog_->symbols);
   for (int p = 0; p < nprocs_; ++p) {
-    charge(n.id, p, fn_.condt(compiler::count_expr(*n.mask)), 'O');
+    charge(n.id, p, fn_->condt(cond_ops(n)), 'O');
   }
   if (!c || *c != 0.0) {
     walk_seq(n.children);  // unresolved conditions assume the then-branch
@@ -171,7 +231,7 @@ void InterpretationEngine::walk_hostio(const SpmdNode& n) {
   for (const auto& arg : n.io_args) {
     bytes += arg->rank == 0 ? 16 : 64;  // arrays: abstraction charges a block
   }
-  charge(n.id, 0, fn_.host_io(bytes), 'I');
+  charge(n.id, 0, fn_->host_io(bytes), 'I');
 }
 
 // ---------------------------------------------------------------------------
@@ -194,10 +254,10 @@ InterpretationEngine::ResolvedSpace InterpretationEngine::resolve_space(
   ResolvedSpace out;
   for (const auto& ix : space) {
     try {
-      out.lo.push_back(compiler::eval_int(*ix.lo, env_, nullptr, prog_.symbols));
-      out.hi.push_back(compiler::eval_int(*ix.hi, env_, nullptr, prog_.symbols));
+      out.lo.push_back(compiler::eval_int(*ix.lo, env_, nullptr, prog_->symbols));
+      out.hi.push_back(compiler::eval_int(*ix.hi, env_, nullptr, prog_->symbols));
       out.step.push_back(
-          ix.stride ? compiler::eval_int(*ix.stride, env_, nullptr, prog_.symbols) : 1);
+          ix.stride ? compiler::eval_int(*ix.stride, env_, nullptr, prog_->symbols) : 1);
     } catch (const CompileError& e) {
       throw CompileError(ix.lo->loc,
                          std::string("unresolved critical variable in forall bounds: ") +
@@ -207,17 +267,18 @@ InterpretationEngine::ResolvedSpace InterpretationEngine::resolve_space(
   return out;
 }
 
-std::vector<long long> InterpretationEngine::local_iterations(
-    const SpmdNode& n, const ResolvedSpace& space) const {
-  std::vector<long long> iters(static_cast<std::size_t>(nprocs_), 0);
+const std::vector<long long>& InterpretationEngine::local_iterations(
+    const SpmdNode& n, const ResolvedSpace& space) {
+  std::vector<long long>& iters = iters_scratch_;
+  iters.assign(static_cast<std::size_t>(nprocs_), 0);
   const compiler::ArrayMap* home =
-      n.home_symbol >= 0 ? layout_.map_for(n.home_symbol) : nullptr;
+      n.home_symbol >= 0 ? layout_->map_for(n.home_symbol) : nullptr;
   if (home == nullptr) {
     std::fill(iters.begin(), iters.end(), space.points());
     return iters;
   }
   for (int p = 0; p < nprocs_; ++p) {
-    const std::vector<int> coords = layout_.grid().coords(p);
+    const std::span<const int> coords = layout_->proc_coords(p);
     long long count = 1;
     for (std::size_t d = 0; d < space.lo.size(); ++d) {
       // find the home dim driven by this space index
@@ -262,7 +323,7 @@ std::vector<long long> InterpretationEngine::local_iterations(
 
 long long InterpretationEngine::slab_elements(const compiler::ArrayMap& map, int proc,
                                               int dim, long long width) const {
-  const std::vector<int> coords = layout_.grid().coords(proc);
+  const std::span<const int> coords = layout_->proc_coords(proc);
   long long perp = 1;
   for (std::size_t j = 0; j < map.dims.size(); ++j) {
     if (static_cast<int>(j) == dim) continue;
@@ -274,23 +335,16 @@ long long InterpretationEngine::slab_elements(const compiler::ArrayMap& map, int
 }
 
 double InterpretationEngine::mask_probability() const {
-  if (const auto v = bindings_.get("mask__prob")) return *v;
+  if (const auto v = bindings_->get("mask__prob")) return *v;
   return options_.mask_probability;
 }
 
 long long InterpretationEngine::working_set_estimate(const SpmdNode& n,
                                                      const ResolvedSpace& space) const {
   long long arrays = 1;
-  std::function<void(const Expr&)> scan = [&](const Expr& e) {
-    if (e.kind == ExprKind::ArrayRef) ++arrays;
-    for (const auto& a : e.args) scan(*a);
-    for (const auto& s : e.subs) {
-      if (s.scalar) scan(*s.scalar);
-    }
-  };
-  if (n.rhs) scan(*n.rhs);
-  if (n.inner) scan(*n.inner->arg);
-  if (n.reduce_arg) scan(*n.reduce_arg);
+  if (n.rhs) compiler::count_array_refs(*n.rhs, arrays);
+  if (n.inner) compiler::count_array_refs(*n.inner->arg, arrays);
+  if (n.reduce_arg) compiler::count_array_refs(*n.reduce_arg, arrays);
   const int elem = n.lhs ? front::type_size_bytes(n.lhs->type) : 4;
   return std::max<long long>(1, space.points()) * arrays * elem /
          std::max(1, nprocs_);
@@ -303,32 +357,26 @@ long long InterpretationEngine::working_set_estimate(const SpmdNode& n,
 void InterpretationEngine::walk_local_loop(const SpmdNode& n) {
   const ResolvedSpace space = resolve_space(n.space);
   if (space.points() <= 0) return;
-  const std::vector<long long> iters = local_iterations(n, space);
+  const std::vector<long long>& iters = local_iterations(n, space);
 
-  compiler::OpCounts ops;
+  const compiler::OpCounts& ops = body_ops(n);
   long long inner_m = 0;
   if (n.inner) {
-    ops = compiler::count_expr(*n.inner->arg);
-    ops.fadd += 1;
     inner_m = std::max<long long>(
-        0, compiler::eval_int(*n.inner->index.hi, env_, nullptr, prog_.symbols) -
-               compiler::eval_int(*n.inner->index.lo, env_, nullptr, prog_.symbols) + 1);
-  } else {
-    ops = compiler::count_assignment(*n.lhs, *n.rhs);
+        0, compiler::eval_int(*n.inner->index.hi, env_, nullptr, prog_->symbols) -
+               compiler::eval_int(*n.inner->index.lo, env_, nullptr, prog_->symbols) + 1);
   }
   const int elem = front::type_size_bytes(n.lhs->type);
   const long long ws = working_set_estimate(n, space);
 
+  // one pricing per node; processors differ only in their iteration count
+  const IterCost cost =
+      n.mask ? fn_->condt_cost(ops, cond_ops(n), mask_probability(), elem, ws, inner_m)
+             : fn_->iter_cost(ops, elem, ws, inner_m);
   for (int p = 0; p < nprocs_; ++p) {
     const long long it = iters[static_cast<std::size_t>(p)];
     if (it == 0) continue;
-    ComputeEstimate est;
-    if (n.mask) {
-      est = fn_.condt_d(ops, compiler::count_expr(*n.mask), mask_probability(), it,
-                        elem, ws, inner_m);
-    } else {
-      est = fn_.iter_d(ops, it, elem, ws, inner_m);
-    }
+    const ComputeEstimate est = cost.at(it);
     charge(n.id, p, est.comp, 'C');
     charge(n.id, p, est.overhead, 'O');
   }
@@ -336,16 +384,16 @@ void InterpretationEngine::walk_local_loop(const SpmdNode& n) {
 
 void InterpretationEngine::walk_reduce(const SpmdNode& n) {
   const ResolvedSpace space = resolve_space(n.space);
-  const std::vector<long long> iters = local_iterations(n, space);
+  const std::vector<long long>& iters = local_iterations(n, space);
 
-  compiler::OpCounts ops = compiler::count_expr(*n.reduce_arg);
-  ops.fadd += 1;
+  const compiler::OpCounts& ops = body_ops(n);
   const long long ws = working_set_estimate(n, space);
   const int arg_elem = front::type_size_bytes(n.reduce_arg->type);
+  const IterCost cost = fn_->iter_cost(ops, arg_elem, ws);
   for (int p = 0; p < nprocs_; ++p) {
     const long long it = iters[static_cast<std::size_t>(p)];
     if (it == 0) continue;
-    const ComputeEstimate est = fn_.iter_d(ops, it, arg_elem, ws);
+    const ComputeEstimate est = cost.at(it);
     charge(n.id, p, est.comp, 'C');
     charge(n.id, p, est.overhead, 'O');
   }
@@ -353,13 +401,14 @@ void InterpretationEngine::walk_reduce(const SpmdNode& n) {
   // the reduction result is a data value: it stays unknown to the engine
 
   const compiler::ArrayMap* home =
-      n.home_symbol >= 0 ? layout_.map_for(n.home_symbol) : nullptr;
+      n.home_symbol >= 0 ? layout_->map_for(n.home_symbol) : nullptr;
   if (home != nullptr && nprocs_ > 1) {
     const long long bytes = n.reduce_op == "maxloc" ? 12 : 8;
-    const double cost = fn_.comm().reduce(nprocs_, bytes,
-                                          machine_.node().proc.t_fadd,
-                                          options_.collective);
-    sync_then_charge_comm(n, std::vector<double>(static_cast<std::size_t>(nprocs_), cost));
+    const double comm_cost = fn_->comm().reduce(nprocs_, bytes,
+                                                machine_->node().proc.t_fadd,
+                                                options_.collective);
+    cost_scratch_.assign(static_cast<std::size_t>(nprocs_), comm_cost);
+    sync_then_charge_comm(n, cost_scratch_);
   }
 }
 
@@ -383,15 +432,16 @@ void InterpretationEngine::sync_then_charge_comm(const SpmdNode& n,
 }
 
 void InterpretationEngine::walk_overlap(const SpmdNode& n) {
-  const compiler::ArrayMap* map = layout_.map_for(n.comm_array);
+  const compiler::ArrayMap* map = layout_->map_for(n.comm_array);
   if (map == nullptr) return;
   const auto& dd = map->dims[static_cast<std::size_t>(n.comm_dim)];
   if (dd.grid_dim < 0 || dd.nprocs <= 1) return;
-  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+  const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
   const bool strided = n.comm_dim != 0;
-  std::vector<double> cost(static_cast<std::size_t>(nprocs_), 0.0);
+  std::vector<double>& cost = cost_scratch_;
+  cost.assign(static_cast<std::size_t>(nprocs_), 0.0);
   for (int p = 0; p < nprocs_; ++p) {
-    const int c = layout_.grid().coords(p)[static_cast<std::size_t>(dd.grid_dim)];
+    const int c = layout_->proc_coords(p)[static_cast<std::size_t>(dd.grid_dim)];
     const bool has_partner = n.comm_offset > 0 ? c + 1 < dd.nprocs : c > 0;
     if (!has_partner) continue;
     // BLOCK: only the ghost strip crosses; CYCLIC: every owned element's
@@ -402,18 +452,18 @@ void InterpretationEngine::walk_overlap(const SpmdNode& n) {
             : std::min<long long>(std::llabs(n.comm_offset),
                                   std::max<long long>(dd.block, 1));
     const long long bytes = slab_elements(*map, p, n.comm_dim, width) * elem;
-    double t = fn_.comm().overlap_exchange(bytes, strided);
+    double t = fn_->comm().overlap_exchange(bytes, strided);
     if (n.per_element) {
       // message vectorization disabled: one message per boundary element
       const long long elems = std::max<long long>(1, bytes / elem);
-      t = static_cast<double>(elems) * fn_.comm().ptp(elem);
+      t = static_cast<double>(elems) * fn_->comm().ptp(elem);
     }
     if (n.comm_src_invariant && metric(n.id).visits > 1) {
       // overlap heuristic: a re-issued exchange of unchanged data hides its
       // setup latency behind the surrounding computation; only packing and
       // wire occupancy remain on the critical path
-      t = 2.0 * fn_.comm().pack(bytes, strided) +
-          fn_.comm().component().per_byte * static_cast<double>(bytes);
+      t = 2.0 * fn_->comm().pack(bytes, strided) +
+          fn_->comm().component().per_byte * static_cast<double>(bytes);
     }
     cost[static_cast<std::size_t>(p)] = t;
   }
@@ -421,29 +471,28 @@ void InterpretationEngine::walk_overlap(const SpmdNode& n) {
 }
 
 void InterpretationEngine::walk_cshift(const SpmdNode& n) {
-  const compiler::ArrayMap* map = layout_.map_for(n.comm_array);
-  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+  const compiler::ArrayMap* map = layout_->map_for(n.comm_array);
+  const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
   long long shift = 1;
   if (const auto v = compiler::try_eval_scalar(*n.comm_amount, env_, nullptr,
-                                               prog_.symbols)) {
+                                               prog_->symbols)) {
     shift = static_cast<long long>(std::llround(*v));
   }
-  std::vector<double> cost(static_cast<std::size_t>(nprocs_), 0.0);
+  std::vector<double>& cost = cost_scratch_;
+  cost.assign(static_cast<std::size_t>(nprocs_), 0.0);
   if (map == nullptr ||
       map->dims[static_cast<std::size_t>(n.comm_dim)].grid_dim < 0 ||
       map->dims[static_cast<std::size_t>(n.comm_dim)].nprocs <= 1) {
     // serial dimension: local circular copy
     long long total_local = 0;
     if (map != nullptr) {
-      total_local = map->local_elements(layout_.grid(), 0);
+      total_local = map->local_elements(layout_->grid(), 0);
     } else {
-      front::Bindings b;
-      for (const auto& [k, v] : bindings_.values()) b.set(k, v);
       total_local = 1;
-      for (long long e : layout_.array_extents(n.comm_array)) total_local *= e;
+      for (long long e : layout_->array_extents(n.comm_array)) total_local *= e;
     }
     const double t =
-        static_cast<double>(total_local * elem) / machine_.node().mem.mem_bandwidth;
+        static_cast<double>(total_local * elem) / machine_->node().mem.mem_bandwidth;
     std::fill(cost.begin(), cost.end(), t);
     sync_then_charge_comm(n, cost);
     return;
@@ -452,12 +501,12 @@ void InterpretationEngine::walk_cshift(const SpmdNode& n) {
   const bool strided = n.comm_dim != 0;
   const long long w = std::min<long long>(std::llabs(shift), dd.block);
   for (int p = 0; p < nprocs_; ++p) {
-    const int c = layout_.grid().coords(p)[static_cast<std::size_t>(dd.grid_dim)];
+    const int c = layout_->proc_coords(p)[static_cast<std::size_t>(dd.grid_dim)];
     const long long own = dd.local_count(c);
     const long long msg = slab_elements(*map, p, n.comm_dim, w) * elem;
     const long long local = slab_elements(*map, p, n.comm_dim,
                                           std::max<long long>(own - w, 0)) * elem;
-    cost[static_cast<std::size_t>(p)] = fn_.comm().cshift(msg, local, strided);
+    cost[static_cast<std::size_t>(p)] = fn_->comm().cshift(msg, local, strided);
   }
   sync_then_charge_comm(n, cost);
 }
@@ -467,27 +516,29 @@ void InterpretationEngine::walk_irregular(const SpmdNode& n) {
   const ResolvedSpace space = resolve_space(n.space);
   const long long total = std::max<long long>(space.points(), 0);
   if (total == 0) return;
-  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+  const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
   const long long share = (total + nprocs_ - 1) / nprocs_;
   double cost = n.gather_pattern == compiler::GatherPattern::Irregular
-                    ? fn_.comm().irregular(nprocs_, share, elem)
-                    : fn_.comm().remap(nprocs_, share, elem);
+                    ? fn_->comm().irregular(nprocs_, share, elem)
+                    : fn_->comm().remap(nprocs_, share, elem);
   if (n.comm_src_invariant && metric(n.id).visits > 1) {
-    cost = fn_.comm().pack(share * elem, true) +
-           fn_.comm().component().per_byte * static_cast<double>(share * elem);
+    cost = fn_->comm().pack(share * elem, true) +
+           fn_->comm().component().per_byte * static_cast<double>(share * elem);
   }
-  sync_then_charge_comm(n, std::vector<double>(static_cast<std::size_t>(nprocs_), cost));
+  cost_scratch_.assign(static_cast<std::size_t>(nprocs_), cost);
+  sync_then_charge_comm(n, cost_scratch_);
 }
 
 void InterpretationEngine::walk_slice_bcast(const SpmdNode& n) {
-  const compiler::ArrayMap* map = layout_.map_for(n.comm_array);
+  const compiler::ArrayMap* map = layout_->map_for(n.comm_array);
   if (map == nullptr || nprocs_ <= 1) return;
-  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+  const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
   const long long total = map->total_elements();
   const long long dim_extent = map->dims[static_cast<std::size_t>(n.comm_dim)].extent;
   const long long slice = total / std::max<long long>(dim_extent, 1);
-  const double cost = fn_.comm().bcast(nprocs_, slice * elem, options_.collective);
-  sync_then_charge_comm(n, std::vector<double>(static_cast<std::size_t>(nprocs_), cost));
+  const double cost = fn_->comm().bcast(nprocs_, slice * elem, options_.collective);
+  cost_scratch_.assign(static_cast<std::size_t>(nprocs_), cost);
+  sync_then_charge_comm(n, cost_scratch_);
 }
 
 // ---------------------------------------------------------------------------

@@ -37,24 +37,41 @@ double InterpretationFunctions::memory_per_iteration(int accesses, int elem_byte
   return accesses * lines_per_access * capacity * m.miss_penalty;
 }
 
+IterCost InterpretationFunctions::iter_cost(const compiler::OpCounts& ops,
+                                            int elem_bytes, long long working_set,
+                                            long long inner_m) const {
+  IterCost out;
+  const double body = flat_ops(ops) +
+                      memory_per_iteration(ops.loads + ops.stores, elem_bytes,
+                                           working_set);
+  out.per_iter_comp = body;
+  out.per_iter_overhead = sau_.proc.loop_overhead;
+  out.setup = sau_.proc.loop_setup;
+  if (inner_m > 0) {
+    out.per_iter_comp = sau_.proc.loop_setup +
+                        static_cast<double>(inner_m) * (body + sau_.proc.loop_overhead) +
+                        sau_.proc.t_store;
+  }
+  return out;
+}
+
+IterCost InterpretationFunctions::condt_cost(const compiler::OpCounts& body_ops,
+                                             const compiler::OpCounts& mask_ops,
+                                             double mask_prob, int elem_bytes,
+                                             long long working_set,
+                                             long long inner_m) const {
+  mask_prob = std::clamp(mask_prob, 0.0, 1.0);
+  IterCost out = iter_cost(body_ops, elem_bytes, working_set, inner_m);
+  out.per_iter_comp = out.per_iter_comp * mask_prob +
+                      (flat_ops(mask_ops) + sau_.proc.branch_overhead);
+  return out;
+}
+
 ComputeEstimate InterpretationFunctions::iter_d(const compiler::OpCounts& ops,
                                                 long long iters, int elem_bytes,
                                                 long long working_set,
                                                 long long inner_m) const {
-  ComputeEstimate out;
-  const double body = flat_ops(ops) +
-                      memory_per_iteration(ops.loads + ops.stores, elem_bytes,
-                                           working_set);
-  double per_iter = body;
-  double per_iter_overhead = sau_.proc.loop_overhead;
-  if (inner_m > 0) {
-    per_iter = sau_.proc.loop_setup +
-               static_cast<double>(inner_m) * (body + sau_.proc.loop_overhead) +
-               sau_.proc.t_store;
-  }
-  out.comp = static_cast<double>(iters) * per_iter;
-  out.overhead = sau_.proc.loop_setup + static_cast<double>(iters) * per_iter_overhead;
-  return out;
+  return iter_cost(ops, elem_bytes, working_set, inner_m).at(iters);
 }
 
 ComputeEstimate InterpretationFunctions::condt_d(const compiler::OpCounts& body_ops,
@@ -62,14 +79,8 @@ ComputeEstimate InterpretationFunctions::condt_d(const compiler::OpCounts& body_
                                                  double mask_prob, long long iters,
                                                  int elem_bytes, long long working_set,
                                                  long long inner_m) const {
-  mask_prob = std::clamp(mask_prob, 0.0, 1.0);
-  ComputeEstimate body = iter_d(body_ops, iters, elem_bytes, working_set, inner_m);
-  ComputeEstimate out;
-  out.comp = body.comp * mask_prob +
-             static_cast<double>(iters) *
-                 (flat_ops(mask_ops) + sau_.proc.branch_overhead);
-  out.overhead = body.overhead;
-  return out;
+  return condt_cost(body_ops, mask_ops, mask_prob, elem_bytes, working_set, inner_m)
+      .at(iters);
 }
 
 }  // namespace hpf90d::core

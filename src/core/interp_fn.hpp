@@ -24,6 +24,23 @@ struct ComputeEstimate {
   [[nodiscard]] double total() const noexcept { return comp + overhead; }
 };
 
+/// Per-iteration decomposition of an IterD/CondtD estimate. The engine
+/// charges processors with different local iteration counts from ONE of
+/// these (comp = iters * per_iter_comp, overhead = setup + iters *
+/// per_iter_overhead) instead of re-deriving the whole operation pricing
+/// per processor — the unit costs depend only on the node, not on the
+/// processor.
+struct IterCost {
+  double setup = 0;
+  double per_iter_comp = 0;
+  double per_iter_overhead = 0;
+
+  [[nodiscard]] ComputeEstimate at(long long iters) const noexcept {
+    return {static_cast<double>(iters) * per_iter_comp,
+            setup + static_cast<double>(iters) * per_iter_overhead};
+  }
+};
+
 class InterpretationFunctions {
  public:
   explicit InterpretationFunctions(const machine::SAU& sau)
@@ -49,6 +66,15 @@ class InterpretationFunctions {
                                         double mask_prob, long long iters,
                                         int elem_bytes, long long working_set,
                                         long long inner_m = 0) const;
+
+  /// Iteration-count-independent decompositions of iter_d / condt_d (the
+  /// engine's per-processor hot path).
+  [[nodiscard]] IterCost iter_cost(const compiler::OpCounts& ops, int elem_bytes,
+                                   long long working_set, long long inner_m = 0) const;
+  [[nodiscard]] IterCost condt_cost(const compiler::OpCounts& body_ops,
+                                    const compiler::OpCounts& mask_ops,
+                                    double mask_prob, int elem_bytes,
+                                    long long working_set, long long inner_m = 0) const;
 
   /// Memory-hierarchy heuristic (paper §3.3: "models and heuristics are
   /// defined to handle accesses to the memory hierarchy"): unit-stride

@@ -1,0 +1,23 @@
+// paragon.hpp — System Abstraction Graph for the Intel Paragon XP/S.
+//
+// The Paragon is the iPSC/860's successor and the paper's natural §7
+// "what-if" target: same i860 instruction set (so the compiled-Fortran
+// operation costs carry over with a clock bump), but a 2-D wormhole mesh
+// with dedicated message processors in place of the hypercube's
+// circuit-switched channels. Parameters follow the published XP/S
+// specification and the early OSF/1 NX timings: 50 MHz i860 XP nodes with
+// 16 KB I/D caches and 16-32 MB memory, ~72 us short-message latency,
+// ~90 MB/s sustained user-level bandwidth, sub-microsecond per-hop routing.
+// Moving a program here is exactly the paper's methodology: swap the SAG,
+// re-run the interpretation, compare.
+#pragma once
+
+#include "machine/sag.hpp"
+
+namespace hpf90d::machine {
+
+/// Builds the abstraction of a Paragon XP/S partition with `nodes` i860 XP
+/// processors behind a service-partition host.
+[[nodiscard]] MachineModel make_paragon(int nodes = 8);
+
+}  // namespace hpf90d::machine

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
+#include <span>
 
 #include "compiler/opcount.hpp"
 #include "support/diagnostics.hpp"
@@ -18,29 +18,37 @@ using support::CompileError;
 Executor::Executor(const compiler::CompiledProgram& prog,
                    const compiler::DataLayout& layout,
                    const machine::MachineModel& machine, const SimOptions& options,
-                   const front::Bindings& bindings)
-    : prog_(prog),
-      layout_(layout),
-      machine_(machine),
-      options_(options),
-      nprocs_(layout.nprocs()),
-      env_(prog.symbols.size()),
-      storage_(prog.symbols, layout),
-      cost_(machine.node()),
-      comm_model_(machine.node().comm),
-      network_(nprocs_, layout.grid().shape,
-               machine.node().comm, SimNetworkOptions{options.contention}),
-      noise_(options.seed, options.noise),
-      clock_(static_cast<std::size_t>(nprocs_), 0.0),
-      metrics_(static_cast<std::size_t>(prog.node_count)) {
-  compiler::seed_environment(env_, prog_.symbols, bindings);
+                   const front::Bindings& bindings) {
+  rebind(prog, layout, machine, options, bindings);
+}
+
+void Executor::rebind(const compiler::CompiledProgram& prog,
+                      const compiler::DataLayout& layout,
+                      const machine::MachineModel& machine, const SimOptions& options,
+                      const front::Bindings& bindings) {
+  prog_ = &prog;
+  layout_ = &layout;
+  machine_ = &machine;
+  options_ = options;
+  nprocs_ = layout.nprocs();
+  env_.reset(prog.symbols.size());
+  storage_.rebind(prog.symbols, layout);
+  cost_.emplace(machine.node());
+  comm_model_ = machine::CommModel(machine.node().comm);
+  network_.emplace(nprocs_, layout.grid().shape, machine.node().comm,
+                   SimNetworkOptions{options.contention});
+  noise_ = NoiseModel(options.seed, options.noise);
+  clock_.assign(static_cast<std::size_t>(nprocs_), 0.0);
+  metrics_.assign(static_cast<std::size_t>(prog.node_count), NodeMetric{});
+  result_ = SimResult{};
+  compiler::seed_environment(env_, prog_->symbols, bindings);
   for (int p = 0; p < nprocs_; ++p) {
     clock_[static_cast<std::size_t>(p)] = noise_.startup_skew();
   }
 }
 
 SimResult Executor::run() {
-  exec_seq(prog_.root->children);
+  exec_seq(prog_->root->children);
 
   result_.total = *std::max_element(clock_.begin(), clock_.end());
   result_.proc_clock = clock_;
@@ -55,10 +63,10 @@ SimResult Executor::run() {
     result_.comm += m.comm;
     result_.overhead += m.overhead;
   }
-  for (const auto& sym : prog_.symbols.symbols()) {
+  for (const auto& sym : prog_->symbols.symbols()) {
     if (sym.kind == front::SymbolKind::Scalar ||
         sym.kind == front::SymbolKind::Param) {
-      const int id = prog_.symbols.find(sym.name);
+      const int id = prog_->symbols.find(sym.name);
       if (env_.is_defined(id)) result_.scalars[sym.name] = env_.value(id);
     }
   }
@@ -116,12 +124,12 @@ void Executor::exec(const SpmdNode& n) {
 }
 
 void Executor::exec_scalar_assign(const SpmdNode& n) {
-  const double v = compiler::eval_scalar(*n.rhs, env_, &storage_, prog_.symbols);
+  const double v = compiler::eval_scalar(*n.rhs, env_, &storage_, prog_->symbols);
   double stored = v;
   if (n.lhs->type == front::TypeBase::Integer) stored = std::trunc(v);
   env_.define(n.lhs->symbol, stored);
   const compiler::OpCounts ops = compiler::count_expr(*n.rhs);
-  const double t = cost_.scalar_cost(ops) + machine_.node().proc.t_store;
+  const double t = cost_->scalar_cost(ops) + machine_->node().proc.t_store;
   // replicated computation: every node executes the same statement
   for (int p = 0; p < nprocs_; ++p) {
     charge_comp(n.id, p, t * noise_.compute_factor());
@@ -129,15 +137,15 @@ void Executor::exec_scalar_assign(const SpmdNode& n) {
 }
 
 void Executor::exec_do(const SpmdNode& n) {
-  const long long lo = compiler::eval_int(*n.do_lo, env_, &storage_, prog_.symbols);
-  const long long hi = compiler::eval_int(*n.do_hi, env_, &storage_, prog_.symbols);
+  const long long lo = compiler::eval_int(*n.do_lo, env_, &storage_, prog_->symbols);
+  const long long hi = compiler::eval_int(*n.do_hi, env_, &storage_, prog_->symbols);
   const long long step =
-      n.do_step ? compiler::eval_int(*n.do_step, env_, &storage_, prog_.symbols) : 1;
+      n.do_step ? compiler::eval_int(*n.do_step, env_, &storage_, prog_->symbols) : 1;
   if (step == 0) throw CompileError(n.loc, "do loop step is zero");
-  charge_all_overhead(n.id, machine_.node().proc.loop_setup);
+  charge_all_overhead(n.id, machine_->node().proc.loop_setup);
   for (long long v = lo; step > 0 ? v <= hi : v >= hi; v += step) {
     env_.define(n.do_symbol, static_cast<double>(v));
-    charge_all_overhead(n.id, machine_.node().proc.loop_overhead);
+    charge_all_overhead(n.id, machine_->node().proc.loop_overhead);
     exec_seq(n.children);
   }
 }
@@ -145,9 +153,9 @@ void Executor::exec_do(const SpmdNode& n) {
 void Executor::exec_while(const SpmdNode& n) {
   long long trips = 0;
   while (true) {
-    const double c = compiler::eval_scalar(*n.mask, env_, &storage_, prog_.symbols);
-    charge_all_overhead(n.id, machine_.node().proc.branch_overhead +
-                                  cost_.scalar_cost(compiler::count_expr(*n.mask)));
+    const double c = compiler::eval_scalar(*n.mask, env_, &storage_, prog_->symbols);
+    charge_all_overhead(n.id, machine_->node().proc.branch_overhead +
+                                  cost_->scalar_cost(compiler::count_expr(*n.mask)));
     if (c == 0.0) break;
     if (++trips > options_.max_while_trips) {
       throw CompileError(n.loc, "do while exceeded the simulation trip limit");
@@ -157,8 +165,8 @@ void Executor::exec_while(const SpmdNode& n) {
 }
 
 void Executor::exec_if(const SpmdNode& n) {
-  const double c = compiler::eval_scalar(*n.mask, env_, &storage_, prog_.symbols);
-  charge_all_overhead(n.id, machine_.node().proc.branch_overhead);
+  const double c = compiler::eval_scalar(*n.mask, env_, &storage_, prog_->symbols);
+  charge_all_overhead(n.id, machine_->node().proc.branch_overhead);
   if (c != 0.0) {
     exec_seq(n.children);
   } else {
@@ -170,7 +178,7 @@ void Executor::exec_hostio(const SpmdNode& n) {
   long long bytes = 16;  // service request framing
   for (const auto& arg : n.io_args) {
     if (arg->rank == 0) {
-      const double v = compiler::eval_scalar(*arg, env_, &storage_, prog_.symbols);
+      const double v = compiler::eval_scalar(*arg, env_, &storage_, prog_->symbols);
       result_.printed[arg->str()] = v;
       bytes += 16;
     } else {
@@ -178,7 +186,7 @@ void Executor::exec_hostio(const SpmdNode& n) {
                front::type_size_bytes(arg->type);
     }
   }
-  const auto& io = machine_.node().io;
+  const auto& io = machine_->node().io;
   charge_comm(n.id, 0, io.host_latency + io.host_per_byte * static_cast<double>(bytes));
 }
 
@@ -201,10 +209,10 @@ Executor::ResolvedSpace Executor::resolve_space(
     const std::vector<compiler::IterIndex>& space) {
   ResolvedSpace out;
   for (const auto& ix : space) {
-    out.lo.push_back(compiler::eval_int(*ix.lo, env_, &storage_, prog_.symbols));
-    out.hi.push_back(compiler::eval_int(*ix.hi, env_, &storage_, prog_.symbols));
+    out.lo.push_back(compiler::eval_int(*ix.lo, env_, &storage_, prog_->symbols));
+    out.hi.push_back(compiler::eval_int(*ix.hi, env_, &storage_, prog_->symbols));
     out.step.push_back(
-        ix.stride ? compiler::eval_int(*ix.stride, env_, &storage_, prog_.symbols) : 1);
+        ix.stride ? compiler::eval_int(*ix.stride, env_, &storage_, prog_->symbols) : 1);
   }
   return out;
 }
@@ -212,7 +220,8 @@ Executor::ResolvedSpace Executor::resolve_space(
 int Executor::owner_of_point(const SpmdNode& n, const compiler::ArrayMap* home,
                              std::span<const long long> point) const {
   if (home == nullptr) return -1;
-  std::vector<int> coords(static_cast<std::size_t>(layout_.grid().rank()), 0);
+  std::vector<int>& coords = owner_coords_scratch_;
+  coords.assign(static_cast<std::size_t>(layout_->grid().rank()), 0);
   for (std::size_t h = 0; h < n.home_driver.size(); ++h) {
     const int drv = n.home_driver[h];
     if (drv < 0) continue;
@@ -221,10 +230,19 @@ int Executor::owner_of_point(const SpmdNode& n, const compiler::ArrayMap* home,
     const long long g = point[static_cast<std::size_t>(drv)] + n.home_driver_offset[h];
     coords[static_cast<std::size_t>(dd.grid_dim)] = dd.owner_coord(g);
   }
-  return layout_.grid().linear(coords);
+  return layout_->grid().linear(coords);
 }
 
 namespace {
+
+void scan_subscript(const Expr& x, int inner_symbol, bool& uses_inner, bool& has_ref) {
+  if (x.kind == ExprKind::Var && x.symbol == inner_symbol) uses_inner = true;
+  if (x.kind == ExprKind::ArrayRef) has_ref = true;
+  for (const auto& a : x.args) scan_subscript(*a, inner_symbol, uses_inner, has_ref);
+  for (const auto& ss : x.subs) {
+    if (ss.scalar) scan_subscript(*ss.scalar, inner_symbol, uses_inner, has_ref);
+  }
+}
 
 /// Collects the memory-access patterns of every array reference in `e`.
 /// `inner_symbol` is the innermost loop index; the stride is the distance
@@ -249,15 +267,7 @@ void collect_accesses(const Expr& e, int inner_symbol, const Storage& storage,
         const Expr& s = *sub.scalar;
         bool uses_inner = false;
         bool has_ref = false;
-        std::function<void(const Expr&)> scan = [&](const Expr& x) {
-          if (x.kind == ExprKind::Var && x.symbol == inner_symbol) uses_inner = true;
-          if (x.kind == ExprKind::ArrayRef) has_ref = true;
-          for (const auto& a : x.args) scan(*a);
-          for (const auto& ss : x.subs) {
-            if (ss.scalar) scan(*ss.scalar);
-          }
-        };
-        scan(s);
+        scan_subscript(s, inner_symbol, uses_inner, has_ref);
         if (has_ref && uses_inner) irregular = true;
         else if (uses_inner) stride += dim_stride;  // coefficient ~1 dominant case
       }
@@ -281,15 +291,15 @@ std::vector<AccessPattern> Executor::access_patterns(const SpmdNode& n) const {
                     : !n.space.empty() ? n.space.back().symbol
                                        : -1;
   if (n.inner) {
-    collect_accesses(*n.inner->arg, inner, storage_, prog_.symbols, out, false);
+    collect_accesses(*n.inner->arg, inner, storage_, prog_->symbols, out, false);
   } else if (n.rhs) {
-    collect_accesses(*n.rhs, inner, storage_, prog_.symbols, out, false);
+    collect_accesses(*n.rhs, inner, storage_, prog_->symbols, out, false);
   }
-  if (n.mask) collect_accesses(*n.mask, inner, storage_, prog_.symbols, out, false);
+  if (n.mask) collect_accesses(*n.mask, inner, storage_, prog_->symbols, out, false);
   if (n.lhs && n.lhs->kind == ExprKind::ArrayRef) {
-    collect_accesses(*n.lhs, inner, storage_, prog_.symbols, out, true);
+    collect_accesses(*n.lhs, inner, storage_, prog_->symbols, out, true);
   }
-  if (n.reduce_arg) collect_accesses(*n.reduce_arg, inner, storage_, prog_.symbols, out, false);
+  if (n.reduce_arg) collect_accesses(*n.reduce_arg, inner, storage_, prog_->symbols, out, false);
   return out;
 }
 
@@ -297,14 +307,7 @@ long long Executor::working_set_bytes(const Expr& lhs, const Expr* rhs,
                                       const ResolvedSpace& space) const {
   // footprint ~ iteration count x (distinct arrays touched) x element size
   long long arrays = 1;
-  std::function<void(const Expr&)> scan = [&](const Expr& e) {
-    if (e.kind == ExprKind::ArrayRef) ++arrays;
-    for (const auto& a : e.args) scan(*a);
-    for (const auto& s : e.subs) {
-      if (s.scalar) scan(*s.scalar);
-    }
-  };
-  if (rhs != nullptr) scan(*rhs);
+  if (rhs != nullptr) compiler::count_array_refs(*rhs, arrays);
   const long long iters = std::max<long long>(1, space.points());
   return iters * arrays * front::type_size_bytes(lhs.type) / std::max(1, nprocs_);
 }
@@ -317,7 +320,7 @@ void Executor::exec_local_loop(const SpmdNode& n) {
   const ResolvedSpace space = resolve_space(n.space);
   if (space.points() <= 0) return;
   const compiler::ArrayMap* home =
-      n.home_symbol >= 0 ? layout_.map_for(n.home_symbol) : nullptr;
+      n.home_symbol >= 0 ? layout_->map_for(n.home_symbol) : nullptr;
 
   // per-proc iteration and mask-true counts (slot 0 used when replicated)
   const bool replicated = home == nullptr;
@@ -327,8 +330,8 @@ void Executor::exec_local_loop(const SpmdNode& n) {
   // inner-reduction resolved bounds (loop-invariant by construction)
   long long inner_lo = 0, inner_hi = -1;
   if (n.inner) {
-    inner_lo = compiler::eval_int(*n.inner->index.lo, env_, &storage_, prog_.symbols);
-    inner_hi = compiler::eval_int(*n.inner->index.hi, env_, &storage_, prog_.symbols);
+    inner_lo = compiler::eval_int(*n.inner->index.lo, env_, &storage_, prog_->symbols);
+    inner_hi = compiler::eval_int(*n.inner->index.hi, env_, &storage_, prog_->symbols);
   }
 
   // functional pass: evaluate all RHS first (forall semantics), then commit
@@ -356,7 +359,7 @@ void Executor::exec_local_loop(const SpmdNode& n) {
     bool mask_true = true;
     if (n.mask) {
       mask_true =
-          compiler::eval_scalar(*n.mask, env_, &storage_, prog_.symbols) != 0.0;
+          compiler::eval_scalar(*n.mask, env_, &storage_, prog_->symbols) != 0.0;
     }
     if (mask_true) {
       if (owner >= 0) ++trues[static_cast<std::size_t>(owner)];
@@ -369,7 +372,7 @@ void Executor::exec_local_loop(const SpmdNode& n) {
         for (long long j = inner_lo; j <= inner_hi; ++j) {
           env_.define(n.inner->index.symbol, static_cast<double>(j));
           const double v =
-              compiler::eval_scalar(*n.inner->arg, env_, &storage_, prog_.symbols);
+              compiler::eval_scalar(*n.inner->arg, env_, &storage_, prog_->symbols);
           if (n.inner->op == "sum") acc += v;
           else if (is_prod) acc *= v;
           else if (n.inner->op == "maxval") acc = std::max(acc, v);
@@ -377,12 +380,12 @@ void Executor::exec_local_loop(const SpmdNode& n) {
         }
         value = acc;
       } else {
-        value = compiler::eval_scalar(*n.rhs, env_, &storage_, prog_.symbols);
+        value = compiler::eval_scalar(*n.rhs, env_, &storage_, prog_->symbols);
       }
       if (n.lhs->type == front::TypeBase::Integer) value = std::trunc(value);
       for (std::size_t d = 0; d < lhs_idx.size(); ++d) {
         lhs_idx[d] = compiler::eval_int(*n.lhs->subs[d].scalar, env_, &storage_,
-                                        prog_.symbols);
+                                        prog_->symbols);
       }
       pending.push_back(PendingStore{storage_.offset(lhs_symbol, lhs_idx), value});
     }
@@ -416,7 +419,7 @@ void Executor::exec_local_loop(const SpmdNode& n) {
   for (auto& a : accesses) a.array_bytes /= std::max(1, nprocs_);
   const long long ws = working_set_bytes(*n.lhs, n.rhs ? n.rhs.get() : n.inner->arg.get(),
                                          space);
-  const auto& p = machine_.node().proc;
+  const auto& p = machine_->node().proc;
 
   const long long total_pts = space.points();
   for (int proc = 0; proc < nprocs_; ++proc) {
@@ -425,7 +428,7 @@ void Executor::exec_local_loop(const SpmdNode& n) {
     const long long tr = replicated ? total_pts : trues[static_cast<std::size_t>(proc)];
     const double frac = n.mask ? static_cast<double>(tr) / static_cast<double>(it) : 1.0;
     const LoopBodyCost body =
-        cost_.body_cost(ops, accesses, ws, frac, n.mask ? &mask_ops : nullptr);
+        cost_->body_cost(ops, accesses, ws, frac, n.mask ? &mask_ops : nullptr);
     double per_iter = body.per_iteration;
     if (n.inner) {
       const long long m = std::max<long long>(0, inner_hi - inner_lo + 1);
@@ -446,7 +449,7 @@ void Executor::exec_local_loop(const SpmdNode& n) {
 void Executor::exec_reduce(const SpmdNode& n) {
   const ResolvedSpace space = resolve_space(n.space);
   const compiler::ArrayMap* home =
-      n.home_symbol >= 0 ? layout_.map_for(n.home_symbol) : nullptr;
+      n.home_symbol >= 0 ? layout_->map_for(n.home_symbol) : nullptr;
   const bool replicated = home == nullptr;
   std::vector<long long> iters(static_cast<std::size_t>(nprocs_), 0);
 
@@ -468,7 +471,7 @@ void Executor::exec_reduce(const SpmdNode& n) {
       if (owner >= 0) ++iters[static_cast<std::size_t>(owner)];
     }
     const double v =
-        compiler::eval_scalar(*n.reduce_arg, env_, &storage_, prog_.symbols);
+        compiler::eval_scalar(*n.reduce_arg, env_, &storage_, prog_->symbols);
     if (n.reduce_op == "sum") acc += v;
     else if (is_prod) acc *= v;
     else if (is_max) {
@@ -499,7 +502,7 @@ void Executor::exec_reduce(const SpmdNode& n) {
   std::vector<AccessPattern> accesses = access_patterns(n);
   for (auto& a : accesses) a.array_bytes /= std::max(1, nprocs_);
   const long long ws = working_set_bytes(*n.reduce_arg, n.reduce_arg.get(), space);
-  const LoopBodyCost body = cost_.body_cost(ops, accesses, ws);
+  const LoopBodyCost body = cost_->body_cost(ops, accesses, ws);
   const long long total_pts = std::max<long long>(space.points(), 0);
   for (int proc = 0; proc < nprocs_; ++proc) {
     const long long it = replicated ? total_pts : iters[static_cast<std::size_t>(proc)];
@@ -513,8 +516,8 @@ void Executor::exec_reduce(const SpmdNode& n) {
   // --- combine across the cube ------------------------------------------------
   if (!replicated && nprocs_ > 1) {
     const int elem = n.reduce_op == "maxloc" ? 12 : 8;  // value (+ index)
-    const double op_t = machine_.node().proc.t_fadd +
-                        machine_.node().comm.coll_stage_setup;
+    const double op_t = machine_->node().proc.t_fadd +
+                        machine_->node().comm.coll_stage_setup;
     collective_stages(n.id, elem, op_t);
   }
 }
@@ -527,14 +530,14 @@ void Executor::collective_stages(int node_id, long long bytes, double per_stage_
     // everyone sends to node 0, then node 0 broadcasts back
     for (int p = 1; p < nprocs_; ++p) {
       const double t0 = clock_[static_cast<std::size_t>(p)];
-      const double arr = network_.send(p, 0, bytes, t0, noise_);
+      const double arr = network_->send(p, 0, bytes, t0, noise_);
       const double before = clock_[0];
       clock_[0] = std::max(clock_[0], arr) + per_stage_extra;
       metric(node_id).comm += (clock_[0] - before) + (arr - t0);
-      clock_[static_cast<std::size_t>(p)] = t0 + machine_.node().comm.latency_short;
+      clock_[static_cast<std::size_t>(p)] = t0 + machine_->node().comm.latency_short;
     }
     for (int p = 1; p < nprocs_; ++p) {
-      const double arr = network_.send(0, p, bytes, clock_[0], noise_);
+      const double arr = network_->send(0, p, bytes, clock_[0], noise_);
       const double before = clock_[static_cast<std::size_t>(p)];
       clock_[static_cast<std::size_t>(p)] = std::max(before, arr);
       metric(node_id).comm += clock_[static_cast<std::size_t>(p)] - before;
@@ -547,8 +550,8 @@ void Executor::collective_stages(int node_id, long long bytes, double per_stage_
       if (q <= p || q >= nprocs_) continue;
       const double t = std::max(clock_[static_cast<std::size_t>(p)],
                                 clock_[static_cast<std::size_t>(q)]);
-      const double arr_q = network_.send(p, q, bytes, t, noise_);
-      const double arr_p = network_.send(q, p, bytes, t, noise_);
+      const double arr_q = network_->send(p, q, bytes, t, noise_);
+      const double arr_p = network_->send(q, p, bytes, t, noise_);
       const double end = std::max(arr_p, arr_q) + per_stage_extra;
       metric(node_id).comm += (end - clock_[static_cast<std::size_t>(p)]) +
                               (end - clock_[static_cast<std::size_t>(q)]);
@@ -563,7 +566,7 @@ void Executor::collective_stages(int node_id, long long bytes, double per_stage_
 // ---------------------------------------------------------------------------
 
 void Executor::exec_overlap(const SpmdNode& n) {
-  const compiler::ArrayMap* map = layout_.map_for(n.comm_array);
+  const compiler::ArrayMap* map = layout_->map_for(n.comm_array);
   if (map == nullptr) return;
   const auto& dd = map->dims[static_cast<std::size_t>(n.comm_dim)];
   if (dd.grid_dim < 0 || dd.nprocs <= 1) return;  // dimension is serial here
@@ -572,12 +575,12 @@ void Executor::exec_overlap(const SpmdNode& n) {
   // already buffered at the receiver: in steady state only packing and wire
   // occupancy remain (message queues absorb the latency).
   if (n.comm_src_invariant && metric(n.id).visits > 1) {
-    const int elem_sz = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+    const int elem_sz = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
     const bool strided_slab = n.comm_dim != 0;
     const long long width_s = std::min<long long>(std::llabs(n.comm_offset),
                                                   std::max<long long>(dd.block, 1));
     for (int p = 0; p < nprocs_; ++p) {
-      const std::vector<int> coords = layout_.grid().coords(p);
+      const std::span<const int> coords = layout_->proc_coords(p);
       const int k = coords[static_cast<std::size_t>(dd.grid_dim)];
       const int dir0 = n.comm_offset > 0 ? +1 : -1;
       const bool has_partner = dir0 > 0 ? k + 1 < dd.nprocs : k > 0;
@@ -591,13 +594,13 @@ void Executor::exec_overlap(const SpmdNode& n) {
       }
       const long long bytes = perp * width_s * elem_sz;
       const double t = 2.0 * comm_model_.pack(bytes, strided_slab) +
-                       machine_.node().comm.per_byte * static_cast<double>(bytes);
+                       machine_->node().comm.per_byte * static_cast<double>(bytes);
       charge_comm(n.id, p, t * noise_.comm_factor());
     }
     return;
   }
 
-  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+  const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
   const bool strided = n.comm_dim != 0;  // row-major: outermost dim slabs are contiguous
 
   // snapshot departures, then apply arrivals
@@ -606,7 +609,7 @@ void Executor::exec_overlap(const SpmdNode& n) {
   const int dir = n.comm_offset > 0 ? +1 : -1;
 
   auto slab_elements = [&](int proc) -> long long {
-    const std::vector<int> coords = layout_.grid().coords(proc);
+    const std::span<const int> coords = layout_->proc_coords(proc);
     long long perp = 1;
     for (std::size_t j = 0; j < map->dims.size(); ++j) {
       if (static_cast<int>(j) == n.comm_dim) continue;
@@ -626,7 +629,7 @@ void Executor::exec_overlap(const SpmdNode& n) {
   // sender q (coord k) sends to receiver p (coord k-dir): receiver needs
   // elements offset `dir` beyond its boundary
   for (int q = 0; q < nprocs_; ++q) {
-    const std::vector<int> coords = layout_.grid().coords(q);
+    const std::span<const int> coords = layout_->proc_coords(q);
     const int k = coords[static_cast<std::size_t>(dd.grid_dim)];
     const int kr = k - dir;
     if (kr < 0 || kr >= dd.nprocs) continue;
@@ -639,10 +642,12 @@ void Executor::exec_overlap(const SpmdNode& n) {
   std::vector<double> new_clock = clock_;
   for (int q = 0; q < nprocs_; ++q) {
     if (depart[static_cast<std::size_t>(q)] < 0) continue;
-    std::vector<int> coords = layout_.grid().coords(q);
+    const std::span<const int> qc = layout_->proc_coords(q);
+    std::vector<int>& coords = coords_scratch_;
+    coords.assign(qc.begin(), qc.end());
     coords[static_cast<std::size_t>(dd.grid_dim)] -= dir;
-    const int p = layout_.grid().linear(coords);
-    const double arr = network_.send(q, p, send_bytes[static_cast<std::size_t>(q)],
+    const int p = layout_->grid().linear(coords);
+    const double arr = network_->send(q, p, send_bytes[static_cast<std::size_t>(q)],
                                      depart[static_cast<std::size_t>(q)], noise_);
     const double unpack =
         comm_model_.pack(send_bytes[static_cast<std::size_t>(q)], strided);
@@ -660,13 +665,13 @@ void Executor::exec_overlap(const SpmdNode& n) {
 
 void Executor::exec_cshift(const SpmdNode& n) {
   const long long shift =
-      compiler::eval_int(*n.comm_amount, env_, &storage_, prog_.symbols);
+      compiler::eval_int(*n.comm_amount, env_, &storage_, prog_->symbols);
   storage_.cshift_into(n.comm_temp, n.comm_array, n.comm_dim, shift);
   if (shift == 0) return;
 
-  const compiler::ArrayMap* map = layout_.map_for(n.comm_array);
-  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
-  const auto& mem = machine_.node().mem;
+  const compiler::ArrayMap* map = layout_->map_for(n.comm_array);
+  const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
+  const auto& mem = machine_->node().mem;
 
   if (map == nullptr || map->dims[static_cast<std::size_t>(n.comm_dim)].grid_dim < 0 ||
       map->dims[static_cast<std::size_t>(n.comm_dim)].nprocs <= 1) {
@@ -687,7 +692,7 @@ void Executor::exec_cshift(const SpmdNode& n) {
   std::vector<long long> msg_bytes(static_cast<std::size_t>(nprocs_), 0);
   std::vector<long long> local_bytes(static_cast<std::size_t>(nprocs_), 0);
   for (int q = 0; q < nprocs_; ++q) {
-    const std::vector<int> coords = layout_.grid().coords(q);
+    const std::span<const int> coords = layout_->proc_coords(q);
     long long perp = 1;
     for (std::size_t j = 0; j < map->dims.size(); ++j) {
       if (static_cast<int>(j) == n.comm_dim) continue;
@@ -707,11 +712,13 @@ void Executor::exec_cshift(const SpmdNode& n) {
   for (int q = 0; q < nprocs_; ++q) {
     if (msg_bytes[static_cast<std::size_t>(q)] == 0) continue;
     // circular: wrap at the grid edges
-    std::vector<int> coords = layout_.grid().coords(q);
+    const std::span<const int> qc = layout_->proc_coords(q);
+    std::vector<int>& coords = coords_scratch_;
+    coords.assign(qc.begin(), qc.end());
     int& k = coords[static_cast<std::size_t>(dd.grid_dim)];
     k = (k - dir % dd.nprocs + dd.nprocs) % dd.nprocs;
-    const int p = layout_.grid().linear(coords);
-    const double arr = network_.send(q, p, msg_bytes[static_cast<std::size_t>(q)],
+    const int p = layout_->grid().linear(coords);
+    const double arr = network_->send(q, p, msg_bytes[static_cast<std::size_t>(q)],
                                      depart[static_cast<std::size_t>(q)], noise_);
     const double local_copy =
         static_cast<double>(local_bytes[static_cast<std::size_t>(p)]) / mem.mem_bandwidth;
@@ -733,8 +740,8 @@ void Executor::exec_irregular(const SpmdNode& n) {
   const ResolvedSpace space = resolve_space(n.space);
   const long long total = std::max<long long>(space.points(), 0);
   if (total == 0) return;
-  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
-  const auto& comm = machine_.node().comm;
+  const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
+  const auto& comm = machine_->node().comm;
 
   // per-processor share (block partition of the iteration space)
   const long long share = (total + nprocs_ - 1) / nprocs_;
@@ -752,7 +759,7 @@ void Executor::exec_irregular(const SpmdNode& n) {
     std::vector<double> snapshot = clock_;
     for (int p = 0; p < nprocs_; ++p) {
       const int q = (p + r) % nprocs_;
-      const double arr = network_.send(p, q, per_partner * elem,
+      const double arr = network_->send(p, q, per_partner * elem,
                                        snapshot[static_cast<std::size_t>(p)], noise_);
       const double before = clock_[static_cast<std::size_t>(q)];
       clock_[static_cast<std::size_t>(q)] = std::max(before, arr);
@@ -762,13 +769,13 @@ void Executor::exec_irregular(const SpmdNode& n) {
 }
 
 void Executor::exec_slice_bcast(const SpmdNode& n) {
-  const compiler::ArrayMap* map = layout_.map_for(n.comm_array);
+  const compiler::ArrayMap* map = layout_->map_for(n.comm_array);
   if (map == nullptr || nprocs_ <= 1) return;
-  const int elem = front::type_size_bytes(prog_.symbols.at(n.comm_array).type);
+  const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
   const long long total = storage_.total_elements(n.comm_array);
   const long long dim_extent = map->dims[static_cast<std::size_t>(n.comm_dim)].extent;
   const long long slice = total / std::max<long long>(dim_extent, 1);
-  collective_stages(n.id, slice * elem, machine_.node().comm.coll_stage_setup);
+  collective_stages(n.id, slice * elem, machine_->node().comm.coll_stage_setup);
 }
 
 }  // namespace hpf90d::sim

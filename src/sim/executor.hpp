@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,12 +52,30 @@ struct SimResult {
   std::map<std::string, double> scalars;
 };
 
+/// The executor is reusable: a default-constructed executor is an *arena*
+/// that `rebind()` points at a new configuration before each `run()`.
+/// Rebinding resets every piece of simulation state exactly as construction
+/// would (storage contents, clocks, network occupancy, noise stream) while
+/// reusing the large scratch allocations — per-worker executors replay
+/// thousands of measurement runs without per-run heap churn.
 class Executor {
  public:
+  /// Arena construction: no state bound yet; call rebind() before run().
+  Executor() = default;
+
   Executor(const compiler::CompiledProgram& prog, const compiler::DataLayout& layout,
            const machine::MachineModel& machine, const SimOptions& options,
            const front::Bindings& bindings);
 
+  /// Re-targets the executor, producing bit-identical behaviour to a fresh
+  /// Executor(prog, layout, machine, options, bindings). The referenced
+  /// arguments must outlive the next run() call.
+  void rebind(const compiler::CompiledProgram& prog, const compiler::DataLayout& layout,
+              const machine::MachineModel& machine, const SimOptions& options,
+              const front::Bindings& bindings);
+
+  /// One-shot per rebind/construction: call rebind() again before the next
+  /// run().
   [[nodiscard]] SimResult run();
 
  private:
@@ -106,22 +125,30 @@ class Executor {
   /// both partners exchange `bytes` and apply `per_stage_extra` time.
   void collective_stages(int node_id, long long bytes, double per_stage_extra);
 
-  const compiler::CompiledProgram& prog_;
-  const compiler::DataLayout& layout_;
-  const machine::MachineModel& machine_;
+  // Pointers (not references) so rebind() can re-target the executor; null
+  // only between default construction and the first rebind.
+  const compiler::CompiledProgram* prog_ = nullptr;
+  const compiler::DataLayout* layout_ = nullptr;
+  const machine::MachineModel* machine_ = nullptr;
   SimOptions options_;
-  int nprocs_;
+  int nprocs_ = 0;
 
-  compiler::ScalarEnv env_;
+  compiler::ScalarEnv env_{0};
   Storage storage_;
-  NodeCostModel cost_;
-  machine::CommModel comm_model_;
-  SimNetwork network_;
-  NoiseModel noise_;
+  // NodeCostModel and SimNetwork hold references/config, so retargeting is
+  // an emplace rather than an assignment.
+  std::optional<NodeCostModel> cost_;
+  machine::CommModel comm_model_{machine::CommComponent{}};
+  std::optional<SimNetwork> network_;
+  NoiseModel noise_{0, false};
 
   std::vector<double> clock_;
   std::vector<NodeMetric> metrics_;
   SimResult result_;
+
+  // Reused per-call scratch (mutable: owner_of_point is logically const):
+  mutable std::vector<int> owner_coords_scratch_;
+  std::vector<int> coords_scratch_;
 };
 
 }  // namespace hpf90d::sim

@@ -17,14 +17,23 @@ MeasuredResult Simulator::measure(const compiler::CompiledProgram& prog,
                                   const front::Bindings& bindings,
                                   const compiler::DataLayout& layout,
                                   const SimOptions& options, int runs) const {
+  Executor arena;
+  return measure(prog, bindings, layout, options, runs, arena);
+}
+
+MeasuredResult Simulator::measure(const compiler::CompiledProgram& prog,
+                                  const front::Bindings& bindings,
+                                  const compiler::DataLayout& layout,
+                                  const SimOptions& options, int runs,
+                                  Executor& arena) const {
   MeasuredResult out;
   out.stats.min = 1e300;
   out.stats.max = 0.0;
   for (int r = 0; r < std::max(1, runs); ++r) {
     SimOptions run_opts = options;
     run_opts.seed = options.seed + static_cast<std::uint64_t>(r) * 0x9e3779b97f4a7c15ULL;
-    Executor exec(prog, layout, machine_, run_opts, bindings);
-    SimResult res = exec.run();
+    arena.rebind(prog, layout, machine_, run_opts, bindings);
+    SimResult res = arena.run();
     out.stats.samples.push_back(res.total);
     out.stats.mean += res.total;
     out.stats.min = std::min(out.stats.min, res.total);

@@ -47,6 +47,16 @@ class Simulator {
                                        const SimOptions& options = {},
                                        int runs = 3) const;
 
+  /// Same, replaying the runs through a caller-owned executor arena: each
+  /// run rebinds `arena` instead of constructing a fresh Executor, so a
+  /// per-worker arena serves a whole sweep without per-run allocation. The
+  /// statistics are bit-identical to the constructing overloads.
+  [[nodiscard]] MeasuredResult measure(const compiler::CompiledProgram& prog,
+                                       const front::Bindings& bindings,
+                                       const compiler::DataLayout& layout,
+                                       const SimOptions& options, int runs,
+                                       Executor& arena) const;
+
  private:
   const machine::MachineModel& machine_;
 };

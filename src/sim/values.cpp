@@ -8,13 +8,28 @@ namespace hpf90d::sim {
 
 using support::CompileError;
 
-Storage::Storage(const front::SymbolTable& symbols, const compiler::DataLayout& layout)
-    : symbols_(symbols), layout_(layout), arrays_(symbols.size()) {}
+Storage::Storage(const front::SymbolTable& symbols, const compiler::DataLayout& layout) {
+  rebind(symbols, layout);
+}
+
+void Storage::rebind(const front::SymbolTable& symbols,
+                     const compiler::DataLayout& layout) {
+  symbols_ = &symbols;
+  layout_ = &layout;
+  arrays_.resize(symbols.size());
+  for (auto& store : arrays_) {
+    // Invalidate without releasing: ensure() re-derives extents/strides and
+    // overwrites every element, so the data vector's capacity is reused.
+    store.allocated = false;
+    store.extents.clear();
+    store.strides.clear();
+  }
+}
 
 Storage::ArrayStore& Storage::ensure(int symbol) {
   auto& store = arrays_.at(static_cast<std::size_t>(symbol));
   if (store.allocated) return store;
-  store.extents = layout_.array_extents(symbol);
+  store.extents = layout_->array_extents(symbol);
   store.strides.assign(store.extents.size(), 1);
   long long total = 1;
   for (std::size_t d = store.extents.size(); d-- > 0;) {
@@ -40,7 +55,7 @@ std::size_t Storage::offset(int symbol, std::span<const long long> index) {
     const long long i = index[d];
     if (i < 1 || i > store.extents[d]) {
       throw CompileError({}, "subscript out of bounds for '" +
-                                 symbols_.at(symbol).name + "' dim " +
+                                 symbols_->at(symbol).name + "' dim " +
                                  std::to_string(d + 1) + ": " + std::to_string(i) +
                                  " not in 1.." + std::to_string(store.extents[d]));
     }

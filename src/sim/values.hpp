@@ -24,7 +24,16 @@ namespace hpf90d::sim {
 
 class Storage final : public compiler::ArrayAccess {
  public:
+  /// Arena construction: no program bound yet; call rebind() before use.
+  Storage() = default;
+
   Storage(const front::SymbolTable& symbols, const compiler::DataLayout& layout);
+
+  /// Re-targets the storage at another (symbol table, layout) pair,
+  /// invalidating every array exactly as fresh construction would while
+  /// keeping the per-array buffers' capacity. The referenced arguments must
+  /// outlive the next use.
+  void rebind(const front::SymbolTable& symbols, const compiler::DataLayout& layout);
 
   /// ArrayAccess interface (1-based Fortran indices).
   [[nodiscard]] double load(int symbol, std::span<const long long> index) override;
@@ -55,8 +64,10 @@ class Storage final : public compiler::ArrayAccess {
 
   ArrayStore& ensure(int symbol);
 
-  const front::SymbolTable& symbols_;
-  const compiler::DataLayout& layout_;
+  // Pointers (not references) so rebind() can re-target the storage; null
+  // only between default construction and the first rebind.
+  const front::SymbolTable* symbols_ = nullptr;
+  const compiler::DataLayout* layout_ = nullptr;
   std::vector<ArrayStore> arrays_;
 };
 

@@ -7,8 +7,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "api/api.hpp"
 #include "driver/framework.hpp"
@@ -24,10 +27,11 @@ namespace {
 TEST(MachineRegistry, BuiltinsRegistered) {
   api::MachineRegistry registry;
   EXPECT_TRUE(registry.contains("ipsc860"));
+  EXPECT_TRUE(registry.contains("paragon"));
   EXPECT_TRUE(registry.contains("cluster"));
   EXPECT_TRUE(registry.contains("whatif"));
   EXPECT_EQ(registry.names(),
-            (std::vector<std::string>{"cluster", "ipsc860", "whatif"}));
+            (std::vector<std::string>{"cluster", "ipsc860", "paragon", "whatif"}));
   EXPECT_FALSE(registry.description("ipsc860").empty());
 
   const machine::MachineModel& cube = registry.get("ipsc860", 8);
@@ -39,13 +43,13 @@ TEST(MachineRegistry, BuiltinsRegistered) {
 
 TEST(MachineRegistry, UnknownNameListsRegistered) {
   api::MachineRegistry registry;
-  EXPECT_FALSE(registry.contains("paragon"));
+  EXPECT_FALSE(registry.contains("sp2"));
   try {
-    (void)registry.get("paragon");
+    (void)registry.get("sp2");
     FAIL() << "expected std::out_of_range";
   } catch (const std::out_of_range& e) {
     const std::string msg = e.what();
-    EXPECT_NE(msg.find("paragon"), std::string::npos);
+    EXPECT_NE(msg.find("sp2"), std::string::npos);
     EXPECT_NE(msg.find("ipsc860"), std::string::npos);
     EXPECT_NE(msg.find("cluster"), std::string::npos);
   }
@@ -131,6 +135,27 @@ TEST(MachineRegistry, WhatIfSweepTellsTheDesignStory) {
   const double slow_t = report.records[2].comparison.estimated;
   EXPECT_LT(fast_t, stock_t);
   EXPECT_LT(stock_t, slow_t);
+}
+
+TEST(MachineRegistry, ParagonOutrunsTheCube) {
+  // The Paragon XP/S builtin: same interpretation methodology, next-
+  // generation SAG. Faster nodes and an order of magnitude more link
+  // bandwidth must predict a faster comm-bound Laplace run than the cube.
+  api::Session session;
+  const auto& app = suite::app("laplace_bx");
+  api::ExperimentPlan plan("generational comparison");
+  plan.source(app.source)
+      .machines({"ipsc860", "paragon"})
+      .nprocs({4})
+      .add_variant(app.name, app.directive_overrides)
+      .add_problem("n=64", app.bindings(64))
+      .runs(0);
+  const api::RunReport report = session.run(plan);
+  ASSERT_EQ(report.records.size(), 2u);
+  const double cube_t = report.records[0].comparison.estimated;
+  const double paragon_t = report.records[1].comparison.estimated;
+  EXPECT_GT(paragon_t, 0.0);
+  EXPECT_LT(paragon_t, cube_t);
 }
 
 // --- session caches -----------------------------------------------------------
@@ -324,6 +349,124 @@ TEST(Session, RunReportIsIdenticalForAnyWorkerCount) {
   EXPECT_EQ(a.cache.layout_misses, b.cache.layout_misses);
 }
 
+TEST(Session, ArenaAndLegacyPathsProduceIdenticalReports) {
+  // RunOptions::reuse_engines toggles between the per-worker EngineArena
+  // hot path and PR 2's per-point engine construction. The records must be
+  // byte-identical across the four (path, workers) combinations; only the
+  // cache call pattern differs (the arena path shares one layout lookup
+  // between prediction and measurement).
+  const api::ExperimentPlan plan = determinism_plan();
+
+  std::vector<std::string> csvs;
+  for (const bool arenas : {true, false}) {
+    for (const int workers : {1, 4}) {
+      api::Session session;
+      api::RunOptions opts;
+      opts.workers = workers;
+      opts.reuse_engines = arenas;
+      csvs.push_back(session.run(plan, opts).csv());
+    }
+  }
+  for (std::size_t i = 1; i < csvs.size(); ++i) EXPECT_EQ(csvs[0], csvs[i]);
+}
+
+TEST(Session, CacheStatsAreDeterministicAcrossWorkerCountsWithArenas) {
+  const api::ExperimentPlan plan = determinism_plan();
+  std::optional<api::CacheStats> first;
+  for (const int workers : {1, 2, 8}) {
+    api::Session session;
+    api::RunOptions opts;
+    opts.workers = workers;
+    const api::RunReport report = session.run(plan, opts);
+    if (!first) {
+      first = report.cache;
+      // every unique key misses exactly once; the remaining lookups hit
+      EXPECT_GT(first->layout_misses, 0u);
+      EXPECT_EQ(first->layout_evictions, 0u);  // unbounded by default
+      continue;
+    }
+    EXPECT_EQ(report.cache.compile_hits, first->compile_hits);
+    EXPECT_EQ(report.cache.compile_misses, first->compile_misses);
+    EXPECT_EQ(report.cache.layout_hits, first->layout_hits);
+    EXPECT_EQ(report.cache.layout_misses, first->layout_misses);
+    EXPECT_EQ(report.cache.layout_evictions, first->layout_evictions);
+  }
+}
+
+TEST(Session, LayoutCacheCapacityBoundsResidencyAndCountsEvictions) {
+  api::Session session;
+  const auto& app = suite::app("pi");
+  api::ExperimentPlan plan("bounded sweep");
+  plan.source(app.source)
+      .nprocs({1, 2, 4, 8})
+      .problems_from({16, 64, 256}, app.bindings)
+      .runs(0);
+  // 12 distinct layouts through a 4-entry store: residency stays bounded
+  // and the overflow surfaces as evictions in the run's cache stats.
+  api::RunOptions opts;
+  opts.workers = 1;
+  opts.layout_cache_capacity = 4;
+  const api::RunReport report = session.run(plan, opts);
+  EXPECT_EQ(session.layout_cache_capacity(), 4u);
+  EXPECT_EQ(report.cache.layout_misses, 12u);
+  EXPECT_EQ(report.cache.layout_evictions, 8u);
+  EXPECT_LE(session.cached_layouts(), 4u);
+
+  // capacity 0 lifts the bound: a re-run re-misses the evicted entries but
+  // evicts nothing, and the records are identical to the bounded run
+  api::RunOptions unbounded;
+  unbounded.workers = 1;
+  unbounded.layout_cache_capacity = 0;
+  const api::RunReport again = session.run(plan, unbounded);
+  EXPECT_EQ(again.cache.layout_evictions, 0u);
+  EXPECT_EQ(session.cached_layouts(), 12u);
+  EXPECT_EQ(report.csv(), again.csv());
+}
+
+TEST(RunReport, DiffCoversMeasuredMeansWithSignificance) {
+  api::Session session;
+  const auto& app = suite::app("pi");
+  api::ExperimentPlan plan("measured diff");
+  plan.source(app.source).nprocs({1, 2}).problems_from({256}, app.bindings).runs(2);
+  const api::RunReport before = session.run(plan);
+
+  // identical runs: measured deltas are zero and nothing is significant
+  const api::ReportDiff same = api::RunReport::diff(before, session.run(plan));
+  ASSERT_EQ(same.records.size(), 2u);
+  for (const auto& r : same.records) {
+    EXPECT_TRUE(r.measured);
+    EXPECT_EQ(r.measured_delta(), 0.0);
+    EXPECT_FALSE(r.significant());
+  }
+
+  // a 3-sigma mean shift flags significance; a sub-sigma wiggle does not
+  api::RunReport after = before;
+  auto& shifted = after.records[0].comparison;
+  shifted.measured_mean += 3.0 * (shifted.measured_stddev + 1e-6);
+  auto& wiggled = after.records[1].comparison;
+  wiggled.measured_mean += 0.1 * wiggled.measured_stddev;
+  const api::ReportDiff diff = api::RunReport::diff(before, after);
+  ASSERT_EQ(diff.records.size(), 2u);
+  EXPECT_TRUE(diff.records[0].significant());
+  EXPECT_GT(diff.records[0].measured_delta(), 0.0);
+  EXPECT_FALSE(diff.records[1].significant());
+
+  // renderings carry the measured column and the significance marker
+  EXPECT_NE(diff.ascii().find("measured%"), std::string::npos);
+  EXPECT_NE(diff.ascii().find("significant measured shift"), std::string::npos);
+  EXPECT_NE(diff.csv().find("measured_delta_pct"), std::string::npos);
+
+  // predict-only points stay out of the significance machinery
+  api::ExperimentPlan predict_only("predict only");
+  predict_only.source(app.source).nprocs({1, 2}).problems_from({256}, app.bindings).runs(0);
+  const api::RunReport estimates = session.run(predict_only);
+  const api::ReportDiff none = api::RunReport::diff(estimates, estimates);
+  for (const auto& r : none.records) {
+    EXPECT_FALSE(r.measured);
+    EXPECT_FALSE(r.significant());
+  }
+}
+
 TEST(Session, ConcurrentSessionUseIsSafe) {
   // ThreadSanitizer smoke: many threads compile the same sources and
   // predict overlapping configurations through one session.
@@ -429,7 +572,7 @@ TEST(ExperimentPlan, SweepRunsBatchedWithCacheHits) {
 TEST(ExperimentPlan, UnknownMachineFailsBeforeRunning) {
   api::Session session;
   api::ExperimentPlan plan("bad machine");
-  plan.source(suite::app("pi").source).machines({"paragon"});
+  plan.source(suite::app("pi").source).machines({"sp2"});
   EXPECT_THROW((void)session.run(plan), std::out_of_range);
 }
 

@@ -4,6 +4,7 @@
 
 #include "machine/comm_model.hpp"
 #include "machine/ipsc860.hpp"
+#include "machine/paragon.hpp"
 #include "machine/topology.hpp"
 
 namespace hpf90d::machine {
@@ -104,6 +105,34 @@ TEST(SAG, NodeParametersArePlausibleIpsc860) {
   EXPECT_GT(node.proc.intrinsic("exp"), node.proc.t_fmul);
   // unknown intrinsics fall back to the call overhead
   EXPECT_DOUBLE_EQ(node.proc.intrinsic("nosuch"), node.proc.call_overhead);
+}
+
+TEST(SAG, ParagonDecomposition) {
+  const MachineModel m = make_paragon(16);
+  EXPECT_EQ(m.max_nodes, 16);
+  EXPECT_GE(m.sag.size(), 4u);
+  EXPECT_GE(m.sag.find("i860 XP node"), 0);
+  EXPECT_GE(m.sag.find("service partition"), 0);
+  const int node = m.sag.find("i860 XP node");
+  const int mesh = m.sag.parent_of(node);
+  EXPECT_EQ(m.sag.parent_of(mesh), 0);
+  EXPECT_NE(m.sag.str().find("wormhole mesh"), std::string::npos);
+}
+
+TEST(SAG, ParagonIsTheCubesSuccessor) {
+  // the generational deltas the what-if studies lean on: a faster clock,
+  // bigger caches and memory, similar software message latency but an
+  // order of magnitude more bandwidth with negligible routing cost
+  const MachineModel cube_model = make_ipsc860();
+  const MachineModel xp_model = make_paragon();
+  const SAU& cube = cube_model.node();
+  const SAU& xp = xp_model.node();
+  EXPECT_LT(xp.proc.t_fadd, cube.proc.t_fadd);
+  EXPECT_GT(xp.mem.dcache_bytes, cube.mem.dcache_bytes);
+  EXPECT_GT(xp.mem.main_memory_bytes, cube.mem.main_memory_bytes);
+  EXPECT_LT(xp.comm.latency_short, cube.comm.latency_short);
+  EXPECT_GT(1.0 / xp.comm.per_byte, 10.0 / cube.comm.per_byte);
+  EXPECT_LT(xp.comm.per_hop, cube.comm.per_hop / 10.0);
 }
 
 // --- communication model properties ------------------------------------------
