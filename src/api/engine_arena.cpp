@@ -2,14 +2,21 @@
 
 namespace hpf90d::api {
 
+const core::PredictionResult& EngineArena::predict(
+    const compiler::CompiledProgram& prog, const compiler::DataLayout& layout,
+    const machine::MachineModel& machine, const core::PredictOptions& options,
+    const front::Bindings& bindings) {
+  engine_.rebind(prog, layout, machine, options, bindings);
+  engine_.interpret_into(prediction_);
+  return prediction_;
+}
+
 double EngineArena::predict_total(const compiler::CompiledProgram& prog,
                                   const compiler::DataLayout& layout,
                                   const machine::MachineModel& machine,
                                   const core::PredictOptions& options,
                                   const front::Bindings& bindings) {
-  engine_.rebind(prog, layout, machine, options, bindings);
-  engine_.interpret_into(prediction_);
-  return prediction_.total;
+  return predict(prog, layout, machine, options, bindings).total;
 }
 
 sim::MeasuredResult EngineArena::measure(const compiler::CompiledProgram& prog,
@@ -19,23 +26,6 @@ sim::MeasuredResult EngineArena::measure(const compiler::CompiledProgram& prog,
                                          const front::Bindings& bindings) {
   const sim::Simulator simulator(machine);
   return simulator.measure(prog, bindings, layout, options, runs, executor_);
-}
-
-Comparison EngineArena::compare(const compiler::CompiledProgram& prog,
-                                const compiler::DataLayout& layout,
-                                const machine::MachineModel& machine,
-                                const core::PredictOptions& predict_options,
-                                const sim::SimOptions& sim_options, int runs,
-                                const front::Bindings& bindings) {
-  Comparison out;
-  out.estimated = predict_total(prog, layout, machine, predict_options, bindings);
-  const sim::MeasuredResult measured =
-      measure(prog, layout, machine, sim_options, runs, bindings);
-  out.measured_mean = measured.stats.mean;
-  out.measured_min = measured.stats.min;
-  out.measured_max = measured.stats.max;
-  out.measured_stddev = measured.stats.stddev;
-  return out;
 }
 
 }  // namespace hpf90d::api

@@ -13,7 +13,6 @@
 // The arena itself is not thread-safe — it is one worker's private state.
 #pragma once
 
-#include "api/run_report.hpp"
 #include "core/engine.hpp"
 #include "sim/simulator.hpp"
 
@@ -21,10 +20,19 @@ namespace hpf90d::api {
 
 class EngineArena {
  public:
-  /// Predicted total time for one configuration against a prebuilt layout.
-  /// Identical arithmetic to core::predict; callers are expected to have
-  /// validated critical variables for (prog, bindings) already (Session::run
-  /// does so once per (variant, problem) pair instead of once per point).
+  /// Full prediction (total plus the per-phase decomposition) for one
+  /// configuration against a prebuilt layout. Identical arithmetic to
+  /// core::predict; callers are expected to have validated critical
+  /// variables for (prog, bindings) already (Session::run does so once per
+  /// (variant, problem) pair instead of once per point). The returned
+  /// reference is the arena's scratch result, valid until the next
+  /// predict call.
+  [[nodiscard]] const core::PredictionResult& predict(
+      const compiler::CompiledProgram& prog, const compiler::DataLayout& layout,
+      const machine::MachineModel& machine, const core::PredictOptions& options,
+      const front::Bindings& bindings);
+
+  /// Predicted total time only.
   [[nodiscard]] double predict_total(const compiler::CompiledProgram& prog,
                                      const compiler::DataLayout& layout,
                                      const machine::MachineModel& machine,
@@ -38,14 +46,6 @@ class EngineArena {
                                             const machine::MachineModel& machine,
                                             const sim::SimOptions& options, int runs,
                                             const front::Bindings& bindings);
-
-  /// Predict + measure + compare for one sweep point.
-  [[nodiscard]] Comparison compare(const compiler::CompiledProgram& prog,
-                                   const compiler::DataLayout& layout,
-                                   const machine::MachineModel& machine,
-                                   const core::PredictOptions& predict_options,
-                                   const sim::SimOptions& sim_options, int runs,
-                                   const front::Bindings& bindings);
 
  private:
   core::InterpretationEngine engine_;

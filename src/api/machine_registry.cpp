@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "machine/cluster.hpp"
+#include "machine/fattree.hpp"
 #include "machine/ipsc860.hpp"
 #include "machine/paragon.hpp"
 
@@ -15,6 +16,8 @@ MachineRegistry::MachineRegistry() {
                    "Intel Paragon XP/S mesh (the cube's successor, section 7 target)");
   register_machine("cluster", [](int nodes) { return machine::make_cluster(nodes); },
                    "Ethernet workstation cluster (paper section 7 extension)");
+  register_machine("fattree", [](int nodes) { return machine::make_fattree(nodes); },
+                   "fat-tree switched cluster (bisection-bandwidth-aware fabric)");
   register_whatif("whatif", {},
                   "parameterized iPSC/860 derivative (latency/bandwidth/cpu knobs)");
 }

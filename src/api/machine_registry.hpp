@@ -4,10 +4,11 @@
 // The SAG methodology is machine-independent (paper §3.1, §7): a program is
 // "moved" between machines by swapping the System Abstraction Graph. The
 // registry gives every abstraction a name — the built-in "ipsc860" cube,
-// "cluster" Ethernet LAN, and parameterized "whatif" design-evaluation
-// machine, plus any user-registered model — so experiment plans can sweep
-// machines declaratively and sessions can share one instantiated
-// MachineModel per (name, node count).
+// "paragon" mesh, "cluster" Ethernet LAN, "fattree" switched cluster, and
+// parameterized "whatif" design-evaluation machine, plus any
+// user-registered model — so experiment plans can sweep machines
+// declaratively and sessions can share one instantiated MachineModel per
+// (name, node count).
 //
 // Thread safety: every member function may be called concurrently (the
 // session's worker pool resolves machines from many threads). References
@@ -34,9 +35,11 @@ using MachineFactory = std::function<machine::MachineModel(int nodes)>;
 class MachineRegistry {
  public:
   /// Registers the built-in abstractions: "ipsc860" (the paper's calibrated
-  /// Intel iPSC/860 cube), "cluster" (the §7 Ethernet workstation LAN), and
-  /// "whatif" (the cube with default — i.e. unity — design knobs; use
-  /// register_whatif for custom knob settings).
+  /// Intel iPSC/860 cube), "paragon" (its mesh successor), "cluster" (the
+  /// §7 Ethernet workstation LAN), "fattree" (a switched cluster with
+  /// bisection-bandwidth-aware comm costs), and "whatif" (the cube with
+  /// default — i.e. unity — design knobs; use register_whatif for custom
+  /// knob settings).
   MachineRegistry();
 
   /// Registers (or replaces) a named abstraction. Names are case-sensitive

@@ -7,6 +7,7 @@
 // the batch, and table/CSV renderings for reports and downstream tooling.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <string>
@@ -47,11 +48,47 @@ struct CacheStats {
   /// Layout entries retired by the LRU bound (0 when the store is
   /// unbounded, the default).
   std::size_t layout_evictions = 0;
+  /// The layout store's *effective* LRU capacity when the stats were
+  /// captured (0 = unbounded). For a RunReport this is the capacity the
+  /// run actually used — RunOptions::layout_cache_capacity already applied
+  /// — so exported stats are self-describing. A state, not a counter:
+  /// operator- carries the minuend's value instead of subtracting.
+  std::size_t layout_capacity = 0;
 
   [[nodiscard]] CacheStats operator-(const CacheStats& rhs) const {
     return {compile_hits - rhs.compile_hits, compile_misses - rhs.compile_misses,
             layout_hits - rhs.layout_hits, layout_misses - rhs.layout_misses,
-            layout_evictions - rhs.layout_evictions};
+            layout_evictions - rhs.layout_evictions, layout_capacity};
+  }
+};
+
+/// Predicted per-phase cost decomposition of one sweep point (the paper's
+/// §3.3 interpretation categories: computation, communication, overhead,
+/// wait). Filled from the interpretation for every point, measured or not;
+/// study-level bottleneck attribution reads these.
+struct PhaseBreakdown {
+  double comp = 0;
+  double comm = 0;
+  double overhead = 0;
+  double wait = 0;
+
+  [[nodiscard]] double total() const noexcept { return comp + comm + overhead + wait; }
+  /// The dominant phase's name ("comp" / "comm" / "overhead" / "wait");
+  /// ties break in that order, and an all-zero breakdown reports "comp".
+  [[nodiscard]] const char* dominant() const noexcept {
+    const char* name = "comp";
+    double best = comp;
+    if (comm > best) { best = comm; name = "comm"; }
+    if (overhead > best) { best = overhead; name = "overhead"; }
+    if (wait > best) { name = "wait"; }
+    return name;
+  }
+  /// Share of the dominant phase in the total (0 when the total is 0).
+  [[nodiscard]] double dominant_fraction() const noexcept {
+    const double t = total();
+    if (t <= 0) return 0;
+    const double m = std::max(std::max(comp, comm), std::max(overhead, wait));
+    return m / t;
   }
 };
 
@@ -62,6 +99,7 @@ struct RunRecord {
   std::string problem;  // problem-case name, e.g. "n=256"
   int nprocs = 0;
   Comparison comparison;
+  PhaseBreakdown phases;  // predicted decomposition of comparison.estimated
   bool measured = false;  // false = predict-only point (measured_* are zero)
 };
 

@@ -123,7 +123,7 @@ LayoutStore::LayoutPtr Session::layout_for(const compiler::CompiledProgram& prog
 CacheStats Session::cache_stats() const noexcept {
   const LayoutStore::Counters layouts = layout_store_.counters();
   return {stats_.compile_hits.load(), stats_.compile_misses.load(), layouts.hits,
-          layouts.misses, layouts.evictions};
+          layouts.misses, layouts.evictions, layout_store_.capacity()};
 }
 
 core::PredictionResult Session::predict(const ProgramHandle& prog,
@@ -258,14 +258,19 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
       const LayoutStore::LayoutPtr layout =
           layout_for(prog, pt.problem->bindings, lo);
       const machine::MachineModel& mach = machine(*pt.machine);
+      const core::PredictionResult& pred = arena->predict(
+          prog, *layout, mach, plan.predict_opts(), pt.problem->bindings);
+      rec.comparison.estimated = pred.total;
+      rec.phases = PhaseBreakdown{pred.comp, pred.comm, pred.overhead, pred.wait};
       if (plan.measure_runs() > 0) {
-        rec.comparison =
-            arena->compare(prog, *layout, mach, plan.predict_opts(), plan.sim_opts(),
+        const sim::MeasuredResult measured =
+            arena->measure(prog, *layout, mach, plan.sim_opts(),
                            plan.measure_runs(), pt.problem->bindings);
+        rec.comparison.measured_mean = measured.stats.mean;
+        rec.comparison.measured_min = measured.stats.min;
+        rec.comparison.measured_max = measured.stats.max;
+        rec.comparison.measured_stddev = measured.stats.stddev;
         rec.measured = true;
-      } else {
-        rec.comparison.estimated = arena->predict_total(
-            prog, *layout, mach, plan.predict_opts(), pt.problem->bindings);
       }
     } else {
       // Legacy per-point-engine path (RunOptions::reuse_engines = false):
@@ -281,11 +286,16 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
       cfg.runs = plan.measure_runs();
       cfg.predict = plan.predict_opts();
       cfg.sim = plan.sim_opts();
+      const core::PredictionResult pred = predict(prog, cfg);
+      rec.comparison.estimated = pred.total;
+      rec.phases = PhaseBreakdown{pred.comp, pred.comm, pred.overhead, pred.wait};
       if (plan.measure_runs() > 0) {
-        rec.comparison = compare(prog, cfg);
+        const sim::MeasuredResult measured = measure(prog, cfg);
+        rec.comparison.measured_mean = measured.stats.mean;
+        rec.comparison.measured_min = measured.stats.min;
+        rec.comparison.measured_max = measured.stats.max;
+        rec.comparison.measured_stddev = measured.stats.stddev;
         rec.measured = true;
-      } else {
-        rec.comparison.estimated = predict(prog, cfg).total;
       }
     }
     report.records[i] = std::move(rec);

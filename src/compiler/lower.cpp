@@ -542,6 +542,9 @@ CompiledProgram lower_program(std::string name, front::Program ast,
   const StructuralMaps maps = build_structural_maps(out.directives, out.symbols);
   Lowerer lowerer(out, maps);
   lowerer.run();
+  // Operation counts are part of the compiled artifact: priced once here,
+  // shared by every engine arena and the simulator's cost model.
+  compute_node_ops(out);
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "compiler/spmd_ir.hpp"
 #include "hpf/intrinsics.hpp"
 
 namespace hpf90d::compiler {
@@ -162,5 +163,45 @@ void count_array_refs(const front::Expr& e, long long& count) {
     if (s.scalar) count_array_refs(*s.scalar, count);
   }
 }
+
+namespace {
+
+void node_ops_rec(const SpmdNode& n, std::vector<NodeOpCounts>& out) {
+  if (n.id >= 0 && static_cast<std::size_t>(n.id) < out.size()) {
+    NodeOpCounts& slot = out[static_cast<std::size_t>(n.id)];
+    switch (n.kind) {
+      case SpmdKind::ScalarAssign:
+        slot.body = count_expr(*n.rhs);
+        break;
+      case SpmdKind::LocalLoop:
+        if (n.inner) {
+          slot.body = count_expr(*n.inner->arg);
+          slot.body.fadd += 1;  // accumulate
+        } else {
+          slot.body = count_assignment(*n.lhs, *n.rhs);
+        }
+        break;
+      case SpmdKind::Reduce:
+        slot.body = count_expr(*n.reduce_arg);
+        slot.body.fadd += 1;
+        break;
+      default:
+        break;
+    }
+    if (n.mask) slot.cond = count_expr(*n.mask);
+  }
+  for (const auto& c : n.children) node_ops_rec(*c, out);
+  for (const auto& c : n.else_children) node_ops_rec(*c, out);
+}
+
+}  // namespace
+
+std::vector<NodeOpCounts> collect_node_ops(const CompiledProgram& prog) {
+  std::vector<NodeOpCounts> out(static_cast<std::size_t>(prog.node_count));
+  if (prog.root) node_ops_rec(*prog.root, out);
+  return out;
+}
+
+void compute_node_ops(CompiledProgram& prog) { prog.node_ops = collect_node_ops(prog); }
 
 }  // namespace hpf90d::compiler

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/opcount.hpp"
 #include "hpf/ast.hpp"
 #include "hpf/directives.hpp"
 #include "hpf/sema.hpp"
@@ -133,6 +134,16 @@ struct CompilerOptions {
   double default_mask_probability = 1.0;
 };
 
+/// Static operation counts for one SPMD node, computed once at compile
+/// time (paper §4.4: overheads "using instruction counts"). `body` prices
+/// one element of the node's assignment/reduction work (including the
+/// accumulate add for reductions), `cond` its mask / loop / branch
+/// condition. Both are zero for kinds without priced expressions.
+struct NodeOpCounts {
+  OpCounts body;
+  OpCounts cond;
+};
+
 /// The complete output of compilation phase 1.
 struct CompiledProgram {
   std::string name;
@@ -152,11 +163,26 @@ struct CompiledProgram {
   /// programs; layout_fingerprint then computes it on the fly.
   std::string structure_fingerprint;
   /// Process-unique id stamped by the pipeline (0 for hand-built
-  /// programs). Lets per-program caches (the engine's node op counts)
-  /// detect that a reused address holds a *different* compilation.
+  /// programs). Lets address-keyed consumers detect that a reused address
+  /// holds a *different* compilation.
   std::uint64_t compile_id = 0;
+  /// Per-node operation counts indexed by SpmdNode::id, filled by the
+  /// pipeline (compute_node_ops). Computed once at compile time and shared
+  /// by every consumer — all engine arenas and the simulator's cost model —
+  /// instead of being re-derived per engine. Empty only for hand-built
+  /// programs that bypassed lower_program; consumers then fall back to
+  /// collect_node_ops.
+  std::vector<NodeOpCounts> node_ops;
 
   [[nodiscard]] std::string str() const { return root ? root->str() : std::string{}; }
 };
+
+/// Walks the SPMD tree and returns the per-node operation-count table
+/// (indexed by SpmdNode::id; requires numbered nodes).
+[[nodiscard]] std::vector<NodeOpCounts> collect_node_ops(const CompiledProgram& prog);
+
+/// Fills prog.node_ops via collect_node_ops. Called by the pipeline after
+/// node numbering; also the fix-up for hand-built programs.
+void compute_node_ops(CompiledProgram& prog);
 
 }  // namespace hpf90d::compiler

@@ -29,14 +29,12 @@ void InterpretationEngine::rebind(const compiler::CompiledProgram& prog,
                                   const machine::MachineModel& machine,
                                   const PredictOptions& options,
                                   const front::Bindings& bindings) {
-  if (ops_for_ != &prog || ops_for_id_ != prog.compile_id || prog.compile_id == 0) {
-    // New program: drop the per-node operation counts (kept across rebinds
-    // to the same program, where they are what makes re-interpretation
-    // cheap). compile_id guards against a *different* compilation reusing a
-    // freed program's address; hand-built programs (id 0) never cache.
-    ops_for_ = &prog;
-    ops_for_id_ = prog.compile_id;
-    node_ops_.assign(static_cast<std::size_t>(prog.node_count), NodeOps{});
+  if (prog.node_ops.size() == static_cast<std::size_t>(prog.node_count)) {
+    node_ops_ = &prog.node_ops;
+  } else {
+    // Hand-built program that bypassed the pipeline: price it here.
+    fallback_node_ops_ = compiler::collect_node_ops(prog);
+    node_ops_ = &fallback_node_ops_;
   }
   prog_ = &prog;
   layout_ = &layout;
@@ -50,42 +48,6 @@ void InterpretationEngine::rebind(const compiler::CompiledProgram& prog,
   metrics_.assign(static_cast<std::size_t>(prog.node_count), AAUMetric{});
   trace_.clear();
   compiler::seed_environment(env_, prog_->symbols, bindings);
-}
-
-const compiler::OpCounts& InterpretationEngine::body_ops(const SpmdNode& n) {
-  NodeOps& slot = node_ops_.at(static_cast<std::size_t>(n.id));
-  if (!slot.body_valid) {
-    switch (n.kind) {
-      case SpmdKind::ScalarAssign:
-        slot.body = compiler::count_expr(*n.rhs);
-        break;
-      case SpmdKind::LocalLoop:
-        if (n.inner) {
-          slot.body = compiler::count_expr(*n.inner->arg);
-          slot.body.fadd += 1;  // accumulate
-        } else {
-          slot.body = compiler::count_assignment(*n.lhs, *n.rhs);
-        }
-        break;
-      case SpmdKind::Reduce:
-        slot.body = compiler::count_expr(*n.reduce_arg);
-        slot.body.fadd += 1;
-        break;
-      default:
-        break;
-    }
-    slot.body_valid = true;
-  }
-  return slot.body;
-}
-
-const compiler::OpCounts& InterpretationEngine::cond_ops(const SpmdNode& n) {
-  NodeOps& slot = node_ops_.at(static_cast<std::size_t>(n.id));
-  if (!slot.cond_valid) {
-    if (n.mask) slot.cond = compiler::count_expr(*n.mask);
-    slot.cond_valid = true;
-  }
-  return slot.cond;
 }
 
 PredictionResult InterpretationEngine::interpret() {

@@ -126,18 +126,17 @@ class InterpretationEngine {
   void sync_then_charge_comm(const SpmdNode& n, const std::vector<double>& cost_per_proc);
   AAUMetric& metric(int aau) { return metrics_.at(static_cast<std::size_t>(aau)); }
 
-  /// Per-node operation counts, computed lazily and kept while the engine
-  /// stays on one CompiledProgram (rebinds to the same program — the arena
-  /// steady state, where one worker replays one variant's sweep points —
-  /// skip the expression re-walks entirely).
-  struct NodeOps {
-    bool body_valid = false;
-    bool cond_valid = false;
-    compiler::OpCounts body;  // assignment/reduction body (incl. accumulate add)
-    compiler::OpCounts cond;  // mask / loop / branch condition
-  };
-  [[nodiscard]] const compiler::OpCounts& body_ops(const SpmdNode& n);
-  [[nodiscard]] const compiler::OpCounts& cond_ops(const SpmdNode& n);
+  /// Per-node operation counts: computed once at compile time and carried
+  /// by CompiledProgram::node_ops, so every arena and rebind shares one
+  /// table (no per-engine cache to invalidate). at(): a hand-built program
+  /// with unnumbered nodes (id -1) fails with std::out_of_range, exactly
+  /// like the pre-hoist per-engine cache did.
+  [[nodiscard]] const compiler::OpCounts& body_ops(const SpmdNode& n) const {
+    return node_ops_->at(static_cast<std::size_t>(n.id)).body;
+  }
+  [[nodiscard]] const compiler::OpCounts& cond_ops(const SpmdNode& n) const {
+    return node_ops_->at(static_cast<std::size_t>(n.id)).cond;
+  }
 
   // Pointers (not references) so rebind() can re-target the engine; null
   // only between default construction and the first rebind.
@@ -157,10 +156,13 @@ class InterpretationEngine {
   std::vector<AAUMetric> metrics_;
   std::vector<TraceEvent> trace_;
 
+  // Compile-time op counts for the bound program; points at
+  // prog_->node_ops, or at fallback_node_ops_ for hand-built programs that
+  // bypassed the pipeline (recomputed per rebind, never on the sweep path).
+  const std::vector<compiler::NodeOpCounts>* node_ops_ = nullptr;
+  std::vector<compiler::NodeOpCounts> fallback_node_ops_;
+
   // Worker-owned scratch (reused across points, overwritten per node):
-  const compiler::CompiledProgram* ops_for_ = nullptr;  // program node_ops_ describes
-  std::uint64_t ops_for_id_ = 0;  // its compile_id (address-reuse guard)
-  std::vector<NodeOps> node_ops_;
   std::vector<long long> iters_scratch_;  // local_iterations result
   std::vector<double> cost_scratch_;      // per-processor comm costs
 };

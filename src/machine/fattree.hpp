@@ -1,0 +1,47 @@
+// fattree.hpp — System Abstraction Graph for a fat-tree switched cluster.
+//
+// The paper's §7 extension replaced the cube with an Ethernet LAN; the next
+// design question a 1994 evaluator would ask is "what does a *switched*
+// fabric buy us?". A fat tree answers it: nodes hang off leaf switches,
+// switch tiers stack toward a spine, and the uplinks taper so the tree's
+// bisection bandwidth — the paper's figure of merit for all-to-all-heavy
+// codes — is an explicit parameter instead of an accident of the wiring.
+//
+// The SAU communication component is a flat parameter set, so the topology
+// is folded in at factory time: message setup pays one switch traversal per
+// tier up and down, and the per-byte transfer cost is inflated by the
+// bisection contention factor (taper^(tiers-1)) that a tapered tree imposes
+// on traffic crossing the spine. Both are deterministic functions of the
+// node count, which keeps what-if sweeps over fat trees reproducible.
+#pragma once
+
+#include "machine/sag.hpp"
+
+namespace hpf90d::machine {
+
+/// Fabric design knobs. The defaults describe a mid-90s switched cluster:
+/// 4-port leaf switches, 2:1 taper per tier (half the bandwidth survives
+/// each level up), 40 MB/s links, 5 us per switch traversal.
+struct FatTreeParams {
+  int radix = 4;                 // node-facing ports per leaf switch
+  double taper = 2.0;            // uplink bandwidth divisor per tier (1 = full bisection)
+  double link_bandwidth = 40e6;  // bytes/s per link
+  double switch_delay = 5e-6;    // store-and-forward time per switch
+};
+
+/// Switch tiers needed to connect `nodes` leaves with `radix`-port leaf
+/// switches (>= 1; a single node still gets its leaf switch).
+[[nodiscard]] int fattree_tiers(int nodes, int radix);
+
+/// Contention factor the tapered tree imposes on bisection-crossing
+/// traffic: taper^(tiers-1), i.e. 1.0 for a full-bisection (taper = 1)
+/// tree or for a single-tier tree. The factory divides the effective
+/// per-byte bandwidth by this.
+[[nodiscard]] double fattree_bisection_factor(int nodes, const FatTreeParams& params = {});
+
+/// Builds the fat-tree cluster abstraction: front-end server host, a chain
+/// of switch-tier SAUs (spine down to leaf), and the compute node under the
+/// leaf tier. Throws std::invalid_argument for non-positive parameters.
+[[nodiscard]] MachineModel make_fattree(int nodes, const FatTreeParams& params = {});
+
+}  // namespace hpf90d::machine

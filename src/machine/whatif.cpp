@@ -35,22 +35,28 @@ void scale_proc(ProcessingComponent& pc, const WhatIfParams& p) {
 
 }  // namespace
 
-MachineModel make_whatif(int nodes, const WhatIfParams& params) {
+MachineModel apply_whatif(MachineModel base, const WhatIfParams& params) {
   if (params.latency_scale <= 0 || params.bandwidth_scale <= 0 ||
       params.cpu_scale <= 0) {
     throw std::invalid_argument("whatif machine scales must be > 0");
   }
-  MachineModel model = make_ipsc860(nodes);
   // The SAG is a value tree: rewrite the parameters of every SAU in place.
-  // (The cube SAU and the node SAU both carry comm parameters; the node SAU
+  // (Interconnect and node SAUs both carry comm parameters; the node SAU
   // carries the processing component.)
-  for (std::size_t u = 0; u < model.sag.size(); ++u) {
-    SAU sau = model.sag.unit(static_cast<int>(u));
-    if (u == 0) sau.name = "what-if system (iPSC/860-derived)";
+  for (std::size_t u = 0; u < base.sag.size(); ++u) {
+    SAU sau = base.sag.unit(static_cast<int>(u));
     scale_comm(sau.comm, params);
     scale_proc(sau.proc, params);
-    model.sag.replace_unit(static_cast<int>(u), std::move(sau));
+    base.sag.replace_unit(static_cast<int>(u), std::move(sau));
   }
+  return base;
+}
+
+MachineModel make_whatif(int nodes, const WhatIfParams& params) {
+  MachineModel model = apply_whatif(make_ipsc860(nodes), params);
+  SAU root = model.sag.unit(0);
+  root.name = "what-if system (iPSC/860-derived)";
+  model.sag.replace_unit(0, std::move(root));
   return model;
 }
 

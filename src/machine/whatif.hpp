@@ -25,6 +25,13 @@ struct WhatIfParams {
   double cpu_scale = 1.0;
 };
 
+/// Applies the knobs to every SAU of an arbitrary abstraction (the SAG is
+/// a value tree, so scaling is a rewrite of the copy). This is what makes
+/// machine *families* base-agnostic: a knob grid derives from any
+/// registered machine, not just the cube. Throws std::invalid_argument for
+/// non-positive scales.
+[[nodiscard]] MachineModel apply_whatif(MachineModel base, const WhatIfParams& params);
+
 /// Builds an iPSC/860-derived abstraction with `params` applied to every
 /// SAU carrying communication or processing parameters. Throws
 /// std::invalid_argument for non-positive scales.

@@ -27,6 +27,13 @@ void Executor::rebind(const compiler::CompiledProgram& prog,
                       const machine::MachineModel& machine, const SimOptions& options,
                       const front::Bindings& bindings) {
   prog_ = &prog;
+  if (prog.node_ops.size() == static_cast<std::size_t>(prog.node_count)) {
+    node_ops_ = &prog.node_ops;
+  } else {
+    // Hand-built program that bypassed the pipeline: price it here.
+    fallback_node_ops_ = compiler::collect_node_ops(prog);
+    node_ops_ = &fallback_node_ops_;
+  }
   layout_ = &layout;
   machine_ = &machine;
   options_ = options;
@@ -128,8 +135,7 @@ void Executor::exec_scalar_assign(const SpmdNode& n) {
   double stored = v;
   if (n.lhs->type == front::TypeBase::Integer) stored = std::trunc(v);
   env_.define(n.lhs->symbol, stored);
-  const compiler::OpCounts ops = compiler::count_expr(*n.rhs);
-  const double t = cost_->scalar_cost(ops) + machine_->node().proc.t_store;
+  const double t = cost_->scalar_cost(body_ops(n)) + machine_->node().proc.t_store;
   // replicated computation: every node executes the same statement
   for (int p = 0; p < nprocs_; ++p) {
     charge_comp(n.id, p, t * noise_.compute_factor());
@@ -155,7 +161,7 @@ void Executor::exec_while(const SpmdNode& n) {
   while (true) {
     const double c = compiler::eval_scalar(*n.mask, env_, &storage_, prog_->symbols);
     charge_all_overhead(n.id, machine_->node().proc.branch_overhead +
-                                  cost_->scalar_cost(compiler::count_expr(*n.mask)));
+                                  cost_->scalar_cost(cond_ops(n)));
     if (c == 0.0) break;
     if (++trips > options_.max_while_trips) {
       throw CompileError(n.loc, "do while exceeded the simulation trip limit");
@@ -406,15 +412,8 @@ void Executor::exec_local_loop(const SpmdNode& n) {
   for (const auto& st : pending) raw[st.offset] = st.value;
 
   // --- timing -----------------------------------------------------------------
-  compiler::OpCounts ops;
-  if (n.inner) {
-    ops = compiler::count_expr(*n.inner->arg);
-    ops.fadd += 1;  // accumulate
-  } else {
-    ops = compiler::count_assignment(*n.lhs, *n.rhs);
-  }
-  compiler::OpCounts mask_ops;
-  if (n.mask) mask_ops = compiler::count_expr(*n.mask);
+  const compiler::OpCounts& ops = body_ops(n);
+  const compiler::OpCounts& mask_ops = cond_ops(n);
   std::vector<AccessPattern> accesses = access_patterns(n);
   for (auto& a : accesses) a.array_bytes /= std::max(1, nprocs_);
   const long long ws = working_set_bytes(*n.lhs, n.rhs ? n.rhs.get() : n.inner->arg.get(),
@@ -497,8 +496,7 @@ void Executor::exec_reduce(const SpmdNode& n) {
               n.reduce_op == "maxloc" ? static_cast<double>(arg_at) : acc);
 
   // --- timing: local partial reduction ------------------------------------
-  compiler::OpCounts ops = compiler::count_expr(*n.reduce_arg);
-  ops.fadd += 1;
+  const compiler::OpCounts& ops = body_ops(n);
   std::vector<AccessPattern> accesses = access_patterns(n);
   for (auto& a : accesses) a.array_bytes /= std::max(1, nprocs_);
   const long long ws = working_set_bytes(*n.reduce_arg, n.reduce_arg.get(), space);

@@ -121,6 +121,16 @@ class Executor {
 
   NodeMetric& metric(int node_id) { return metrics_.at(static_cast<std::size_t>(node_id)); }
 
+  /// Compile-time operation counts for one node (the shared
+  /// CompiledProgram::node_ops table; see engine.hpp for the same pattern,
+  /// including the at() guard against unnumbered hand-built nodes).
+  [[nodiscard]] const compiler::OpCounts& body_ops(const SpmdNode& n) const {
+    return node_ops_->at(static_cast<std::size_t>(n.id)).body;
+  }
+  [[nodiscard]] const compiler::OpCounts& cond_ops(const SpmdNode& n) const {
+    return node_ops_->at(static_cast<std::size_t>(n.id)).cond;
+  }
+
   /// Pairwise recursive-doubling collective over all processors: per stage
   /// both partners exchange `bytes` and apply `per_stage_extra` time.
   void collective_stages(int node_id, long long bytes, double per_stage_extra);
@@ -128,6 +138,10 @@ class Executor {
   // Pointers (not references) so rebind() can re-target the executor; null
   // only between default construction and the first rebind.
   const compiler::CompiledProgram* prog_ = nullptr;
+  // Points at prog_->node_ops, or at fallback_node_ops_ for hand-built
+  // programs that bypassed the pipeline.
+  const std::vector<compiler::NodeOpCounts>* node_ops_ = nullptr;
+  std::vector<compiler::NodeOpCounts> fallback_node_ops_;
   const compiler::DataLayout* layout_ = nullptr;
   const machine::MachineModel* machine_ = nullptr;
   SimOptions options_;

@@ -1,0 +1,20 @@
+// study.hpp — umbrella header for the hpf90d::study subsystem: declarative
+// §7 design studies on top of the experiment-session machinery.
+//
+//   api::Session session;
+//   study::StudyPlan plan("latency what-if");
+//   plan.source(source)
+//       .add_reference_machine("ipsc860")          // the stock testbed
+//       .knob_axis(study::Knob::Latency, {0.25, 1, 4})
+//       .knob_axis(study::Knob::Bandwidth, {1, 4})
+//       .add_variant("(block,*)", overrides)
+//       .nprocs({4, 8})
+//       .runs(0);                                  // predict-only
+//   study::StudyResult result = study::run_study(session, plan);
+//   std::puts(result.ascii().c_str());             // crossovers, scaling, bottlenecks
+//   save(result.csv());                            // committable artifact
+#pragma once
+
+#include "study/machine_family.hpp"
+#include "study/study_plan.hpp"
+#include "study/study_result.hpp"

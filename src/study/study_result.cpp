@@ -1,0 +1,625 @@
+#include "study/study_result.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+
+#include "support/table.hpp"
+#include "support/text.hpp"
+
+namespace hpf90d::study {
+
+namespace {
+
+constexpr const char* kCsvHeader =
+    "machine,variant,problem,nprocs,measured,estimated,measured_mean,"
+    "measured_min,measured_max,measured_stddev,comp,comm,overhead,wait";
+
+std::string csv_field(const std::string& s) {
+  std::string out = s;
+  std::replace(out.begin(), out.end(), ',', ';');
+  return out;
+}
+
+/// First-appearance orders of the sweep axes plus a point lookup — the
+/// shared scaffolding of every analysis pass.
+struct SweepIndex {
+  std::vector<std::string> machines, variants, problems;
+  std::vector<int> nprocs;  // ascending
+  std::map<std::tuple<std::string_view, std::string_view, std::string_view, int>,
+           const api::RunRecord*>
+      by_key;
+
+  explicit SweepIndex(const api::RunReport& report) {
+    std::set<std::string_view> seen_m, seen_v, seen_p;
+    std::set<int> seen_np;
+    for (const auto& r : report.records) {
+      if (seen_m.insert(r.machine).second) machines.push_back(r.machine);
+      if (seen_v.insert(r.variant).second) variants.push_back(r.variant);
+      if (seen_p.insert(r.problem).second) problems.push_back(r.problem);
+      seen_np.insert(r.nprocs);
+      by_key.emplace(std::make_tuple(std::string_view(r.machine),
+                                     std::string_view(r.variant),
+                                     std::string_view(r.problem), r.nprocs),
+                     &r);
+    }
+    nprocs.assign(seen_np.begin(), seen_np.end());
+  }
+
+  [[nodiscard]] const api::RunRecord* find(std::string_view m, std::string_view v,
+                                           std::string_view p, int np) const {
+    const auto it = by_key.find(std::make_tuple(m, v, p, np));
+    return it == by_key.end() ? nullptr : it->second;
+  }
+};
+
+/// Scans one competitor pair along the ascending nprocs axis and appends a
+/// Crossover wherever the estimated-time ordering strictly flips.
+void scan_pair(const SweepIndex& ix, std::string_view axis, std::string_view a_name,
+               std::string_view b_name, std::string_view context,
+               std::string_view problem,
+               const std::function<const api::RunRecord*(std::string_view, int)>& get,
+               std::vector<Crossover>& out) {
+  int prev_sign = 0;
+  int prev_np = 0;
+  double prev_a = 0, prev_b = 0;
+  for (const int np : ix.nprocs) {
+    const api::RunRecord* ra = get(a_name, np);
+    const api::RunRecord* rb = get(b_name, np);
+    if (ra == nullptr || rb == nullptr) continue;
+    const double ta = ra->comparison.estimated;
+    const double tb = rb->comparison.estimated;
+    const int sign = ta < tb ? -1 : (ta > tb ? 1 : 0);
+    // Ties are not crossings, and they do not move the anchor either: a
+    // flip spanning a tie is reported between the two *decisive* points,
+    // so the "before" side always names a real winner.
+    if (sign == 0) continue;
+    if (prev_sign != 0 && sign != prev_sign) {
+      Crossover x;
+      x.axis = std::string(axis);
+      x.a = std::string(a_name);
+      x.b = std::string(b_name);
+      x.context = std::string(context);
+      x.problem = std::string(problem);
+      x.nprocs_before = prev_np;
+      x.nprocs_after = np;
+      x.a_before = prev_a;
+      x.b_before = prev_b;
+      x.a_after = ta;
+      x.b_after = tb;
+      out.push_back(std::move(x));
+    }
+    prev_sign = sign;
+    prev_np = np;
+    prev_a = ta;
+    prev_b = tb;
+  }
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        // RFC 8259 forbids raw control characters inside strings.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += support::strfmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string jnum(double v) { return support::strfmt("%.17g", v); }
+
+/// Strict CSV numeric parsing: the whole cell must be a number, and range
+/// errors surface as the documented std::invalid_argument (bare std::stod
+/// would throw std::out_of_range and accept trailing junk).
+double csv_double(const std::string& cell) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(cell, &used);
+    if (used == cell.size()) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument("StudyResult::from_csv: malformed number \"" + cell +
+                              "\"");
+}
+
+int csv_int(const std::string& cell) {
+  try {
+    std::size_t used = 0;
+    const int v = std::stoi(cell, &used);
+    if (used == cell.size()) return v;
+  } catch (const std::exception&) {
+  }
+  throw std::invalid_argument("StudyResult::from_csv: malformed integer \"" + cell +
+                              "\"");
+}
+
+// --- a minimal JSON reader for the schema json() emits -----------------------
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            // json_escape only emits \u00xx for control bytes; accept the
+            // full ASCII range and reject anything wider.
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("malformed \\u escape");
+            }
+            if (code > 0x7f) fail("non-ASCII \\u escape unsupported");
+            c = static_cast<char>(code);
+            break;
+          }
+          default: fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  [[nodiscard]] double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == 'i' ||
+            text_[pos_] == 'n' || text_[pos_] == 'f' || text_[pos_] == 'a')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    try {
+      return std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return 0;  // unreachable
+  }
+
+  [[nodiscard]] bool boolean() {
+    skip_ws();
+    if (text_.substr(pos_, 4) == "true") {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.substr(pos_, 5) == "false") {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected boolean");
+    return false;  // unreachable
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void end() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("StudyResult::from_json: " + why + " at offset " +
+                                std::to_string(pos_));
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Crossover::str() const {
+  // Which side is ahead on each side of the flip reads better than raw
+  // sign bookkeeping: "X wins below, Y wins at/after".
+  const std::string& before_winner = a_before < b_before ? a : b;
+  const std::string& after_winner = a_after < b_after ? a : b;
+  return support::strfmt(
+      "%s crossover on %s, %s: %s wins at P=%d (%s vs %s), %s wins at P=%d (%s vs %s)",
+      axis.c_str(), context.c_str(), problem.c_str(), before_winner.c_str(),
+      nprocs_before, support::format_seconds(a_before).c_str(),
+      support::format_seconds(b_before).c_str(), after_winner.c_str(), nprocs_after,
+      support::format_seconds(a_after).c_str(),
+      support::format_seconds(b_after).c_str());
+}
+
+const machine::WhatIfParams* StudyResult::params_for(std::string_view machine) const {
+  for (const auto& pt : machine_points) {
+    if (pt.name == machine) return &pt.params;
+  }
+  return nullptr;
+}
+
+std::vector<Crossover> StudyResult::crossovers() const {
+  const SweepIndex ix(report);
+  std::vector<Crossover> out;
+  // variant-vs-variant flips, machine and problem held fixed
+  for (const auto& m : ix.machines) {
+    for (const auto& p : ix.problems) {
+      for (std::size_t i = 0; i < ix.variants.size(); ++i) {
+        for (std::size_t j = i + 1; j < ix.variants.size(); ++j) {
+          scan_pair(ix, "variant", ix.variants[i], ix.variants[j], m, p,
+                    [&](std::string_view v, int np) { return ix.find(m, v, p, np); },
+                    out);
+        }
+      }
+    }
+  }
+  // machine-vs-machine flips, variant and problem held fixed
+  for (const auto& v : ix.variants) {
+    for (const auto& p : ix.problems) {
+      for (std::size_t i = 0; i < ix.machines.size(); ++i) {
+        for (std::size_t j = i + 1; j < ix.machines.size(); ++j) {
+          scan_pair(ix, "machine", ix.machines[i], ix.machines[j], v, p,
+                    [&](std::string_view m, int np) { return ix.find(m, v, p, np); },
+                    out);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ScalabilityCurve> StudyResult::scalability() const {
+  const SweepIndex ix(report);
+  std::vector<ScalabilityCurve> out;
+  for (const auto& m : ix.machines) {
+    for (const auto& v : ix.variants) {
+      for (const auto& p : ix.problems) {
+        ScalabilityCurve curve;
+        curve.machine = m;
+        curve.variant = v;
+        curve.problem = p;
+        for (const int np : ix.nprocs) {
+          if (const api::RunRecord* r = ix.find(m, v, p, np)) {
+            curve.points.push_back(
+                ScalabilityPoint{np, r->comparison.estimated, 1.0, 1.0});
+          }
+        }
+        if (curve.points.empty()) continue;
+        const ScalabilityPoint base = curve.points.front();
+        for (auto& pt : curve.points) {
+          pt.speedup = pt.estimated > 0 ? base.estimated / pt.estimated : 0.0;
+          pt.efficiency =
+              pt.nprocs > 0 ? pt.speedup * base.nprocs / pt.nprocs : 0.0;
+        }
+        out.push_back(std::move(curve));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<BottleneckRecord> StudyResult::bottlenecks() const {
+  std::vector<BottleneckRecord> out;
+  out.reserve(report.records.size());
+  for (const auto& r : report.records) {
+    out.push_back(BottleneckRecord{r.machine, r.variant, r.problem, r.nprocs, r.phases});
+  }
+  return out;
+}
+
+std::string StudyResult::ascii() const {
+  std::string out;
+  if (!title.empty()) out += "# " + title + "\n";
+  if (!machine_points.empty()) {
+    out += support::strfmt("base machine: %s | %zu knob-grid machine points\n",
+                           base_machine.c_str(), machine_points.size());
+  }
+
+  support::TextTable table({"machine", "variant", "problem", "P", "estimated",
+                            "measured", "error", "bottleneck"});
+  for (const auto& r : report.records) {
+    table.add_row(
+        {r.machine, r.variant, r.problem, std::to_string(r.nprocs),
+         support::format_seconds(r.comparison.estimated),
+         r.measured ? support::format_seconds(r.comparison.measured_mean)
+                    : std::string("-"),
+         r.measured ? support::strfmt("%.2f%%", r.comparison.abs_error_pct())
+                    : std::string("-"),
+         support::strfmt("%s %.0f%%", r.phases.dominant(),
+                         100.0 * r.phases.dominant_fraction())});
+  }
+  out += table.str();
+
+  const std::vector<Crossover> flips = crossovers();
+  out += support::strfmt("\ncrossovers: %zu\n", flips.size());
+  for (const auto& x : flips) out += "  " + x.str() + "\n";
+
+  const std::vector<ScalabilityCurve> curves = scalability();
+  if (!curves.empty()) {
+    out += "\nscalability (vs smallest P):\n";
+    support::TextTable sc({"machine", "variant", "problem", "P*", "speedup", "eff"});
+    for (const auto& c : curves) {
+      const ScalabilityPoint& last = c.points.back();
+      sc.add_row({c.machine, c.variant, c.problem, std::to_string(last.nprocs),
+                  support::strfmt("%.2fx", last.speedup),
+                  support::strfmt("%.0f%%", 100.0 * last.efficiency)});
+    }
+    out += sc.str();
+  }
+
+  out += support::strfmt(
+      "\n%zu points | compile cache %zu hit / %zu miss | layout cache %zu hit "
+      "/ %zu miss",
+      report.records.size(), report.cache.compile_hits, report.cache.compile_misses,
+      report.cache.layout_hits, report.cache.layout_misses);
+  if (report.cache.layout_evictions > 0) {
+    out += support::strfmt(" / %zu evicted", report.cache.layout_evictions);
+  }
+  if (report.cache.layout_capacity > 0) {
+    out += support::strfmt(" (cap %zu)", report.cache.layout_capacity);
+  }
+  out += '\n';
+  return out;
+}
+
+std::string StudyResult::csv() const {
+  std::string out;
+  out += "# study," + csv_field(title) + "," + csv_field(base_machine) + "\n";
+  for (const auto& pt : machine_points) {
+    out += support::strfmt("# machine_point,%s,%.17g,%.17g,%.17g\n",
+                           csv_field(pt.name).c_str(), pt.params.latency_scale,
+                           pt.params.bandwidth_scale, pt.params.cpu_scale);
+  }
+  out += kCsvHeader;
+  out += '\n';
+  for (const auto& r : report.records) {
+    out += support::strfmt(
+        "%s,%s,%s,%d,%d,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g,%.17g\n",
+        csv_field(r.machine).c_str(), csv_field(r.variant).c_str(),
+        csv_field(r.problem).c_str(), r.nprocs, r.measured ? 1 : 0,
+        r.comparison.estimated, r.comparison.measured_mean, r.comparison.measured_min,
+        r.comparison.measured_max, r.comparison.measured_stddev, r.phases.comp,
+        r.phases.comm, r.phases.overhead, r.phases.wait);
+  }
+  return out;
+}
+
+StudyResult StudyResult::from_csv(std::string_view text) {
+  StudyResult result;
+  bool saw_header = false;
+  bool saw_study_line = false;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = support::trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line.front() == '#') {
+      const auto cells = support::split(support::trim(line.substr(1)), ',');
+      if (cells.empty()) continue;
+      if (cells[0] == "study") {
+        if (cells.size() != 3) {
+          throw std::invalid_argument("StudyResult::from_csv: malformed study line");
+        }
+        result.title = cells[1];
+        result.base_machine = cells[2];
+        saw_study_line = true;
+      } else if (cells[0] == "machine_point") {
+        if (cells.size() != 5) {
+          throw std::invalid_argument(
+              "StudyResult::from_csv: malformed machine_point line");
+        }
+        MachinePoint pt;
+        pt.name = cells[1];
+        pt.params.latency_scale = csv_double(cells[2]);
+        pt.params.bandwidth_scale = csv_double(cells[3]);
+        pt.params.cpu_scale = csv_double(cells[4]);
+        result.machine_points.push_back(std::move(pt));
+      }
+      continue;
+    }
+    if (!saw_header) {
+      if (line != kCsvHeader) {
+        throw std::invalid_argument("StudyResult::from_csv: unrecognized header: " +
+                                    std::string(line));
+      }
+      saw_header = true;
+      continue;
+    }
+    const auto cells = support::split(line, ',');
+    if (cells.size() != 14) {
+      throw std::invalid_argument("StudyResult::from_csv: expected 14 fields, got " +
+                                  std::to_string(cells.size()) + " in: " +
+                                  std::string(line));
+    }
+    api::RunRecord r;
+    r.machine = cells[0];
+    r.variant = cells[1];
+    r.problem = cells[2];
+    r.nprocs = csv_int(cells[3]);
+    r.measured = csv_int(cells[4]) != 0;
+    r.comparison.estimated = csv_double(cells[5]);
+    r.comparison.measured_mean = csv_double(cells[6]);
+    r.comparison.measured_min = csv_double(cells[7]);
+    r.comparison.measured_max = csv_double(cells[8]);
+    r.comparison.measured_stddev = csv_double(cells[9]);
+    r.phases.comp = csv_double(cells[10]);
+    r.phases.comm = csv_double(cells[11]);
+    r.phases.overhead = csv_double(cells[12]);
+    r.phases.wait = csv_double(cells[13]);
+    result.report.records.push_back(std::move(r));
+  }
+  if (!saw_study_line || !saw_header) {
+    throw std::invalid_argument("StudyResult::from_csv: missing study line or header");
+  }
+  result.report.title = result.title;
+  return result;
+}
+
+std::string StudyResult::json() const {
+  std::string out = "{\n";
+  out += "  \"title\": \"";
+  json_escape(out, title);
+  out += "\",\n  \"base_machine\": \"";
+  json_escape(out, base_machine);
+  out += "\",\n  \"machine_points\": [";
+  for (std::size_t i = 0; i < machine_points.size(); ++i) {
+    const MachinePoint& pt = machine_points[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"name\": \"";
+    json_escape(out, pt.name);
+    out += "\", \"latency_scale\": " + jnum(pt.params.latency_scale) +
+           ", \"bandwidth_scale\": " + jnum(pt.params.bandwidth_scale) +
+           ", \"cpu_scale\": " + jnum(pt.params.cpu_scale) + "}";
+  }
+  out += machine_points.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"records\": [";
+  for (std::size_t i = 0; i < report.records.size(); ++i) {
+    const api::RunRecord& r = report.records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"machine\": \"";
+    json_escape(out, r.machine);
+    out += "\", \"variant\": \"";
+    json_escape(out, r.variant);
+    out += "\", \"problem\": \"";
+    json_escape(out, r.problem);
+    out += "\", \"nprocs\": " + std::to_string(r.nprocs) +
+           ", \"measured\": " + (r.measured ? "true" : "false") +
+           ", \"estimated\": " + jnum(r.comparison.estimated) +
+           ", \"measured_mean\": " + jnum(r.comparison.measured_mean) +
+           ", \"measured_min\": " + jnum(r.comparison.measured_min) +
+           ", \"measured_max\": " + jnum(r.comparison.measured_max) +
+           ", \"measured_stddev\": " + jnum(r.comparison.measured_stddev) +
+           ", \"comp\": " + jnum(r.phases.comp) + ", \"comm\": " + jnum(r.phases.comm) +
+           ", \"overhead\": " + jnum(r.phases.overhead) +
+           ", \"wait\": " + jnum(r.phases.wait) + "}";
+  }
+  out += report.records.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+StudyResult StudyResult::from_json(std::string_view text) {
+  StudyResult result;
+  JsonReader in(text);
+  in.expect('{');
+  bool first_key = true;
+  while (!in.consume('}')) {
+    if (!first_key) in.expect(',');
+    first_key = false;
+    const std::string key = in.string();
+    in.expect(':');
+    if (key == "title") {
+      result.title = in.string();
+    } else if (key == "base_machine") {
+      result.base_machine = in.string();
+    } else if (key == "machine_points") {
+      in.expect('[');
+      while (!in.consume(']')) {
+        if (!result.machine_points.empty()) in.expect(',');
+        in.expect('{');
+        MachinePoint pt;
+        bool first = true;
+        while (!in.consume('}')) {
+          if (!first) in.expect(',');
+          first = false;
+          const std::string field = in.string();
+          in.expect(':');
+          if (field == "name") pt.name = in.string();
+          else if (field == "latency_scale") pt.params.latency_scale = in.number();
+          else if (field == "bandwidth_scale") pt.params.bandwidth_scale = in.number();
+          else if (field == "cpu_scale") pt.params.cpu_scale = in.number();
+          else in.fail("unknown machine_point field \"" + field + "\"");
+        }
+        result.machine_points.push_back(std::move(pt));
+      }
+    } else if (key == "records") {
+      in.expect('[');
+      while (!in.consume(']')) {
+        if (!result.report.records.empty()) in.expect(',');
+        in.expect('{');
+        api::RunRecord r;
+        bool first = true;
+        while (!in.consume('}')) {
+          if (!first) in.expect(',');
+          first = false;
+          const std::string field = in.string();
+          in.expect(':');
+          if (field == "machine") r.machine = in.string();
+          else if (field == "variant") r.variant = in.string();
+          else if (field == "problem") r.problem = in.string();
+          else if (field == "nprocs") r.nprocs = static_cast<int>(in.number());
+          else if (field == "measured") r.measured = in.boolean();
+          else if (field == "estimated") r.comparison.estimated = in.number();
+          else if (field == "measured_mean") r.comparison.measured_mean = in.number();
+          else if (field == "measured_min") r.comparison.measured_min = in.number();
+          else if (field == "measured_max") r.comparison.measured_max = in.number();
+          else if (field == "measured_stddev") r.comparison.measured_stddev = in.number();
+          else if (field == "comp") r.phases.comp = in.number();
+          else if (field == "comm") r.phases.comm = in.number();
+          else if (field == "overhead") r.phases.overhead = in.number();
+          else if (field == "wait") r.phases.wait = in.number();
+          else in.fail("unknown record field \"" + field + "\"");
+        }
+        result.report.records.push_back(std::move(r));
+      }
+    } else {
+      in.fail("unknown field \"" + key + "\"");
+    }
+  }
+  in.end();
+  result.report.title = result.title;
+  return result;
+}
+
+}  // namespace hpf90d::study

@@ -1,0 +1,114 @@
+// study_result.hpp — the analysis surface of a design study.
+//
+// The paper reads its §7 sweeps off as crossovers ("below n=512 the
+// (block,*) mapping wins"), scalability trends (speedup/efficiency per
+// machine), and bottleneck attribution (which cost category dominates
+// where). StudyResult computes all three from the batched RunReport — the
+// per-phase decomposition rides on every record — and exports the study as
+// a committable artifact: deterministic ASCII for humans, CSV and JSON
+// (with round-trip parsers) for tooling. Exports contain no wall-clock
+// times, so a study re-run on any worker count reproduces them byte for
+// byte.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/run_report.hpp"
+#include "study/machine_family.hpp"
+
+namespace hpf90d::study {
+
+/// An ordering flip between two competitors along the nprocs axis: `a` is
+/// estimated faster than `b` at nprocs_before, slower at nprocs_after.
+struct Crossover {
+  std::string axis;     // "variant" | "machine" — what kind of competitors flip
+  std::string a, b;     // competitor names
+  std::string context;  // the held-fixed machine (variant axis) or variant (machine axis)
+  std::string problem;
+  int nprocs_before = 0;
+  int nprocs_after = 0;
+  double a_before = 0, b_before = 0;  // estimated seconds at nprocs_before
+  double a_after = 0, b_after = 0;    // estimated seconds at nprocs_after
+
+  /// One-line rendering for reports.
+  [[nodiscard]] std::string str() const;
+};
+
+/// One point of a scalability curve.
+struct ScalabilityPoint {
+  int nprocs = 0;
+  double estimated = 0;
+  double speedup = 1.0;     // t(P_min) / t(P)
+  double efficiency = 1.0;  // speedup * P_min / P
+};
+
+/// Estimated scaling of one (machine, variant, problem) over the nprocs
+/// axis, relative to the smallest swept processor count.
+struct ScalabilityCurve {
+  std::string machine, variant, problem;
+  std::vector<ScalabilityPoint> points;  // nprocs ascending
+};
+
+/// Bottleneck attribution for one sweep point: the predicted per-phase
+/// decomposition plus the dominant category.
+struct BottleneckRecord {
+  std::string machine, variant, problem;
+  int nprocs = 0;
+  api::PhaseBreakdown phases;
+
+  [[nodiscard]] const char* dominant() const noexcept { return phases.dominant(); }
+};
+
+struct StudyResult {
+  std::string title;
+  std::string base_machine;  // the family's base ("" when no knob axes)
+  /// Knob settings per generated machine name (empty for studies without
+  /// knob axes; reference machines are absent — their knobs are unity).
+  std::vector<MachinePoint> machine_points;
+  api::RunReport report;  // records carry the per-phase decomposition
+
+  /// The knob settings behind a machine name; nullptr for reference
+  /// machines (and anything else outside the family grid).
+  [[nodiscard]] const machine::WhatIfParams* params_for(std::string_view machine) const;
+
+  // --- analysis ---------------------------------------------------------------
+  /// Variant-vs-variant flips (per machine and problem) followed by
+  /// machine-vs-machine flips (per variant and problem), both along the
+  /// nprocs axis, in deterministic sweep order. Ties are not crossings.
+  [[nodiscard]] std::vector<Crossover> crossovers() const;
+
+  /// One curve per (machine, variant, problem) in sweep order, points
+  /// sorted by nprocs ascending.
+  [[nodiscard]] std::vector<ScalabilityCurve> scalability() const;
+
+  /// Per-record bottleneck attribution, in report order.
+  [[nodiscard]] std::vector<BottleneckRecord> bottlenecks() const;
+
+  // --- deterministic exports --------------------------------------------------
+  /// Paper-style tables plus crossover and scalability summaries. No wall
+  /// time; cache stats appear in the footer (deterministic across worker
+  /// counts while the layout store is unbounded — see RunOptions).
+  [[nodiscard]] std::string ascii() const;
+
+  /// "#"-prefixed study/machine-point header lines, then one row per
+  /// record including the per-phase decomposition. %.17g throughout, so
+  /// from_csv round-trips byte-identically.
+  [[nodiscard]] std::string csv() const;
+
+  /// Single JSON object: title, base machine, machine points, records.
+  /// Deterministic; from_json round-trips byte-identically.
+  [[nodiscard]] std::string json() const;
+
+  /// Parses the output of csv(). Cache statistics and wall time are not
+  /// part of the payload and come back zero. Throws std::invalid_argument
+  /// on malformed input.
+  [[nodiscard]] static StudyResult from_csv(std::string_view text);
+
+  /// Parses the output of json(). Throws std::invalid_argument on
+  /// malformed input.
+  [[nodiscard]] static StudyResult from_json(std::string_view text);
+};
+
+}  // namespace hpf90d::study

@@ -29,9 +29,10 @@ TEST(MachineRegistry, BuiltinsRegistered) {
   EXPECT_TRUE(registry.contains("ipsc860"));
   EXPECT_TRUE(registry.contains("paragon"));
   EXPECT_TRUE(registry.contains("cluster"));
+  EXPECT_TRUE(registry.contains("fattree"));
   EXPECT_TRUE(registry.contains("whatif"));
-  EXPECT_EQ(registry.names(),
-            (std::vector<std::string>{"cluster", "ipsc860", "paragon", "whatif"}));
+  EXPECT_EQ(registry.names(), (std::vector<std::string>{"cluster", "fattree",
+                                                        "ipsc860", "paragon", "whatif"}));
   EXPECT_FALSE(registry.description("ipsc860").empty());
 
   const machine::MachineModel& cube = registry.get("ipsc860", 8);
@@ -357,17 +358,26 @@ TEST(Session, ArenaAndLegacyPathsProduceIdenticalReports) {
   // between prediction and measurement).
   const api::ExperimentPlan plan = determinism_plan();
 
-  std::vector<std::string> csvs;
+  std::vector<api::RunReport> reports;
   for (const bool arenas : {true, false}) {
     for (const int workers : {1, 4}) {
       api::Session session;
       api::RunOptions opts;
       opts.workers = workers;
       opts.reuse_engines = arenas;
-      csvs.push_back(session.run(plan, opts).csv());
+      reports.push_back(session.run(plan, opts));
     }
   }
-  for (std::size_t i = 1; i < csvs.size(); ++i) EXPECT_EQ(csvs[0], csvs[i]);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[0].csv(), reports[i].csv());
+    // the per-phase decomposition is part of the determinism contract too
+    ASSERT_EQ(reports[0].records.size(), reports[i].records.size());
+    for (std::size_t r = 0; r < reports[0].records.size(); ++r) {
+      EXPECT_EQ(reports[0].records[r].phases.comp, reports[i].records[r].phases.comp);
+      EXPECT_EQ(reports[0].records[r].phases.comm, reports[i].records[r].phases.comm);
+      EXPECT_EQ(reports[0].records[r].phases.wait, reports[i].records[r].phases.wait);
+    }
+  }
 }
 
 TEST(Session, CacheStatsAreDeterministicAcrossWorkerCountsWithArenas) {
@@ -411,6 +421,10 @@ TEST(Session, LayoutCacheCapacityBoundsResidencyAndCountsEvictions) {
   EXPECT_EQ(report.cache.layout_misses, 12u);
   EXPECT_EQ(report.cache.layout_evictions, 8u);
   EXPECT_LE(session.cached_layouts(), 4u);
+  // the run's cache stats record the *effective* capacity (satisfying the
+  // RunOptions doc: applied before the sweep), and the ascii footer shows it
+  EXPECT_EQ(report.cache.layout_capacity, 4u);
+  EXPECT_NE(report.ascii().find("(cap 4)"), std::string::npos);
 
   // capacity 0 lifts the bound: a re-run re-misses the evicted entries but
   // evicts nothing, and the records are identical to the bounded run
@@ -586,7 +600,12 @@ TEST(ExperimentPlan, PredictOnlySweep) {
     EXPECT_FALSE(r.measured);
     EXPECT_GT(r.comparison.estimated, 0.0);
     EXPECT_EQ(r.comparison.measured_mean, 0.0);
+    // every record carries the predicted per-phase decomposition
+    EXPECT_GT(r.phases.total(), 0.0);
   }
+  // on one processor the categories partition the whole predicted time
+  EXPECT_NEAR(report.records[0].phases.total(), report.records[0].comparison.estimated,
+              1e-12 + 1e-9 * report.records[0].comparison.estimated);
   EXPECT_EQ(report.worst_error_pct(), 0.0);
   ASSERT_NE(report.best_estimated(), nullptr);
   EXPECT_EQ(report.best_estimated()->nprocs, 4);  // pi scales on the cube

@@ -51,6 +51,43 @@ CompiledProgram comp_body(std::string_view body) {
   return comp(std::string(kHeader) + std::string(body) + "\nend program t\n");
 }
 
+TEST(Pipeline, NodeOpCountsAreHoistedIntoTheCompiledProgram) {
+  const auto p = comp_body("a = b*c + 1.0");
+  // the pipeline prices every node once at compile time
+  ASSERT_EQ(p.node_ops.size(), static_cast<std::size_t>(p.node_count));
+  const SpmdNode* loop = find_kind(*p.root, SpmdKind::LocalLoop);
+  ASSERT_NE(loop, nullptr);
+  const compiler::NodeOpCounts& ops = p.node_ops[static_cast<std::size_t>(loop->id)];
+  // the hoisted body counts match an on-demand recount of the assignment
+  const compiler::OpCounts fresh = compiler::count_assignment(*loop->lhs, *loop->rhs);
+  EXPECT_EQ(ops.body.fadd, fresh.fadd);
+  EXPECT_EQ(ops.body.fmul, fresh.fmul);
+  EXPECT_EQ(ops.body.loads, fresh.loads);
+  EXPECT_EQ(ops.body.stores, fresh.stores);
+  EXPECT_GT(ops.body.fmul, 0);
+  // no mask: the condition counts are zero
+  EXPECT_EQ(ops.cond.total_flops(), 0);
+  // collect_node_ops reproduces the table (the hand-built-program fallback)
+  const auto again = compiler::collect_node_ops(p);
+  ASSERT_EQ(again.size(), p.node_ops.size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    EXPECT_EQ(again[i].body.total_flops(), p.node_ops[i].body.total_flops());
+    EXPECT_EQ(again[i].body.loads, p.node_ops[i].body.loads);
+  }
+}
+
+TEST(Pipeline, MaskedLoopCondCountsAreHoisted) {
+  const auto p = comp_body("where (b .gt. 0.0) a = 1.0/b");
+  const SpmdNode* loop = find_kind(*p.root, SpmdKind::LocalLoop);
+  ASSERT_NE(loop, nullptr);
+  ASSERT_NE(loop->mask, nullptr);
+  const compiler::NodeOpCounts& ops = p.node_ops[static_cast<std::size_t>(loop->id)];
+  const compiler::OpCounts fresh = compiler::count_expr(*loop->mask);
+  EXPECT_EQ(ops.cond.fadd, fresh.fadd);
+  EXPECT_EQ(ops.cond.loads, fresh.loads);
+  EXPECT_GT(ops.cond.loads, 0);
+}
+
 TEST(Normalize, ArrayAssignmentBecomesForallLoop) {
   auto p = comp_body("a = b");
   EXPECT_EQ(count_kind(*p.root, SpmdKind::LocalLoop), 1);

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "machine/comm_model.hpp"
+#include "machine/fattree.hpp"
 #include "machine/ipsc860.hpp"
 #include "machine/paragon.hpp"
 #include "machine/topology.hpp"
+#include "machine/whatif.hpp"
 
 namespace hpf90d::machine {
 namespace {
@@ -133,6 +135,75 @@ TEST(SAG, ParagonIsTheCubesSuccessor) {
   EXPECT_LT(xp.comm.latency_short, cube.comm.latency_short);
   EXPECT_GT(1.0 / xp.comm.per_byte, 10.0 / cube.comm.per_byte);
   EXPECT_LT(xp.comm.per_hop, cube.comm.per_hop / 10.0);
+}
+
+TEST(SAG, FatTreeDecomposition) {
+  const MachineModel m = make_fattree(16);
+  EXPECT_EQ(m.max_nodes, 16);
+  // 16 nodes / radix-4 leaves => two switch tiers between root and node
+  EXPECT_GE(m.sag.find("spine switch tier"), 0);
+  EXPECT_GE(m.sag.find("leaf switch tier"), 0);
+  const int node = m.sag.find("risc workstation");
+  ASSERT_GE(node, 0);
+  EXPECT_EQ(m.sag.parent_of(node), m.sag.find("leaf switch tier"));
+  EXPECT_EQ(m.sag.parent_of(m.sag.find("leaf switch tier")),
+            m.sag.find("spine switch tier"));
+  EXPECT_NE(m.sag.str().find("fat-tree cluster"), std::string::npos);
+
+  // a single-tier tree still names its leaf tier
+  const MachineModel tiny = make_fattree(4);
+  EXPECT_GE(tiny.sag.find("leaf switch tier"), 0);
+}
+
+TEST(SAG, FatTreeTiersAndBisectionFactor) {
+  EXPECT_EQ(fattree_tiers(1, 4), 1);
+  EXPECT_EQ(fattree_tiers(4, 4), 1);
+  EXPECT_EQ(fattree_tiers(5, 4), 2);
+  EXPECT_EQ(fattree_tiers(16, 4), 2);
+  EXPECT_EQ(fattree_tiers(64, 4), 3);
+  EXPECT_THROW(fattree_tiers(0, 4), std::invalid_argument);
+  EXPECT_THROW(fattree_tiers(8, 1), std::invalid_argument);
+
+  // default 2:1 taper: each extra tier halves the bisection bandwidth
+  EXPECT_DOUBLE_EQ(fattree_bisection_factor(4), 1.0);
+  EXPECT_DOUBLE_EQ(fattree_bisection_factor(16), 2.0);
+  EXPECT_DOUBLE_EQ(fattree_bisection_factor(64), 4.0);
+  FatTreeParams full;
+  full.taper = 1.0;  // full-bisection tree: no contention at any size
+  EXPECT_DOUBLE_EQ(fattree_bisection_factor(64, full), 1.0);
+  FatTreeParams bad;
+  bad.taper = 0.5;
+  EXPECT_THROW(fattree_bisection_factor(64, bad), std::invalid_argument);
+}
+
+TEST(SAG, FatTreeCommCostsAreBisectionAware) {
+  const MachineModel small = make_fattree(4);
+  const MachineModel big = make_fattree(64);
+  // bigger tree: more switch traversals in the setup, and the tapered spine
+  // divides the effective per-byte bandwidth
+  EXPECT_GT(big.node().comm.latency_short, small.node().comm.latency_short);
+  EXPECT_DOUBLE_EQ(big.node().comm.per_byte, 4.0 * small.node().comm.per_byte);
+  // a full-bisection build keeps the leaf-tier bandwidth at scale
+  FatTreeParams full;
+  full.taper = 1.0;
+  EXPECT_DOUBLE_EQ(make_fattree(64, full).node().comm.per_byte,
+                   small.node().comm.per_byte);
+}
+
+TEST(SAG, WhatIfAppliesToAnyBase) {
+  // apply_whatif is base-agnostic: scaling the fat tree's latency must
+  // leave its per-byte (bandwidth) costs untouched, and vice versa.
+  WhatIfParams p;
+  p.latency_scale = 0.5;
+  const MachineModel base = make_fattree(16);
+  const MachineModel scaled = apply_whatif(make_fattree(16), p);
+  EXPECT_DOUBLE_EQ(scaled.node().comm.latency_short,
+                   0.5 * base.node().comm.latency_short);
+  EXPECT_DOUBLE_EQ(scaled.node().comm.per_byte, base.node().comm.per_byte);
+  EXPECT_DOUBLE_EQ(scaled.node().proc.t_fadd, base.node().proc.t_fadd);
+  WhatIfParams bad;
+  bad.cpu_scale = -1;
+  EXPECT_THROW((void)apply_whatif(make_fattree(4), bad), std::invalid_argument);
 }
 
 // --- communication model properties ------------------------------------------
