@@ -1,0 +1,162 @@
+// bench_serve — Google-benchmark harness for the experiment service.
+//
+// The service's pitch is that a long-lived daemon amortizes compile and
+// layout work across tenants and across restarts (via the artifact spill).
+// This harness pins down the costs a client actually feels:
+//
+//   * codec        — plan encode/decode round trip (the wire-side tax on
+//                    every submission),
+//   * warm submit  — submit-to-report latency against a hot daemon (the
+//                    steady state a tenant sees),
+//   * restart      — daemon start + first submit-to-report, cold (empty
+//                    caches) vs warm-spill (artifact store answers the
+//                    layout misses and recompiles warmed recipes), the
+//                    persistence tier's reason to exist.
+//
+// Run:  bench_serve --benchmark_out=BENCH_serve.json --benchmark_out_format=json
+// (the harness injects those flags itself when none are given.)
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "serve/client.hpp"
+#include "serve/plan_codec.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace hpf90d;
+
+constexpr const char* kSource = R"f90(
+program laplace
+  parameter (n = 64)
+  real u(n,n), unew(n,n)
+!hpf$ template d(n,n)
+!hpf$ align u(i,j) with d(i,j)
+!hpf$ align unew(i,j) with d(i,j)
+!hpf$ distribute d(block,*)
+  forall (i = 2:n-1, j = 2:n-1) &
+    unew(i,j) = 0.25*(u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1))
+  forall (i = 2:n-1, j = 2:n-1) u(i,j) = unew(i,j)
+end program laplace
+)f90";
+
+api::ExperimentPlan bench_plan() {
+  api::ExperimentPlan plan("serve bench: laplace sweep");
+  plan.source(kSource)
+      .nprocs({1, 2, 4, 8})
+      .add_variant("(block,*)", {"distribute d(block,*)"}, 1)
+      .runs(1);
+  return plan;
+}
+
+std::string scratch(const char* tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("hpf90d-bench-" + std::to_string(::getpid()) + "-" + tag))
+      .string();
+}
+
+void BM_PlanCodecRoundTrip(benchmark::State& state) {
+  const std::string encoded = serve::encode_plan(bench_plan());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::encode_plan(serve::decode_plan(encoded)));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(encoded.size()));
+}
+BENCHMARK(BM_PlanCodecRoundTrip)->Unit(benchmark::kMicrosecond);
+
+void BM_WarmSubmitToReport(benchmark::State& state) {
+  serve::ServerOptions options;
+  options.socket_path = scratch("warm.sock");
+  serve::ExperimentServer server(options);
+  server.start();
+  serve::ServeClient client(options.socket_path, "bench");
+  client.connect();
+  const api::ExperimentPlan plan = bench_plan();
+  (void)client.wait(client.submit(plan));  // prime the session caches
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.wait(client.submit(plan)));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.point_count()));
+  client.close();
+  server.stop();
+  std::filesystem::remove(options.socket_path);
+}
+BENCHMARK(BM_WarmSubmitToReport)->Unit(benchmark::kMillisecond);
+
+/// start() + connect + one submit-to-report + stop(), with or without a
+/// pre-seeded artifact spill. The warm variant is what a restarted daemon
+/// buys: layouts answered from disk, programs recompiled from recipes.
+void restart_to_first_report(benchmark::State& state, const std::string& artifacts) {
+  const std::string socket = scratch("restart.sock");
+  const api::ExperimentPlan plan = bench_plan();
+  for (auto _ : state) {
+    serve::ServerOptions options;
+    options.socket_path = socket;
+    options.artifact_dir = artifacts;
+    serve::ExperimentServer server(options);
+    server.start();
+    serve::ServeClient client(options.socket_path, "bench");
+    client.connect();
+    benchmark::DoNotOptimize(client.wait(client.submit(plan)));
+    client.close();
+    server.stop();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.point_count()));
+  std::filesystem::remove(socket);
+}
+
+void BM_RestartToFirstReport_cold(benchmark::State& state) {
+  restart_to_first_report(state, "");
+}
+BENCHMARK(BM_RestartToFirstReport_cold)->Unit(benchmark::kMillisecond);
+
+void BM_RestartToFirstReport_warmspill(benchmark::State& state) {
+  const std::string artifacts = scratch("art");
+  {
+    serve::ServerOptions options;
+    options.socket_path = scratch("seed.sock");
+    options.artifact_dir = artifacts;
+    serve::ExperimentServer server(options);
+    server.start();
+    serve::ServeClient client(options.socket_path, "seed");
+    client.connect();
+    (void)client.wait(client.submit(bench_plan()));  // seed the spill
+    client.close();
+    server.stop();
+    std::filesystem::remove(options.socket_path);
+  }
+  restart_to_first_report(state, artifacts);
+  std::filesystem::remove_all(artifacts);
+}
+BENCHMARK(BM_RestartToFirstReport_warmspill)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Default to leaving BENCH_serve.json behind so every invocation records
+  // the perf trajectory; explicit --benchmark_out wins.
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_serve.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

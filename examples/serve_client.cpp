@@ -1,0 +1,134 @@
+// serve_client.cpp — the experiment service end to end.
+//
+// Connects to a running hpf90d_served daemon (HPF90D_SOCKET, default
+// /tmp/hpf90d-serve-example.sock); when none is listening, hosts an
+// in-process ExperimentServer on that socket so the example is
+// self-contained (CI smoke-runs every example with no daemon around).
+// Two tenants then submit the same Laplace sweep concurrently, and the
+// example verifies the served reports are byte-identical to each other
+// and to a direct local Session::run of the same plan — the service's
+// core determinism claim.
+//
+// Environment:
+//   HPF90D_SOCKET       socket path (also where the fallback server binds)
+//   HPF90D_ARTIFACTS    artifact spill dir for the fallback server
+//   HPF90D_EXPECT_WARM  "1" = fail unless the daemon answered from a warm
+//                       spill (layout_spill_hits > 0); CI's restart check
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "api/api.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+constexpr const char* kSource = R"f90(
+program laplace
+  parameter (n = 256)
+  real u(n,n), unew(n,n)
+!hpf$ template d(n,n)
+!hpf$ align u(i,j) with d(i,j)
+!hpf$ align unew(i,j) with d(i,j)
+!hpf$ distribute d(block,*)
+  forall (i = 2:n-1, j = 2:n-1) &
+    unew(i,j) = 0.25*(u(i-1,j) + u(i+1,j) + u(i,j-1) + u(i,j+1))
+  forall (i = 2:n-1, j = 2:n-1) u(i,j) = unew(i,j)
+end program laplace
+)f90";
+
+hpf90d::api::ExperimentPlan make_plan() {
+  hpf90d::api::ExperimentPlan plan("serve example: laplace directive sweep");
+  plan.source(kSource)
+      .nprocs({1, 2, 4, 8})
+      .add_variant("(block,*)", {"distribute d(block,*)"}, 1)
+      .add_variant("(block,block)", {"distribute d(block,block)"}, 2)
+      .runs(2);
+  return plan;
+}
+
+const char* env_or(const char* name, const char* fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? v : fallback;
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpf90d;
+
+  const char* socket_path = env_or("HPF90D_SOCKET", "/tmp/hpf90d-serve-example.sock");
+  const bool expect_warm = std::strcmp(env_or("HPF90D_EXPECT_WARM", "0"), "1") == 0;
+
+  // Prefer an already-running daemon; otherwise self-host.
+  std::unique_ptr<serve::ExperimentServer> fallback;
+  {
+    serve::ServeClient probe(socket_path, "probe");
+    try {
+      probe.connect();
+      std::printf("connected to a running daemon at %s\n", socket_path);
+    } catch (const serve::WireError&) {
+      serve::ServerOptions options;
+      options.socket_path = socket_path;
+      options.artifact_dir = env_or("HPF90D_ARTIFACTS", "");
+      options.executors = 2;
+      fallback = std::make_unique<serve::ExperimentServer>(options);
+      fallback->start();
+      std::printf("no daemon at %s; hosting one in-process (%zu programs warmed)\n",
+                  socket_path, fallback->warmed_programs());
+    }
+  }
+
+  const api::ExperimentPlan plan = make_plan();
+
+  // Two tenants submit the same sweep concurrently.
+  serve::ServeClient alice(socket_path, "alice");
+  serve::ServeClient bob(socket_path, "bob");
+  alice.connect();
+  bob.connect();
+  const std::uint64_t job_a = alice.submit(plan);
+  const std::uint64_t job_b = bob.submit(plan);
+  serve::JobResult result_a, result_b;
+  std::thread bob_waits([&] { result_b = bob.wait(job_b); });
+  result_a = alice.wait(job_a);
+  bob_waits.join();
+
+  if (!result_a.ok() || !result_b.ok()) {
+    std::fprintf(stderr, "served job failed: %s / %s\n", result_a.error.c_str(),
+                 result_b.error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", result_a.report.ascii().c_str());
+
+  // Determinism: both tenants and a direct local run agree byte for byte.
+  api::Session local;
+  const api::RunReport direct = local.run(plan);
+  if (result_a.report.csv() != result_b.report.csv() ||
+      result_a.report.csv() != direct.csv()) {
+    std::fprintf(stderr, "served reports are not byte-identical to a local run\n");
+    return 1;
+  }
+  std::printf("tenant reports are byte-identical to a local Session::run\n");
+
+  const serve::ServerStats stats = alice.stats();
+  std::printf(
+      "server: %zu jobs done | compile %zu hit / %zu miss | layout %zu hit / %zu "
+      "miss / %zu from spill | %zu programs warmed\n",
+      stats.jobs_done, stats.cache.compile_hits, stats.cache.compile_misses,
+      stats.cache.layout_hits, stats.cache.layout_misses,
+      stats.cache.layout_spill_hits, stats.warmed_programs);
+
+  if (expect_warm && stats.cache.layout_spill_hits == 0) {
+    std::fprintf(stderr,
+                 "HPF90D_EXPECT_WARM=1 but no layout was served from the spill\n");
+    return 1;
+  }
+
+  alice.close();
+  bob.close();
+  if (fallback) fallback->stop();
+  return 0;
+}

@@ -28,4 +28,13 @@ sim::MeasuredResult EngineArena::measure(const compiler::CompiledProgram& prog,
   return simulator.measure(prog, bindings, layout, options, runs, executor_);
 }
 
+const sim::MeasuredResult& EngineArena::measure_into(
+    const compiler::CompiledProgram& prog, const compiler::DataLayout& layout,
+    const machine::MachineModel& machine, const sim::SimOptions& options, int runs,
+    const front::Bindings& bindings) {
+  const sim::Simulator simulator(machine);
+  simulator.measure_into(prog, bindings, layout, options, runs, executor_, measured_);
+  return measured_;
+}
+
 }  // namespace hpf90d::api

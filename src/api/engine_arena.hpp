@@ -47,10 +47,20 @@ class EngineArena {
                                             const sim::SimOptions& options, int runs,
                                             const front::Bindings& bindings);
 
+  /// Like measure(), but into the arena's scratch MeasuredResult
+  /// (Simulator::measure_into): the sweep hot loop's measurement allocates
+  /// nothing per point in steady state. The returned reference is valid
+  /// until the next measure/measure_into call on this arena.
+  [[nodiscard]] const sim::MeasuredResult& measure_into(
+      const compiler::CompiledProgram& prog, const compiler::DataLayout& layout,
+      const machine::MachineModel& machine, const sim::SimOptions& options, int runs,
+      const front::Bindings& bindings);
+
  private:
   core::InterpretationEngine engine_;
   sim::Executor executor_;
   core::PredictionResult prediction_;  // reused across points
+  sim::MeasuredResult measured_;       // reused across points (measure_into)
 };
 
 }  // namespace hpf90d::api

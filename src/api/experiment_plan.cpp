@@ -63,6 +63,38 @@ ExperimentPlan& ExperimentPlan::problems_from(
   return *this;
 }
 
+ExperimentPlan& ExperimentPlan::problems_scaled_by_nprocs(
+    const std::vector<long long>& base_sizes,
+    const std::function<front::Bindings(long long)>& make_bindings,
+    std::string_view label_prefix) {
+  if (!make_bindings) {
+    throw std::invalid_argument("ExperimentPlan \"" + title_ +
+                                "\": problems_scaled_by_nprocs requires a bindings "
+                                "factory");
+  }
+  if (nprocs_.empty()) {
+    throw std::invalid_argument("ExperimentPlan \"" + title_ +
+                                "\": set nprocs() before problems_scaled_by_nprocs "
+                                "(the scaled axis consumes the processor list)");
+  }
+  std::vector<ScaledCase> cases;
+  cases.reserve(base_sizes.size() * nprocs_.size());
+  for (const long long base : base_sizes) {
+    for (const int np : nprocs_) {
+      const long long scaled = base * np;
+      cases.push_back({{std::string(label_prefix) + std::to_string(scaled),
+                        make_bindings(scaled)},
+                       np});
+    }
+  }
+  return scaled_cases(std::move(cases));
+}
+
+ExperimentPlan& ExperimentPlan::scaled_cases(std::vector<ScaledCase> cases) {
+  scaled_ = std::move(cases);
+  return *this;
+}
+
 ExperimentPlan& ExperimentPlan::runs(int n) {
   runs_ = n;
   return *this;
@@ -100,6 +132,9 @@ const std::vector<ProblemCase>& ExperimentPlan::problems() const {
 }
 
 std::size_t ExperimentPlan::point_count() const {
+  if (scaled_by_nprocs()) {
+    return machine_names().size() * variants().size() * scaled_.size();
+  }
   return machine_names().size() * variants().size() * problems().size() *
          nprocs_list().size();
 }
@@ -128,6 +163,28 @@ void ExperimentPlan::validate() const {
       throw std::invalid_argument("ExperimentPlan \"" + title_ +
                                   "\": grid_rank must be 1 or 2");
     }
+  }
+  if (scaled_by_nprocs()) {
+    if (!problems_.empty()) {
+      throw std::invalid_argument(
+          "ExperimentPlan \"" + title_ +
+          "\": scaled problem axis is mutually exclusive with "
+          "add_problem/problems_from");
+    }
+    std::set<std::string> scaled_seen;
+    for (const auto& sc : scaled_) {
+      if (sc.nprocs < 1) {
+        throw std::invalid_argument("ExperimentPlan \"" + title_ +
+                                    "\": scaled-case processor counts must be >= 1");
+      }
+      const std::string key = sc.problem.name + "@" + std::to_string(sc.nprocs);
+      if (!scaled_seen.insert(key).second) {
+        throw std::invalid_argument("ExperimentPlan \"" + title_ +
+                                    "\": duplicate scaled case \"" + sc.problem.name +
+                                    "\" at P=" + std::to_string(sc.nprocs));
+      }
+    }
+    return;
   }
   seen.clear();
   for (const auto& p : problems()) {

@@ -41,6 +41,15 @@ struct ProblemCase {
   front::Bindings bindings;
 };
 
+/// One point of a *scaled* problem axis: the problem is coupled to a
+/// specific processor count instead of being crossed with the nprocs list
+/// (scaled-speedup / weak-scaling studies, where the problem grows with
+/// the machine).
+struct ScaledCase {
+  ProblemCase problem;
+  int nprocs = 0;
+};
+
 class ExperimentPlan {
  public:
   explicit ExperimentPlan(std::string title = "experiment")
@@ -63,6 +72,23 @@ class ExperimentPlan {
       const std::vector<long long>& sizes,
       const std::function<front::Bindings(long long)>& make_bindings,
       std::string_view label_prefix = "n=");
+  /// Couples the problem axis to the processor count: for every base size
+  /// s and every swept processor count P, ONE point with the scaled size
+  /// s*P, labelled "<label_prefix><s*P>", replaces the problems x nprocs
+  /// cross product (weak scaling: per-processor work stays constant while
+  /// the machine grows). The nprocs axis must be set *before* this call —
+  /// the pairs are materialized immediately, so the plan stays a plain
+  /// declarative value (and stays serializable for the experiment
+  /// service). Mutually exclusive with add_problem/problems_from.
+  ExperimentPlan& problems_scaled_by_nprocs(
+      const std::vector<long long>& base_sizes,
+      const std::function<front::Bindings(long long scaled)>& make_bindings,
+      std::string_view label_prefix = "n=");
+
+  /// Installs pre-materialized scaled pairs verbatim (the plan-transport
+  /// decoder's entry; problems_scaled_by_nprocs is the builder's).
+  ExperimentPlan& scaled_cases(std::vector<ScaledCase> cases);
+
   /// Simulated-measurement repetitions; 0 disables measurement entirely
   /// (predict-only sweep, the paper's interactive mode).
   ExperimentPlan& runs(int n);
@@ -77,6 +103,13 @@ class ExperimentPlan {
   [[nodiscard]] const std::vector<int>& nprocs_list() const;
   [[nodiscard]] const std::vector<DirectiveVariant>& variants() const;
   [[nodiscard]] const std::vector<ProblemCase>& problems() const;
+  /// True when the problem axis is coupled to nprocs; Session::run then
+  /// sweeps machines x variants x scaled_cases_list() instead of the
+  /// four-way cross product.
+  [[nodiscard]] bool scaled_by_nprocs() const noexcept { return !scaled_.empty(); }
+  [[nodiscard]] const std::vector<ScaledCase>& scaled_cases_list() const noexcept {
+    return scaled_;
+  }
   [[nodiscard]] int measure_runs() const noexcept { return runs_; }
   [[nodiscard]] const compiler::CompilerOptions& compiler_opts() const noexcept {
     return compiler_opts_;
@@ -100,6 +133,7 @@ class ExperimentPlan {
   std::vector<int> nprocs_;                  // default: {1}
   std::vector<DirectiveVariant> variants_;   // default: one pass-through variant
   std::vector<ProblemCase> problems_;        // default: one empty-bindings case
+  std::vector<ScaledCase> scaled_;           // non-empty = scaled problem axis
   int runs_ = 3;
   compiler::CompilerOptions compiler_opts_;
   core::PredictOptions predict_opts_;

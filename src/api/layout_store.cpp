@@ -32,8 +32,20 @@ LayoutStore::LayoutPtr LayoutStore::get_or_build(const std::string& key,
   }
 
   try {
-    auto layout = std::make_shared<const compiler::DataLayout>(build());
+    LayoutPtr layout;
+    bool fresh_build = false;
+    // The spill tier answers in-memory misses before the builder runs: a
+    // restarted process re-inherits every layout it (or any sibling) ever
+    // built. Loaded entries are not written back; only fresh builds are.
+    if (spill_.load) layout = spill_.load(key);
+    if (layout) {
+      ++spill_hits_;
+    } else {
+      layout = std::make_shared<const compiler::DataLayout>(build());
+      fresh_build = true;
+    }
     promise.set_value(layout);
+    if (fresh_build && spill_.store) spill_.store(key, *layout);
     return layout;
   } catch (...) {
     {

@@ -50,6 +50,17 @@ class LayoutStore {
     std::size_t hits = 0;
     std::size_t misses = 0;
     std::size_t evictions = 0;
+    /// Misses satisfied from the attached spill tier (subset of `misses`:
+    /// the in-memory store still missed, but no layout was built).
+    std::size_t spill_hits = 0;
+  };
+
+  /// The disk tier behind the in-memory store. `load` is probed on every
+  /// miss before the builder runs; `store` is called (outside the store
+  /// lock) with every freshly *built* layout. Either may be null.
+  struct Spill {
+    std::function<std::shared_ptr<const compiler::DataLayout>(const std::string&)> load;
+    std::function<void(const std::string&, const compiler::DataLayout&)> store;
   };
 
   explicit LayoutStore(std::size_t capacity = 0) : capacity_(capacity) {}
@@ -61,6 +72,11 @@ class LayoutStore {
   /// absent, so the next lookup retries.
   [[nodiscard]] LayoutPtr get_or_build(const std::string& key, const Builder& build);
 
+  /// Attaches (or detaches, with default-constructed functions) the spill
+  /// tier. Not safe to call concurrently with get_or_build.
+  void set_spill(Spill spill) { spill_ = std::move(spill); }
+  [[nodiscard]] bool has_spill() const noexcept { return static_cast<bool>(spill_.load); }
+
   /// Installs the LRU bound (0 = unbounded), evicting immediately when the
   /// store is over the new capacity.
   void set_capacity(std::size_t capacity);
@@ -70,7 +86,7 @@ class LayoutStore {
   void clear();
 
   [[nodiscard]] Counters counters() const {
-    return {hits_.load(), misses_.load(), evictions_.load()};
+    return {hits_.load(), misses_.load(), evictions_.load(), spill_hits_.load()};
   }
 
  private:
@@ -93,6 +109,9 @@ class LayoutStore {
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> evictions_{0};
+  std::atomic<std::size_t> spill_hits_{0};
+
+  Spill spill_;  // set before concurrent use; functions are thread-safe
 };
 
 }  // namespace hpf90d::api

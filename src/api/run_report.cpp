@@ -65,6 +65,9 @@ std::string RunReport::ascii() const {
   if (cache.layout_evictions > 0) {
     out += support::strfmt(" / %zu evicted", cache.layout_evictions);
   }
+  if (cache.layout_spill_hits > 0) {
+    out += support::strfmt(" / %zu from spill", cache.layout_spill_hits);
+  }
   if (cache.layout_capacity > 0) {
     out += support::strfmt(" (cap %zu)", cache.layout_capacity);
   }

@@ -48,6 +48,10 @@ struct CacheStats {
   /// Layout entries retired by the LRU bound (0 when the store is
   /// unbounded, the default).
   std::size_t layout_evictions = 0;
+  /// Layout misses answered by the persistent spill tier instead of a
+  /// build (0 without an attached ArtifactSpill). A warm-restarted daemon
+  /// shows layout_spill_hits > 0 on the first re-run of a known plan.
+  std::size_t layout_spill_hits = 0;
   /// The layout store's *effective* LRU capacity when the stats were
   /// captured (0 = unbounded). For a RunReport this is the capacity the
   /// run actually used — RunOptions::layout_cache_capacity already applied
@@ -58,7 +62,8 @@ struct CacheStats {
   [[nodiscard]] CacheStats operator-(const CacheStats& rhs) const {
     return {compile_hits - rhs.compile_hits, compile_misses - rhs.compile_misses,
             layout_hits - rhs.layout_hits, layout_misses - rhs.layout_misses,
-            layout_evictions - rhs.layout_evictions, layout_capacity};
+            layout_evictions - rhs.layout_evictions,
+            layout_spill_hits - rhs.layout_spill_hits, layout_capacity};
   }
 };
 

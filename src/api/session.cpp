@@ -98,6 +98,14 @@ Session::ProgramHandle Session::compile_cached(std::string_view source,
             ? compiler::compile(source, options)
             : compiler::compile_with_directives(source, overrides, options));
     promise.set_value(prog);
+    // Write-behind the recipe so a restarted session can warm_start this
+    // entry. Spill failures must not fail the compile.
+    if (spill_) {
+      try {
+        spill_->store_program(key, ProgramRecipe{std::string(source), overrides, options});
+      } catch (...) {
+      }
+    }
     return prog;
   } catch (...) {
     {
@@ -123,7 +131,8 @@ LayoutStore::LayoutPtr Session::layout_for(const compiler::CompiledProgram& prog
 CacheStats Session::cache_stats() const noexcept {
   const LayoutStore::Counters layouts = layout_store_.counters();
   return {stats_.compile_hits.load(), stats_.compile_misses.load(), layouts.hits,
-          layouts.misses, layouts.evictions, layout_store_.capacity()};
+          layouts.misses, layouts.evictions, layouts.spill_hits,
+          layout_store_.capacity()};
 }
 
 core::PredictionResult Session::predict(const ProgramHandle& prog,
@@ -208,8 +217,14 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   // once (or twice) per point, and every diagnostic fires before any thread
   // starts.
   for (std::size_t v = 0; v < plan.variants().size(); ++v) {
-    for (const auto& problem : plan.problems()) {
-      core::require_critical_complete(*variant_progs[v], problem.bindings);
+    if (plan.scaled_by_nprocs()) {
+      for (const auto& sc : plan.scaled_cases_list()) {
+        core::require_critical_complete(*variant_progs[v], sc.problem.bindings);
+      }
+    } else {
+      for (const auto& problem : plan.problems()) {
+        core::require_critical_complete(*variant_progs[v], problem.bindings);
+      }
     }
   }
 
@@ -225,9 +240,17 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   points.reserve(plan.point_count());
   for (const auto& machine_name : plan.machine_names()) {
     for (std::size_t v = 0; v < plan.variants().size(); ++v) {
-      for (const auto& problem : plan.problems()) {
-        for (const int np : plan.nprocs_list()) {
-          points.push_back(Point{&machine_name, v, &problem, np});
+      if (plan.scaled_by_nprocs()) {
+        // Scaled axis (weak scaling): the problem is already coupled to its
+        // processor count, so the pairs replace the problems x nprocs product.
+        for (const auto& sc : plan.scaled_cases_list()) {
+          points.push_back(Point{&machine_name, v, &sc.problem, sc.nprocs});
+        }
+      } else {
+        for (const auto& problem : plan.problems()) {
+          for (const int np : plan.nprocs_list()) {
+            points.push_back(Point{&machine_name, v, &problem, np});
+          }
         }
       }
     }
@@ -263,9 +286,11 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
       rec.comparison.estimated = pred.total;
       rec.phases = PhaseBreakdown{pred.comp, pred.comm, pred.overhead, pred.wait};
       if (plan.measure_runs() > 0) {
-        const sim::MeasuredResult measured =
-            arena->measure(prog, *layout, mach, plan.sim_opts(),
-                           plan.measure_runs(), pt.problem->bindings);
+        // measure_into: the arena's scratch MeasuredResult and executor
+        // recycle their buffers across all this worker's points.
+        const sim::MeasuredResult& measured =
+            arena->measure_into(prog, *layout, mach, plan.sim_opts(),
+                                plan.measure_runs(), pt.problem->bindings);
         rec.comparison.measured_mean = measured.stats.mean;
         rec.comparison.measured_min = measured.stats.min;
         rec.comparison.measured_max = measured.stats.max;
@@ -342,6 +367,48 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return report;
+}
+
+void Session::set_artifact_spill(std::shared_ptr<ArtifactSpill> spill) {
+  spill_ = std::move(spill);
+  if (spill_) {
+    // The store probes/writes through the interface; a corrupt or missing
+    // artifact degrades to a plain miss.
+    LayoutStore::Spill hooks;
+    hooks.load = [spill = spill_](const std::string& key) -> LayoutStore::LayoutPtr {
+      try {
+        if (auto layout = spill->load_layout(key)) {
+          return std::make_shared<const compiler::DataLayout>(*std::move(layout));
+        }
+      } catch (...) {
+      }
+      return nullptr;
+    };
+    hooks.store = [spill = spill_](const std::string& key,
+                                   const compiler::DataLayout& layout) {
+      try {
+        spill->store_layout(key, layout);
+      } catch (...) {
+      }
+    };
+    layout_store_.set_spill(std::move(hooks));
+  } else {
+    layout_store_.set_spill({});
+  }
+}
+
+std::size_t Session::warm_start() {
+  if (!spill_) return 0;
+  std::size_t warmed = 0;
+  for (const ProgramRecipe& recipe : spill_->load_programs()) {
+    try {
+      (void)compile_cached(recipe.source, recipe.overrides, recipe.options);
+      ++warmed;
+    } catch (...) {
+      // stale recipe (e.g. from an older grammar); warm what still compiles
+    }
+  }
+  return warmed;
 }
 
 std::size_t Session::cached_programs() const {

@@ -50,6 +50,7 @@
 #include "api/layout_store.hpp"
 #include "api/machine_registry.hpp"
 #include "api/run_report.hpp"
+#include "api/spill.hpp"
 #include "compiler/pipeline.hpp"
 #include "core/engine.hpp"
 #include "sim/simulator.hpp"
@@ -168,6 +169,26 @@ class Session {
     return layout_store_.capacity();
   }
 
+  // --- persistent spill tier --------------------------------------------------
+  /// Attaches the disk tier behind the in-memory caches (nullptr detaches).
+  /// Layout misses then probe the spill before building, fresh layouts are
+  /// written through, and compile misses record their recipe for
+  /// warm_start. Not safe to call concurrently with session operations; the
+  /// spill itself must be thread-safe (see spill.hpp).
+  void set_artifact_spill(std::shared_ptr<ArtifactSpill> spill);
+  [[nodiscard]] const std::shared_ptr<ArtifactSpill>& artifact_spill() const noexcept {
+    return spill_;
+  }
+
+  /// Recompiles every program recipe the spill has persisted, repopulating
+  /// the program cache, and returns the number of programs warmed. A plan
+  /// the daemon served before its restart then compiles-hits on every
+  /// variant (the layouts load lazily from the spill on first touch).
+  /// Recipes that no longer compile are skipped, not fatal. The misses
+  /// counted here happen before any Session::run snapshot, so per-run
+  /// cache statistics stay clean.
+  std::size_t warm_start();
+
   /// Drops programs and layouts. Not safe to call concurrently with other
   /// session operations.
   void clear_caches();
@@ -220,6 +241,9 @@ class Session {
   /// Content-addressed layout store: once-build futures + optional LRU
   /// bound (see layout_store.hpp for why it is not sharded).
   mutable LayoutStore layout_store_;
+
+  /// Persistent artifact tier; null when no spill is attached.
+  std::shared_ptr<ArtifactSpill> spill_;
 };
 
 }  // namespace hpf90d::api

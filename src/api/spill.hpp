@@ -1,0 +1,61 @@
+// spill.hpp — the session's persistent artifact tier, as an interface.
+//
+// The experiment service (src/serve) keeps the session's content-addressed
+// artifacts on disk so a restarted daemon answers warm. The session itself
+// must not depend on the service layer, so the hook lives here: anything
+// implementing ArtifactSpill can be attached with
+// Session::set_artifact_spill, after which
+//
+//   * a layout-cache miss probes the spill before building (a spill hit is
+//     counted in CacheStats::layout_spill_hits and costs a deserialization
+//     instead of a layout resolution),
+//   * a freshly built layout is written through to the spill,
+//   * a program-cache miss records the compile *recipe* (source, overrides,
+//     options) so Session::warm_start can repopulate the program cache
+//     after a restart (programs are recompiled — the pipeline is
+//     deterministic — rather than structurally serialized; see
+//     compiler/serialize.hpp).
+//
+// Implementations must be thread-safe: the session's worker pool loads and
+// stores from many threads concurrently.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compiler/mapping.hpp"
+#include "compiler/spmd_ir.hpp"
+
+namespace hpf90d::api {
+
+/// Everything needed to deterministically recompile a cached program.
+struct ProgramRecipe {
+  std::string source;
+  std::vector<std::string> overrides;
+  compiler::CompilerOptions options;
+};
+
+class ArtifactSpill {
+ public:
+  virtual ~ArtifactSpill() = default;
+
+  /// The layout persisted under `key`, or nullopt when absent (or
+  /// unreadable — a corrupt artifact must degrade to a miss, never throw).
+  [[nodiscard]] virtual std::optional<compiler::DataLayout> load_layout(
+      const std::string& key) = 0;
+
+  /// Persists a freshly built layout under its content-address. Failures
+  /// must be swallowed (the in-memory cache remains correct without the
+  /// spill).
+  virtual void store_layout(const std::string& key,
+                            const compiler::DataLayout& layout) = 0;
+
+  /// Records the recipe behind a compiled program cache entry.
+  virtual void store_program(const std::string& key, const ProgramRecipe& recipe) = 0;
+
+  /// Every persisted program recipe (for Session::warm_start).
+  [[nodiscard]] virtual std::vector<ProgramRecipe> load_programs() = 0;
+};
+
+}  // namespace hpf90d::api

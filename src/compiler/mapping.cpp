@@ -296,9 +296,14 @@ DataLayout::DataLayout(const front::DirectiveSet& directives,
     maps_.push_back(std::move(map));
   }
 
-  // Hot-path tables: per-processor grid coordinates (one allocation for the
-  // layout's lifetime instead of one per coords() call) and the symbol ->
-  // map index (map_for is asked per node visit).
+  rebuild_derived_tables();
+}
+
+// Hot-path tables: per-processor grid coordinates (one allocation for the
+// layout's lifetime instead of one per coords() call) and the symbol ->
+// map index (map_for is asked per node visit). Also the deserialization
+// tail: the serialized form carries only the primary state.
+void DataLayout::rebuild_derived_tables() {
   const int total = grid_.total();
   const std::size_t rank = static_cast<std::size_t>(grid_.rank());
   coords_flat_.resize(static_cast<std::size_t>(total) * rank);
@@ -307,7 +312,11 @@ DataLayout::DataLayout(const front::DirectiveSet& directives,
     std::copy(c.begin(), c.end(),
               coords_flat_.begin() + static_cast<std::size_t>(p) * rank);
   }
-  map_index_.assign(extents_.size(), -1);
+  std::size_t slots = extents_.size();
+  for (const auto& m : maps_) {
+    if (m.symbol >= 0) slots = std::max(slots, static_cast<std::size_t>(m.symbol) + 1);
+  }
+  map_index_.assign(slots, -1);
   for (std::size_t m = 0; m < maps_.size(); ++m) {
     map_index_.at(static_cast<std::size_t>(maps_[m].symbol)) = static_cast<int>(m);
   }

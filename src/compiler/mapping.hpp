@@ -98,6 +98,18 @@ struct LayoutOptions {
   std::optional<std::vector<int>> grid_shape;
 };
 
+class DataLayout;
+
+/// Serializes a layout into the versioned text form consumed by
+/// deserialize_layout (see compiler/serialize.hpp). Declared here because
+/// both need access to the layout's internals.
+[[nodiscard]] std::string serialize_layout(const DataLayout& layout);
+
+/// Rebuilds a layout from serialize_layout output. Hot-path tables
+/// (processor coordinates, symbol->map index) are recomputed, not stored.
+/// Throws std::invalid_argument on malformed or version-mismatched input.
+[[nodiscard]] DataLayout deserialize_layout(std::string_view text);
+
 /// Resolved mapping for every distributed array in a program.
 ///
 /// A DataLayout is self-contained: construction snapshots everything it
@@ -105,7 +117,8 @@ struct LayoutOptions {
 /// valid after the program it was built from is destroyed. That is what
 /// lets the session cache layouts by *content* (structural fingerprint)
 /// rather than by program identity, and lets cached entries survive
-/// program eviction.
+/// program eviction — and what makes the serialized form below a complete
+/// artifact: a deserialized layout answers every query the original did.
 class DataLayout {
  public:
   DataLayout(const front::DirectiveSet& directives, const front::SymbolTable& symbols,
@@ -145,6 +158,16 @@ class DataLayout {
                                               int cell_cols = 8) const;
 
  private:
+  /// Deserialization shell: fields are filled by deserialize_layout, which
+  /// then recomputes the derived tables.
+  DataLayout() = default;
+  friend std::string serialize_layout(const DataLayout& layout);
+  friend DataLayout deserialize_layout(std::string_view text);
+
+  /// Recomputes coords_flat_ and map_index_ from grid_/maps_/extents_
+  /// (shared by the constructor tail and deserialization).
+  void rebuild_derived_tables();
+
   /// Per-symbol extent snapshot (index = symbol id). `dims` is nullopt when
   /// the declaration's extent expressions were not resolvable against this
   /// configuration's environment.

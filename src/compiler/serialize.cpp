@@ -1,0 +1,287 @@
+#include "compiler/serialize.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "support/text.hpp"
+
+namespace hpf90d::compiler {
+
+namespace {
+
+constexpr std::string_view kLayoutHeader = "hpf90d-layout 1";
+constexpr std::string_view kRecipeHeader = "hpf90d-recipe 1";
+
+/// Cursor over the line-oriented serialized form. Fields within a line are
+/// tab-separated; identifiers and %.17g numbers never contain tabs, and
+/// source text travels length-prefixed, so no escaping is needed.
+class LineReader {
+ public:
+  explicit LineReader(std::string_view text) : text_(text) {}
+
+  [[nodiscard]] std::string_view next_line() {
+    if (pos_ > text_.size()) {
+      throw std::invalid_argument("layout/recipe deserialize: unexpected end of input");
+    }
+    std::size_t eol = text_.find('\n', pos_);
+    if (eol == std::string_view::npos) eol = text_.size();
+    const std::string_view line = text_.substr(pos_, eol - pos_);
+    pos_ = eol + 1;
+    return line;
+  }
+
+  /// Raw byte access for length-prefixed payloads (recipe source text).
+  [[nodiscard]] std::string_view take_bytes(std::size_t n) {
+    if (pos_ + n > text_.size()) {
+      throw std::invalid_argument("layout/recipe deserialize: truncated payload");
+    }
+    const std::string_view bytes = text_.substr(pos_, n);
+    pos_ += n;
+    // consume the newline the writer appends after the payload
+    if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+    return bytes;
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::string> fields_of(std::string_view line, std::size_t expect,
+                                   std::string_view what) {
+  const auto cells = support::split(line, '\t');
+  if (cells.size() != expect) {
+    throw std::invalid_argument("layout/recipe deserialize: bad " + std::string(what) +
+                                " line: " + std::string(line));
+  }
+  return cells;
+}
+
+long long to_ll(const std::string& s) { return std::strtoll(s.c_str(), nullptr, 10); }
+double to_d(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
+
+}  // namespace
+
+std::string serialize_layout(const DataLayout& layout) {
+  std::string out(kLayoutHeader);
+  out += '\n';
+
+  out += support::strfmt("grid\t%d", layout.grid_.rank());
+  for (const int s : layout.grid_.shape) out += support::strfmt("\t%d", s);
+  out += '\n';
+
+  out += support::strfmt("env\t%zu\n", layout.env_.values().size());
+  for (const auto& [name, value] : layout.env_.values()) {
+    out += name;
+    out += support::strfmt("\t%.17g\n", value);
+  }
+
+  out += support::strfmt("templates\t%zu\n", layout.template_names_.size());
+  for (const auto& name : layout.template_names_) {
+    out += name;
+    out += '\n';
+  }
+
+  out += support::strfmt("extents\t%zu\n", layout.extents_.size());
+  for (const auto& se : layout.extents_) {
+    out += se.name;
+    out += support::strfmt("\t%d\t%zu", se.dims ? 1 : 0,
+                           se.dims ? se.dims->size() : std::size_t{0});
+    if (se.dims) {
+      for (const long long d : *se.dims) out += support::strfmt("\t%lld", d);
+    }
+    out += '\n';
+  }
+
+  out += support::strfmt("maps\t%zu\n", layout.maps_.size());
+  for (const auto& m : layout.maps_) {
+    out += support::strfmt("map\t%d\t", m.symbol);
+    out += m.name;
+    out += support::strfmt("\t%d\t%zu\n", m.template_id, m.dims.size());
+    for (const auto& d : m.dims) {
+      out += support::strfmt("dim\t%d\t%d\t%d\t%lld\t%lld\t%lld\t%lld\n",
+                             static_cast<int>(d.kind), d.grid_dim, d.nprocs, d.extent,
+                             d.align_offset, d.tmpl_extent, d.block);
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+DataLayout deserialize_layout(std::string_view text) {
+  LineReader in(text);
+  if (in.next_line() != kLayoutHeader) {
+    throw std::invalid_argument(
+        "deserialize_layout: missing or mismatched header (expected \"" +
+        std::string(kLayoutHeader) + "\")");
+  }
+  DataLayout layout;
+
+  {
+    const auto grid = support::split(in.next_line(), '\t');
+    if (grid.size() < 2 || grid[0] != "grid") {
+      throw std::invalid_argument("deserialize_layout: bad grid line");
+    }
+    const std::size_t rank = static_cast<std::size_t>(to_ll(grid[1]));
+    if (grid.size() != rank + 2) {
+      throw std::invalid_argument("deserialize_layout: grid rank mismatch");
+    }
+    for (std::size_t d = 0; d < rank; ++d) {
+      layout.grid_.shape.push_back(static_cast<int>(to_ll(grid[d + 2])));
+    }
+  }
+
+  {
+    const auto head = fields_of(in.next_line(), 2, "env");
+    if (head[0] != "env") throw std::invalid_argument("deserialize_layout: bad env line");
+    const std::size_t n = static_cast<std::size_t>(to_ll(head[1]));
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cells = fields_of(in.next_line(), 2, "env entry");
+      layout.env_.set(cells[0], to_d(cells[1]));
+    }
+  }
+
+  {
+    const auto head = fields_of(in.next_line(), 2, "templates");
+    if (head[0] != "templates") {
+      throw std::invalid_argument("deserialize_layout: bad templates line");
+    }
+    const std::size_t n = static_cast<std::size_t>(to_ll(head[1]));
+    for (std::size_t i = 0; i < n; ++i) {
+      layout.template_names_.emplace_back(in.next_line());
+    }
+  }
+
+  {
+    const auto head = fields_of(in.next_line(), 2, "extents");
+    if (head[0] != "extents") {
+      throw std::invalid_argument("deserialize_layout: bad extents line");
+    }
+    const std::size_t n = static_cast<std::size_t>(to_ll(head[1]));
+    layout.extents_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cells = support::split(in.next_line(), '\t');
+      if (cells.size() < 3) {
+        throw std::invalid_argument("deserialize_layout: bad extent entry");
+      }
+      DataLayout::SymbolExtents se;
+      se.name = cells[0];
+      const bool resolved = to_ll(cells[1]) != 0;
+      const std::size_t rank = static_cast<std::size_t>(to_ll(cells[2]));
+      if (cells.size() != rank + 3) {
+        throw std::invalid_argument("deserialize_layout: extent rank mismatch");
+      }
+      if (resolved) {
+        std::vector<long long> dims;
+        dims.reserve(rank);
+        for (std::size_t d = 0; d < rank; ++d) dims.push_back(to_ll(cells[d + 3]));
+        se.dims = std::move(dims);
+      }
+      layout.extents_.push_back(std::move(se));
+    }
+  }
+
+  {
+    const auto head = fields_of(in.next_line(), 2, "maps");
+    if (head[0] != "maps") throw std::invalid_argument("deserialize_layout: bad maps line");
+    const std::size_t n = static_cast<std::size_t>(to_ll(head[1]));
+    layout.maps_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cells = fields_of(in.next_line(), 5, "map");
+      if (cells[0] != "map") throw std::invalid_argument("deserialize_layout: bad map entry");
+      ArrayMap m;
+      m.symbol = static_cast<int>(to_ll(cells[1]));
+      m.name = cells[2];
+      m.template_id = static_cast<int>(to_ll(cells[3]));
+      const std::size_t ndims = static_cast<std::size_t>(to_ll(cells[4]));
+      m.dims.reserve(ndims);
+      for (std::size_t d = 0; d < ndims; ++d) {
+        const auto dim = fields_of(in.next_line(), 8, "dim");
+        if (dim[0] != "dim") throw std::invalid_argument("deserialize_layout: bad dim entry");
+        DimDist dd;
+        dd.kind = static_cast<front::DistKind>(to_ll(dim[1]));
+        dd.grid_dim = static_cast<int>(to_ll(dim[2]));
+        dd.nprocs = static_cast<int>(to_ll(dim[3]));
+        dd.extent = to_ll(dim[4]);
+        dd.align_offset = to_ll(dim[5]);
+        dd.tmpl_extent = to_ll(dim[6]);
+        dd.block = to_ll(dim[7]);
+        m.dims.push_back(dd);
+      }
+      layout.maps_.push_back(std::move(m));
+    }
+  }
+
+  if (in.next_line() != "end") {
+    throw std::invalid_argument("deserialize_layout: missing end marker");
+  }
+  if (layout.grid_.shape.empty()) {
+    throw std::invalid_argument("deserialize_layout: empty processor grid");
+  }
+  layout.rebuild_derived_tables();
+  return layout;
+}
+
+std::string serialize_recipe(std::string_view source,
+                             const std::vector<std::string>& overrides,
+                             const CompilerOptions& options) {
+  std::string out(kRecipeHeader);
+  out += '\n';
+  out += support::strfmt("options\t%d\t%.17g\n", options.message_vectorization ? 1 : 0,
+                         options.default_mask_probability);
+  out += support::strfmt("overrides\t%zu\n", overrides.size());
+  for (const auto& o : overrides) {
+    out += support::strfmt("override\t%zu\n", o.size());
+    out += o;
+    out += '\n';
+  }
+  out += support::strfmt("source\t%zu\n", source.size());
+  out += source;
+  out += '\n';
+  return out;
+}
+
+ParsedRecipe deserialize_recipe(std::string_view text) {
+  LineReader in(text);
+  if (in.next_line() != kRecipeHeader) {
+    throw std::invalid_argument(
+        "deserialize_recipe: missing or mismatched header (expected \"" +
+        std::string(kRecipeHeader) + "\")");
+  }
+  ParsedRecipe recipe;
+  {
+    const auto cells = fields_of(in.next_line(), 3, "options");
+    if (cells[0] != "options") {
+      throw std::invalid_argument("deserialize_recipe: bad options line");
+    }
+    recipe.options.message_vectorization = to_ll(cells[1]) != 0;
+    recipe.options.default_mask_probability = to_d(cells[2]);
+  }
+  {
+    const auto head = fields_of(in.next_line(), 2, "overrides");
+    if (head[0] != "overrides") {
+      throw std::invalid_argument("deserialize_recipe: bad overrides line");
+    }
+    const std::size_t n = static_cast<std::size_t>(to_ll(head[1]));
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cells = fields_of(in.next_line(), 2, "override");
+      if (cells[0] != "override") {
+        throw std::invalid_argument("deserialize_recipe: bad override entry");
+      }
+      recipe.overrides.emplace_back(
+          in.take_bytes(static_cast<std::size_t>(to_ll(cells[1]))));
+    }
+  }
+  {
+    const auto head = fields_of(in.next_line(), 2, "source");
+    if (head[0] != "source") {
+      throw std::invalid_argument("deserialize_recipe: bad source line");
+    }
+    recipe.source = in.take_bytes(static_cast<std::size_t>(to_ll(head[1])));
+  }
+  return recipe;
+}
+
+}  // namespace hpf90d::compiler

@@ -1,0 +1,85 @@
+// client.hpp — thin synchronous client for the experiment daemon.
+//
+// A ServeClient is one tenant's connection: connect() performs the Hello
+// handshake, submit() ships a plan or study (encoded by plan_codec) and
+// returns the job id, wait() blocks until the job is terminal and
+// reassembles the result — RunReport::from_csv / StudyResult::from_csv on
+// the deterministic CSV body, plus the cache stats and wall time carried
+// alongside — so a served report is the same object a local Session::run
+// would have returned, byte-identical CSV included.
+//
+// The client is deliberately dumb: one in-flight request per connection,
+// blocking replies, no reconnection. Anything smarter belongs in the
+// caller. Not thread-safe; use one ServeClient per thread (tenants are
+// free to open many connections).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "api/experiment_plan.hpp"
+#include "api/run_report.hpp"
+#include "serve/plan_codec.hpp"
+#include "serve/wire.hpp"
+#include "study/study_plan.hpp"
+#include "study/study_result.hpp"
+
+namespace hpf90d::serve {
+
+/// Terminal result of a served job, reassembled client-side.
+struct JobResult {
+  std::string state;  // "done" | "failed" | "cancelled"
+  bool is_study = false;
+  std::string error;          // failed jobs
+  double wall_seconds = 0;    // server-side sweep wall time
+  api::RunReport report;      // plan jobs (empty otherwise)
+  study::StudyResult study;   // study jobs (empty otherwise)
+
+  [[nodiscard]] bool ok() const noexcept { return state == "done"; }
+};
+
+class ServeClient {
+ public:
+  /// Does not connect; call connect().
+  ServeClient(std::string socket_path, std::string tenant);
+  ~ServeClient();
+
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects and performs the Hello handshake. Throws WireError when the
+  /// daemon is unreachable or answers garbage.
+  void connect();
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Submits; returns the job id. Throws WireError on transport errors
+  /// and std::runtime_error when the server refuses (queue full).
+  std::uint64_t submit(const api::ExperimentPlan& plan);
+  std::uint64_t submit(const study::StudyPlan& plan);
+
+  /// Blocks until the job is terminal and reassembles the outcome.
+  [[nodiscard]] JobResult wait(std::uint64_t job_id);
+
+  /// "queued" | "running" | "done" | "failed" | "cancelled"; throws
+  /// std::runtime_error for unknown ids.
+  [[nodiscard]] std::string status(std::uint64_t job_id);
+
+  /// True when the job was still queued and is now cancelled.
+  bool cancel(std::uint64_t job_id);
+
+  [[nodiscard]] ServerStats stats();
+
+  /// Asks the daemon to shut down (acknowledged before it stops).
+  void shutdown_server();
+
+ private:
+  /// One request/reply round trip.
+  [[nodiscard]] Frame roundtrip(const Frame& request);
+
+  std::string socket_path_;
+  std::string tenant_;
+  int fd_ = -1;
+};
+
+}  // namespace hpf90d::serve

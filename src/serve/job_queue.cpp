@@ -1,0 +1,163 @@
+#include "serve/job_queue.hpp"
+
+#include <stdexcept>
+
+namespace hpf90d::serve {
+
+const char* job_state_name(JobState s) noexcept {
+  switch (s) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+JobQueue::JobQueue(std::size_t tenant_inflight, std::size_t tenant_queued)
+    : tenant_inflight_(tenant_inflight < 1 ? 1 : tenant_inflight),
+      tenant_queued_(tenant_queued < 1 ? 1 : tenant_queued) {}
+
+std::uint64_t JobQueue::submit(std::string tenant, bool is_study,
+                               std::string payload) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) throw std::runtime_error("job queue is shut down");
+  auto [it, inserted] = tenants_.try_emplace(tenant);
+  if (inserted) rotation_.push_back(tenant);
+  if (it->second.fifo.size() >= tenant_queued_) {
+    throw std::runtime_error("tenant \"" + tenant + "\" queue is full (" +
+                             std::to_string(tenant_queued_) + " jobs)");
+  }
+  const std::uint64_t id = next_id_++;
+  Job job;
+  job.id = id;
+  job.tenant = std::move(tenant);
+  job.is_study = is_study;
+  job.payload = std::move(payload);
+  jobs_.emplace(id, std::move(job));
+  it->second.fifo.push_back(id);
+  ++counters_.submitted;
+  runnable_.notify_one();
+  return id;
+}
+
+std::optional<Job> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (shutdown_) return std::nullopt;
+    // One rotation starting after the last-served tenant: the first
+    // tenant with queued work and spare in-flight budget wins.
+    const std::size_t n = rotation_.size();
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t slot = (next_tenant_ + step) % n;
+      Tenant& tenant = tenants_[rotation_[slot]];
+      if (tenant.fifo.empty() || tenant.inflight >= tenant_inflight_) continue;
+      const std::uint64_t id = tenant.fifo.front();
+      tenant.fifo.pop_front();
+      ++tenant.inflight;
+      next_tenant_ = (slot + 1) % n;
+      Job& job = jobs_.at(id);
+      job.state = JobState::Running;
+      return job;  // copy taken under the lock
+    }
+    runnable_.wait(lock);
+  }
+}
+
+void JobQueue::complete(std::uint64_t id, JobState terminal, std::string result) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second.state != JobState::Running) return;
+    it->second.state = terminal;
+    it->second.result = std::move(result);
+    Tenant& tenant = tenants_[it->second.tenant];
+    if (tenant.inflight > 0) --tenant.inflight;
+    if (terminal == JobState::Done) ++counters_.done;
+    else if (terminal == JobState::Failed) ++counters_.failed;
+    else ++counters_.cancelled;
+  }
+  // A tenant at its cap may have runnable work again, and waiters want
+  // the terminal state.
+  runnable_.notify_all();
+  terminal_.notify_all();
+}
+
+bool JobQueue::cancel(std::uint64_t id) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || it->second.state != JobState::Queued) return false;
+    it->second.state = JobState::Cancelled;
+    ++counters_.cancelled;
+    Tenant& tenant = tenants_[it->second.tenant];
+    for (auto q = tenant.fifo.begin(); q != tenant.fifo.end(); ++q) {
+      if (*q == id) {
+        tenant.fifo.erase(q);
+        break;
+      }
+    }
+  }
+  terminal_.notify_all();
+  return true;
+}
+
+std::optional<JobState> JobQueue::status(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return it->second.state;
+}
+
+std::optional<Job> JobQueue::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    const JobState s = it->second.state;
+    if (s == JobState::Done || s == JobState::Failed || s == JobState::Cancelled) {
+      return it->second;
+    }
+    if (shutdown_) return std::nullopt;
+    terminal_.wait(lock);
+  }
+}
+
+void JobQueue::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    for (auto& [name, tenant] : tenants_) {
+      for (const std::uint64_t id : tenant.fifo) {
+        Job& job = jobs_.at(id);
+        job.state = JobState::Cancelled;
+        ++counters_.cancelled;
+      }
+      tenant.fifo.clear();
+    }
+  }
+  runnable_.notify_all();
+  terminal_.notify_all();
+}
+
+std::size_t JobQueue::queued() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, tenant] : tenants_) n += tenant.fifo.size();
+  return n;
+}
+
+std::size_t JobQueue::running() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [name, tenant] : tenants_) n += tenant.inflight;
+  return n;
+}
+
+JobQueue::Counters JobQueue::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace hpf90d::serve

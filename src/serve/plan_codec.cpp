@@ -1,0 +1,448 @@
+#include "serve/plan_codec.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/text.hpp"
+
+namespace hpf90d::serve {
+
+namespace {
+
+// --- writer helpers -----------------------------------------------------------
+
+/// Length-prefixed string: "<tag> <len>\n<bytes>\n" — arbitrary bytes
+/// round-trip, including newlines and tabs.
+void emit_str(std::string& out, const char* tag, std::string_view value) {
+  out += tag;
+  out += ' ';
+  out += std::to_string(value.size());
+  out += '\n';
+  out += value;
+  out += '\n';
+}
+
+std::string fnum(double v) { return support::strfmt("%.17g", v); }
+
+void emit_bindings(std::string& out, const front::Bindings& bindings) {
+  for (const auto& [name, value] : bindings.values()) {
+    out += "bind " + fnum(value) + " " + std::to_string(name.size()) + '\n';
+    out += name;
+    out += '\n';
+  }
+}
+
+// --- reader -------------------------------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  /// Next newline-terminated line (the final line may omit the newline).
+  [[nodiscard]] std::string_view next_line() {
+    if (at_end()) fail("unexpected end of input");
+    std::size_t eol = text_.find('\n', pos_);
+    if (eol == std::string_view::npos) eol = text_.size();
+    const std::string_view line = text_.substr(pos_, eol - pos_);
+    pos_ = eol + 1 > text_.size() ? text_.size() : eol + 1;
+    return line;
+  }
+
+  /// Exactly `n` raw bytes followed by a newline (the str payload form).
+  [[nodiscard]] std::string take_bytes(std::size_t n) {
+    if (text_.size() - pos_ < n) fail("truncated payload");
+    std::string out(text_.substr(pos_, n));
+    pos_ += n;
+    if (pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+    else if (pos_ != text_.size()) fail("missing payload terminator");
+    return out;
+  }
+
+  [[nodiscard]] bool at_end() const noexcept { return pos_ >= text_.size(); }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw CodecError("plan codec: " + why + " at offset " + std::to_string(pos_));
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::string> fields_of(std::string_view line) {
+  std::vector<std::string> out;
+  for (const auto& f : support::split(line, ' ')) {
+    if (!f.empty()) out.push_back(f);
+  }
+  return out;
+}
+
+long long to_ll(Reader& in, const std::string& cell) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(cell, &used);
+    if (used == cell.size()) return v;
+  } catch (const std::exception&) {
+  }
+  in.fail("malformed integer \"" + cell + "\"");
+}
+
+unsigned long long to_ull(Reader& in, const std::string& cell) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long v = std::stoull(cell, &used);
+    if (used == cell.size()) return v;
+  } catch (const std::exception&) {
+  }
+  in.fail("malformed unsigned integer \"" + cell + "\"");
+}
+
+double to_d(Reader& in, const std::string& cell) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(cell, &used);
+    if (used == cell.size()) return v;
+  } catch (const std::exception&) {
+  }
+  in.fail("malformed number \"" + cell + "\"");
+}
+
+/// Parses a "<tag> <len>" line already read and returns the payload.
+std::string read_str_payload(Reader& in, const std::vector<std::string>& f,
+                             const char* tag) {
+  if (f.size() != 2 || f[0] != tag) in.fail(std::string("expected ") + tag + " line");
+  return in.take_bytes(static_cast<std::size_t>(to_ll(in, f[1])));
+}
+
+std::string expect_str(Reader& in, const char* tag) {
+  return read_str_payload(in, fields_of(in.next_line()), tag);
+}
+
+front::Bindings read_bindings(Reader& in, std::size_t count) {
+  front::Bindings b;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto f = fields_of(in.next_line());
+    if (f.size() != 3 || f[0] != "bind") in.fail("expected bind line");
+    const double value = to_d(in, f[1]);
+    b.set(in.take_bytes(static_cast<std::size_t>(to_ll(in, f[2]))), value);
+  }
+  return b;
+}
+
+machine::CollectiveAlgo to_collective(Reader& in, const std::string& cell) {
+  const long long v = to_ll(in, cell);
+  switch (v) {
+    case 0: return machine::CollectiveAlgo::RecursiveTree;
+    case 1: return machine::CollectiveAlgo::Linear;
+    default: in.fail("unknown collective algorithm " + cell);
+  }
+}
+
+void encode_plan_body(std::string& out, const api::ExperimentPlan& plan) {
+  out += "hpf90d-plan 1\n";
+  emit_str(out, "title", plan.title());
+  emit_str(out, "source", plan.program_source());
+  for (const auto& m : plan.machine_names()) emit_str(out, "machine", m);
+  out += "nprocs";
+  for (const int np : plan.nprocs_list()) out += " " + std::to_string(np);
+  out += '\n';
+  out += "runs " + std::to_string(plan.measure_runs()) + '\n';
+  const auto& co = plan.compiler_opts();
+  out += support::strfmt("copts %d %s\n", co.message_vectorization ? 1 : 0,
+                         fnum(co.default_mask_probability).c_str());
+  const auto& po = plan.predict_opts();
+  out += support::strfmt("popts %s %d %d %zu\n", fnum(po.mask_probability).c_str(),
+                         static_cast<int>(po.collective), po.trace ? 1 : 0,
+                         po.max_trace_events);
+  const auto& so = plan.sim_opts();
+  out += support::strfmt("sopts %llu %d %d %d %lld\n",
+                         static_cast<unsigned long long>(so.seed), so.noise ? 1 : 0,
+                         so.contention ? 1 : 0, static_cast<int>(so.collective),
+                         so.max_while_trips);
+  for (const auto& v : plan.variants()) {
+    out += support::strfmt("variant %s %zu %zu\n",
+                           v.grid_rank ? std::to_string(*v.grid_rank).c_str() : "-",
+                           v.overrides.size(), v.name.size());
+    out += v.name;
+    out += '\n';
+    for (const auto& o : v.overrides) emit_str(out, "override", o);
+  }
+  if (plan.scaled_by_nprocs()) {
+    for (const auto& sc : plan.scaled_cases_list()) {
+      out += support::strfmt("scaled %d %zu %zu\n", sc.nprocs,
+                             sc.problem.bindings.values().size(),
+                             sc.problem.name.size());
+      out += sc.problem.name;
+      out += '\n';
+      emit_bindings(out, sc.problem.bindings);
+    }
+  } else {
+    for (const auto& p : plan.problems()) {
+      out += support::strfmt("problem %zu %zu\n", p.bindings.values().size(),
+                             p.name.size());
+      out += p.name;
+      out += '\n';
+      emit_bindings(out, p.bindings);
+    }
+  }
+  out += "end\n";
+}
+
+api::ExperimentPlan decode_plan_body(Reader& in) {
+  {
+    const auto header = fields_of(in.next_line());
+    if (header.size() != 2 || header[0] != "hpf90d-plan") {
+      in.fail("not an hpf90d-plan payload");
+    }
+    if (header[1] != "1") in.fail("unsupported plan version " + header[1]);
+  }
+  api::ExperimentPlan plan(expect_str(in, "title"));
+  plan.source(expect_str(in, "source"));
+
+  std::vector<std::string> machines;
+  std::vector<api::ScaledCase> scaled;
+  bool saw_end = false;
+  while (!saw_end) {
+    const auto f = fields_of(in.next_line());
+    if (f.empty()) in.fail("empty directive line");
+    if (f[0] == "machine") {
+      machines.push_back(read_str_payload(in, f, "machine"));
+    } else if (f[0] == "nprocs") {
+      std::vector<int> counts;
+      for (std::size_t i = 1; i < f.size(); ++i) {
+        counts.push_back(static_cast<int>(to_ll(in, f[i])));
+      }
+      plan.nprocs(std::move(counts));
+    } else if (f[0] == "runs") {
+      if (f.size() != 2) in.fail("malformed runs line");
+      plan.runs(static_cast<int>(to_ll(in, f[1])));
+    } else if (f[0] == "copts") {
+      if (f.size() != 3) in.fail("malformed copts line");
+      compiler::CompilerOptions co;
+      co.message_vectorization = to_ll(in, f[1]) != 0;
+      co.default_mask_probability = to_d(in, f[2]);
+      plan.compiler_options(co);
+    } else if (f[0] == "popts") {
+      if (f.size() != 5) in.fail("malformed popts line");
+      core::PredictOptions po;
+      po.mask_probability = to_d(in, f[1]);
+      po.collective = to_collective(in, f[2]);
+      po.trace = to_ll(in, f[3]) != 0;
+      po.max_trace_events = static_cast<std::size_t>(to_ll(in, f[4]));
+      plan.predict_options(po);
+    } else if (f[0] == "sopts") {
+      if (f.size() != 6) in.fail("malformed sopts line");
+      sim::SimOptions so;
+      so.seed = to_ull(in, f[1]);
+      so.noise = to_ll(in, f[2]) != 0;
+      so.contention = to_ll(in, f[3]) != 0;
+      so.collective = to_collective(in, f[4]);
+      so.max_while_trips = to_ll(in, f[5]);
+      plan.sim_options(so);
+    } else if (f[0] == "variant") {
+      if (f.size() != 4) in.fail("malformed variant line");
+      api::DirectiveVariant v;
+      if (f[1] != "-") v.grid_rank = static_cast<int>(to_ll(in, f[1]));
+      const auto noverrides = static_cast<std::size_t>(to_ll(in, f[2]));
+      v.name = in.take_bytes(static_cast<std::size_t>(to_ll(in, f[3])));
+      for (std::size_t i = 0; i < noverrides; ++i) {
+        v.overrides.push_back(expect_str(in, "override"));
+      }
+      plan.add_variant(std::move(v));
+    } else if (f[0] == "problem") {
+      if (f.size() != 3) in.fail("malformed problem line");
+      const auto nbind = static_cast<std::size_t>(to_ll(in, f[1]));
+      std::string name = in.take_bytes(static_cast<std::size_t>(to_ll(in, f[2])));
+      plan.add_problem(std::move(name), read_bindings(in, nbind));
+    } else if (f[0] == "scaled") {
+      if (f.size() != 4) in.fail("malformed scaled line");
+      api::ScaledCase sc;
+      sc.nprocs = static_cast<int>(to_ll(in, f[1]));
+      const auto nbind = static_cast<std::size_t>(to_ll(in, f[2]));
+      sc.problem.name = in.take_bytes(static_cast<std::size_t>(to_ll(in, f[3])));
+      sc.problem.bindings = read_bindings(in, nbind);
+      scaled.push_back(std::move(sc));
+    } else if (f[0] == "end") {
+      saw_end = true;
+    } else {
+      in.fail("unknown directive \"" + f[0] + "\"");
+    }
+  }
+  if (!machines.empty()) plan.machines(std::move(machines));
+  if (!scaled.empty()) plan.scaled_cases(std::move(scaled));
+  return plan;
+}
+
+}  // namespace
+
+std::string encode_plan(const api::ExperimentPlan& plan) {
+  std::string out;
+  encode_plan_body(out, plan);
+  return out;
+}
+
+api::ExperimentPlan decode_plan(std::string_view text) {
+  Reader in(text);
+  api::ExperimentPlan plan = decode_plan_body(in);
+  return plan;
+}
+
+std::string encode_study(const study::StudyPlan& plan) {
+  std::string out = "hpf90d-study 1\n";
+  emit_str(out, "title", plan.title());
+  emit_str(out, "base", plan.base());
+  for (const auto& axis : plan.family().axes()) {
+    out += "axis " + std::to_string(static_cast<int>(axis.knob));
+    for (const double v : axis.values) out += " " + fnum(v);
+    out += '\n';
+  }
+  for (const auto& r : plan.reference_machines()) emit_str(out, "reference", r);
+  emit_str(out, "plan", encode_plan(plan.inner()));
+  out += "end\n";
+  return out;
+}
+
+study::StudyPlan decode_study(std::string_view text) {
+  Reader in(text);
+  {
+    const auto header = fields_of(in.next_line());
+    if (header.size() != 2 || header[0] != "hpf90d-study") {
+      in.fail("not an hpf90d-study payload");
+    }
+    if (header[1] != "1") in.fail("unsupported study version " + header[1]);
+  }
+  study::StudyPlan plan(expect_str(in, "title"));
+  plan.base_machine(expect_str(in, "base"));
+  for (;;) {
+    const auto f = fields_of(in.next_line());
+    if (f.empty()) in.fail("empty directive line");
+    if (f[0] == "axis") {
+      if (f.size() < 2) in.fail("malformed axis line");
+      const long long knob = to_ll(in, f[1]);
+      if (knob < 0 || knob > 2) in.fail("unknown knob " + f[1]);
+      std::vector<double> values;
+      for (std::size_t i = 2; i < f.size(); ++i) values.push_back(to_d(in, f[i]));
+      plan.knob_axis(static_cast<study::Knob>(knob), std::move(values));
+    } else if (f[0] == "reference") {
+      plan.add_reference_machine(read_str_payload(in, f, "reference"));
+    } else if (f[0] == "plan") {
+      plan.replace_inner(decode_plan(read_str_payload(in, f, "plan")));
+    } else if (f[0] == "end") {
+      break;
+    } else {
+      in.fail("unknown directive \"" + f[0] + "\"");
+    }
+  }
+  return plan;
+}
+
+std::string encode_outcome(const JobOutcome& outcome) {
+  std::string out = "hpf90d-result 1\n";
+  out += "state " + outcome.state + '\n';
+  out += std::string("kind ") + (outcome.is_study ? "study" : "plan") + '\n';
+  emit_str(out, "title", outcome.title);
+  emit_str(out, "error", outcome.error);
+  out += "wall " + fnum(outcome.wall_seconds) + '\n';
+  const api::CacheStats& c = outcome.cache;
+  out += support::strfmt("cache %zu %zu %zu %zu %zu %zu %zu\n", c.compile_hits,
+                         c.compile_misses, c.layout_hits, c.layout_misses,
+                         c.layout_evictions, c.layout_spill_hits, c.layout_capacity);
+  emit_str(out, "body", outcome.body_csv);
+  return out;
+}
+
+JobOutcome decode_outcome(std::string_view text) {
+  Reader in(text);
+  {
+    const auto header = fields_of(in.next_line());
+    if (header.size() != 2 || header[0] != "hpf90d-result" || header[1] != "1") {
+      in.fail("not an hpf90d-result payload");
+    }
+  }
+  JobOutcome out;
+  {
+    const auto f = fields_of(in.next_line());
+    if (f.size() != 2 || f[0] != "state") in.fail("expected state line");
+    out.state = f[1];
+  }
+  {
+    const auto f = fields_of(in.next_line());
+    if (f.size() != 2 || f[0] != "kind") in.fail("expected kind line");
+    out.is_study = f[1] == "study";
+  }
+  out.title = expect_str(in, "title");
+  out.error = expect_str(in, "error");
+  {
+    const auto f = fields_of(in.next_line());
+    if (f.size() != 2 || f[0] != "wall") in.fail("expected wall line");
+    out.wall_seconds = to_d(in, f[1]);
+  }
+  {
+    const auto f = fields_of(in.next_line());
+    if (f.size() != 8 || f[0] != "cache") in.fail("expected cache line");
+    out.cache.compile_hits = static_cast<std::size_t>(to_ll(in, f[1]));
+    out.cache.compile_misses = static_cast<std::size_t>(to_ll(in, f[2]));
+    out.cache.layout_hits = static_cast<std::size_t>(to_ll(in, f[3]));
+    out.cache.layout_misses = static_cast<std::size_t>(to_ll(in, f[4]));
+    out.cache.layout_evictions = static_cast<std::size_t>(to_ll(in, f[5]));
+    out.cache.layout_spill_hits = static_cast<std::size_t>(to_ll(in, f[6]));
+    out.cache.layout_capacity = static_cast<std::size_t>(to_ll(in, f[7]));
+  }
+  out.body_csv = expect_str(in, "body");
+  return out;
+}
+
+std::string encode_stats(const ServerStats& s) {
+  const api::CacheStats& c = s.cache;
+  std::string out = "hpf90d-stats 1\n";
+  out += support::strfmt("cache %zu %zu %zu %zu %zu %zu %zu\n", c.compile_hits,
+                         c.compile_misses, c.layout_hits, c.layout_misses,
+                         c.layout_evictions, c.layout_spill_hits, c.layout_capacity);
+  out += support::strfmt("session %zu %zu %zu\n", s.cached_programs, s.cached_layouts,
+                         s.warmed_programs);
+  out += support::strfmt("jobs %zu %zu %zu %zu\n", s.jobs_submitted, s.jobs_done,
+                         s.jobs_failed, s.jobs_cancelled);
+  out += support::strfmt("spill %zu %zu %zu\n", s.spill_layouts_stored,
+                         s.spill_layouts_loaded, s.spill_programs_stored);
+  return out;
+}
+
+ServerStats decode_stats(std::string_view text) {
+  Reader in(text);
+  {
+    const auto header = fields_of(in.next_line());
+    if (header.size() != 2 || header[0] != "hpf90d-stats" || header[1] != "1") {
+      in.fail("not an hpf90d-stats payload");
+    }
+  }
+  ServerStats s;
+  const auto cache = fields_of(in.next_line());
+  if (cache.size() != 8 || cache[0] != "cache") in.fail("expected cache line");
+  s.cache.compile_hits = static_cast<std::size_t>(to_ll(in, cache[1]));
+  s.cache.compile_misses = static_cast<std::size_t>(to_ll(in, cache[2]));
+  s.cache.layout_hits = static_cast<std::size_t>(to_ll(in, cache[3]));
+  s.cache.layout_misses = static_cast<std::size_t>(to_ll(in, cache[4]));
+  s.cache.layout_evictions = static_cast<std::size_t>(to_ll(in, cache[5]));
+  s.cache.layout_spill_hits = static_cast<std::size_t>(to_ll(in, cache[6]));
+  s.cache.layout_capacity = static_cast<std::size_t>(to_ll(in, cache[7]));
+  const auto session = fields_of(in.next_line());
+  if (session.size() != 4 || session[0] != "session") in.fail("expected session line");
+  s.cached_programs = static_cast<std::size_t>(to_ll(in, session[1]));
+  s.cached_layouts = static_cast<std::size_t>(to_ll(in, session[2]));
+  s.warmed_programs = static_cast<std::size_t>(to_ll(in, session[3]));
+  const auto jobs = fields_of(in.next_line());
+  if (jobs.size() != 5 || jobs[0] != "jobs") in.fail("expected jobs line");
+  s.jobs_submitted = static_cast<std::size_t>(to_ll(in, jobs[1]));
+  s.jobs_done = static_cast<std::size_t>(to_ll(in, jobs[2]));
+  s.jobs_failed = static_cast<std::size_t>(to_ll(in, jobs[3]));
+  s.jobs_cancelled = static_cast<std::size_t>(to_ll(in, jobs[4]));
+  const auto spill = fields_of(in.next_line());
+  if (spill.size() != 4 || spill[0] != "spill") in.fail("expected spill line");
+  s.spill_layouts_stored = static_cast<std::size_t>(to_ll(in, spill[1]));
+  s.spill_layouts_loaded = static_cast<std::size_t>(to_ll(in, spill[2]));
+  s.spill_programs_stored = static_cast<std::size_t>(to_ll(in, spill[3]));
+  return s;
+}
+
+}  // namespace hpf90d::serve

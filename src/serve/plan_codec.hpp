@@ -1,0 +1,76 @@
+// plan_codec.hpp — deterministic text encodings for the service protocol.
+//
+// The wire layer (wire.hpp) moves opaque payloads; this module defines
+// them. Plans travel as line-oriented text: fixed fields are space/tab
+// separated, every user-controlled string (titles, names, directive
+// overrides, program source) is length-prefixed so arbitrary bytes
+// round-trip, and doubles are rendered with %.17g so decode(encode(p))
+// reproduces the exact IEEE values — which is what lets a served run
+// produce a byte-identical report to a local run of the same plan.
+//
+// encode is a fixpoint over decode: encode(decode(encode(p))) ==
+// encode(p), with axis defaults applied, so the encoding can double as a
+// content address for job dedup.
+//
+// Decoders throw CodecError on malformed input (syntax only — plan
+// semantics are checked by ExperimentPlan::validate at execution time).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "api/experiment_plan.hpp"
+#include "api/run_report.hpp"
+#include "study/study_plan.hpp"
+
+namespace hpf90d::serve {
+
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[nodiscard]] std::string encode_plan(const api::ExperimentPlan& plan);
+[[nodiscard]] api::ExperimentPlan decode_plan(std::string_view text);
+
+[[nodiscard]] std::string encode_study(const study::StudyPlan& plan);
+[[nodiscard]] study::StudyPlan decode_study(std::string_view text);
+
+/// Terminal result of a served job, as carried by a Result frame. For
+/// "done" plan jobs `body_csv` is RunReport::csv(); for study jobs it is
+/// StudyResult::csv() (which embeds title and machine points). Cache
+/// stats and wall time ride alongside because the CSV bodies are
+/// deliberately deterministic and exclude them.
+struct JobOutcome {
+  std::string state;  // "done" | "failed" | "cancelled"
+  bool is_study = false;
+  std::string title;
+  std::string error;  // non-empty iff state == "failed"
+  double wall_seconds = 0;
+  api::CacheStats cache;
+  std::string body_csv;
+};
+
+[[nodiscard]] std::string encode_outcome(const JobOutcome& outcome);
+[[nodiscard]] JobOutcome decode_outcome(std::string_view text);
+
+/// Daemon-level counters, served to any tenant on a Stats frame.
+struct ServerStats {
+  api::CacheStats cache;          // session-lifetime cache counters
+  std::size_t cached_programs = 0;
+  std::size_t cached_layouts = 0;
+  std::size_t warmed_programs = 0;  // recipes recompiled at startup
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_done = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t jobs_cancelled = 0;
+  std::size_t spill_layouts_stored = 0;
+  std::size_t spill_layouts_loaded = 0;
+  std::size_t spill_programs_stored = 0;
+};
+
+[[nodiscard]] std::string encode_stats(const ServerStats& stats);
+[[nodiscard]] ServerStats decode_stats(std::string_view text);
+
+}  // namespace hpf90d::serve

@@ -1,0 +1,295 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/wire.hpp"
+#include "study/study_plan.hpp"
+
+namespace hpf90d::serve {
+
+namespace {
+
+/// Parses a decimal job id; 0 (never issued) on malformed input.
+std::uint64_t parse_job_id(const std::string& payload) {
+  try {
+    std::size_t used = 0;
+    const std::uint64_t id = std::stoull(payload, &used);
+    if (used == payload.size()) return id;
+  } catch (const std::exception&) {
+  }
+  return 0;
+}
+
+}  // namespace
+
+ExperimentServer::ExperimentServer(ServerOptions options)
+    : options_(std::move(options)),
+      session_(options_.max_nodes),
+      queue_(options_.tenant_inflight, options_.tenant_queued) {}
+
+ExperimentServer::~ExperimentServer() { stop(); }
+
+void ExperimentServer::start() {
+  if (running_.load()) return;
+  if (options_.socket_path.empty()) {
+    throw std::runtime_error("ExperimentServer: socket_path is required");
+  }
+
+  if (!options_.artifact_dir.empty()) {
+    store_ = std::make_shared<ArtifactStore>(options_.artifact_dir);
+    session_.set_artifact_spill(store_);
+    // Recompile persisted recipes before the first client connects: a
+    // previously-seen plan then compile-hits on every variant, and its
+    // layouts stream back from the spill on first touch.
+    warmed_ = session_.warm_start();
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("ExperimentServer: socket path too long: " +
+                             options_.socket_path);
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("ExperimentServer: socket: ") +
+                             std::strerror(errno));
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a kill -9
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("ExperimentServer: cannot listen on " +
+                             options_.socket_path + ": " + why);
+  }
+
+  stopping_.store(false);
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  const int n = options_.executors < 1 ? 1 : options_.executors;
+  executors_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    executors_.emplace_back([this] { executor_loop(); });
+  }
+}
+
+void ExperimentServer::stop() {
+  if (!running_.load() && !acceptor_.joinable()) return;
+  stopping_.store(true);
+  queue_.shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (auto& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  executors_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& t : connections_) {
+      if (t.joinable()) t.join();
+    }
+    connections_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+  running_.store(false);
+}
+
+void ExperimentServer::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void ExperimentServer::handle_connection(int fd) {
+  std::string tenant = "anonymous";
+  try {
+    while (!stopping_.load()) {
+      Frame request;
+      const ReadStatus st = try_read_frame(fd, request, 200);
+      if (st == ReadStatus::Timeout) continue;  // re-check stopping_
+      if (st == ReadStatus::Eof) break;
+
+      Frame reply;
+      switch (request.type) {
+        case MsgType::Hello: {
+          if (!request.payload.empty()) tenant = request.payload;
+          reply.type = MsgType::HelloAck;
+          reply.payload = "hpf90d-serve 1";
+          break;
+        }
+        case MsgType::SubmitPlan:
+        case MsgType::SubmitStudy: {
+          const bool is_study = request.type == MsgType::SubmitStudy;
+          try {
+            const std::uint64_t id =
+                queue_.submit(tenant, is_study, std::move(request.payload));
+            reply.type = MsgType::Submitted;
+            reply.payload = std::to_string(id);
+          } catch (const std::exception& e) {
+            reply.type = MsgType::Error;
+            reply.payload = e.what();
+          }
+          break;
+        }
+        case MsgType::Status: {
+          const auto state = queue_.status(parse_job_id(request.payload));
+          if (state) {
+            reply.type = MsgType::StatusReply;
+            reply.payload = job_state_name(*state);
+          } else {
+            reply.type = MsgType::Error;
+            reply.payload = "unknown job " + request.payload;
+          }
+          break;
+        }
+        case MsgType::Wait: {
+          const auto job = queue_.wait(parse_job_id(request.payload));
+          if (!job) {
+            reply.type = MsgType::Error;
+            reply.payload = "unknown job or server shutting down";
+          } else if (job->result.empty()) {
+            // cancelled while queued: no executor produced an outcome
+            JobOutcome outcome;
+            outcome.state = job_state_name(job->state);
+            outcome.is_study = job->is_study;
+            reply.type = MsgType::Result;
+            reply.payload = encode_outcome(outcome);
+          } else {
+            reply.type = MsgType::Result;
+            reply.payload = job->result;
+          }
+          break;
+        }
+        case MsgType::Cancel: {
+          const std::uint64_t id = parse_job_id(request.payload);
+          reply.type = MsgType::CancelReply;
+          if (queue_.cancel(id)) {
+            reply.payload = "cancelled";
+          } else {
+            reply.payload = queue_.status(id) ? "late" : "unknown";
+          }
+          break;
+        }
+        case MsgType::Stats: {
+          reply.type = MsgType::StatsReply;
+          reply.payload = encode_stats(stats());
+          break;
+        }
+        case MsgType::Shutdown: {
+          reply.type = MsgType::ShutdownAck;
+          write_frame(fd, reply);
+          stopping_.store(true);
+          queue_.shutdown();
+          ::close(fd);
+          return;
+        }
+        default: {
+          reply.type = MsgType::Error;
+          reply.payload = "unexpected message type";
+          break;
+        }
+      }
+      write_frame(fd, reply);
+    }
+  } catch (const WireError&) {
+    // protocol violation or peer death: drop this connection, keep serving
+  }
+  ::close(fd);
+}
+
+void ExperimentServer::executor_loop() {
+  for (;;) {
+    std::optional<Job> job = queue_.pop();
+    if (!job) return;  // queue shut down
+    JobState terminal = JobState::Done;
+    std::string result;
+    try {
+      result = execute(*job, terminal);
+    } catch (...) {
+      // execute() reports job errors in-band; this is a belt for bugs
+      JobOutcome outcome;
+      outcome.state = "failed";
+      outcome.is_study = job->is_study;
+      outcome.error = "internal executor error";
+      terminal = JobState::Failed;
+      result = encode_outcome(outcome);
+    }
+    queue_.complete(job->id, terminal, std::move(result));
+  }
+}
+
+std::string ExperimentServer::execute(const Job& job, JobState& terminal) {
+  JobOutcome outcome;
+  outcome.is_study = job.is_study;
+  api::RunOptions run_options;
+  run_options.workers = options_.job_workers;
+  try {
+    if (job.is_study) {
+      const study::StudyPlan plan = decode_study(job.payload);
+      const study::StudyResult result = run_study(session_, plan, run_options);
+      outcome.state = "done";
+      outcome.title = result.title;
+      outcome.wall_seconds = result.report.wall_seconds;
+      outcome.cache = result.report.cache;
+      outcome.body_csv = result.csv();
+    } else {
+      const api::ExperimentPlan plan = decode_plan(job.payload);
+      const api::RunReport report = session_.run(plan, run_options);
+      outcome.state = "done";
+      outcome.title = report.title;
+      outcome.wall_seconds = report.wall_seconds;
+      outcome.cache = report.cache;
+      outcome.body_csv = report.csv();
+    }
+    terminal = JobState::Done;
+  } catch (const std::exception& e) {
+    outcome.state = "failed";
+    outcome.error = e.what();
+    terminal = JobState::Failed;
+  }
+  return encode_outcome(outcome);
+}
+
+ServerStats ExperimentServer::stats() const {
+  ServerStats s;
+  s.cache = session_.cache_stats();
+  s.cached_programs = session_.cached_programs();
+  s.cached_layouts = session_.cached_layouts();
+  s.warmed_programs = warmed_;
+  const JobQueue::Counters jobs = queue_.counters();
+  s.jobs_submitted = jobs.submitted;
+  s.jobs_done = jobs.done;
+  s.jobs_failed = jobs.failed;
+  s.jobs_cancelled = jobs.cancelled;
+  if (store_) {
+    s.spill_layouts_stored = store_->layouts_stored();
+    s.spill_layouts_loaded = store_->layouts_loaded();
+    s.spill_programs_stored = store_->programs_stored();
+  }
+  return s;
+}
+
+}  // namespace hpf90d::serve

@@ -1,0 +1,112 @@
+// server.hpp — the long-lived multi-tenant experiment daemon.
+//
+// One ExperimentServer owns ONE api::Session — one hot program cache, one
+// content-addressed layout store, one machine registry — shared by every
+// tenant, which is the point of the service: the second tenant to sweep a
+// Laplace plan hits the layouts the first one built. Around the session it
+// runs
+//
+//   * an accept loop on a Unix-domain socket, one handler thread per
+//     connection, speaking the framed protocol (wire.hpp / plan_codec.hpp),
+//   * a JobQueue scheduling submitted plans fairly across tenants
+//     (per-tenant FIFO, round-robin, in-flight caps), and
+//   * a pool of executor threads running jobs through Session::run — each
+//     job itself fans out on the session's worker pool.
+//
+// When ServerOptions::artifact_dir is set, an ArtifactStore is attached as
+// the session's spill tier and warm_start() runs before the first accept:
+// a killed-and-restarted daemon recompiles persisted program recipes and
+// lazily reloads layouts from disk, so a previously-seen plan is served
+// with cache hits — and a byte-identical report — instead of cold builds.
+//
+// The server never trusts payload bytes: malformed frames drop the
+// connection, malformed plans fail the job with an Error/Failed outcome,
+// and both leave the daemon serving other tenants.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.hpp"
+#include "serve/artifact_store.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/plan_codec.hpp"
+
+namespace hpf90d::serve {
+
+struct ServerOptions {
+  std::string socket_path;  // required; unlinked+rebound on start
+  /// Artifact spill root; empty disables persistence.
+  std::string artifact_dir;
+  /// Executor threads (concurrent jobs). Tenant fairness is decided by the
+  /// queue; this is raw job parallelism.
+  int executors = 2;
+  /// RunOptions::workers for each job's sweep (0 = hardware concurrency).
+  /// The default 1 keeps per-job determinism obvious; large sweeps want 0.
+  int job_workers = 1;
+  /// JobQueue per-tenant caps.
+  std::size_t tenant_inflight = 1;
+  std::size_t tenant_queued = 64;
+  /// Session machine-model size (max simulated nodes).
+  int max_nodes = 64;
+};
+
+class ExperimentServer {
+ public:
+  explicit ExperimentServer(ServerOptions options);
+  /// stop()s if still running.
+  ~ExperimentServer();
+
+  ExperimentServer(const ExperimentServer&) = delete;
+  ExperimentServer& operator=(const ExperimentServer&) = delete;
+
+  /// Binds the socket, warm-starts from the artifact store, spawns the
+  /// accept loop and executors. Throws std::runtime_error on bind
+  /// failures. Idempotent while running.
+  void start();
+
+  /// Stops accepting, shuts the queue down (queued jobs cancel, running
+  /// jobs finish), joins every thread, removes the socket. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+  /// True once a Shutdown frame (or stop()) was seen. The daemon's main
+  /// loop polls this and then calls stop() — a connection thread cannot
+  /// join itself.
+  [[nodiscard]] bool stop_requested() const noexcept { return stopping_.load(); }
+  /// Programs recompiled from persisted recipes during start().
+  [[nodiscard]] std::size_t warmed_programs() const noexcept { return warmed_; }
+  [[nodiscard]] api::Session& session() noexcept { return session_; }
+  [[nodiscard]] JobQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] const ServerOptions& options() const noexcept { return options_; }
+
+  /// Snapshot of the daemon counters (the StatsReply payload).
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  void accept_loop();
+  void executor_loop();
+  void handle_connection(int fd);
+  /// Decodes and runs one job, producing its encoded outcome.
+  [[nodiscard]] std::string execute(const Job& job, JobState& terminal);
+
+  ServerOptions options_;
+  api::Session session_;
+  std::shared_ptr<ArtifactStore> store_;  // null without artifact_dir
+  JobQueue queue_;
+  std::size_t warmed_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::vector<std::thread> executors_;
+  std::mutex conn_mutex_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace hpf90d::serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
+#include <utility>
 
 #include "compiler/opcount.hpp"
 #include "support/diagnostics.hpp"
@@ -47,7 +48,14 @@ void Executor::rebind(const compiler::CompiledProgram& prog,
   noise_ = NoiseModel(options.seed, options.noise);
   clock_.assign(static_cast<std::size_t>(nprocs_), 0.0);
   metrics_.assign(static_cast<std::size_t>(prog.node_count), NodeMetric{});
-  result_ = SimResult{};
+  // Capacity-preserving reset: run_into recycles the previous result's
+  // buffers through this arena, so clearing (not reassigning) keeps the
+  // steady state allocation-free.
+  result_.total = result_.comp = result_.comm = result_.overhead = 0;
+  result_.proc_clock.clear();
+  result_.per_node.clear();
+  result_.printed.clear();
+  result_.scalars.clear();
   compiler::seed_environment(env_, prog_->symbols, bindings);
   for (int p = 0; p < nprocs_; ++p) {
     clock_[static_cast<std::size_t>(p)] = noise_.startup_skew();
@@ -55,6 +63,12 @@ void Executor::rebind(const compiler::CompiledProgram& prog,
 }
 
 SimResult Executor::run() {
+  SimResult out;
+  run_into(out);
+  return out;
+}
+
+void Executor::run_into(SimResult& out) {
   exec_seq(prog_->root->children);
 
   result_.total = *std::max_element(clock_.begin(), clock_.end());
@@ -77,7 +91,9 @@ SimResult Executor::run() {
       if (env_.is_defined(id)) result_.scalars[sym.name] = env_.value(id);
     }
   }
-  return std::move(result_);
+  // Hand the result over and adopt the caller's old buffers as the next
+  // rebind's scratch (rebind clears them capacity-preservingly).
+  std::swap(out, result_);
 }
 
 // ---------------------------------------------------------------------------

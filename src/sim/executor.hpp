@@ -78,6 +78,13 @@ class Executor {
   /// run().
   [[nodiscard]] SimResult run();
 
+  /// Like run(), but fills `out` in place, reusing its vectors and maps
+  /// (previous contents are discarded). The measurement hot loop calls
+  /// this with one scratch SimResult per worker, so a measurement-heavy
+  /// sweep performs no per-run result allocation in steady state. Contents
+  /// are identical to run().
+  void run_into(SimResult& out);
+
  private:
   using SpmdNode = compiler::SpmdNode;
 

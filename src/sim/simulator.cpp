@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace hpf90d::sim {
 
@@ -27,18 +28,33 @@ MeasuredResult Simulator::measure(const compiler::CompiledProgram& prog,
                                   const SimOptions& options, int runs,
                                   Executor& arena) const {
   MeasuredResult out;
+  measure_into(prog, bindings, layout, options, runs, arena, out);
+  return out;
+}
+
+void Simulator::measure_into(const compiler::CompiledProgram& prog,
+                             const front::Bindings& bindings,
+                             const compiler::DataLayout& layout,
+                             const SimOptions& options, int runs, Executor& arena,
+                             MeasuredResult& out) const {
+  out.stats.samples.clear();
+  out.stats.mean = 0.0;
+  out.stats.stddev = 0.0;
   out.stats.min = 1e300;
   out.stats.max = 0.0;
+  // `res` cycles buffers with the arena via run_into, and with out.detail
+  // via the r == 0 swap, so the steady state allocates nothing per run.
+  SimResult res;
   for (int r = 0; r < std::max(1, runs); ++r) {
     SimOptions run_opts = options;
     run_opts.seed = options.seed + static_cast<std::uint64_t>(r) * 0x9e3779b97f4a7c15ULL;
     arena.rebind(prog, layout, machine_, run_opts, bindings);
-    SimResult res = arena.run();
+    arena.run_into(res);
     out.stats.samples.push_back(res.total);
     out.stats.mean += res.total;
     out.stats.min = std::min(out.stats.min, res.total);
     out.stats.max = std::max(out.stats.max, res.total);
-    if (r == 0) out.detail = std::move(res);
+    if (r == 0) std::swap(out.detail, res);
   }
   const double n = static_cast<double>(out.stats.samples.size());
   out.stats.mean /= n;
@@ -47,7 +63,6 @@ MeasuredResult Simulator::measure(const compiler::CompiledProgram& prog,
     var += (s - out.stats.mean) * (s - out.stats.mean);
   }
   out.stats.stddev = std::sqrt(var / n);
-  return out;
 }
 
 }  // namespace hpf90d::sim

@@ -57,6 +57,17 @@ class Simulator {
                                        const SimOptions& options, int runs,
                                        Executor& arena) const;
 
+  /// The fully reusing form behind all the overloads above: fills `out` in
+  /// place (previous contents discarded, buffers recycled) and replays the
+  /// runs through Executor::run_into, so a caller holding one
+  /// MeasuredResult and one Executor per worker measures a whole sweep
+  /// without per-point result allocation. Contents are bit-identical to
+  /// measure().
+  void measure_into(const compiler::CompiledProgram& prog,
+                    const front::Bindings& bindings,
+                    const compiler::DataLayout& layout, const SimOptions& options,
+                    int runs, Executor& arena, MeasuredResult& out) const;
+
  private:
   const machine::MachineModel& machine_;
 };

@@ -77,6 +77,14 @@ StudyPlan& StudyPlan::problems_from(
   return *this;
 }
 
+StudyPlan& StudyPlan::problems_scaled_by_nprocs(
+    const std::vector<long long>& base_sizes,
+    const std::function<front::Bindings(long long)>& make_bindings,
+    std::string_view label_prefix) {
+  inner_.problems_scaled_by_nprocs(base_sizes, make_bindings, label_prefix);
+  return *this;
+}
+
 StudyPlan& StudyPlan::nprocs(std::vector<int> counts) {
   inner_.nprocs(std::move(counts));
   return *this;
@@ -108,6 +116,9 @@ std::size_t StudyPlan::machine_count() const {
 
 std::size_t StudyPlan::point_count() const {
   const std::size_t machines = machine_count() > 0 ? machine_count() : 1;
+  if (inner_.scaled_by_nprocs()) {
+    return machines * inner_.variants().size() * inner_.scaled_cases_list().size();
+  }
   return machines * inner_.variants().size() * inner_.problems().size() *
          inner_.nprocs_list().size();
 }

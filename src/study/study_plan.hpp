@@ -48,6 +48,13 @@ class StudyPlan {
   StudyPlan& problems_from(const std::vector<long long>& sizes,
                            const std::function<front::Bindings(long long)>& make_bindings,
                            std::string_view label_prefix = "n=");
+  /// Weak-scaling axis: couples the problem size to the swept processor
+  /// count (see ExperimentPlan::problems_scaled_by_nprocs). Call nprocs()
+  /// first; mutually exclusive with add_problem/problems_from.
+  StudyPlan& problems_scaled_by_nprocs(
+      const std::vector<long long>& base_sizes,
+      const std::function<front::Bindings(long long scaled)>& make_bindings,
+      std::string_view label_prefix = "n=");
   StudyPlan& nprocs(std::vector<int> counts);
   StudyPlan& runs(int n);
   StudyPlan& compiler_options(compiler::CompilerOptions opts);
@@ -66,6 +73,20 @@ class StudyPlan {
   [[nodiscard]] std::size_t machine_count() const;
   /// Sweep points the lowered plan executes through Session::run.
   [[nodiscard]] std::size_t point_count() const;
+
+  /// The variant/problem/nprocs/options plumbing the study delegates to
+  /// (the lowered plan minus the machine axis). The study/service plan
+  /// codec reads the swept axes through this.
+  [[nodiscard]] const api::ExperimentPlan& inner() const noexcept { return inner_; }
+
+  /// Installs a decoded inner plan verbatim (the plan-transport decoder's
+  /// entry, pairing with inner(); the builder methods above are the
+  /// programmatic route). Whatever machine axis the plan carries is
+  /// overwritten by lower().
+  StudyPlan& replace_inner(api::ExperimentPlan inner) {
+    inner_ = std::move(inner);
+    return *this;
+  }
 
   /// Throws std::invalid_argument when the study cannot run (no source, no
   /// machine at all, invalid family axis, inner-plan violations).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <functional>
 #include <map>
 #include <set>
@@ -343,6 +344,112 @@ std::vector<ScalabilityCurve> StudyResult::scalability() const {
         out.push_back(std::move(curve));
       }
     }
+  }
+  return out;
+}
+
+std::string PointDelta::str() const {
+  return support::strfmt("%s %s %s P=%d: %s -> %s (%+.1f%%)", machine.c_str(),
+                         variant.c_str(), problem.c_str(), nprocs,
+                         support::format_seconds(estimated_before).c_str(),
+                         support::format_seconds(estimated_after).c_str(),
+                         100.0 * rel_change);
+}
+
+namespace {
+
+/// Identity of a crossover conclusion — two studies "agree" on a flip when
+/// the same competitors flip at the same place, whatever the exact times.
+std::string crossover_key(const Crossover& x) {
+  return x.axis + '\x1f' + x.a + '\x1f' + x.b + '\x1f' + x.context + '\x1f' +
+         x.problem + '\x1f' + std::to_string(x.nprocs_before) + '\x1f' +
+         std::to_string(x.nprocs_after);
+}
+
+}  // namespace
+
+StudyDiff StudyResult::diff(const StudyResult& candidate, double threshold) const {
+  StudyDiff out;
+  out.title_before = title;
+  out.title_after = candidate.title;
+  out.threshold = threshold;
+
+  // --- crossover conclusions gained/lost --------------------------------------
+  const std::vector<Crossover> before = crossovers();
+  const std::vector<Crossover> after = candidate.crossovers();
+  std::set<std::string> before_keys, after_keys;
+  for (const auto& x : before) before_keys.insert(crossover_key(x));
+  for (const auto& x : after) after_keys.insert(crossover_key(x));
+  for (const auto& x : after) {
+    if (before_keys.count(crossover_key(x)) == 0) out.gained.push_back(x);
+  }
+  for (const auto& x : before) {
+    if (after_keys.count(crossover_key(x)) == 0) out.lost.push_back(x);
+  }
+
+  // --- per-point estimated-time deltas ----------------------------------------
+  const SweepIndex after_ix(candidate.report);
+  std::size_t matched = 0;
+  for (const auto& r : report.records) {
+    const api::RunRecord* c = after_ix.find(r.machine, r.variant, r.problem, r.nprocs);
+    if (c == nullptr) {
+      ++out.only_in_before;
+      continue;
+    }
+    ++matched;
+    const double a = r.comparison.estimated;
+    const double b = c->comparison.estimated;
+    const double rel = a != 0.0 ? (b - a) / a : 0.0;
+    const bool significant = a != 0.0 ? std::abs(rel) >= threshold : b != 0.0;
+    if (significant) {
+      out.deltas.push_back(
+          PointDelta{r.machine, r.variant, r.problem, r.nprocs, a, b, rel});
+    }
+  }
+  out.only_in_after = candidate.report.records.size() - matched;
+  return out;
+}
+
+std::string StudyDiff::ascii() const {
+  std::string out = support::strfmt("# study diff: %s -> %s (threshold %.0f%%)\n",
+                                    title_before.c_str(), title_after.c_str(),
+                                    100.0 * threshold);
+  if (identical_conclusions()) {
+    out += "identical conclusions: no crossover flips, no significant deltas\n";
+    return out;
+  }
+  if (only_in_before > 0 || only_in_after > 0) {
+    out += support::strfmt("point sets differ: %zu only in before, %zu only in after\n",
+                           only_in_before, only_in_after);
+  }
+  out += support::strfmt("crossovers gained: %zu\n", gained.size());
+  for (const auto& x : gained) out += "  + " + x.str() + "\n";
+  out += support::strfmt("crossovers lost: %zu\n", lost.size());
+  for (const auto& x : lost) out += "  - " + x.str() + "\n";
+  out += support::strfmt("significant deltas: %zu\n", deltas.size());
+  for (const auto& d : deltas) out += "  ~ " + d.str() + "\n";
+  return out;
+}
+
+std::string StudyDiff::csv() const {
+  // kind-discriminated rows so one file carries all three change classes:
+  //   crossover,<gained|lost>,axis,a,b,context,problem,np_before,np_after
+  //   delta,machine,variant,problem,nprocs,before,after,rel_change
+  std::string out = "kind,f1,f2,f3,f4,f5,f6,f7,f8\n";
+  const auto crossover_row = [&](const char* tag, const Crossover& x) {
+    out += support::strfmt("crossover,%s,%s,%s,%s,%s,%s,%d,%d\n", tag,
+                           csv_field(x.axis).c_str(), csv_field(x.a).c_str(),
+                           csv_field(x.b).c_str(), csv_field(x.context).c_str(),
+                           csv_field(x.problem).c_str(), x.nprocs_before,
+                           x.nprocs_after);
+  };
+  for (const auto& x : gained) crossover_row("gained", x);
+  for (const auto& x : lost) crossover_row("lost", x);
+  for (const auto& d : deltas) {
+    out += support::strfmt("delta,%s,%s,%s,%d,%.17g,%.17g,%.17g,\n",
+                           csv_field(d.machine).c_str(), csv_field(d.variant).c_str(),
+                           csv_field(d.problem).c_str(), d.nprocs, d.estimated_before,
+                           d.estimated_after, d.rel_change);
   }
   return out;
 }

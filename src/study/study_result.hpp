@@ -61,6 +61,50 @@ struct BottleneckRecord {
   [[nodiscard]] const char* dominant() const noexcept { return phases.dominant(); }
 };
 
+/// One sweep point whose estimated time moved significantly between two
+/// studies (baseline -> candidate).
+struct PointDelta {
+  std::string machine, variant, problem;
+  int nprocs = 0;
+  double estimated_before = 0, estimated_after = 0;
+  /// (after - before) / before; +inf-free: before == 0 reports 0 and the
+  /// point is still included when after != 0.
+  double rel_change = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// The semantic difference between two studies: which crossover conclusions
+/// appeared or disappeared, and which individual points moved by more than
+/// the threshold. Produced by StudyResult::diff.
+struct StudyDiff {
+  std::string title_before, title_after;
+  double threshold = 0;  // relative significance floor for deltas
+  /// Crossovers present in the candidate but not the baseline, matched on
+  /// (axis, a, b, context, problem, nprocs_before, nprocs_after).
+  std::vector<Crossover> gained;
+  /// Crossovers present in the baseline but not the candidate.
+  std::vector<Crossover> lost;
+  /// Common sweep points with |rel_change| >= threshold, in the baseline's
+  /// record order.
+  std::vector<PointDelta> deltas;
+  /// Sweep points with no counterpart on the other side (axis mismatch).
+  std::size_t only_in_before = 0, only_in_after = 0;
+
+  /// True when the two studies agree: no flips changed, no significant
+  /// deltas, identical point sets.
+  [[nodiscard]] bool identical_conclusions() const noexcept {
+    return gained.empty() && lost.empty() && deltas.empty() &&
+           only_in_before == 0 && only_in_after == 0;
+  }
+
+  /// Human-readable summary (deterministic, no wall time).
+  [[nodiscard]] std::string ascii() const;
+
+  /// One row per change: kind,axis/machine,... Deterministic; %.17g.
+  [[nodiscard]] std::string csv() const;
+};
+
 struct StudyResult {
   std::string title;
   std::string base_machine;  // the family's base ("" when no knob axes)
@@ -85,6 +129,13 @@ struct StudyResult {
 
   /// Per-record bottleneck attribution, in report order.
   [[nodiscard]] std::vector<BottleneckRecord> bottlenecks() const;
+
+  /// Compares this study (the baseline) against `candidate`: crossover
+  /// flips gained/lost plus per-point estimated-time deltas at least
+  /// `threshold` (relative, default 5%). Points are matched on
+  /// (machine, variant, problem, nprocs).
+  [[nodiscard]] StudyDiff diff(const StudyResult& candidate,
+                               double threshold = 0.05) const;
 
   // --- deterministic exports --------------------------------------------------
   /// Paper-style tables plus crossover and scalability summaries. No wall

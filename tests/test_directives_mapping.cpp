@@ -260,5 +260,35 @@ TEST(DataLayout, OwnershipPictureShowsGrid) {
   EXPECT_NE(pic.find("P4"), std::string::npos);
 }
 
+// --- layout serialization (the artifact store's payload) ----------------------
+
+TEST(DataLayout, SerializeRoundTripsExactly) {
+  auto f = make_fixture(kLaplaceSrc);
+  compiler::LayoutOptions opts;
+  opts.nprocs = 4;
+  compiler::DataLayout layout(f.directives, f.symbols, {}, opts);
+  const std::string text = compiler::serialize_layout(layout);
+  const compiler::DataLayout back = compiler::deserialize_layout(text);
+  // the serialized form is a fixpoint: re-serializing is byte-identical
+  EXPECT_EQ(compiler::serialize_layout(back), text);
+  // and the rebuilt layout answers queries like the original
+  EXPECT_EQ(back.grid().shape, layout.grid().shape);
+  EXPECT_EQ(back.nprocs(), layout.nprocs());
+  const int u = f.symbols.find("u");
+  EXPECT_EQ(back.ownership_picture(u, 4, 4), layout.ownership_picture(u, 4, 4));
+}
+
+TEST(DataLayout, DeserializeRejectsMalformedText) {
+  EXPECT_THROW((void)compiler::deserialize_layout(""), std::invalid_argument);
+  EXPECT_THROW((void)compiler::deserialize_layout("layout 99\n"), std::invalid_argument);
+  auto f = make_fixture(kLaplaceSrc);
+  compiler::LayoutOptions opts;
+  opts.nprocs = 4;
+  compiler::DataLayout layout(f.directives, f.symbols, {}, opts);
+  const std::string good = compiler::serialize_layout(layout);
+  EXPECT_THROW((void)compiler::deserialize_layout(good.substr(0, good.size() / 2)),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hpf90d

@@ -320,6 +320,64 @@ end program t
   EXPECT_THROW((void)simulator.measure(prog, {}, lo, so, 1), support::CompileError);
 }
 
+TEST(Executor, RunIntoMatchesRunBitForBit) {
+  SimFixture f;
+  const auto& app = suite::app("laplace_bb");
+  auto prog = comp(app.source);
+  compiler::LayoutOptions lo;
+  lo.nprocs = 4;
+  const compiler::DataLayout layout(prog.directives, prog.symbols, app.bindings(32), lo);
+  sim::SimOptions so;
+
+  sim::Executor fresh(prog, layout, f.machine, so, app.bindings(32));
+  const sim::SimResult reference = fresh.run();
+
+  // a reused arena with stale contents from another program must produce
+  // the identical result after rebind + run_into
+  sim::Executor arena;
+  arena.rebind(prog, layout, f.machine, so, app.bindings(32));
+  sim::SimResult out;
+  arena.run_into(out);
+  arena.rebind(prog, layout, f.machine, so, app.bindings(32));
+  arena.run_into(out);  // second fill reuses out's buffers
+  EXPECT_EQ(out.total, reference.total);
+  EXPECT_EQ(out.proc_clock, reference.proc_clock);
+  EXPECT_EQ(out.comp, reference.comp);
+  EXPECT_EQ(out.comm, reference.comm);
+  EXPECT_EQ(out.overhead, reference.overhead);
+  EXPECT_EQ(out.printed, reference.printed);
+  EXPECT_EQ(out.scalars, reference.scalars);
+  ASSERT_EQ(out.per_node.size(), reference.per_node.size());
+  for (std::size_t i = 0; i < out.per_node.size(); ++i) {
+    EXPECT_EQ(out.per_node[i].total(), reference.per_node[i].total()) << i;
+    EXPECT_EQ(out.per_node[i].visits, reference.per_node[i].visits) << i;
+  }
+}
+
+TEST(Executor, MeasureIntoMatchesMeasureBitForBit) {
+  SimFixture f;
+  const auto& app = suite::app("pi");
+  auto prog = comp(app.source);
+  compiler::LayoutOptions lo;
+  lo.nprocs = 4;
+  const compiler::DataLayout layout(prog.directives, prog.symbols, app.bindings(256), lo);
+  sim::Simulator simulator(f.machine);
+  const sim::MeasuredResult reference =
+      simulator.measure(prog, app.bindings(256), layout, {}, 3);
+
+  sim::Executor arena;
+  sim::MeasuredResult out;
+  out.stats.samples.assign(17, -1.0);  // stale contents must be discarded
+  simulator.measure_into(prog, app.bindings(256), layout, {}, 3, arena, out);
+  EXPECT_EQ(out.stats.mean, reference.stats.mean);
+  EXPECT_EQ(out.stats.min, reference.stats.min);
+  EXPECT_EQ(out.stats.max, reference.stats.max);
+  EXPECT_EQ(out.stats.stddev, reference.stats.stddev);
+  EXPECT_EQ(out.stats.samples, reference.stats.samples);
+  EXPECT_EQ(out.detail.total, reference.detail.total);
+  EXPECT_EQ(out.detail.printed, reference.detail.printed);
+}
+
 TEST(Executor, ScalarsReportedForValidation) {
   SimFixture f;
   auto prog = comp(suite::app("lfk2").source);

@@ -399,5 +399,94 @@ TEST(StudyResult, ParsersRejectMalformedInput) {
                std::invalid_argument);
 }
 
+// --- weak-scaling axis --------------------------------------------------------
+
+TEST(StudyPlan, WeakScalingAxisCouplesProblemSizeToNprocs) {
+  api::Session session;
+  const auto& app = suite::app("pi");
+  study::StudyPlan plan("weak scaling");
+  plan.source(app.source).add_reference_machine("ipsc860").nprocs({1, 4}).runs(0);
+  plan.problems_scaled_by_nprocs({64}, app.bindings);
+  // the scaled pairs replace the problems x nprocs cross product
+  EXPECT_EQ(plan.point_count(), 2u);
+
+  const study::StudyResult result = study::run_study(session, plan);
+  ASSERT_EQ(result.report.records.size(), 2u);
+  EXPECT_EQ(result.report.records[0].nprocs, 1);
+  EXPECT_EQ(result.report.records[0].problem, "n=64");
+  EXPECT_EQ(result.report.records[1].nprocs, 4);
+  EXPECT_EQ(result.report.records[1].problem, "n=256");  // 64 * P at P=4
+}
+
+TEST(StudyPlan, WeakScalingAxisIsValidated) {
+  const auto& app = suite::app("pi");
+  study::StudyPlan unordered("bad");
+  unordered.source(app.source);
+  // the axis derives sizes from the swept nprocs: nprocs() must come first
+  EXPECT_THROW(unordered.problems_scaled_by_nprocs({64}, app.bindings),
+               std::invalid_argument);
+
+  study::StudyPlan mixed("bad");
+  mixed.source(app.source).nprocs({1, 2});
+  mixed.add_problem("fixed", app.bindings(64));
+  mixed.problems_scaled_by_nprocs({64}, app.bindings);
+  EXPECT_THROW(mixed.validate(), std::invalid_argument);  // mutually exclusive
+}
+
+// --- study-vs-study diff ------------------------------------------------------
+
+TEST(StudyDiff, IdenticalStudiesHaveIdenticalConclusions) {
+  const study::StudyResult s = synthetic_two_variant_study();
+  const study::StudyDiff d = s.diff(s);
+  EXPECT_TRUE(d.identical_conclusions());
+  EXPECT_NE(d.ascii().find("identical conclusions"), std::string::npos);
+}
+
+TEST(StudyDiff, ReportsLostCrossoverAndSignificantDeltas) {
+  const study::StudyResult before = synthetic_two_variant_study();
+  study::StudyResult after = before;
+  // make B strictly slower everywhere: the P=4 overtake disappears
+  for (auto& r : after.report.records) {
+    if (r.variant == "B") r.comparison.estimated += 10.0;
+  }
+  const study::StudyDiff d = before.diff(after);
+  EXPECT_TRUE(d.gained.empty());
+  ASSERT_EQ(d.lost.size(), 1u);
+  EXPECT_EQ(d.lost[0].a, "A");
+  EXPECT_EQ(d.lost[0].b, "B");
+  EXPECT_EQ(d.deltas.size(), 3u);  // every B point moved >= 5%
+  EXPECT_EQ(d.only_in_before, 0u);
+  EXPECT_FALSE(d.identical_conclusions());
+
+  // the inverse diff reports the same flip as gained
+  const study::StudyDiff inverse = after.diff(before);
+  EXPECT_EQ(inverse.gained.size(), 1u);
+  EXPECT_TRUE(inverse.lost.empty());
+}
+
+TEST(StudyDiff, DriftBelowThresholdIsQuiet) {
+  const study::StudyResult before = synthetic_two_variant_study();
+  study::StudyResult after = before;
+  // 1% uniform drift: same crossover anchors, no significant deltas at 5%
+  for (auto& r : after.report.records) r.comparison.estimated *= 1.01;
+  EXPECT_TRUE(before.diff(after).identical_conclusions());
+  EXPECT_FALSE(before.diff(after, 0.005).identical_conclusions());
+}
+
+TEST(StudyDiff, CountsUnmatchedPointsAndRendersDeterministically) {
+  const study::StudyResult before = synthetic_two_variant_study();
+  study::StudyResult after = before;
+  after.report.records.pop_back();  // B@4 vanishes from the candidate
+  const study::StudyDiff d = before.diff(after);
+  EXPECT_EQ(d.only_in_before, 1u);
+  EXPECT_EQ(d.only_in_after, 0u);
+  EXPECT_EQ(d.lost.size(), 1u);  // and with it the overtake
+  EXPECT_FALSE(d.identical_conclusions());
+  EXPECT_EQ(d.ascii(), before.diff(after).ascii());
+  const std::string csv = d.csv();
+  EXPECT_EQ(csv.rfind("kind,", 0), 0u);
+  EXPECT_NE(csv.find("crossover,lost,variant,A,B"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hpf90d

@@ -1,0 +1,96 @@
+// hpf90d_served — the experiment service daemon.
+//
+//   hpf90d_served --socket /tmp/hpf90d.sock [--artifacts DIR]
+//                 [--executors N] [--job-workers N] [--max-nodes N]
+//                 [--tenant-inflight N] [--tenant-queue N]
+//
+// Runs until SIGINT/SIGTERM or a client Shutdown frame. With --artifacts
+// the daemon persists compiled-program recipes and data layouts under DIR
+// and warm-starts from them on the next launch, so a restart keeps
+// serving previously-seen plans with hot caches.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void on_signal(int) { g_signalled = 1; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--artifacts DIR] [--executors N]\n"
+               "          [--job-workers N] [--max-nodes N] [--tenant-inflight N]\n"
+               "          [--tenant-queue N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hpf90d::serve::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.socket_path = v;
+    } else if (std::strcmp(argv[i], "--artifacts") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.artifact_dir = v;
+    } else if (std::strcmp(argv[i], "--executors") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.executors = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--job-workers") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.job_workers = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--max-nodes") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.max_nodes = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--tenant-inflight") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.tenant_inflight = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--tenant-queue") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.tenant_queued = static_cast<std::size_t>(std::atoll(v));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (options.socket_path.empty()) return usage(argv[0]);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    hpf90d::serve::ExperimentServer server(options);
+    server.start();
+    std::printf("hpf90d_served: listening on %s (%zu programs warmed)\n",
+                options.socket_path.c_str(), server.warmed_programs());
+    std::fflush(stdout);
+    while (g_signalled == 0 && !server.stop_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.stop();
+    std::printf("hpf90d_served: stopped\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hpf90d_served: %s\n", e.what());
+    return 1;
+  }
+}
