@@ -35,6 +35,8 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "compiler/cost_program.hpp"
+#include "compiler/pipeline.hpp"
 #include "suite/suite.hpp"
 
 namespace {
@@ -125,6 +127,93 @@ void BM_WarmSweep_pooled4_arena_lru256(benchmark::State& state) {
                           static_cast<int64_t>(plan.point_count()));
 }
 BENCHMARK(BM_WarmSweep_pooled4_arena_lru256)->Unit(benchmark::kMillisecond);
+
+// --- lockstep batching --------------------------------------------------------
+
+/// Warm sweep at a fixed lane width: batch_size=1 is the scalar arena path
+/// (the pre-batching baseline), 8 and 64 price points in lockstep through
+/// the cost bytecode. The `lanes_per_visit` counter reports how many lanes
+/// each SPMD node visit actually amortized.
+void BM_WarmSweep_lanes(benchmark::State& state, int lanes, int workers) {
+  const api::ExperimentPlan plan = sweep_plan(sweep_points());
+  api::Session& session = warm_session(plan);
+  api::RunOptions opts = options(workers, true);
+  opts.batch_size = lanes;
+  double lanes_per_visit = 0;
+  for (auto _ : state) {
+    const api::RunReport report = session.run(plan, opts);
+    benchmark::DoNotOptimize(&report);
+    lanes_per_visit = report.batch.mean_lanes_per_visit();
+  }
+  state.counters["lanes_per_visit"] = lanes_per_visit;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.point_count()));
+}
+BENCHMARK_CAPTURE(BM_WarmSweep_lanes, lanes1_serial, 1, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WarmSweep_lanes, lanes8_serial, 8, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WarmSweep_lanes, lanes64_serial, 64, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_WarmSweep_lanes, lanes64_pooled4, 64, 4)->Unit(benchmark::kMillisecond);
+
+void BM_CompileToBytecode(benchmark::State& state) {
+  // The cold cost of the flattening pass alone: compile() already pays it
+  // once per program; this is the marginal price of the batched design.
+  const auto& app = suite::app("pi");
+  const compiler::CompiledProgram prog = compiler::compile(app.source);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::compile_cost_program(prog));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CompileToBytecode)->Unit(benchmark::kMicrosecond);
+
+void BM_DivergentSweep_lanes(benchmark::State& state, int lanes) {
+  // Worst case for lockstep: the outer DO trip count is a per-problem
+  // binding, so a 64-lane chunk splinters at the first size-dependent loop
+  // and most lanes are evicted to the scalar replay. The `replayed`
+  // counter reports the fraction of points that took eviction + replay —
+  // the divergence penalty is this benchmark vs its lanes1 capture.
+  static const char* const source = R"f90(
+program levels
+  parameter (n = 256)
+  real v(n)
+!hpf$ template d(n)
+!hpf$ align v(i) with d(i)
+!hpf$ distribute d(block)
+  forall (i = 1:n) v(i) = real(i)
+  do it = 1, nlev
+    forall (i = 1:n) v(i) = v(i)*0.5 + 1.0
+  end do
+end program levels
+)f90";
+  const long long problems = (sweep_points() + 3) / 4;
+  api::ExperimentPlan plan("divergent sweep");
+  plan.source(source).nprocs({1, 2, 4, 8}).runs(0);
+  for (long long i = 0; i < problems; ++i) {
+    front::Bindings b;
+    b.set_int("nlev", 2 + (i % 13));
+    plan.add_problem("nlev@" + std::to_string(i), b);
+  }
+  static api::Session session;  // warm across captures, like warm_session
+  static bool warmed = false;
+  api::RunOptions opts = options(1, true);
+  if (!warmed) {
+    (void)session.run(plan, opts);
+    warmed = true;
+  }
+  opts.batch_size = lanes;
+  double replayed = 0;
+  for (auto _ : state) {
+    const api::RunReport report = session.run(plan, opts);
+    benchmark::DoNotOptimize(&report);
+    const double total = static_cast<double>(plan.point_count());
+    replayed = static_cast<double>(report.batch.replayed_points) / total;
+  }
+  state.counters["replayed"] = replayed;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.point_count()));
+}
+BENCHMARK_CAPTURE(BM_DivergentSweep_lanes, lanes1, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DivergentSweep_lanes, lanes64, 64)->Unit(benchmark::kMillisecond);
 
 void BM_ArenaSpeedup_pooled4(benchmark::State& state) {
   // The acceptance ratio, measured back to back on the same warm session:

@@ -37,4 +37,35 @@ const sim::MeasuredResult& EngineArena::measure_into(
   return measured_;
 }
 
+std::span<const core::PredictionResult> EngineArena::predict_batch(
+    const compiler::CompiledProgram& prog, const machine::MachineModel& machine,
+    const core::PredictOptions& options, std::span<const core::BatchLane> lanes,
+    bool& lockstep, core::BatchRunStats& stats) {
+  batch_predictions_.resize(lanes.size());
+  lockstep = batch_engine_.interpret(prog, machine, options, lanes,
+                                     batch_predictions_.data(), stats);
+  if (!lockstep) {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      engine_.rebind(prog, *lanes[i].layout, machine, options, *lanes[i].bindings);
+      engine_.interpret_into(batch_predictions_[i]);
+    }
+  }
+  return batch_predictions_;
+}
+
+std::span<const sim::MeasuredResult> EngineArena::measure_batch_into(
+    const compiler::CompiledProgram& prog, const machine::MachineModel& machine,
+    const sim::SimOptions& options, int runs, std::span<const core::BatchLane> lanes) {
+  lane_bindings_.clear();
+  lane_layouts_.clear();
+  for (const core::BatchLane& lane : lanes) {
+    lane_bindings_.push_back(lane.bindings);
+    lane_layouts_.push_back(lane.layout);
+  }
+  const sim::Simulator simulator(machine);
+  simulator.measure_batch_into(prog, lane_bindings_, lane_layouts_, options, runs,
+                               executor_, batch_measured_);
+  return batch_measured_;
+}
+
 }  // namespace hpf90d::api

@@ -13,6 +13,9 @@
 // The arena itself is not thread-safe — it is one worker's private state.
 #pragma once
 
+#include <span>
+
+#include "core/batch_engine.hpp"
 #include "core/engine.hpp"
 #include "sim/simulator.hpp"
 
@@ -56,11 +59,38 @@ class EngineArena {
       const machine::MachineModel& machine, const sim::SimOptions& options, int runs,
       const front::Bindings& bindings);
 
+  /// Lockstep batch prediction: fills the arena's batch scratch with one
+  /// PredictionResult per lane (byte-identical to calling predict() lane by
+  /// lane) and returns it, valid until the next predict_batch call. When
+  /// the lockstep walk runs, `lockstep` is set and `stats` accumulates its
+  /// effectiveness counters; when BatchEngine declines (traced run, too few
+  /// lanes, program without complete cost bytecode) the arena falls back to
+  /// a per-lane scalar loop, clears `lockstep`, and leaves `stats` alone.
+  [[nodiscard]] std::span<const core::PredictionResult> predict_batch(
+      const compiler::CompiledProgram& prog, const machine::MachineModel& machine,
+      const core::PredictOptions& options, std::span<const core::BatchLane> lanes,
+      bool& lockstep, core::BatchRunStats& stats);
+
+  /// Batched measurement companion to predict_batch: measures every lane
+  /// through the reusable executor into the arena's scratch vector
+  /// (Simulator::measure_batch_into), bit-identical to per-lane
+  /// measure_into. The returned span is valid until the next
+  /// measure/measure_into/measure_batch_into call.
+  [[nodiscard]] std::span<const sim::MeasuredResult> measure_batch_into(
+      const compiler::CompiledProgram& prog, const machine::MachineModel& machine,
+      const sim::SimOptions& options, int runs,
+      std::span<const core::BatchLane> lanes);
+
  private:
   core::InterpretationEngine engine_;
+  core::BatchEngine batch_engine_;
   sim::Executor executor_;
   core::PredictionResult prediction_;  // reused across points
   sim::MeasuredResult measured_;       // reused across points (measure_into)
+  std::vector<core::PredictionResult> batch_predictions_;  // predict_batch scratch
+  std::vector<sim::MeasuredResult> batch_measured_;        // measure_batch_into scratch
+  std::vector<const front::Bindings*> lane_bindings_;      // measure_batch_into scratch
+  std::vector<const compiler::DataLayout*> lane_layouts_;  // measure_batch_into scratch
 };
 
 }  // namespace hpf90d::api

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -167,11 +168,32 @@ struct ReportDiff {
   [[nodiscard]] std::string csv() const;
 };
 
+/// Batched-interpretation effectiveness counters for one run. Execution
+/// telemetry, not results: the record payload is byte-identical for any
+/// batch_size/worker combination, so these are deliberately excluded from
+/// ascii()/csv()/from_csv() (they would break the oracle equality the
+/// batched path guarantees).
+struct BatchStats {
+  std::size_t batched_points = 0;   // points priced by the lockstep walk
+  std::size_t scalar_points = 0;    // points priced by the scalar engine
+  std::size_t replayed_points = 0;  // lanes evicted mid-batch and replayed
+  std::uint64_t ir_visits = 0;      // SPMD nodes visited by batch walks
+  std::uint64_t lane_visits = 0;    // sum of active lanes over those visits
+
+  /// Mean lanes priced per bytecode visit (1.0 would match scalar cost).
+  [[nodiscard]] double mean_lanes_per_visit() const {
+    return ir_visits == 0 ? 0.0
+                          : static_cast<double>(lane_visits) /
+                                static_cast<double>(ir_visits);
+  }
+};
+
 /// The result of Session::run over one ExperimentPlan.
 struct RunReport {
   std::string title;
   std::vector<RunRecord> records;
   CacheStats cache;        // cache activity attributable to this run
+  BatchStats batch;        // lockstep-batching telemetry (not in ascii/csv)
   double wall_seconds = 0; // tool time for the whole batch (the Fig 8 metric)
 
   /// Record with the smallest estimated time; nullptr when empty.

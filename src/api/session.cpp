@@ -215,15 +215,41 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   // Critical-variable validation depends only on (program, bindings), so it
   // is hoisted out of the sweep: once per (variant, problem) pair instead of
   // once (or twice) per point, and every diagnostic fires before any thread
-  // starts.
+  // starts. The verdict is further memoized across run() calls — the
+  // analysis reads only which names are bound, never their values.
+  const auto check_critical = [this](const compiler::CompiledProgram& prog,
+                                     const front::Bindings& bindings) {
+    std::string key = std::to_string(prog.compile_id);
+    for (const auto& [name, value] : bindings.values()) {
+      key += '\x1f';
+      key += name;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(critical_mutex_);
+      const auto it = critical_memo_.find(key);
+      if (it != critical_memo_.end()) {
+        if (it->second.empty()) return;
+        throw support::CompileError(it->second);
+      }
+    }
+    try {
+      core::require_critical_complete(prog, bindings);
+    } catch (const support::CompileError& e) {
+      const std::lock_guard<std::mutex> lock(critical_mutex_);
+      critical_memo_.emplace(std::move(key), e.what());
+      throw;
+    }
+    const std::lock_guard<std::mutex> lock(critical_mutex_);
+    critical_memo_.emplace(std::move(key), std::string());
+  };
   for (std::size_t v = 0; v < plan.variants().size(); ++v) {
     if (plan.scaled_by_nprocs()) {
       for (const auto& sc : plan.scaled_cases_list()) {
-        core::require_critical_complete(*variant_progs[v], sc.problem.bindings);
+        check_critical(*variant_progs[v], sc.problem.bindings);
       }
     } else {
       for (const auto& problem : plan.problems()) {
-        core::require_critical_complete(*variant_progs[v], problem.bindings);
+        check_critical(*variant_progs[v], problem.bindings);
       }
     }
   }
@@ -231,7 +257,8 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   // Flatten the cross product in sweep order; records are assembled by
   // point index, so the report ordering is independent of scheduling.
   struct Point {
-    const std::string* machine = nullptr;
+    const std::string* machine = nullptr;        // registry name (for the record)
+    const machine::MachineModel* mach = nullptr; // resolved once per machine
     std::size_t variant = 0;
     const ProblemCase* problem = nullptr;
     int nprocs = 0;
@@ -239,23 +266,60 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   std::vector<Point> points;
   points.reserve(plan.point_count());
   for (const auto& machine_name : plan.machine_names()) {
+    // one registry lookup per machine instead of one per point
+    const machine::MachineModel* mach = &machine(machine_name);
     for (std::size_t v = 0; v < plan.variants().size(); ++v) {
       if (plan.scaled_by_nprocs()) {
         // Scaled axis (weak scaling): the problem is already coupled to its
         // processor count, so the pairs replace the problems x nprocs product.
         for (const auto& sc : plan.scaled_cases_list()) {
-          points.push_back(Point{&machine_name, v, &sc.problem, sc.nprocs});
+          points.push_back(Point{&machine_name, mach, v, &sc.problem, sc.nprocs});
         }
       } else {
         for (const auto& problem : plan.problems()) {
           for (const int np : plan.nprocs_list()) {
-            points.push_back(Point{&machine_name, v, &problem, np});
+            points.push_back(Point{&machine_name, mach, v, &problem, np});
           }
         }
       }
     }
   }
   report.records.resize(points.size());
+
+  // Partition the sweep into lockstep chunks: maximal runs of consecutive
+  // points sharing (compiled program, machine) — BatchEngine's lane
+  // contract — capped at batch_size lanes. The partition depends only on
+  // the plan and options, never on scheduling, so batch composition (and
+  // with it divergence/replay behaviour) is identical for every worker
+  // count. batch_size <= 1 or the legacy engine path degenerate to
+  // single-point chunks, i.e. exactly the scalar sweep.
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  const std::size_t max_lanes =
+      options.reuse_engines && options.batch_size > 1
+          ? static_cast<std::size_t>(options.batch_size)
+          : 1;
+  std::vector<Chunk> chunks;
+  chunks.reserve(points.size() / max_lanes + 1);
+  for (std::size_t i = 0; i < points.size();) {
+    std::size_t j = i + 1;
+    while (j < points.size() && j - i < max_lanes &&
+           points[j].mach == points[i].mach && points[j].variant == points[i].variant) {
+      ++j;
+    }
+    chunks.push_back(Chunk{i, j});
+    i = j;
+  }
+
+  // Batch telemetry accumulates through order-independent integer sums, so
+  // RunReport::batch is deterministic under any worker interleaving.
+  std::atomic<std::size_t> batched_points{0};
+  std::atomic<std::size_t> scalar_points{0};
+  std::atomic<std::size_t> replayed_points{0};
+  std::atomic<std::uint64_t> ir_visits{0};
+  std::atomic<std::uint64_t> lane_visits{0};
 
   const auto run_point = [&](std::size_t i, EngineArena* arena) {
     const Point& pt = points[i];
@@ -280,7 +344,7 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
       }
       const LayoutStore::LayoutPtr layout =
           layout_for(prog, pt.problem->bindings, lo);
-      const machine::MachineModel& mach = machine(*pt.machine);
+      const machine::MachineModel& mach = *pt.mach;
       const core::PredictionResult& pred = arena->predict(
           prog, *layout, mach, plan.predict_opts(), pt.problem->bindings);
       rec.comparison.estimated = pred.total;
@@ -326,15 +390,91 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     report.records[i] = std::move(rec);
   };
 
+  // One worker claim = one chunk. Single-lane chunks (and the legacy
+  // per-point-engine path) go through run_point unchanged; multi-lane
+  // chunks price every lane together through the arena's lockstep batch
+  // engine and assemble records by point index, so the record payload is
+  // byte-identical to the scalar path for any batch size and worker count.
+  // The lane/layout vectors are worker-owned scratch reused across chunks.
+  const auto run_chunk = [&](const Chunk& c, EngineArena* arena,
+                             std::vector<core::BatchLane>& lanes,
+                             std::vector<LayoutStore::LayoutPtr>& layouts) {
+    const std::size_t n = c.end - c.begin;
+    if (arena == nullptr || n == 1) {
+      for (std::size_t i = c.begin; i < c.end; ++i) run_point(i, arena);
+      scalar_points.fetch_add(n, std::memory_order_relaxed);
+      return;
+    }
+    const Point& p0 = points[c.begin];
+    const auto& variant = plan.variants()[p0.variant];
+    const compiler::CompiledProgram& prog = *variant_progs[p0.variant];
+    const machine::MachineModel& mach = *p0.mach;
+    lanes.clear();
+    layouts.clear();
+    // Layout lookups happen per point, in point order — the same cache-call
+    // pattern as the scalar arena path (exactly one lookup per point), which
+    // keeps report.cache identical between the two.
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      const Point& pt = points[i];
+      compiler::LayoutOptions lo;
+      lo.nprocs = pt.nprocs;
+      if (variant.grid_rank) {
+        lo.grid_shape =
+            compiler::ProcGrid::factorized(pt.nprocs, *variant.grid_rank).shape;
+      }
+      layouts.push_back(layout_for(prog, pt.problem->bindings, lo));
+      lanes.push_back(core::BatchLane{layouts.back().get(), &pt.problem->bindings});
+    }
+    bool lockstep = false;
+    core::BatchRunStats bs;
+    const std::span<const core::PredictionResult> preds =
+        arena->predict_batch(prog, mach, plan.predict_opts(), lanes, lockstep, bs);
+    if (lockstep) {
+      batched_points.fetch_add(n - bs.replayed_lanes, std::memory_order_relaxed);
+      replayed_points.fetch_add(bs.replayed_lanes, std::memory_order_relaxed);
+      ir_visits.fetch_add(bs.ir_visits, std::memory_order_relaxed);
+      lane_visits.fetch_add(bs.lane_visits, std::memory_order_relaxed);
+    } else {
+      scalar_points.fetch_add(n, std::memory_order_relaxed);
+    }
+    std::span<const sim::MeasuredResult> measured;
+    if (plan.measure_runs() > 0) {
+      measured = arena->measure_batch_into(prog, mach, plan.sim_opts(),
+                                           plan.measure_runs(), lanes);
+    }
+    for (std::size_t i = c.begin; i < c.end; ++i) {
+      const Point& pt = points[i];
+      RunRecord rec;
+      rec.machine = *pt.machine;
+      rec.variant = variant.name;
+      rec.problem = pt.problem->name;
+      rec.nprocs = pt.nprocs;
+      const core::PredictionResult& pred = preds[i - c.begin];
+      rec.comparison.estimated = pred.total;
+      rec.phases = PhaseBreakdown{pred.comp, pred.comm, pred.overhead, pred.wait};
+      if (plan.measure_runs() > 0) {
+        const sim::RunStats& st = measured[i - c.begin].stats;
+        rec.comparison.measured_mean = st.mean;
+        rec.comparison.measured_min = st.min;
+        rec.comparison.measured_max = st.max;
+        rec.comparison.measured_stddev = st.stddev;
+        rec.measured = true;
+      }
+      report.records[i] = std::move(rec);
+    }
+  };
+
   int workers = options.workers;
   if (workers <= 0) workers = static_cast<int>(std::thread::hardware_concurrency());
-  workers = std::clamp<int>(workers, 1, static_cast<int>(points.size()));
+  workers = std::clamp<int>(workers, 1, static_cast<int>(chunks.size()));
 
   if (workers == 1) {
-    // the serial path: no threads, points executed in order through one arena
+    // the serial path: no threads, chunks executed in order through one arena
     EngineArena arena;
-    for (std::size_t i = 0; i < points.size(); ++i) {
-      run_point(i, options.reuse_engines ? &arena : nullptr);
+    std::vector<core::BatchLane> lanes;
+    std::vector<LayoutStore::LayoutPtr> layouts;
+    for (const Chunk& c : chunks) {
+      run_chunk(c, options.reuse_engines ? &arena : nullptr, lanes, layouts);
     }
   } else {
     std::atomic<std::size_t> next{0};
@@ -342,12 +482,15 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     std::exception_ptr error;
     std::mutex error_mutex;
     const auto worker = [&] {
-      EngineArena arena;  // worker-owned: reused across all its points
+      EngineArena arena;  // worker-owned: reused across all its chunks
+      std::vector<core::BatchLane> lanes;
+      std::vector<LayoutStore::LayoutPtr> layouts;
       for (;;) {
         const std::size_t i = next.fetch_add(1);
-        if (i >= points.size() || failed.load()) return;
+        if (i >= chunks.size() || failed.load()) return;
         try {
-          run_point(i, options.reuse_engines ? &arena : nullptr);
+          run_chunk(chunks[i], options.reuse_engines ? &arena : nullptr, lanes,
+                    layouts);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!error) error = std::current_exception();
@@ -363,6 +506,11 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     if (error) std::rethrow_exception(error);
   }
 
+  report.batch.batched_points = batched_points.load();
+  report.batch.scalar_points = scalar_points.load();
+  report.batch.replayed_points = replayed_points.load();
+  report.batch.ir_visits = ir_visits.load();
+  report.batch.lane_visits = lane_visits.load();
   report.cache = cache_stats() - before;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -425,6 +573,10 @@ std::size_t Session::cached_layouts() const { return layout_store_.size(); }
 void Session::clear_caches() {
   clear_program_cache();
   layout_store_.clear();
+  {
+    const std::lock_guard<std::mutex> lock(critical_mutex_);
+    critical_memo_.clear();
+  }
 }
 
 void Session::clear_program_cache() {

@@ -99,6 +99,17 @@ struct RunOptions {
   /// the LRU capacity in entries, 0 = unbounded. nullopt leaves the
   /// session's current setting untouched.
   std::optional<std::size_t> layout_cache_capacity;
+
+  /// Maximum sweep points interpreted per lockstep batch: consecutive
+  /// points sharing a compiled program and machine are grouped into chunks
+  /// of at most this many lanes and priced together through
+  /// core::BatchEngine's flat cost bytecode (see batch_engine.hpp). The
+  /// partition is deterministic and independent of `workers`, and the
+  /// report's records/ordering/estimates/cache stats are byte-identical to
+  /// the scalar path for every value. <= 1 disables batching (every point
+  /// takes the scalar arena path); requires reuse_engines. Effectiveness
+  /// counters land in RunReport::batch.
+  int batch_size = 64;
 };
 
 class Session {
@@ -241,6 +252,14 @@ class Session {
   /// Content-addressed layout store: once-build futures + optional LRU
   /// bound (see layout_store.hpp for why it is not sharded).
   mutable LayoutStore layout_store_;
+
+  /// Critical-variable check memo for Session::run: analyze_critical
+  /// depends only on the compilation and on WHICH names are bound (never
+  /// their values), so the verdict is cached per (compile_id, bound-name
+  /// set) across runs — a repeated sweep skips the 250-odd tree walks.
+  /// Value is the diagnostic message, empty on success.
+  mutable std::mutex critical_mutex_;
+  mutable std::map<std::string, std::string, std::less<>> critical_memo_;
 
   /// Persistent artifact tier; null when no spill is attached.
   std::shared_ptr<ArtifactSpill> spill_;

@@ -1,0 +1,539 @@
+#include "compiler/cost_program.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+
+namespace hpf90d::compiler {
+
+using front::Expr;
+using front::ExprKind;
+using front::TypeBase;
+
+namespace {
+
+bool both_int(const Expr& e) {
+  return e.args.size() == 2 && e.args[0]->type == TypeBase::Integer &&
+         e.args[1]->type == TypeBase::Integer;
+}
+
+/// Flattens one expression tree into a temporary instruction buffer.
+/// Returns the result register, or -1 when the expression cannot be proved
+/// equivalent under the bytecode model (the caller then leaves the tree
+/// evaluator in charge of it).
+class Flattener {
+ public:
+  Flattener(const CompiledProgram& prog, CostProgram& out)
+      : prog_(prog), out_(out), probe_env_(prog.symbols.size()) {}
+
+  /// Compiles `e`; on success appends the buffered instructions to the
+  /// shared code vector and returns a ready ExprCode.
+  [[nodiscard]] ExprCode compile(const Expr& e) {
+    buf_.clear();
+    next_reg_ = 0;
+    int r = -1;
+    try {
+      r = emit(e);
+    } catch (...) {
+      // e.g. SymbolTable::at on a malformed hand-annotated node — exactly
+      // the inputs the tree evaluator owns
+      r = -1;
+    }
+    ExprCode code;
+    if (r < 0) return code;  // ok == false
+    code.first = static_cast<std::uint32_t>(out_.code.size());
+    code.count = static_cast<std::uint32_t>(buf_.size());
+    code.result = static_cast<std::uint16_t>(r);
+    code.regs = static_cast<std::uint16_t>(next_reg_);
+    code.ok = true;
+    out_.code.insert(out_.code.end(), buf_.begin(), buf_.end());
+    out_.max_regs = std::max<std::uint16_t>(out_.max_regs, code.regs);
+    return code;
+  }
+
+ private:
+  [[nodiscard]] int alloc() {
+    if (next_reg_ >= 0xffff) throw std::length_error("cost program register file");
+    return next_reg_++;
+  }
+
+  [[nodiscard]] std::uint16_t pool_id(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    if (const auto it = pool_ids_.find(bits); it != pool_ids_.end()) return it->second;
+    if (out_.pool.size() >= 0xffff) throw std::length_error("cost program pool");
+    const auto id = static_cast<std::uint16_t>(out_.pool.size());
+    out_.pool.push_back(v);
+    pool_ids_.emplace(bits, id);
+    return id;
+  }
+
+  int push(CostOp op, int dst, int a = 0, int b = 0, int c = 0) {
+    buf_.push_back(CostInstr{op, static_cast<std::uint16_t>(dst),
+                             static_cast<std::uint16_t>(a),
+                             static_cast<std::uint16_t>(b),
+                             static_cast<std::uint16_t>(c)});
+    return dst;
+  }
+
+  int emit_const(double v) { return push(CostOp::Const, alloc(), pool_id(v)); }
+  int emit_fail() { return push(CostOp::Fail, alloc()); }
+
+  int emit(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit: return emit_const(static_cast<double>(e.int_value));
+      case ExprKind::RealLit: return emit_const(e.real_value);
+      case ExprKind::LogicalLit: return emit_const(e.bool_value ? 1.0 : 0.0);
+      case ExprKind::Var: {
+        // static resolution of what eval_rec resolves per evaluation:
+        // unannotated clones by name, PARAMETER constants as fallback
+        int id = e.symbol;
+        if (id < 0) id = prog_.symbols.find(e.name);
+        if (id < 0) return emit_fail();
+        const front::Symbol& sym = prog_.symbols.at(id);
+        if (sym.kind == front::SymbolKind::Param && sym.const_value) {
+          return push(CostOp::LoadDflt, alloc(), id, pool_id(*sym.const_value));
+        }
+        return push(CostOp::Load, alloc(), id);
+      }
+      case ExprKind::ArrayRef:
+        // the engines evaluate with no array access: always a failed probe
+        return emit_fail();
+      case ExprKind::Unary: {
+        if (e.args.size() != 1) return -1;
+        const int a = emit(*e.args[0]);
+        if (a < 0) return a;
+        switch (e.un_op) {
+          case front::UnOp::Neg: return push(CostOp::Neg, alloc(), a);
+          case front::UnOp::Plus: return a;
+          case front::UnOp::Not: return push(CostOp::Not, alloc(), a);
+        }
+        return -1;
+      }
+      case ExprKind::Binary: {
+        if (e.args.size() != 2) return -1;
+        const int a = emit(*e.args[0]);
+        if (a < 0) return a;
+        const int b = emit(*e.args[1]);
+        if (b < 0) return b;
+        CostOp op;
+        switch (e.bin_op) {
+          case front::BinOp::Add: op = CostOp::Add; break;
+          case front::BinOp::Sub: op = CostOp::Sub; break;
+          case front::BinOp::Mul: op = CostOp::Mul; break;
+          case front::BinOp::Div: op = both_int(e) ? CostOp::IDiv : CostOp::Div; break;
+          case front::BinOp::Pow: op = CostOp::Pow; break;
+          case front::BinOp::Lt: op = CostOp::Lt; break;
+          case front::BinOp::Le: op = CostOp::Le; break;
+          case front::BinOp::Gt: op = CostOp::Gt; break;
+          case front::BinOp::Ge: op = CostOp::Ge; break;
+          case front::BinOp::Eq: op = CostOp::Eq; break;
+          case front::BinOp::Ne: op = CostOp::Ne; break;
+          case front::BinOp::And: op = CostOp::And; break;
+          case front::BinOp::Or: op = CostOp::Or; break;
+          default: return -1;
+        }
+        return push(op, alloc(), a, b);
+      }
+      case ExprKind::Call: return emit_call(e);
+    }
+    return -1;
+  }
+
+  int emit_call(const Expr& e) {
+    const std::string& n = e.name;
+    if (n == "size") {
+      // size() is static under the engine's array-free evaluation: the tree
+      // evaluator folds declared extents against PARAMETER constants, with
+      // only the dim argument read from the runtime environment. Fold the
+      // whole call here against an empty environment; if that fails while
+      // the dim argument is static, the call fails at runtime too.
+      if (e.args.empty()) return -1;
+      if (const auto v = try_eval_scalar(e, probe_env_, nullptr, prog_.symbols)) {
+        return emit_const(*v);
+      }
+      if (e.args.size() >= 2 &&
+          !try_eval_scalar(*e.args[1], probe_env_, nullptr, prog_.symbols)) {
+        return -1;  // dim argument may resolve at runtime: tree evaluator
+      }
+      return emit_fail();
+    }
+
+    std::vector<int> argv;
+    argv.reserve(e.args.size());
+    for (const auto& a : e.args) {
+      const int r = emit(*a);
+      if (r < 0) return r;
+      argv.push_back(r);
+    }
+    if (argv.empty()) return -1;
+
+    if (n == "exp") return push(CostOp::Exp, alloc(), argv[0]);
+    if (n == "log") return push(CostOp::Log, alloc(), argv[0]);
+    if (n == "sqrt") return push(CostOp::Sqrt, alloc(), argv[0]);
+    if (n == "abs") return push(CostOp::Abs, alloc(), argv[0]);
+    if (n == "sin") return push(CostOp::Sin, alloc(), argv[0]);
+    if (n == "cos") return push(CostOp::Cos, alloc(), argv[0]);
+    if (n == "atan") return push(CostOp::Atan, alloc(), argv[0]);
+    if (n == "real" || n == "float" || n == "dble") return argv[0];
+    if (n == "int") return push(CostOp::Trunc, alloc(), argv[0]);
+    if (n == "nint") return push(CostOp::Nint, alloc(), argv[0]);
+    if (n == "sign") {
+      if (argv.size() != 2) return -1;
+      return push(CostOp::Sign2, alloc(), argv[0], argv[1]);
+    }
+    if (n == "mod") {
+      if (argv.size() != 2) return -1;
+      return push(both_int(e) ? CostOp::IMod : CostOp::FMod, alloc(), argv[0], argv[1]);
+    }
+    if (n == "min" || n == "max") {
+      const CostOp op = n == "min" ? CostOp::Min2 : CostOp::Max2;
+      int v = argv[0];
+      for (std::size_t i = 1; i < argv.size(); ++i) v = push(op, alloc(), v, argv[i]);
+      return v;
+    }
+    if (n == "merge") {
+      if (argv.size() != 3) return -1;
+      return push(CostOp::Merge, alloc(), argv[0], argv[1], argv[2]);
+    }
+    return emit_fail();  // unpriceable intrinsic: the tree evaluator fails too
+  }
+
+  const CompiledProgram& prog_;
+  CostProgram& out_;
+  ScalarEnv probe_env_;  // empty: static-foldability probe for size()
+  std::vector<CostInstr> buf_;
+  int next_reg_ = 0;
+  std::map<std::uint64_t, std::uint16_t> pool_ids_;
+};
+
+class Builder {
+ public:
+  Builder(const CompiledProgram& prog, CostProgram& out)
+      : prog_(prog), out_(out), flattener_(prog, out) {}
+
+  void run() {
+    out_.nodes.assign(static_cast<std::size_t>(prog_.node_count), NodeCost{});
+    if (prog_.root) visit(*prog_.root);
+  }
+
+ private:
+  std::int32_t add(const front::ExprPtr& e) {
+    if (!e) return -1;
+    const ExprCode code = flattener_.compile(*e);
+    if (code.ok) {
+      ++out_.compiled_exprs;
+    } else {
+      ++out_.fallback_exprs;
+      out_.complete = false;
+    }
+    out_.exprs.push_back(code);
+    return static_cast<std::int32_t>(out_.exprs.size() - 1);
+  }
+
+  void add_space(const SpmdNode& n, NodeCost& nc) {
+    nc.space_first = static_cast<std::int32_t>(out_.space_codes.size());
+    nc.space_dims = static_cast<std::int32_t>(n.space.size());
+    for (const auto& ix : n.space) {
+      out_.space_codes.push_back(add(ix.lo));
+      out_.space_codes.push_back(add(ix.hi));
+      out_.space_codes.push_back(add(ix.stride));  // -1 = unit step
+    }
+  }
+
+  void visit(const SpmdNode& n) {
+    if (n.id >= 0 && static_cast<std::size_t>(n.id) < out_.nodes.size()) {
+      NodeCost& nc = out_.nodes[static_cast<std::size_t>(n.id)];
+      switch (n.kind) {
+        case SpmdKind::ScalarAssign:
+          nc.rhs = add(n.rhs);
+          break;
+        case SpmdKind::DoLoop:
+          nc.do_lo = add(n.do_lo);
+          nc.do_hi = add(n.do_hi);
+          nc.do_step = add(n.do_step);
+          break;
+        case SpmdKind::WhileLoop:
+        case SpmdKind::IfBlock:
+          nc.cond = add(n.mask);
+          break;
+        case SpmdKind::LocalLoop:
+          add_space(n, nc);
+          if (n.inner) {
+            nc.inner_lo = add(n.inner->index.lo);
+            nc.inner_hi = add(n.inner->index.hi);
+          }
+          break;
+        case SpmdKind::Reduce:
+        case SpmdKind::GatherComm:
+        case SpmdKind::ScatterComm:
+          add_space(n, nc);
+          break;
+        case SpmdKind::CShiftComm:
+          nc.comm_amount = add(n.comm_amount);
+          break;
+        default:
+          break;
+      }
+    }
+    for (const auto& c : n.children) visit(*c);
+    for (const auto& c : n.else_children) visit(*c);
+  }
+
+  const CompiledProgram& prog_;
+  CostProgram& out_;
+  Flattener flattener_;
+};
+
+}  // namespace
+
+std::shared_ptr<const CostProgram> compile_cost_program(const CompiledProgram& prog) {
+  auto cp = std::make_shared<CostProgram>();
+  Builder(prog, *cp).run();
+  return cp;
+}
+
+// ---------------------------------------------------------------------------
+// evaluators
+// ---------------------------------------------------------------------------
+
+std::optional<double> eval_code(const CostProgram& cp, const ExprCode& c,
+                                const ScalarEnv& env, double* r) {
+  const CostInstr* ip = cp.code.data() + c.first;
+  const CostInstr* const end = ip + c.count;
+  const double* pool = cp.pool.data();
+  for (; ip != end; ++ip) {
+    const CostInstr in = *ip;
+    switch (in.op) {
+      case CostOp::Const: r[in.dst] = pool[in.a]; break;
+      case CostOp::Load:
+        if (!env.is_defined(in.a)) return std::nullopt;
+        r[in.dst] = env.value(in.a);
+        break;
+      case CostOp::LoadDflt:
+        r[in.dst] = env.is_defined(in.a) ? env.value(in.a) : pool[in.b];
+        break;
+      case CostOp::Fail: return std::nullopt;
+      case CostOp::Neg: r[in.dst] = -r[in.a]; break;
+      case CostOp::Not: r[in.dst] = r[in.a] == 0.0 ? 1.0 : 0.0; break;
+      case CostOp::Add: r[in.dst] = r[in.a] + r[in.b]; break;
+      case CostOp::Sub: r[in.dst] = r[in.a] - r[in.b]; break;
+      case CostOp::Mul: r[in.dst] = r[in.a] * r[in.b]; break;
+      case CostOp::Div: r[in.dst] = r[in.a] / r[in.b]; break;
+      case CostOp::Pow: r[in.dst] = std::pow(r[in.a], r[in.b]); break;
+      case CostOp::IDiv: {
+        const long long bi = static_cast<long long>(r[in.b]);
+        if (bi == 0) return std::nullopt;
+        r[in.dst] = static_cast<double>(static_cast<long long>(r[in.a]) / bi);
+        break;
+      }
+      case CostOp::Lt: r[in.dst] = r[in.a] < r[in.b] ? 1.0 : 0.0; break;
+      case CostOp::Le: r[in.dst] = r[in.a] <= r[in.b] ? 1.0 : 0.0; break;
+      case CostOp::Gt: r[in.dst] = r[in.a] > r[in.b] ? 1.0 : 0.0; break;
+      case CostOp::Ge: r[in.dst] = r[in.a] >= r[in.b] ? 1.0 : 0.0; break;
+      case CostOp::Eq: r[in.dst] = r[in.a] == r[in.b] ? 1.0 : 0.0; break;
+      case CostOp::Ne: r[in.dst] = r[in.a] != r[in.b] ? 1.0 : 0.0; break;
+      case CostOp::And:
+        r[in.dst] = (r[in.a] != 0.0 && r[in.b] != 0.0) ? 1.0 : 0.0;
+        break;
+      case CostOp::Or:
+        r[in.dst] = (r[in.a] != 0.0 || r[in.b] != 0.0) ? 1.0 : 0.0;
+        break;
+      case CostOp::FMod: r[in.dst] = std::fmod(r[in.a], r[in.b]); break;
+      case CostOp::IMod:
+        r[in.dst] = static_cast<double>(static_cast<long long>(r[in.a]) %
+                                        static_cast<long long>(r[in.b]));
+        break;
+      case CostOp::Min2: r[in.dst] = std::min(r[in.a], r[in.b]); break;
+      case CostOp::Max2: r[in.dst] = std::max(r[in.a], r[in.b]); break;
+      case CostOp::Sign2:
+        r[in.dst] = r[in.b] >= 0 ? std::fabs(r[in.a]) : -std::fabs(r[in.a]);
+        break;
+      case CostOp::Exp: r[in.dst] = std::exp(r[in.a]); break;
+      case CostOp::Log: r[in.dst] = std::log(r[in.a]); break;
+      case CostOp::Sqrt: r[in.dst] = std::sqrt(r[in.a]); break;
+      case CostOp::Abs: r[in.dst] = std::fabs(r[in.a]); break;
+      case CostOp::Sin: r[in.dst] = std::sin(r[in.a]); break;
+      case CostOp::Cos: r[in.dst] = std::cos(r[in.a]); break;
+      case CostOp::Atan: r[in.dst] = std::atan(r[in.a]); break;
+      case CostOp::Trunc: r[in.dst] = std::trunc(r[in.a]); break;
+      case CostOp::Nint: r[in.dst] = std::nearbyint(r[in.a]); break;
+      case CostOp::Merge: r[in.dst] = r[in.c] != 0.0 ? r[in.a] : r[in.b]; break;
+    }
+  }
+  return r[c.result];
+}
+
+namespace {
+/// Integer cast for the batch evaluator. Lanes evicted from lockstep keep
+/// evaluating densely (their results are discarded), so operands can be
+/// arbitrary garbage — clamp the out-of-range cast that would be UB. For
+/// any value the tree evaluator handles without UB this is the plain cast.
+inline long long batch_ll(double v) {
+  return v >= -9.2e18 && v <= 9.2e18 ? static_cast<long long>(v) : 0;
+}
+}  // namespace
+
+void eval_code_batch(const CostProgram& cp, const ExprCode& c, const BatchEnv& env,
+                     double* regs, double* out, unsigned char* ok) {
+  const std::size_t L = env.lanes();
+  std::fill(ok, ok + L, static_cast<unsigned char>(1));
+  const CostInstr* ip = cp.code.data() + c.first;
+  const CostInstr* const end = ip + c.count;
+  const double* pool = cp.pool.data();
+  for (; ip != end; ++ip) {
+    const CostInstr in = *ip;
+    double* dst = regs + static_cast<std::size_t>(in.dst) * L;
+    const double* a = regs + static_cast<std::size_t>(in.a) * L;
+    const double* b = regs + static_cast<std::size_t>(in.b) * L;
+    switch (in.op) {
+      case CostOp::Const: std::fill(dst, dst + L, pool[in.a]); break;
+      case CostOp::Load: {
+        const double* v = env.values(in.a);
+        const unsigned char* d = env.defined(in.a);
+        for (std::size_t l = 0; l < L; ++l) {
+          if (d[l] == 0) {
+            ok[l] = 0;
+            dst[l] = 0.0;
+          } else {
+            dst[l] = v[l];
+          }
+        }
+        break;
+      }
+      case CostOp::LoadDflt: {
+        const double* v = env.values(in.a);
+        const unsigned char* d = env.defined(in.a);
+        const double dflt = pool[in.b];
+        for (std::size_t l = 0; l < L; ++l) dst[l] = d[l] != 0 ? v[l] : dflt;
+        break;
+      }
+      case CostOp::Fail:
+        std::fill(ok, ok + L, static_cast<unsigned char>(0));
+        std::fill(dst, dst + L, 0.0);
+        break;
+      case CostOp::Neg:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = -a[l];
+        break;
+      case CostOp::Not:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] == 0.0 ? 1.0 : 0.0;
+        break;
+      case CostOp::Add:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] + b[l];
+        break;
+      case CostOp::Sub:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] - b[l];
+        break;
+      case CostOp::Mul:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] * b[l];
+        break;
+      case CostOp::Div:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] / b[l];
+        break;
+      case CostOp::Pow:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::pow(a[l], b[l]);
+        break;
+      case CostOp::IDiv:
+        for (std::size_t l = 0; l < L; ++l) {
+          const long long bi = batch_ll(b[l]);
+          if (bi == 0) {
+            ok[l] = 0;
+            dst[l] = 0.0;
+          } else {
+            dst[l] = static_cast<double>(batch_ll(a[l]) / bi);
+          }
+        }
+        break;
+      case CostOp::Lt:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] < b[l] ? 1.0 : 0.0;
+        break;
+      case CostOp::Le:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] <= b[l] ? 1.0 : 0.0;
+        break;
+      case CostOp::Gt:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] > b[l] ? 1.0 : 0.0;
+        break;
+      case CostOp::Ge:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] >= b[l] ? 1.0 : 0.0;
+        break;
+      case CostOp::Eq:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] == b[l] ? 1.0 : 0.0;
+        break;
+      case CostOp::Ne:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] != b[l] ? 1.0 : 0.0;
+        break;
+      case CostOp::And:
+        for (std::size_t l = 0; l < L; ++l) {
+          dst[l] = (a[l] != 0.0 && b[l] != 0.0) ? 1.0 : 0.0;
+        }
+        break;
+      case CostOp::Or:
+        for (std::size_t l = 0; l < L; ++l) {
+          dst[l] = (a[l] != 0.0 || b[l] != 0.0) ? 1.0 : 0.0;
+        }
+        break;
+      case CostOp::FMod:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::fmod(a[l], b[l]);
+        break;
+      case CostOp::IMod:
+        for (std::size_t l = 0; l < L; ++l) {
+          const long long bi = batch_ll(b[l]);
+          if (bi == 0) {
+            ok[l] = 0;
+            dst[l] = 0.0;
+          } else {
+            dst[l] = static_cast<double>(batch_ll(a[l]) % bi);
+          }
+        }
+        break;
+      case CostOp::Min2:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::min(a[l], b[l]);
+        break;
+      case CostOp::Max2:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::max(a[l], b[l]);
+        break;
+      case CostOp::Sign2:
+        for (std::size_t l = 0; l < L; ++l) {
+          dst[l] = b[l] >= 0 ? std::fabs(a[l]) : -std::fabs(a[l]);
+        }
+        break;
+      case CostOp::Exp:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::exp(a[l]);
+        break;
+      case CostOp::Log:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::log(a[l]);
+        break;
+      case CostOp::Sqrt:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::sqrt(a[l]);
+        break;
+      case CostOp::Abs:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::fabs(a[l]);
+        break;
+      case CostOp::Sin:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::sin(a[l]);
+        break;
+      case CostOp::Cos:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::cos(a[l]);
+        break;
+      case CostOp::Atan:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::atan(a[l]);
+        break;
+      case CostOp::Trunc:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::trunc(a[l]);
+        break;
+      case CostOp::Nint:
+        for (std::size_t l = 0; l < L; ++l) dst[l] = std::nearbyint(a[l]);
+        break;
+      case CostOp::Merge: {
+        const double* cc = regs + static_cast<std::size_t>(in.c) * L;
+        for (std::size_t l = 0; l < L; ++l) dst[l] = cc[l] != 0.0 ? a[l] : b[l];
+        break;
+      }
+    }
+  }
+  const double* res = regs + static_cast<std::size_t>(c.result) * L;
+  std::copy(res, res + L, out);
+}
+
+}  // namespace hpf90d::compiler

@@ -1,0 +1,154 @@
+// cost_program.hpp — priced expressions flattened to register bytecode.
+//
+// The interpretation engine re-evaluates a small set of scalar expressions
+// (assignment right-hand sides, loop bounds, branch conditions, shift
+// amounts) at every sweep point. Walking the AST for each of them costs a
+// virtual-free but still recursive tree traversal, per-node std::optional
+// plumbing, and — for unannotated extent clones — a SymbolTable name lookup
+// per Var. A CostProgram removes all of that at compile time: every priced
+// expression is flattened once into a linear register program over symbol
+// slots (variable ids resolved statically, PARAMETER fallbacks baked in,
+// static size() calls folded to constants), and the engines execute that
+// bytecode with no dispatch, no name lookups, and no exceptions.
+//
+// The instruction set mirrors compiler::eval_rec exactly — same operation
+// order, same integer-division selection by static operand types, same
+// failure points — so bytecode evaluation is bit-identical to the tree
+// evaluator, including *when* it fails (an undefined critical variable, an
+// array element probe, an integer division by zero). Expressions the
+// flattener cannot prove equivalent (e.g. size() with a non-static dim
+// argument) are left uncompiled (ExprCode::ok == false) and the engines
+// fall back to the tree walker for just those expressions.
+//
+// Two evaluators share the bytecode:
+//   * eval_code       — one environment (the scalar engine's hot path);
+//   * eval_code_batch — a structure-of-arrays BatchEnv, values[slot][lane],
+//     one instruction loop over all lanes of a sweep batch (core::BatchEngine).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "compiler/eval.hpp"
+#include "compiler/spmd_ir.hpp"
+
+namespace hpf90d::compiler {
+
+enum class CostOp : std::uint8_t {
+  Const,     // dst = pool[a]
+  Load,      // dst = env[a]; fails when slot a is undefined
+  LoadDflt,  // dst = env[a], or pool[b] when undefined (PARAMETER fallback)
+  Fail,      // unconditional failure (array probe, unpriceable intrinsic)
+  Neg,       // dst = -r[a]
+  Not,       // dst = r[a] == 0 ? 1 : 0
+  Add, Sub, Mul, Div, Pow,          // dst = r[a] op r[b]
+  IDiv,      // dst = (ll)r[a] / (ll)r[b]; fails on zero divisor
+  Lt, Le, Gt, Ge, Eq, Ne,           // dst = r[a] op r[b] ? 1 : 0
+  And, Or,   // non-short-circuit, as the tree evaluator
+  FMod, IMod, Min2, Max2, Sign2,    // two-operand intrinsics
+  Exp, Log, Sqrt, Abs, Sin, Cos, Atan, Trunc, Nint,  // one-operand intrinsics
+  Merge,     // dst = r[c] != 0 ? r[a] : r[b]
+};
+
+struct CostInstr {
+  CostOp op = CostOp::Fail;
+  std::uint16_t dst = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint16_t c = 0;
+};
+
+/// One flattened expression: a slice of CostProgram::code plus the register
+/// holding its value. ok == false marks an expression the flattener could
+/// not compile; consumers must use the tree evaluator for it.
+struct ExprCode {
+  std::uint32_t first = 0;
+  std::uint32_t count = 0;
+  std::uint16_t result = 0;
+  std::uint16_t regs = 0;
+  bool ok = false;
+};
+
+/// Per-SpmdNode indices into CostProgram::exprs (-1 = the node has no such
+/// expression). Space dimensions are triples (lo, hi, step) stored
+/// consecutively in CostProgram::space_codes; a -1 step means "constant 1"
+/// (a null IterIndex::stride).
+struct NodeCost {
+  std::int32_t rhs = -1;         // ScalarAssign right-hand side
+  std::int32_t cond = -1;        // IfBlock / WhileLoop condition
+  std::int32_t do_lo = -1, do_hi = -1, do_step = -1;
+  std::int32_t comm_amount = -1; // CShiftComm shift expression
+  std::int32_t inner_lo = -1, inner_hi = -1;  // InnerReduce bounds
+  std::int32_t space_first = -1; // first (lo,hi,step) triple in space_codes
+  std::int32_t space_dims = 0;
+};
+
+/// The flattened cost program for one CompiledProgram, built by the
+/// pipeline right after node numbering and shared (immutable) by every
+/// engine. Hand-built programs that bypass the pipeline have none; the
+/// engines then use the tree evaluator throughout.
+struct CostProgram {
+  std::vector<CostInstr> code;   // all expressions, concatenated
+  std::vector<double> pool;      // deduplicated constants
+  std::vector<ExprCode> exprs;
+  std::vector<NodeCost> nodes;   // indexed by SpmdNode::id
+  std::vector<std::int32_t> space_codes;  // (lo,hi,step) triples
+  std::uint16_t max_regs = 0;    // register-file size covering every expr
+  bool complete = true;          // every priced expression compiled
+  std::size_t compiled_exprs = 0;
+  std::size_t fallback_exprs = 0;  // left to the tree evaluator
+};
+
+/// Flattens every priced expression of `prog` (requires numbered nodes).
+[[nodiscard]] std::shared_ptr<const CostProgram> compile_cost_program(
+    const CompiledProgram& prog);
+
+/// Structure-of-arrays scalar environment for lockstep batch evaluation:
+/// values(slot)[lane] with a parallel defined mask. Lane count is fixed per
+/// reset; slots mirror ScalarEnv symbol ids.
+class BatchEnv {
+ public:
+  void reset(std::size_t symbol_count, std::size_t lanes) {
+    lanes_ = lanes;
+    values_.assign(symbol_count * lanes, 0.0);
+    defined_.assign(symbol_count * lanes, 0);
+  }
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+
+  [[nodiscard]] const double* values(int slot) const {
+    return values_.data() + static_cast<std::size_t>(slot) * lanes_;
+  }
+  [[nodiscard]] const unsigned char* defined(int slot) const {
+    return defined_.data() + static_cast<std::size_t>(slot) * lanes_;
+  }
+
+  void define(int slot, std::size_t lane, double value) {
+    values_[static_cast<std::size_t>(slot) * lanes_ + lane] = value;
+    defined_[static_cast<std::size_t>(slot) * lanes_ + lane] = 1;
+  }
+
+ private:
+  std::size_t lanes_ = 0;
+  std::vector<double> values_;
+  std::vector<unsigned char> defined_;
+};
+
+/// Executes one compiled expression against a scalar environment. `regs`
+/// must hold at least CostProgram::max_regs doubles. Returns nullopt on the
+/// same inputs the tree evaluator fails on, with no exception and no
+/// message formatting.
+[[nodiscard]] std::optional<double> eval_code(const CostProgram& cp, const ExprCode& c,
+                                              const ScalarEnv& env, double* regs);
+
+/// Executes one compiled expression over every lane of `env` in lockstep.
+/// `regs` must hold max_regs * lanes doubles; `out` and `ok` hold one entry
+/// per lane (ok[l] == 0 marks a lane whose evaluation failed; its out value
+/// is unspecified). Lane l's result is bit-identical to eval_code against
+/// lane l's scalar environment.
+void eval_code_batch(const CostProgram& cp, const ExprCode& c, const BatchEnv& env,
+                     double* regs, double* out, unsigned char* ok);
+
+}  // namespace hpf90d::compiler

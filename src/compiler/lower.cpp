@@ -3,6 +3,7 @@
 #include <functional>
 #include <set>
 
+#include "compiler/cost_program.hpp"
 #include "compiler/normalize.hpp"
 #include "hpf/fold.hpp"
 #include "hpf/intrinsics.hpp"
@@ -542,9 +543,11 @@ CompiledProgram lower_program(std::string name, front::Program ast,
   const StructuralMaps maps = build_structural_maps(out.directives, out.symbols);
   Lowerer lowerer(out, maps);
   lowerer.run();
-  // Operation counts are part of the compiled artifact: priced once here,
-  // shared by every engine arena and the simulator's cost model.
+  // Operation counts and the flattened cost bytecode are part of the
+  // compiled artifact: priced once here, shared by every engine arena and
+  // the simulator's cost model.
   compute_node_ops(out);
+  out.cost_program = compile_cost_program(out);
   return out;
 }
 

@@ -189,6 +189,9 @@ void node_ops_rec(const SpmdNode& n, std::vector<NodeOpCounts>& out) {
         break;
     }
     if (n.mask) slot.cond = count_expr(*n.mask);
+    if (n.rhs) count_array_refs(*n.rhs, slot.ws_arrays);
+    if (n.inner) count_array_refs(*n.inner->arg, slot.ws_arrays);
+    if (n.reduce_arg) count_array_refs(*n.reduce_arg, slot.ws_arrays);
   }
   for (const auto& c : n.children) node_ops_rec(*c, out);
   for (const auto& c : n.else_children) node_ops_rec(*c, out);

@@ -1,6 +1,8 @@
 #include "compiler/pipeline.hpp"
 
 #include <atomic>
+#include <cstdint>
+#include <cstring>
 
 #include "compiler/lower.hpp"
 #include "compiler/normalize.hpp"
@@ -20,6 +22,15 @@ std::uint64_t next_compile_id() {
   return ++next;
 }
 
+/// The compact structure key appended to every layout fingerprint: fnv1a64
+/// of the structure text plus its length (a collision needs same-length
+/// structures — the same posture as the session's program key).
+std::string digest_of(const std::string& sf) {
+  return support::strfmt("%016llx:%zu",
+                         static_cast<unsigned long long>(support::fnv1a64(sf)),
+                         sf.size());
+}
+
 }  // namespace
 
 CompiledProgram compile(std::string_view source, const CompilerOptions& options) {
@@ -31,6 +42,7 @@ CompiledProgram compile(std::string_view source, const CompilerOptions& options)
   CompiledProgram prog = lower_program(std::move(name), std::move(ast),
                                        std::move(symbols), std::move(directives), options);
   prog.structure_fingerprint = structure_fingerprint(prog);
+  prog.structure_digest = digest_of(prog.structure_fingerprint);
   prog.compile_id = next_compile_id();
   return prog;
 }
@@ -74,6 +86,7 @@ CompiledProgram compile_with_directives(std::string_view source,
   CompiledProgram prog = lower_program(std::move(name), std::move(ast),
                                        std::move(symbols), std::move(directives), options);
   prog.structure_fingerprint = structure_fingerprint(prog);
+  prog.structure_digest = digest_of(prog.structure_fingerprint);
   prog.compile_id = next_compile_id();
   return prog;
 }
@@ -161,19 +174,38 @@ std::string layout_fingerprint(const CompiledProgram& prog,
   }
   fp += '\x1d';
 
-  // bindings (map iteration is name-sorted, so the order is canonical)
+  // bindings (map iteration is name-sorted, so the order is canonical);
+  // values render as their raw IEEE bit pattern in fixed-width hex — exact
+  // without a decimal round-trip, and far cheaper than %.17g on what is
+  // the layout-key hot path of every sweep point
   for (const auto& [name, value] : bindings.values()) {
     fp += name;
     fp += '=';
-    fp += support::strfmt("%.17g", value);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    char hex[16];
+    for (int i = 15; i >= 0; --i) {
+      hex[i] = "0123456789abcdef"[bits & 0xF];
+      bits >>= 4;
+    }
+    fp.append(hex, sizeof hex);
     fp += '\x1e';
   }
   fp += '\x1d';
 
-  // program structure: precomputed by the pipeline; recomputed only for
-  // hand-built programs that never went through compile()
-  fp += prog.structure_fingerprint.empty() ? structure_fingerprint(prog)
-                                           : prog.structure_fingerprint;
+  // program structure, compacted to a 64-bit digest plus length (the
+  // program key's collision posture: a collision needs same-length
+  // structures) — embedding the full structure text would make every
+  // layout lookup hash and compare hundreds of bytes per sweep point. The
+  // digest string is precomputed by the pipeline; only hand-built programs
+  // that never went through compile() pay for it here.
+  if (!prog.structure_digest.empty()) {
+    fp += prog.structure_digest;
+  } else if (!prog.structure_fingerprint.empty()) {
+    fp += digest_of(prog.structure_fingerprint);
+  } else {
+    fp += digest_of(structure_fingerprint(prog));
+  }
   return fp;
 }
 

@@ -60,6 +60,8 @@ enum class GatherPattern {
 struct SpmdNode;
 using SpmdNodePtr = std::unique_ptr<SpmdNode>;
 
+struct CostProgram;  // cost_program.hpp — flattened priced-expression bytecode
+
 struct SpmdNode {
   SpmdKind kind = SpmdKind::Seq;
   front::SourceLoc loc;
@@ -142,6 +144,11 @@ struct CompilerOptions {
 struct NodeOpCounts {
   OpCounts body;
   OpCounts cond;
+  /// 1 + distinct array references in the node's priced expressions
+  /// (count_array_refs over rhs / inner arg / reduce arg) — the `arrays`
+  /// factor of the engine's working-set heuristic, hoisted out of the
+  /// per-point hot path because it depends only on the node.
+  long long ws_arrays = 1;
 };
 
 /// The complete output of compilation phase 1.
@@ -162,6 +169,11 @@ struct CompiledProgram {
   /// re-walk the program on every cache lookup. Empty for hand-built
   /// programs; layout_fingerprint then computes it on the fly.
   std::string structure_fingerprint;
+  /// Compact rendering of structure_fingerprint — its fnv1a64 plus length —
+  /// precomputed by the pipeline so layout_fingerprint appends a ready
+  /// string instead of formatting one per cache lookup. Empty for
+  /// hand-built programs.
+  std::string structure_digest;
   /// Process-unique id stamped by the pipeline (0 for hand-built
   /// programs). Lets address-keyed consumers detect that a reused address
   /// holds a *different* compilation.
@@ -173,6 +185,11 @@ struct CompiledProgram {
   /// programs that bypassed lower_program; consumers then fall back to
   /// collect_node_ops.
   std::vector<NodeOpCounts> node_ops;
+  /// Priced expressions flattened to register bytecode (cost_program.hpp),
+  /// built by the pipeline alongside node_ops and shared immutably by every
+  /// engine arena. Null for hand-built programs that bypassed
+  /// lower_program; the engines then evaluate expression trees directly.
+  std::shared_ptr<const CostProgram> cost_program;
 
   [[nodiscard]] std::string str() const { return root ? root->str() : std::string{}; }
 };

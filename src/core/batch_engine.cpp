@@ -1,0 +1,412 @@
+#include "core/batch_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/diagnostics.hpp"
+
+namespace hpf90d::core {
+
+using compiler::SpmdKind;
+using support::CompileError;
+
+template <class Pred>
+void BatchEngine::evict_unless(Pred keep) {
+  std::size_t w = 0;
+  for (const int l : active_) {
+    if (keep(l)) {
+      active_[w++] = l;
+    } else {
+      evicted_.push_back(l);
+    }
+  }
+  active_.resize(w);
+}
+
+bool BatchEngine::interpret(const compiler::CompiledProgram& prog,
+                            const machine::MachineModel& machine,
+                            const PredictOptions& options,
+                            std::span<const BatchLane> lanes, PredictionResult* results,
+                            BatchRunStats& stats) {
+  if (options.trace || lanes.size() < 2) return false;
+  const compiler::CostProgram* cp = prog.cost_program.get();
+  // An incomplete bytecode would need per-lane tree evaluation — i.e. a
+  // per-lane ScalarEnv — mid-batch; those programs stay on the scalar path.
+  if (cp == nullptr || !cp->complete || prog.root == nullptr) return false;
+  if (prog.node_ops.size() != static_cast<std::size_t>(prog.node_count)) return false;
+
+  prog_ = &prog;
+  cost_ = cp;
+  lanes_ = lanes;
+  stats_ = {};
+
+  const std::size_t L = lanes.size();
+  if (engines_.size() < L) engines_.resize(L);
+  for (std::size_t l = 0; l < L; ++l) {
+    engines_[l].rebind_lane(prog, *lanes[l].layout, machine, options, *lanes[l].bindings);
+  }
+
+  // Seed the SoA environment: one seed_environment fold per distinct
+  // bindings object (sweep order keeps equal bindings adjacent), scattered
+  // into each lane's column.
+  const std::size_t symbols = prog.symbols.size();
+  env_.reset(symbols, L);
+  const front::Bindings* seeded = nullptr;
+  for (std::size_t l = 0; l < L; ++l) {
+    if (lanes[l].bindings != seeded) {
+      seed_env_.reset(symbols);
+      compiler::seed_environment(seed_env_, prog.symbols, *lanes[l].bindings);
+      seeded = lanes[l].bindings;
+    }
+    for (std::size_t s = 0; s < symbols; ++s) {
+      if (seed_env_.is_defined(static_cast<int>(s))) {
+        env_.define(static_cast<int>(s), l, seed_env_.value(static_cast<int>(s)));
+      }
+    }
+  }
+
+  regs_.resize(static_cast<std::size_t>(cp->max_regs) * L);
+  vals_.resize(L);
+  ok_.resize(L);
+  pts_.resize(L);
+  b_lo_.resize(L);
+  b_hi_.resize(L);
+  b_step_.resize(L);
+  b_fail_.resize(L);
+  active_.resize(L);
+  std::iota(active_.begin(), active_.end(), 0);
+  evicted_.clear();
+
+  walk_seq(prog.root->children);
+
+  for (const int l : active_) {
+    engines_[static_cast<std::size_t>(l)].finalize_into(results[l]);
+  }
+  // Divergent lanes replay from scratch on the scalar path (lane order, so
+  // any exception surfaces deterministically).
+  std::sort(evicted_.begin(), evicted_.end());
+  stats_.replayed_lanes = evicted_.size();
+  for (const int l : evicted_) {
+    auto& e = engines_[static_cast<std::size_t>(l)];
+    e.rebind(prog, *lanes[static_cast<std::size_t>(l)].layout, machine, options,
+             *lanes[static_cast<std::size_t>(l)].bindings);
+    e.interpret_into(results[l]);
+  }
+  stats = stats_;
+  return true;
+}
+
+void BatchEngine::walk_seq(const std::vector<compiler::SpmdNodePtr>& nodes) {
+  for (const auto& n : nodes) walk(*n);
+}
+
+void BatchEngine::walk(const SpmdNode& n) {
+  if (active_.empty()) return;
+  stats_.ir_visits++;
+  stats_.lane_visits += active_.size();
+  for (const int l : active_) engines_[static_cast<std::size_t>(l)].note_visit(n);
+  switch (n.kind) {
+    case SpmdKind::Seq: walk_seq(n.children); break;
+    case SpmdKind::ScalarAssign: batch_scalar_assign(n); break;
+    case SpmdKind::LocalLoop: batch_local_loop(n); break;
+    case SpmdKind::OverlapComm:
+      for (const int l : active_) engines_[static_cast<std::size_t>(l)].walk_overlap(n);
+      break;
+    case SpmdKind::CShiftComm: batch_cshift(n); break;
+    case SpmdKind::GatherComm:
+    case SpmdKind::ScatterComm: batch_irregular(n); break;
+    case SpmdKind::SliceBroadcast:
+      for (const int l : active_) engines_[static_cast<std::size_t>(l)].walk_slice_bcast(n);
+      break;
+    case SpmdKind::Reduce: batch_reduce(n); break;
+    case SpmdKind::DoLoop: batch_do(n); break;
+    case SpmdKind::WhileLoop: batch_while(n); break;
+    case SpmdKind::IfBlock: batch_if(n); break;
+    case SpmdKind::HostIO:
+      for (const int l : active_) engines_[static_cast<std::size_t>(l)].walk_hostio(n);
+      break;
+  }
+}
+
+void BatchEngine::eval(std::int32_t expr_id) {
+  compiler::eval_code_batch(*cost_, cost_->exprs[static_cast<std::size_t>(expr_id)], env_,
+                            regs_.data(), vals_.data(), ok_.data());
+}
+
+void BatchEngine::batch_scalar_assign(const SpmdNode& n) {
+  const compiler::NodeCost& nc = cost_->nodes[static_cast<std::size_t>(n.id)];
+  eval(nc.rhs);
+  const bool int_lhs = n.lhs->type == front::TypeBase::Integer;
+  const int sym = n.lhs->symbol;
+  for (const int l : active_) {
+    if (ok_[static_cast<std::size_t>(l)]) {
+      const double v = vals_[static_cast<std::size_t>(l)];
+      env_.define(sym, static_cast<std::size_t>(l), int_lhs ? std::trunc(v) : v);
+    }
+  }
+  // lanes share the machine, so the Seq cost is lane-invariant
+  const double t = engines_[static_cast<std::size_t>(active_[0])].seq_cost(n);
+  for (const int l : active_) engines_[static_cast<std::size_t>(l)].charge_all(n.id, t, 'C');
+}
+
+void BatchEngine::batch_do(const SpmdNode& n) {
+  const compiler::NodeCost& nc = cost_->nodes[static_cast<std::size_t>(n.id)];
+  for (const int l : active_) b_fail_[static_cast<std::size_t>(l)] = 0;
+  eval(nc.do_lo);
+  for (const int l : active_) {
+    const auto u = static_cast<std::size_t>(l);
+    if (!ok_[u]) b_fail_[u] = 1;
+    else b_lo_[u] = std::llround(vals_[u]);
+  }
+  eval(nc.do_hi);
+  for (const int l : active_) {
+    const auto u = static_cast<std::size_t>(l);
+    if (!ok_[u]) b_fail_[u] = 1;
+    else b_hi_[u] = std::llround(vals_[u]);
+  }
+  if (n.do_step) {
+    eval(nc.do_step);
+    for (const int l : active_) {
+      const auto u = static_cast<std::size_t>(l);
+      if (!ok_[u]) b_fail_[u] = 1;
+      else b_step_[u] = std::llround(vals_[u]);
+    }
+  } else {
+    for (const int l : active_) b_step_[static_cast<std::size_t>(l)] = 1;
+  }
+  // a failing bound or zero step throws on the scalar path: evict
+  evict_unless([&](int l) {
+    const auto u = static_cast<std::size_t>(l);
+    return b_fail_[u] == 0 && b_step_[u] != 0;
+  });
+  if (active_.empty()) return;
+
+  const auto trips_of = [&](int l) {
+    const auto u = static_cast<std::size_t>(l);
+    const long long lo = b_lo_[u], hi = b_hi_[u], st = b_step_[u];
+    if (st > 0) return hi >= lo ? (hi - lo) / st + 1 : 0;
+    return lo >= hi ? (lo - hi) / (-st) + 1 : 0;
+  };
+  const long long trips = trips_of(active_[0]);
+  evict_unless([&](int l) { return trips_of(l) == trips; });
+  if (active_.empty()) return;
+
+  auto& fn = *engines_[static_cast<std::size_t>(active_[0])].fn_;
+  const double setup = fn.iter_setup();
+  const double over = fn.iter_overhead();
+  for (const int l : active_) engines_[static_cast<std::size_t>(l)].charge_all(n.id, setup, 'O');
+  for (long long t = 0; t < trips; ++t) {
+    for (const int l : active_) {
+      const auto u = static_cast<std::size_t>(l);
+      env_.define(n.do_symbol, u, static_cast<double>(b_lo_[u] + t * b_step_[u]));
+    }
+    for (const int l : active_) engines_[static_cast<std::size_t>(l)].charge_all(n.id, over, 'O');
+    walk_seq(n.children);
+    if (active_.empty()) return;
+  }
+}
+
+void BatchEngine::batch_while(const SpmdNode& n) {
+  const compiler::NodeCost& nc = cost_->nodes[static_cast<std::size_t>(n.id)];
+  long long trips = 0;
+  while (true) {
+    if (active_.empty()) return;
+    eval(nc.cond);
+    // a data-dependent condition throws on the scalar path: evict
+    evict_unless([&](int l) { return ok_[static_cast<std::size_t>(l)] != 0; });
+    if (active_.empty()) return;
+    const bool taken = vals_[static_cast<std::size_t>(active_[0])] != 0.0;
+    evict_unless([&](int l) { return (vals_[static_cast<std::size_t>(l)] != 0.0) == taken; });
+    const double t = engines_[static_cast<std::size_t>(active_[0])].branch_cost(n);
+    for (const int l : active_) engines_[static_cast<std::size_t>(l)].charge_all(n.id, t, 'O');
+    if (!taken) return;
+    if (++trips > 1000000) {
+      throw CompileError(n.loc, "do while exceeded the interpretation trip limit");
+    }
+    walk_seq(n.children);
+  }
+}
+
+void BatchEngine::batch_if(const SpmdNode& n) {
+  const compiler::NodeCost& nc = cost_->nodes[static_cast<std::size_t>(n.id)];
+  eval(nc.cond);
+  // unresolved conditions assume the then-branch (no eviction on failure)
+  const auto then_of = [&](int l) {
+    const auto u = static_cast<std::size_t>(l);
+    return ok_[u] == 0 || vals_[u] != 0.0;
+  };
+  const bool taken = then_of(active_[0]);
+  evict_unless([&](int l) { return then_of(l) == taken; });
+  const double t = engines_[static_cast<std::size_t>(active_[0])].branch_cost(n);
+  for (const int l : active_) engines_[static_cast<std::size_t>(l)].charge_all(n.id, t, 'O');
+  walk_seq(taken ? n.children : n.else_children);
+}
+
+void BatchEngine::resolve_space_batch(const SpmdNode& n, const compiler::NodeCost& nc) {
+  const std::size_t L = lanes_.size();
+  const std::size_t dims = n.space.size();
+  sp_lo_.resize(dims * L);
+  sp_hi_.resize(dims * L);
+  sp_step_.resize(dims * L);
+  sp_fail_.assign(L, 0);
+  for (std::size_t d = 0; d < dims; ++d) {
+    const std::int32_t* sc = cost_->space_codes.data() + nc.space_first + 3 * d;
+    eval(sc[0]);
+    for (const int l : active_) {
+      const auto u = static_cast<std::size_t>(l);
+      if (!ok_[u]) sp_fail_[u] = 1;
+      else sp_lo_[d * L + u] = std::llround(vals_[u]);
+    }
+    eval(sc[1]);
+    for (const int l : active_) {
+      const auto u = static_cast<std::size_t>(l);
+      if (!ok_[u]) sp_fail_[u] = 1;
+      else sp_hi_[d * L + u] = std::llround(vals_[u]);
+    }
+    if (sc[2] >= 0) {
+      eval(sc[2]);
+      for (const int l : active_) {
+        const auto u = static_cast<std::size_t>(l);
+        if (!ok_[u]) sp_fail_[u] = 1;
+        else sp_step_[d * L + u] = std::llround(vals_[u]);
+      }
+    } else {
+      for (const int l : active_) sp_step_[d * L + static_cast<std::size_t>(l)] = 1;
+    }
+  }
+}
+
+void BatchEngine::fill_space(int l, std::size_t dims, Space& sp) const {
+  const std::size_t L = lanes_.size();
+  sp.lo.resize(dims);
+  sp.hi.resize(dims);
+  sp.step.resize(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    sp.lo[d] = sp_lo_[d * L + static_cast<std::size_t>(l)];
+    sp.hi[d] = sp_hi_[d * L + static_cast<std::size_t>(l)];
+    sp.step[d] = sp_step_[d * L + static_cast<std::size_t>(l)];
+  }
+}
+
+void BatchEngine::batch_local_loop(const SpmdNode& n) {
+  const compiler::NodeCost& nc = cost_->nodes[static_cast<std::size_t>(n.id)];
+  resolve_space_batch(n, nc);
+  // a failing bound throws on the scalar path: evict
+  evict_unless([&](int l) { return sp_fail_[static_cast<std::size_t>(l)] == 0; });
+  if (active_.empty()) return;
+
+  const std::size_t dims = n.space.size();
+  for (const int l : active_) {
+    fill_space(l, dims, sp_scratch_);
+    pts_[static_cast<std::size_t>(l)] = sp_scratch_.points();
+  }
+  if (n.inner) {
+    // inner reduce bounds: the scalar walk evaluates them only after the
+    // points()>0 check, so a failing bound evicts only lanes that price
+    eval(nc.inner_hi);
+    for (const int l : active_) {
+      const auto u = static_cast<std::size_t>(l);
+      b_fail_[u] = ok_[u] ? 0 : 1;
+      if (ok_[u]) b_hi_[u] = std::llround(vals_[u]);
+    }
+    eval(nc.inner_lo);
+    for (const int l : active_) {
+      const auto u = static_cast<std::size_t>(l);
+      if (!ok_[u]) b_fail_[u] = 1;
+      else b_lo_[u] = std::llround(vals_[u]);
+    }
+    evict_unless([&](int l) {
+      const auto u = static_cast<std::size_t>(l);
+      return pts_[u] <= 0 || b_fail_[u] == 0;
+    });
+    if (active_.empty()) return;
+  }
+
+  priced_.clear();
+  for (const int l : active_) {
+    if (pts_[static_cast<std::size_t>(l)] > 0) priced_.push_back(l);
+  }
+  if (priced_.empty()) return;
+
+  const std::size_t P = priced_.size();
+  ws_.resize(P);
+  im_.resize(P);
+  mp_.resize(P);
+  costs_.resize(P);
+  for (std::size_t i = 0; i < P; ++i) {
+    const auto u = static_cast<std::size_t>(priced_[i]);
+    fill_space(priced_[i], dims, sp_scratch_);
+    ws_[i] = engines_[u].working_set_estimate(n, sp_scratch_);
+    im_[i] = n.inner ? std::max<long long>(0, b_hi_[u] - b_lo_[u] + 1) : 0;
+    mp_[i] = engines_[u].mask_probability();
+  }
+  const InterpretationEngine& e0 = engines_[static_cast<std::size_t>(priced_[0])];
+  const int elem = front::type_size_bytes(n.lhs->type);
+  if (n.mask) {
+    e0.fn_->condt_costs(e0.body_ops(n), e0.cond_ops(n), mp_, elem, ws_, im_, costs_);
+  } else {
+    e0.fn_->iter_costs(e0.body_ops(n), elem, ws_, im_, costs_);
+  }
+  for (std::size_t i = 0; i < P; ++i) {
+    fill_space(priced_[i], dims, sp_scratch_);
+    engines_[static_cast<std::size_t>(priced_[i])].price_iters(n, sp_scratch_, costs_[i]);
+  }
+}
+
+void BatchEngine::batch_reduce(const SpmdNode& n) {
+  const compiler::NodeCost& nc = cost_->nodes[static_cast<std::size_t>(n.id)];
+  resolve_space_batch(n, nc);
+  evict_unless([&](int l) { return sp_fail_[static_cast<std::size_t>(l)] == 0; });
+  if (active_.empty()) return;
+
+  const std::size_t dims = n.space.size();
+  const std::size_t P = active_.size();
+  ws_.resize(P);
+  im_.assign(P, 0);
+  costs_.resize(P);
+  for (std::size_t i = 0; i < P; ++i) {
+    fill_space(active_[i], dims, sp_scratch_);
+    ws_[i] = engines_[static_cast<std::size_t>(active_[i])].working_set_estimate(n, sp_scratch_);
+  }
+  const InterpretationEngine& e0 = engines_[static_cast<std::size_t>(active_[0])];
+  e0.fn_->iter_costs(e0.body_ops(n), front::type_size_bytes(n.reduce_arg->type), ws_, im_,
+                     costs_);
+  for (std::size_t i = 0; i < P; ++i) {
+    auto& e = engines_[static_cast<std::size_t>(active_[i])];
+    fill_space(active_[i], dims, sp_scratch_);
+    e.price_iters(n, sp_scratch_, costs_[i]);
+    e.price_reduce_comm(n);
+  }
+}
+
+void BatchEngine::batch_cshift(const SpmdNode& n) {
+  const compiler::NodeCost& nc = cost_->nodes[static_cast<std::size_t>(n.id)];
+  eval(nc.comm_amount);
+  for (const int l : active_) {
+    const auto u = static_cast<std::size_t>(l);
+    // an unevaluable shift amount defaults to 1 (no eviction), as scalar
+    const long long shift = ok_[u] ? std::llround(vals_[u]) : 1;
+    engines_[u].price_cshift(n, shift);
+  }
+}
+
+void BatchEngine::batch_irregular(const SpmdNode& n) {
+  const compiler::NodeCost& nc = cost_->nodes[static_cast<std::size_t>(n.id)];
+  // the scalar walk returns before resolving the space on one processor:
+  // a 1-proc lane must neither price nor evict on a failing bound
+  resolve_space_batch(n, nc);
+  evict_unless([&](int l) {
+    const auto u = static_cast<std::size_t>(l);
+    return engines_[u].nprocs_ <= 1 || sp_fail_[u] == 0;
+  });
+  const std::size_t dims = n.space.size();
+  for (const int l : active_) {
+    const auto u = static_cast<std::size_t>(l);
+    if (engines_[u].nprocs_ <= 1) continue;
+    fill_space(l, dims, sp_scratch_);
+    engines_[u].price_irregular(n, sp_scratch_);
+  }
+}
+
+}  // namespace hpf90d::core

@@ -1,0 +1,110 @@
+// batch_engine.hpp — lockstep interpretation of sweep-point batches.
+//
+// Sweep points that share a CompiledProgram and machine differ only in
+// their scalar bindings and layout, so the SPMD tree can be visited once
+// per *batch* instead of once per point: every priced expression runs
+// through the flattened cost bytecode over a structure-of-arrays BatchEnv
+// (values[slot][lane], lane = sweep point), and per-lane pricing goes
+// through the same InterpretationEngine methods the scalar walk uses —
+// results are bit-identical to interpreting each lane alone, by
+// construction.
+//
+// Lockstep requires the replicated control flow to agree across lanes:
+// equal DO trip counts (bounds may differ), the same IF decision, the same
+// WHILE test outcome on every trip. Lanes that diverge — different trip
+// counts from per-lane critical variables, a failing bound that would make
+// the scalar walk throw — are *evicted* and replayed from scratch with the
+// plain scalar interpreter, so divergence costs only the divergent lanes.
+#pragma once
+
+#include <span>
+
+#include "core/engine.hpp"
+
+namespace hpf90d::core {
+
+/// One sweep point of a batch. All lanes of one interpret() call must share
+/// the CompiledProgram and MachineModel; layout and bindings are per-lane.
+struct BatchLane {
+  const compiler::DataLayout* layout = nullptr;
+  const front::Bindings* bindings = nullptr;
+};
+
+/// Batch effectiveness counters for one interpret() call.
+struct BatchRunStats {
+  std::uint64_t ir_visits = 0;      // SPMD nodes visited by the batch walk
+  std::uint64_t lane_visits = 0;    // sum of active lanes over those visits
+  std::uint64_t replayed_lanes = 0; // lanes evicted to scalar replay
+};
+
+/// Reusable arena (like InterpretationEngine): one per worker, interpret()
+/// per batch. Not thread-safe; distinct workers use distinct engines.
+class BatchEngine {
+ public:
+  /// Interprets every lane in lockstep, filling results[l] for lane l with
+  /// exactly what a scalar InterpretationEngine bound to that lane would
+  /// produce. Returns false — touching neither results nor stats — when
+  /// batch mode cannot run (tracing on, fewer than two lanes, or a program
+  /// without a complete cost bytecode); the caller then prices each lane
+  /// with the scalar engine. Exceptions the scalar walk would throw (trip
+  /// limits, unresolved critical variables) propagate from here too.
+  bool interpret(const compiler::CompiledProgram& prog,
+                 const machine::MachineModel& machine, const PredictOptions& options,
+                 std::span<const BatchLane> lanes, PredictionResult* results,
+                 BatchRunStats& stats);
+
+ private:
+  using SpmdNode = compiler::SpmdNode;
+  using Space = InterpretationEngine::ResolvedSpace;
+
+  void walk_seq(const std::vector<compiler::SpmdNodePtr>& nodes);
+  void walk(const SpmdNode& n);
+  void batch_scalar_assign(const SpmdNode& n);
+  void batch_do(const SpmdNode& n);
+  void batch_while(const SpmdNode& n);
+  void batch_if(const SpmdNode& n);
+  void batch_local_loop(const SpmdNode& n);
+  void batch_reduce(const SpmdNode& n);
+  void batch_cshift(const SpmdNode& n);
+  void batch_irregular(const SpmdNode& n);
+
+  /// Evaluates compiled expression `expr_id` over all lanes into
+  /// vals_/ok_ (dense: evicted lanes compute too, their results are noise).
+  void eval(std::int32_t expr_id);
+  /// Evaluates a node's iteration space for all lanes into sp_*_.
+  void resolve_space_batch(const SpmdNode& n, const compiler::NodeCost& nc);
+  /// Loads lane `l`'s resolved space from sp_*_ into `sp`.
+  void fill_space(int l, std::size_t dims, Space& sp) const;
+  /// Drops active lanes failing `keep` into the replay set.
+  template <class Pred>
+  void evict_unless(Pred keep);
+
+  const compiler::CompiledProgram* prog_ = nullptr;
+  const compiler::CostProgram* cost_ = nullptr;
+  std::span<const BatchLane> lanes_;
+
+  std::vector<InterpretationEngine> engines_;  // per-lane clocks/metrics/pricing
+  compiler::BatchEnv env_;                     // the single source of scalar values
+  compiler::ScalarEnv seed_env_{0};            // per-bindings seed, scattered to lanes
+
+  std::vector<double> regs_;        // max_regs * lanes register file
+  std::vector<double> vals_;        // per-lane expression results
+  std::vector<unsigned char> ok_;   // per-lane expression success
+  std::vector<int> active_;         // lanes still in lockstep
+  std::vector<int> evicted_;        // lanes awaiting scalar replay
+
+  // per-node scratch (sized lanes / dims*lanes, reused across nodes)
+  std::vector<long long> b_lo_, b_hi_, b_step_, pts_;
+  std::vector<unsigned char> b_fail_;
+  std::vector<long long> sp_lo_, sp_hi_, sp_step_;
+  std::vector<unsigned char> sp_fail_;
+  std::vector<long long> ws_, im_;
+  std::vector<double> mp_;
+  std::vector<IterCost> costs_;
+  std::vector<int> priced_;
+  Space sp_scratch_;
+
+  BatchRunStats stats_{};
+};
+
+}  // namespace hpf90d::core

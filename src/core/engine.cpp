@@ -24,11 +24,11 @@ InterpretationEngine::InterpretationEngine(const compiler::CompiledProgram& prog
   rebind(prog, layout, machine, options, bindings);
 }
 
-void InterpretationEngine::rebind(const compiler::CompiledProgram& prog,
-                                  const compiler::DataLayout& layout,
-                                  const machine::MachineModel& machine,
-                                  const PredictOptions& options,
-                                  const front::Bindings& bindings) {
+void InterpretationEngine::rebind_common(const compiler::CompiledProgram& prog,
+                                         const compiler::DataLayout& layout,
+                                         const machine::MachineModel& machine,
+                                         const PredictOptions& options,
+                                         const front::Bindings& bindings) {
   if (prog.node_ops.size() == static_cast<std::size_t>(prog.node_count)) {
     node_ops_ = &prog.node_ops;
   } else {
@@ -36,18 +36,36 @@ void InterpretationEngine::rebind(const compiler::CompiledProgram& prog,
     fallback_node_ops_ = compiler::collect_node_ops(prog);
     node_ops_ = &fallback_node_ops_;
   }
+  cost_ = prog.cost_program.get();
+  regs_.resize(cost_ ? cost_->max_regs : 0);
   prog_ = &prog;
   layout_ = &layout;
   machine_ = &machine;
   options_ = options;
   bindings_ = &bindings;
   nprocs_ = layout.nprocs();
-  env_.reset(prog.symbols.size());
   fn_.emplace(machine.node());
   clock_.assign(static_cast<std::size_t>(nprocs_), 0.0);
   metrics_.assign(static_cast<std::size_t>(prog.node_count), AAUMetric{});
   trace_.clear();
+}
+
+void InterpretationEngine::rebind(const compiler::CompiledProgram& prog,
+                                  const compiler::DataLayout& layout,
+                                  const machine::MachineModel& machine,
+                                  const PredictOptions& options,
+                                  const front::Bindings& bindings) {
+  rebind_common(prog, layout, machine, options, bindings);
+  env_.reset(prog.symbols.size());
   compiler::seed_environment(env_, prog_->symbols, bindings);
+}
+
+void InterpretationEngine::rebind_lane(const compiler::CompiledProgram& prog,
+                                       const compiler::DataLayout& layout,
+                                       const machine::MachineModel& machine,
+                                       const PredictOptions& options,
+                                       const front::Bindings& bindings) {
+  rebind_common(prog, layout, machine, options, bindings);
 }
 
 PredictionResult InterpretationEngine::interpret() {
@@ -58,7 +76,10 @@ PredictionResult InterpretationEngine::interpret() {
 
 void InterpretationEngine::interpret_into(PredictionResult& out) {
   walk_seq(prog_->root->children);
+  finalize_into(out);
+}
 
+void InterpretationEngine::finalize_into(PredictionResult& out) {
   out.total = *std::max_element(clock_.begin(), clock_.end());
   out.proc_clock = clock_;
   out.per_aau = metrics_;
@@ -97,6 +118,44 @@ void InterpretationEngine::charge(int aau, int proc, double t, char category) {
   }
 }
 
+void InterpretationEngine::charge_all(int aau, double t, char category) {
+  for (int p = 0; p < nprocs_; ++p) charge(aau, p, t, category);
+}
+
+// ---------------------------------------------------------------------------
+// bytecode fast path
+// ---------------------------------------------------------------------------
+
+namespace {
+const compiler::NodeCost kNoCost{};
+}
+
+const compiler::NodeCost& InterpretationEngine::ncost(const SpmdNode& n) const {
+  return cost_ ? cost_->nodes[static_cast<std::size_t>(n.id)] : kNoCost;
+}
+
+std::optional<double> InterpretationEngine::eval_opt(std::int32_t expr_id,
+                                                     const front::Expr& e) {
+  if (expr_id >= 0) {
+    const compiler::ExprCode& c = cost_->exprs[static_cast<std::size_t>(expr_id)];
+    if (c.ok) return compiler::eval_code(*cost_, c, env_, regs_.data());
+  }
+  return compiler::try_eval_scalar(e, env_, nullptr, prog_->symbols);
+}
+
+long long InterpretationEngine::eval_int_fast(std::int32_t expr_id, const front::Expr& e) {
+  if (expr_id >= 0) {
+    const compiler::ExprCode& c = cost_->exprs[static_cast<std::size_t>(expr_id)];
+    if (c.ok) {
+      if (const auto v = compiler::eval_code(*cost_, c, env_, regs_.data())) {
+        return static_cast<long long>(std::llround(*v));
+      }
+      // failure: re-run the tree evaluator for its curated diagnostic
+    }
+  }
+  return compiler::eval_int(e, env_, nullptr, prog_->symbols);
+}
+
 // ---------------------------------------------------------------------------
 
 void InterpretationEngine::walk_seq(const std::vector<compiler::SpmdNodePtr>& nodes) {
@@ -125,48 +184,45 @@ void InterpretationEngine::walk(const SpmdNode& n) {
 void InterpretationEngine::walk_scalar_assign(const SpmdNode& n) {
   // trace the definition path: scalar control values are evaluated, data
   // values (reduction results, array elements) stay unknown
-  const std::optional<double> v =
-      compiler::try_eval_scalar(*n.rhs, env_, nullptr, prog_->symbols);
+  const std::optional<double> v = eval_opt(ncost(n).rhs, *n.rhs);
   if (v) {
     env_.define(n.lhs->symbol,
                 n.lhs->type == front::TypeBase::Integer ? std::trunc(*v) : *v);
   }
-  const double t = fn_->seq(body_ops(n));
-  for (int p = 0; p < nprocs_; ++p) charge(n.id, p, t, 'C');
+  charge_all(n.id, seq_cost(n), 'C');
 }
 
 void InterpretationEngine::walk_do(const SpmdNode& n) {
+  const compiler::NodeCost& nc = ncost(n);
   long long lo, hi, step;
   try {
-    lo = compiler::eval_int(*n.do_lo, env_, nullptr, prog_->symbols);
-    hi = compiler::eval_int(*n.do_hi, env_, nullptr, prog_->symbols);
-    step = n.do_step ? compiler::eval_int(*n.do_step, env_, nullptr, prog_->symbols) : 1;
+    lo = eval_int_fast(nc.do_lo, *n.do_lo);
+    hi = eval_int_fast(nc.do_hi, *n.do_hi);
+    step = n.do_step ? eval_int_fast(nc.do_step, *n.do_step) : 1;
   } catch (const CompileError& e) {
     throw CompileError(n.loc, std::string("unresolved critical variable in do bounds: ") +
                                   e.what());
   }
   if (step == 0) throw CompileError(n.loc, "do loop step is zero");
-  for (int p = 0; p < nprocs_; ++p) charge(n.id, p, fn_->iter_setup(), 'O');
+  charge_all(n.id, fn_->iter_setup(), 'O');
   for (long long v = lo; step > 0 ? v <= hi : v >= hi; v += step) {
     env_.define(n.do_symbol, static_cast<double>(v));
-    for (int p = 0; p < nprocs_; ++p) charge(n.id, p, fn_->iter_overhead(), 'O');
+    charge_all(n.id, fn_->iter_overhead(), 'O');
     walk_seq(n.children);
   }
 }
 
 void InterpretationEngine::walk_while(const SpmdNode& n) {
+  const compiler::NodeCost& nc = ncost(n);
   long long trips = 0;
   while (true) {
-    const std::optional<double> c =
-        compiler::try_eval_scalar(*n.mask, env_, nullptr, prog_->symbols);
+    const std::optional<double> c = eval_opt(nc.cond, *n.mask);
     if (!c) {
       throw CompileError(n.loc,
                          "do while condition depends on data values; supply an "
                          "explicit binding for its critical variables");
     }
-    for (int p = 0; p < nprocs_; ++p) {
-      charge(n.id, p, fn_->condt(cond_ops(n)), 'O');
-    }
+    charge_all(n.id, branch_cost(n), 'O');
     if (*c == 0.0) break;
     if (++trips > 1000000) {
       throw CompileError(n.loc, "do while exceeded the interpretation trip limit");
@@ -176,11 +232,8 @@ void InterpretationEngine::walk_while(const SpmdNode& n) {
 }
 
 void InterpretationEngine::walk_if(const SpmdNode& n) {
-  const std::optional<double> c =
-      compiler::try_eval_scalar(*n.mask, env_, nullptr, prog_->symbols);
-  for (int p = 0; p < nprocs_; ++p) {
-    charge(n.id, p, fn_->condt(cond_ops(n)), 'O');
-  }
+  const std::optional<double> c = eval_opt(ncost(n).cond, *n.mask);
+  charge_all(n.id, branch_cost(n), 'O');
   if (!c || *c != 0.0) {
     walk_seq(n.children);  // unresolved conditions assume the then-branch
   } else {
@@ -211,15 +264,19 @@ long long InterpretationEngine::ResolvedSpace::points() const {
   return total;
 }
 
-InterpretationEngine::ResolvedSpace InterpretationEngine::resolve_space(
-    const std::vector<compiler::IterIndex>& space) {
+InterpretationEngine::ResolvedSpace InterpretationEngine::resolve_space(const SpmdNode& n) {
+  const compiler::NodeCost& nc = ncost(n);
   ResolvedSpace out;
-  for (const auto& ix : space) {
+  for (std::size_t d = 0; d < n.space.size(); ++d) {
+    const auto& ix = n.space[d];
+    const std::int32_t* sc =
+        nc.space_first >= 0
+            ? cost_->space_codes.data() + nc.space_first + 3 * static_cast<std::int32_t>(d)
+            : nullptr;
     try {
-      out.lo.push_back(compiler::eval_int(*ix.lo, env_, nullptr, prog_->symbols));
-      out.hi.push_back(compiler::eval_int(*ix.hi, env_, nullptr, prog_->symbols));
-      out.step.push_back(
-          ix.stride ? compiler::eval_int(*ix.stride, env_, nullptr, prog_->symbols) : 1);
+      out.lo.push_back(eval_int_fast(sc ? sc[0] : -1, *ix.lo));
+      out.hi.push_back(eval_int_fast(sc ? sc[1] : -1, *ix.hi));
+      out.step.push_back(ix.stride ? eval_int_fast(sc ? sc[2] : -1, *ix.stride) : 1);
     } catch (const CompileError& e) {
       throw CompileError(ix.lo->loc,
                          std::string("unresolved critical variable in forall bounds: ") +
@@ -303,10 +360,8 @@ double InterpretationEngine::mask_probability() const {
 
 long long InterpretationEngine::working_set_estimate(const SpmdNode& n,
                                                      const ResolvedSpace& space) const {
-  long long arrays = 1;
-  if (n.rhs) compiler::count_array_refs(*n.rhs, arrays);
-  if (n.inner) compiler::count_array_refs(*n.inner->arg, arrays);
-  if (n.reduce_arg) compiler::count_array_refs(*n.reduce_arg, arrays);
+  // the array-ref factor is precomputed per node (NodeOpCounts::ws_arrays)
+  const long long arrays = node_ops_->at(static_cast<std::size_t>(n.id)).ws_arrays;
   const int elem = n.lhs ? front::type_size_bytes(n.lhs->type) : 4;
   return std::max<long long>(1, space.points()) * arrays * elem /
          std::max(1, nprocs_);
@@ -316,25 +371,25 @@ long long InterpretationEngine::working_set_estimate(const SpmdNode& n,
 // computation AAUs
 // ---------------------------------------------------------------------------
 
-void InterpretationEngine::walk_local_loop(const SpmdNode& n) {
-  const ResolvedSpace space = resolve_space(n.space);
-  if (space.points() <= 0) return;
-  const std::vector<long long>& iters = local_iterations(n, space);
-
+IterCost InterpretationEngine::local_loop_cost(const SpmdNode& n, const ResolvedSpace& space,
+                                               long long inner_m) const {
   const compiler::OpCounts& ops = body_ops(n);
-  long long inner_m = 0;
-  if (n.inner) {
-    inner_m = std::max<long long>(
-        0, compiler::eval_int(*n.inner->index.hi, env_, nullptr, prog_->symbols) -
-               compiler::eval_int(*n.inner->index.lo, env_, nullptr, prog_->symbols) + 1);
-  }
   const int elem = front::type_size_bytes(n.lhs->type);
   const long long ws = working_set_estimate(n, space);
+  return n.mask ? fn_->condt_cost(ops, cond_ops(n), mask_probability(), elem, ws, inner_m)
+                : fn_->iter_cost(ops, elem, ws, inner_m);
+}
 
+IterCost InterpretationEngine::reduce_cost(const SpmdNode& n,
+                                           const ResolvedSpace& space) const {
+  return fn_->iter_cost(body_ops(n), front::type_size_bytes(n.reduce_arg->type),
+                        working_set_estimate(n, space));
+}
+
+void InterpretationEngine::price_iters(const SpmdNode& n, const ResolvedSpace& space,
+                                       const IterCost& cost) {
   // one pricing per node; processors differ only in their iteration count
-  const IterCost cost =
-      n.mask ? fn_->condt_cost(ops, cond_ops(n), mask_probability(), elem, ws, inner_m)
-             : fn_->iter_cost(ops, elem, ws, inner_m);
+  const std::vector<long long>& iters = local_iterations(n, space);
   for (int p = 0; p < nprocs_; ++p) {
     const long long it = iters[static_cast<std::size_t>(p)];
     if (it == 0) continue;
@@ -344,24 +399,20 @@ void InterpretationEngine::walk_local_loop(const SpmdNode& n) {
   }
 }
 
-void InterpretationEngine::walk_reduce(const SpmdNode& n) {
-  const ResolvedSpace space = resolve_space(n.space);
-  const std::vector<long long>& iters = local_iterations(n, space);
-
-  const compiler::OpCounts& ops = body_ops(n);
-  const long long ws = working_set_estimate(n, space);
-  const int arg_elem = front::type_size_bytes(n.reduce_arg->type);
-  const IterCost cost = fn_->iter_cost(ops, arg_elem, ws);
-  for (int p = 0; p < nprocs_; ++p) {
-    const long long it = iters[static_cast<std::size_t>(p)];
-    if (it == 0) continue;
-    const ComputeEstimate est = cost.at(it);
-    charge(n.id, p, est.comp, 'C');
-    charge(n.id, p, est.overhead, 'O');
+void InterpretationEngine::walk_local_loop(const SpmdNode& n) {
+  const ResolvedSpace space = resolve_space(n);
+  if (space.points() <= 0) return;
+  long long inner_m = 0;
+  if (n.inner) {
+    const compiler::NodeCost& nc = ncost(n);
+    inner_m = std::max<long long>(0, eval_int_fast(nc.inner_hi, *n.inner->index.hi) -
+                                         eval_int_fast(nc.inner_lo, *n.inner->index.lo) + 1);
   }
+  price_iters(n, space, local_loop_cost(n, space, inner_m));
+}
 
+void InterpretationEngine::price_reduce_comm(const SpmdNode& n) {
   // the reduction result is a data value: it stays unknown to the engine
-
   const compiler::ArrayMap* home =
       n.home_symbol >= 0 ? layout_->map_for(n.home_symbol) : nullptr;
   if (home != nullptr && nprocs_ > 1) {
@@ -372,6 +423,12 @@ void InterpretationEngine::walk_reduce(const SpmdNode& n) {
     cost_scratch_.assign(static_cast<std::size_t>(nprocs_), comm_cost);
     sync_then_charge_comm(n, cost_scratch_);
   }
+}
+
+void InterpretationEngine::walk_reduce(const SpmdNode& n) {
+  const ResolvedSpace space = resolve_space(n);
+  price_iters(n, space, reduce_cost(n, space));
+  price_reduce_comm(n);
 }
 
 // ---------------------------------------------------------------------------
@@ -433,13 +490,16 @@ void InterpretationEngine::walk_overlap(const SpmdNode& n) {
 }
 
 void InterpretationEngine::walk_cshift(const SpmdNode& n) {
-  const compiler::ArrayMap* map = layout_->map_for(n.comm_array);
-  const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
   long long shift = 1;
-  if (const auto v = compiler::try_eval_scalar(*n.comm_amount, env_, nullptr,
-                                               prog_->symbols)) {
+  if (const auto v = eval_opt(ncost(n).comm_amount, *n.comm_amount)) {
     shift = static_cast<long long>(std::llround(*v));
   }
+  price_cshift(n, shift);
+}
+
+void InterpretationEngine::price_cshift(const SpmdNode& n, long long shift) {
+  const compiler::ArrayMap* map = layout_->map_for(n.comm_array);
+  const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);
   std::vector<double>& cost = cost_scratch_;
   cost.assign(static_cast<std::size_t>(nprocs_), 0.0);
   if (map == nullptr ||
@@ -475,7 +535,11 @@ void InterpretationEngine::walk_cshift(const SpmdNode& n) {
 
 void InterpretationEngine::walk_irregular(const SpmdNode& n) {
   if (nprocs_ <= 1) return;
-  const ResolvedSpace space = resolve_space(n.space);
+  const ResolvedSpace space = resolve_space(n);
+  price_irregular(n, space);
+}
+
+void InterpretationEngine::price_irregular(const SpmdNode& n, const ResolvedSpace& space) {
   const long long total = std::max<long long>(space.points(), 0);
   if (total == 0) return;
   const int elem = front::type_size_bytes(prog_->symbols.at(n.comm_array).type);

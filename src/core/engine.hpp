@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/cost_program.hpp"
 #include "compiler/eval.hpp"
 #include "compiler/mapping.hpp"
 #include "compiler/spmd_ir.hpp"
@@ -87,6 +88,31 @@ class InterpretationEngine {
  private:
   using SpmdNode = compiler::SpmdNode;
 
+  /// The batch engine drives lockstep interpretation through this engine's
+  /// per-lane pricing methods (price_* / charge_all / walk_<comm>), which
+  /// never read env_: expression values always arrive pre-evaluated from
+  /// the shared SoA BatchEnv, so the batch and scalar paths share one
+  /// pricing implementation and stay bit-identical by construction.
+  friend class BatchEngine;
+
+  /// rebind() minus the scalar environment reset/seed: in batch mode the
+  /// BatchEngine's BatchEnv is the only environment, so per-lane engines
+  /// skip the seed_environment fold entirely.
+  void rebind_lane(const compiler::CompiledProgram& prog, const compiler::DataLayout& layout,
+                   const machine::MachineModel& machine, const PredictOptions& options,
+                   const front::Bindings& bindings);
+
+  /// Shared tail of rebind()/rebind_lane().
+  void rebind_common(const compiler::CompiledProgram& prog,
+                     const compiler::DataLayout& layout,
+                     const machine::MachineModel& machine, const PredictOptions& options,
+                     const front::Bindings& bindings);
+
+  /// Aggregation tail of interpret_into: turns the accumulated clocks and
+  /// metrics into a PredictionResult without walking anything (the batch
+  /// engine finalizes lanes it walked itself).
+  void finalize_into(PredictionResult& out);
+
   void walk_seq(const std::vector<compiler::SpmdNodePtr>& nodes);
   void walk(const SpmdNode& n);
   void walk_scalar_assign(const SpmdNode& n);
@@ -106,7 +132,31 @@ class InterpretationEngine {
     [[nodiscard]] long long points() const;
     [[nodiscard]] long long dim_count(std::size_t d) const;
   };
-  [[nodiscard]] ResolvedSpace resolve_space(const std::vector<compiler::IterIndex>& space);
+  [[nodiscard]] ResolvedSpace resolve_space(const SpmdNode& n);
+
+  // --- bytecode fast path ----------------------------------------------------
+  // Priced expressions evaluate through the program's flattened CostProgram
+  // when one exists (expr_id >= 0 and the expression compiled); otherwise
+  // through the tree walker. Results are bit-identical either way,
+  // including the failure set.
+  [[nodiscard]] const compiler::NodeCost& ncost(const SpmdNode& n) const;
+  [[nodiscard]] std::optional<double> eval_opt(std::int32_t expr_id, const front::Expr& e);
+  /// eval_int through the bytecode; a bytecode failure re-runs the tree
+  /// evaluator so the thrown CompileError carries the curated diagnostic.
+  [[nodiscard]] long long eval_int_fast(std::int32_t expr_id, const front::Expr& e);
+
+  // --- per-lane pricing (shared scalar/batch; never reads env_) -------------
+  void note_visit(const SpmdNode& n) { metric(n.id).visits++; }
+  void charge_all(int aau, double t, char category);
+  [[nodiscard]] double seq_cost(const SpmdNode& n) const { return fn_->seq(body_ops(n)); }
+  [[nodiscard]] double branch_cost(const SpmdNode& n) const { return fn_->condt(cond_ops(n)); }
+  [[nodiscard]] IterCost local_loop_cost(const SpmdNode& n, const ResolvedSpace& space,
+                                         long long inner_m) const;
+  [[nodiscard]] IterCost reduce_cost(const SpmdNode& n, const ResolvedSpace& space) const;
+  void price_iters(const SpmdNode& n, const ResolvedSpace& space, const IterCost& cost);
+  void price_reduce_comm(const SpmdNode& n);
+  void price_cshift(const SpmdNode& n, long long shift);
+  void price_irregular(const SpmdNode& n, const ResolvedSpace& space);
 
   /// Analytic per-processor iteration counts under owner-computes; the
   /// result lives in iters_scratch_ (valid until the next call).
@@ -161,6 +211,12 @@ class InterpretationEngine {
   // bypassed the pipeline (recomputed per rebind, never on the sweep path).
   const std::vector<compiler::NodeOpCounts>* node_ops_ = nullptr;
   std::vector<compiler::NodeOpCounts> fallback_node_ops_;
+
+  // Flattened cost bytecode of the bound program (null for hand-built
+  // programs — every priced expression then walks its tree) and the
+  // engine's register file for it.
+  const compiler::CostProgram* cost_ = nullptr;
+  std::vector<double> regs_;
 
   // Worker-owned scratch (reused across points, overwritten per node):
   std::vector<long long> iters_scratch_;  // local_iterations result

@@ -83,4 +83,25 @@ ComputeEstimate InterpretationFunctions::condt_d(const compiler::OpCounts& body_
       .at(iters);
 }
 
+void InterpretationFunctions::iter_costs(const compiler::OpCounts& ops, int elem_bytes,
+                                         std::span<const long long> working_set,
+                                         std::span<const long long> inner_m,
+                                         std::span<IterCost> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = iter_cost(ops, elem_bytes, working_set[i], inner_m[i]);
+  }
+}
+
+void InterpretationFunctions::condt_costs(const compiler::OpCounts& body_ops,
+                                          const compiler::OpCounts& mask_ops,
+                                          std::span<const double> mask_prob, int elem_bytes,
+                                          std::span<const long long> working_set,
+                                          std::span<const long long> inner_m,
+                                          std::span<IterCost> out) const {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = condt_cost(body_ops, mask_ops, mask_prob[i], elem_bytes, working_set[i],
+                        inner_m[i]);
+  }
+}
+
 }  // namespace hpf90d::core

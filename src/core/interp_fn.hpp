@@ -11,6 +11,8 @@
 // measure.
 #pragma once
 
+#include <span>
+
 #include "compiler/opcount.hpp"
 #include "machine/comm_model.hpp"
 #include "machine/sau.hpp"
@@ -75,6 +77,19 @@ class InterpretationFunctions {
                                     const compiler::OpCounts& mask_ops,
                                     double mask_prob, int elem_bytes,
                                     long long working_set, long long inner_m = 0) const;
+
+  /// Batch entry points (core::BatchEngine): price one loop node for every
+  /// lane of a lockstep batch at once. Lanes share the program and machine,
+  /// so ops/elem_bytes are lane-invariant; only the working set, inner trip
+  /// count, and mask probability vary per lane. out[i] is exactly
+  /// iter_cost/condt_cost of lane i's parameters.
+  void iter_costs(const compiler::OpCounts& ops, int elem_bytes,
+                  std::span<const long long> working_set, std::span<const long long> inner_m,
+                  std::span<IterCost> out) const;
+  void condt_costs(const compiler::OpCounts& body_ops, const compiler::OpCounts& mask_ops,
+                   std::span<const double> mask_prob, int elem_bytes,
+                   std::span<const long long> working_set, std::span<const long long> inner_m,
+                   std::span<IterCost> out) const;
 
   /// Memory-hierarchy heuristic (paper §3.3: "models and heuristics are
   /// defined to handle accesses to the memory hierarchy"): unit-stride

@@ -68,6 +68,24 @@ struct ServerStats {
   std::size_t spill_layouts_stored = 0;
   std::size_t spill_layouts_loaded = 0;
   std::size_t spill_programs_stored = 0;
+  /// Batched-interpretation effectiveness across every job the daemon ran
+  /// (sums of RunReport::batch), plus content-address coalescing: a job
+  /// whose payload byte-matched one already executing is served the
+  /// in-flight result instead of re-running the sweep.
+  std::size_t jobs_coalesced = 0;
+  std::size_t points_batched = 0;
+  std::size_t points_scalar = 0;
+  std::size_t points_replayed = 0;
+  std::uint64_t batch_ir_visits = 0;
+  std::uint64_t batch_lane_visits = 0;
+
+  /// Mean lanes priced per bytecode visit across all jobs (0 before any
+  /// batched run).
+  [[nodiscard]] double mean_lanes_per_visit() const {
+    return batch_ir_visits == 0 ? 0.0
+                                : static_cast<double>(batch_lane_visits) /
+                                      static_cast<double>(batch_ir_visits);
+  }
 };
 
 [[nodiscard]] std::string encode_stats(const ServerStats& stats);

@@ -224,6 +224,33 @@ void ExperimentServer::executor_loop() {
   for (;;) {
     std::optional<Job> job = queue_.pop();
     if (!job) return;  // queue shut down
+
+    // Content-address coalescing: the payload *is* the plan (encode is a
+    // decode fixpoint), so a byte-identical payload already executing means
+    // this job's sweep is redundant — wait for the leader and share its
+    // outcome. A leader always publishes (execute() reports errors
+    // in-band), so followers cannot hang.
+    const std::string key = (job->is_study ? "S" : "P") + job->payload;
+    std::shared_ptr<Inflight> mine;
+    std::shared_ptr<Inflight> leader;
+    {
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        leader = it->second;
+      } else {
+        mine = std::make_shared<Inflight>();
+        inflight_.emplace(key, mine);
+      }
+    }
+    if (leader) {
+      std::unique_lock<std::mutex> lk(leader->m);
+      leader->cv.wait(lk, [&] { return leader->done; });
+      jobs_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      queue_.complete(job->id, leader->terminal, std::string(leader->result));
+      continue;
+    }
+
     JobState terminal = JobState::Done;
     std::string result;
     try {
@@ -237,6 +264,18 @@ void ExperimentServer::executor_loop() {
       terminal = JobState::Failed;
       result = encode_outcome(outcome);
     }
+    {
+      // unregister first: jobs arriving from here on run fresh
+      const std::lock_guard<std::mutex> lock(inflight_mutex_);
+      inflight_.erase(key);
+    }
+    {
+      const std::lock_guard<std::mutex> lk(mine->m);
+      mine->terminal = terminal;
+      mine->result = result;
+      mine->done = true;
+    }
+    mine->cv.notify_all();
     queue_.complete(job->id, terminal, std::move(result));
   }
 }
@@ -246,6 +285,14 @@ std::string ExperimentServer::execute(const Job& job, JobState& terminal) {
   outcome.is_study = job.is_study;
   api::RunOptions run_options;
   run_options.workers = options_.job_workers;
+  run_options.batch_size = options_.batch_size;
+  const auto note_batch = [this](const api::BatchStats& b) {
+    points_batched_.fetch_add(b.batched_points, std::memory_order_relaxed);
+    points_scalar_.fetch_add(b.scalar_points, std::memory_order_relaxed);
+    points_replayed_.fetch_add(b.replayed_points, std::memory_order_relaxed);
+    batch_ir_visits_.fetch_add(b.ir_visits, std::memory_order_relaxed);
+    batch_lane_visits_.fetch_add(b.lane_visits, std::memory_order_relaxed);
+  };
   try {
     if (job.is_study) {
       const study::StudyPlan plan = decode_study(job.payload);
@@ -255,6 +302,7 @@ std::string ExperimentServer::execute(const Job& job, JobState& terminal) {
       outcome.wall_seconds = result.report.wall_seconds;
       outcome.cache = result.report.cache;
       outcome.body_csv = result.csv();
+      note_batch(result.report.batch);
     } else {
       const api::ExperimentPlan plan = decode_plan(job.payload);
       const api::RunReport report = session_.run(plan, run_options);
@@ -263,6 +311,7 @@ std::string ExperimentServer::execute(const Job& job, JobState& terminal) {
       outcome.wall_seconds = report.wall_seconds;
       outcome.cache = report.cache;
       outcome.body_csv = report.csv();
+      note_batch(report.batch);
     }
     terminal = JobState::Done;
   } catch (const std::exception& e) {
@@ -289,6 +338,12 @@ ServerStats ExperimentServer::stats() const {
     s.spill_layouts_loaded = store_->layouts_loaded();
     s.spill_programs_stored = store_->programs_stored();
   }
+  s.jobs_coalesced = jobs_coalesced_.load();
+  s.points_batched = points_batched_.load();
+  s.points_scalar = points_scalar_.load();
+  s.points_replayed = points_replayed_.load();
+  s.batch_ir_visits = batch_ir_visits_.load();
+  s.batch_lane_visits = batch_lane_visits_.load();
   return s;
 }
 

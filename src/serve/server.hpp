@@ -25,8 +25,11 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -48,6 +51,10 @@ struct ServerOptions {
   /// RunOptions::workers for each job's sweep (0 = hardware concurrency).
   /// The default 1 keeps per-job determinism obvious; large sweeps want 0.
   int job_workers = 1;
+  /// RunOptions::batch_size for each job's sweep: same-program sweep points
+  /// are priced in lockstep through the cost bytecode (see session.hpp).
+  /// Reports are byte-identical for every value; <= 1 disables batching.
+  int batch_size = 64;
   /// JobQueue per-tenant caps.
   std::size_t tenant_inflight = 1;
   std::size_t tenant_queued = 64;
@@ -88,6 +95,19 @@ class ExperimentServer {
   [[nodiscard]] ServerStats stats() const;
 
  private:
+  /// A job currently executing, keyed by its content address (the encoded
+  /// payload — encode_plan is a fixpoint, so byte equality means plan
+  /// equality). Executors popping an identical payload wait here and share
+  /// the leader's outcome instead of re-running the sweep: different
+  /// tenants submitting the same plan cost one run.
+  struct Inflight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    JobState terminal = JobState::Done;
+    std::string result;
+  };
+
   void accept_loop();
   void executor_loop();
   void handle_connection(int fd);
@@ -107,6 +127,17 @@ class ExperimentServer {
   std::vector<std::thread> executors_;
   std::mutex conn_mutex_;
   std::vector<std::thread> connections_;
+
+  std::mutex inflight_mutex_;
+  std::map<std::string, std::shared_ptr<Inflight>> inflight_;
+
+  // batch telemetry, summed over every job this daemon ran (ServerStats)
+  std::atomic<std::size_t> jobs_coalesced_{0};
+  std::atomic<std::size_t> points_batched_{0};
+  std::atomic<std::size_t> points_scalar_{0};
+  std::atomic<std::size_t> points_replayed_{0};
+  std::atomic<std::uint64_t> batch_ir_visits_{0};
+  std::atomic<std::uint64_t> batch_lane_visits_{0};
 };
 
 }  // namespace hpf90d::serve

@@ -65,4 +65,15 @@ void Simulator::measure_into(const compiler::CompiledProgram& prog,
   out.stats.stddev = std::sqrt(var / n);
 }
 
+void Simulator::measure_batch_into(const compiler::CompiledProgram& prog,
+                                   std::span<const front::Bindings* const> bindings,
+                                   std::span<const compiler::DataLayout* const> layouts,
+                                   const SimOptions& options, int runs, Executor& arena,
+                                   std::vector<MeasuredResult>& out) const {
+  out.resize(bindings.size());
+  for (std::size_t i = 0; i < bindings.size(); ++i) {
+    measure_into(prog, *bindings[i], *layouts[i], options, runs, arena, out[i]);
+  }
+}
+
 }  // namespace hpf90d::sim

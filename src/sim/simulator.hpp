@@ -8,6 +8,8 @@
 // typically fall within the measured variance.
 #pragma once
 
+#include <span>
+
 #include "compiler/mapping.hpp"
 #include "compiler/pipeline.hpp"
 #include "compiler/spmd_ir.hpp"
@@ -67,6 +69,19 @@ class Simulator {
                     const front::Bindings& bindings,
                     const compiler::DataLayout& layout, const SimOptions& options,
                     int runs, Executor& arena, MeasuredResult& out) const;
+
+  /// Batched form for the lockstep sweep path: measures every lane of a
+  /// same-program batch through one executor arena, filling out[i] with
+  /// exactly what measure_into of (bindings[i], layouts[i]) produces.
+  /// Unlike prediction, simulation materializes real array data per run,
+  /// so this is a buffer-reusing lane loop rather than an SoA walk; it
+  /// exists so batch callers recycle one scratch vector instead of one
+  /// MeasuredResult per point. `out` is resized to the lane count.
+  void measure_batch_into(const compiler::CompiledProgram& prog,
+                          std::span<const front::Bindings* const> bindings,
+                          std::span<const compiler::DataLayout* const> layouts,
+                          const SimOptions& options, int runs, Executor& arena,
+                          std::vector<MeasuredResult>& out) const;
 
  private:
   const machine::MachineModel& machine_;

@@ -3,6 +3,7 @@
 // trimming/splitting/formatting.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,5 +35,18 @@ namespace hpf90d::support {
 
 /// Renders a byte count with an auto-chosen unit (B / KB / MB).
 [[nodiscard]] std::string format_bytes(double bytes);
+
+/// FNV-1a 64-bit: cheap, stable content hash for cache keys. Keys built
+/// from it should also embed the input length, so a collision needs
+/// same-length inputs (the compaction posture of the session's program
+/// key and of layout_fingerprint's structure digest).
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 }  // namespace hpf90d::support

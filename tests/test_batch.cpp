@@ -1,0 +1,235 @@
+// Oracle tests for the lockstep batch interpreter: for every batch size —
+// including the degenerate scalar setting and a whole-sweep batch — and
+// every worker count, Session::run must produce a RunReport whose ASCII and
+// CSV exports are byte-identical to the scalar path's, on all registered
+// machines, with measurement enabled, and in the presence of divergent
+// lanes (binding-dependent DO trip counts, masked loops, per-lane critical
+// variables steering branches). The batch telemetry itself must stay out
+// of the exports. CI also runs this binary under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "study/study.hpp"
+#include "suite/suite.hpp"
+
+namespace hpf90d {
+namespace {
+
+// The settings the oracle sweeps: batch sizes 1 (scalar), 4, 64, and "the
+// whole sweep in one chunk cap", crossed with serial and pooled workers.
+const std::vector<int> kWorkerCounts = {1, 4};
+
+std::vector<int> batch_sizes(std::size_t point_count) {
+  return {1, 4, 64, static_cast<int>(point_count)};
+}
+
+/// Runs the plan at (batch_size, workers) on a fresh session and returns
+/// the exports. wall_seconds is the one legitimately nondeterministic
+/// field in ascii(), so it is zeroed before rendering.
+struct Exports {
+  std::string ascii;
+  std::string csv;
+  api::BatchStats batch;
+};
+
+Exports run_once(const api::ExperimentPlan& plan, int batch_size, int workers) {
+  api::Session session;
+  api::RunOptions opts;
+  opts.workers = workers;
+  opts.batch_size = batch_size;
+  api::RunReport report = session.run(plan, opts);
+  report.wall_seconds = 0.0;
+  return Exports{report.ascii(), report.csv(), report.batch};
+}
+
+void expect_oracle(const api::ExperimentPlan& plan, std::size_t point_count,
+                   bool expect_replay = false) {
+  const Exports baseline = run_once(plan, /*batch_size=*/1, /*workers=*/1);
+  EXPECT_EQ(baseline.batch.batched_points, 0u);
+  EXPECT_EQ(baseline.batch.scalar_points, point_count);
+
+  bool saw_batched = false;
+  bool saw_replay = false;
+  for (const int batch : batch_sizes(point_count)) {
+    for (const int workers : kWorkerCounts) {
+      const Exports e = run_once(plan, batch, workers);
+      EXPECT_EQ(e.ascii, baseline.ascii)
+          << "ascii diverged at batch_size=" << batch << " workers=" << workers;
+      EXPECT_EQ(e.csv, baseline.csv)
+          << "csv diverged at batch_size=" << batch << " workers=" << workers;
+      // every point is accounted for exactly once: priced lockstep, priced
+      // by the scalar engine, or evicted mid-batch and replayed
+      EXPECT_EQ(e.batch.batched_points + e.batch.scalar_points + e.batch.replayed_points,
+                point_count);
+      if (e.batch.batched_points > 0) saw_batched = true;
+      if (e.batch.replayed_points > 0) saw_replay = true;
+    }
+  }
+  EXPECT_TRUE(saw_batched) << "no setting ever took the lockstep path";
+  if (expect_replay) {
+    EXPECT_TRUE(saw_replay) << "expected divergent lanes to be replayed";
+  }
+}
+
+// --- the full-surface oracle --------------------------------------------------
+
+TEST(BatchOracle, AllRegisteredMachinesMeasuredSweep) {
+  // Every registered machine x 4 processor counts x 3 problem sizes, with
+  // measurement on (runs > 0), so the oracle covers predict + measure +
+  // record assembly end to end.
+  const suite::BenchmarkApp& app = suite::app("pi");
+  api::ExperimentPlan plan("batch oracle: all machines");
+  plan.source(app.source)
+      .machines({"cluster", "fattree", "ipsc860", "paragon", "whatif"})
+      .nprocs({1, 2, 4, 8})
+      .problems_from({16, 64, 256}, app.bindings)
+      .runs(2);
+  expect_oracle(plan, 5u * 4u * 3u);
+}
+
+TEST(BatchOracle, DirectiveVariantsSplitChunksDeterministically) {
+  // Chunks never span variants: consecutive points agree on the compiled
+  // program. Two Laplace distributions exercise that boundary.
+  const suite::BenchmarkApp& app = suite::app("laplace_bb");
+  api::ExperimentPlan plan("batch oracle: variants");
+  plan.source(app.source)
+      .machines({"ipsc860", "paragon"})
+      .nprocs({2, 4})
+      .add_variant("(block,block)", {"distribute d(block,block)"}, 2)
+      .add_variant("(block,*)", {"distribute d(block,*)"})
+      .problems_from({8, 16}, app.bindings)
+      .runs(0);
+  expect_oracle(plan, 2u * 2u * 2u * 2u);
+}
+
+// --- divergence ---------------------------------------------------------------
+
+TEST(BatchOracle, BindingDependentDoTripsForceReplay) {
+  // The outer DO trip count is a per-problem binding: lanes from different
+  // problems disagree at the first size-dependent scalar loop and are
+  // evicted to the scalar replay, which must reproduce the scalar report
+  // byte for byte.
+  static const char* const source = R"f90(
+program levels
+  parameter (n = 1024)
+  real v(n)
+!hpf$ template d(n)
+!hpf$ align v(i) with d(i)
+!hpf$ distribute d(block)
+  forall (i = 1:n) v(i) = real(i)
+  do it = 1, nlev
+    forall (i = 1:n) v(i) = v(i)*0.5 + 1.0
+  end do
+end program levels
+)f90";
+  api::ExperimentPlan plan("batch oracle: divergent do");
+  plan.source(source).machines({"ipsc860"}).nprocs({1, 2, 4});
+  for (const long long nlev : {2, 3, 5, 8}) {
+    front::Bindings b;
+    b.set_int("nlev", nlev);
+    plan.add_problem("nlev=" + std::to_string(nlev), b);
+  }
+  plan.runs(2);
+  expect_oracle(plan, 3u * 4u, /*expect_replay=*/true);
+}
+
+TEST(BatchOracle, PerLaneCriticalVariableSteersBranchesAndMasks) {
+  // `w` is a critical variable bound per problem: it steers an IF both
+  // ways across lanes (branch divergence) and feeds a masked local loop
+  // and a data-dependent DO WHILE (condition divergence). All three evict
+  // lanes mid-walk.
+  static const char* const source = R"f90(
+program masked
+  parameter (n = 512)
+  real v(n)
+  real w, acc
+!hpf$ template d(n)
+!hpf$ align v(i) with d(i)
+!hpf$ distribute d(block)
+  forall (i = 1:n) v(i) = real(i)*w
+  forall (i = 1:n, v(i) .gt. 64.0) v(i) = v(i)*0.5
+  if (w .gt. 2.0) then
+    forall (i = 1:n) v(i) = v(i) + 1.0
+  else
+    forall (i = 1:n) v(i) = v(i) - 1.0
+  end if
+  acc = w
+  do while (acc .gt. 1.0)
+    acc = acc*0.5
+    forall (i = 1:n) v(i) = v(i)*acc
+  end do
+end program masked
+)f90";
+  api::ExperimentPlan plan("batch oracle: per-lane critical");
+  plan.source(source).machines({"ipsc860", "cluster"}).nprocs({1, 4});
+  for (const double w : {0.5, 2.5, 7.0}) {
+    front::Bindings b;
+    b.set("w", w);
+    plan.add_problem("w=" + std::to_string(w), b);
+  }
+  plan.runs(2);
+  expect_oracle(plan, 2u * 2u * 3u, /*expect_replay=*/true);
+}
+
+// --- telemetry stays out of the exports ---------------------------------------
+
+TEST(BatchOracle, TelemetryExcludedFromExportsAndCsvRoundTrips) {
+  const suite::BenchmarkApp& app = suite::app("pi");
+  api::ExperimentPlan plan("batch oracle: telemetry");
+  plan.source(app.source).nprocs({1, 2, 4, 8}).problems_from({16, 64}, app.bindings).runs(0);
+
+  const Exports batched = run_once(plan, /*batch_size=*/8, /*workers=*/1);
+  EXPECT_GT(batched.batch.batched_points, 0u);
+  EXPECT_GT(batched.batch.ir_visits, 0u);
+  EXPECT_GT(batched.batch.mean_lanes_per_visit(), 1.0);
+  // the counters are real but invisible: exports match the scalar run
+  const Exports scalar = run_once(plan, /*batch_size=*/1, /*workers=*/1);
+  EXPECT_EQ(batched.ascii, scalar.ascii);
+  EXPECT_EQ(batched.csv, scalar.csv);
+  // and the CSV still round-trips through the parser
+  const api::RunReport parsed = api::RunReport::from_csv(batched.csv);
+  EXPECT_EQ(parsed.records.size(), 8u);
+  EXPECT_EQ(parsed.batch.batched_points, 0u);  // telemetry is not serialized
+}
+
+// --- studies ------------------------------------------------------------------
+
+TEST(BatchOracle, StudyExportsByteIdenticalAcrossBatchSizes) {
+  // A design study lowers to one batched Session::run over generated
+  // what-if machines; its CSV/JSON/ASCII exports must not depend on the
+  // batch size or worker count either.
+  const suite::BenchmarkApp& app = suite::app("pi");
+  study::StudyPlan plan("batch oracle: study");
+  plan.source(app.source)
+      .base_machine("ipsc860")
+      .knob_axis(study::Knob::Latency, {0.5, 2.0})
+      .knob_axis(study::Knob::Bandwidth, {1.0, 4.0})
+      .nprocs({2, 4})
+      .problems_from({32, 128}, app.bindings)
+      .runs(0);
+
+  std::vector<std::string> csvs, jsons, asciis;
+  for (const int batch : {1, 4, 64}) {
+    for (const int workers : kWorkerCounts) {
+      api::Session session;
+      api::RunOptions opts;
+      opts.workers = workers;
+      opts.batch_size = batch;
+      const study::StudyResult result = study::run_study(session, plan, opts);
+      csvs.push_back(result.csv());
+      jsons.push_back(result.json());
+      asciis.push_back(result.ascii());
+    }
+  }
+  for (std::size_t i = 1; i < csvs.size(); ++i) {
+    EXPECT_EQ(csvs[i], csvs[0]) << "study csv diverged at setting " << i;
+    EXPECT_EQ(jsons[i], jsons[0]) << "study json diverged at setting " << i;
+    EXPECT_EQ(asciis[i], asciis[0]) << "study ascii diverged at setting " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hpf90d

@@ -281,11 +281,45 @@ TEST(PlanCodec, OutcomeAndStatsRoundTrip) {
   stats.warmed_programs = 2;
   stats.jobs_done = 5;
   stats.spill_layouts_stored = 9;
+  stats.jobs_coalesced = 3;
+  stats.points_batched = 4000;
+  stats.points_scalar = 17;
+  stats.points_replayed = 2;
+  stats.batch_ir_visits = 1250;
+  stats.batch_lane_visits = 70000;
   const serve::ServerStats s2 = serve::decode_stats(serve::encode_stats(stats));
   EXPECT_EQ(s2.cache.layout_misses, 11u);
   EXPECT_EQ(s2.warmed_programs, 2u);
   EXPECT_EQ(s2.jobs_done, 5u);
   EXPECT_EQ(s2.spill_layouts_stored, 9u);
+  EXPECT_EQ(s2.jobs_coalesced, 3u);
+  EXPECT_EQ(s2.points_batched, 4000u);
+  EXPECT_EQ(s2.points_scalar, 17u);
+  EXPECT_EQ(s2.points_replayed, 2u);
+  EXPECT_EQ(s2.batch_ir_visits, 1250u);
+  EXPECT_EQ(s2.batch_lane_visits, 70000u);
+  EXPECT_EQ(s2.mean_lanes_per_visit(), 56.0);
+}
+
+TEST(PlanCodec, StatsCodecIsStrictAboutVersionAndBatchLine) {
+  const std::string good = serve::encode_stats(serve::ServerStats{});
+  EXPECT_EQ(good.rfind("hpf90d-stats 2\n", 0), 0u);
+  EXPECT_NE(good.find("\nbatch "), std::string::npos);
+
+  // a version-1 header (no batch telemetry) is a different wire format
+  std::string v1 = good;
+  v1.replace(v1.find("stats 2"), 7, "stats 1");
+  EXPECT_THROW((void)serve::decode_stats(v1), serve::CodecError);
+
+  // a batch line with missing or extra fields must throw, never misparse
+  const std::size_t pos = good.find("\nbatch ");
+  const std::size_t eol = good.find('\n', pos + 1);
+  std::string missing = good;
+  missing.replace(pos, eol - pos, "\nbatch 1 2 3");
+  EXPECT_THROW((void)serve::decode_stats(missing), serve::CodecError);
+  std::string extra = good;
+  extra.replace(pos, eol - pos, "\nbatch 1 2 3 4 5 6 7");
+  EXPECT_THROW((void)serve::decode_stats(extra), serve::CodecError);
 }
 
 // --- job queue ----------------------------------------------------------------
@@ -613,6 +647,67 @@ TEST(ExperimentServer, ConcurrentClientStress) {
   EXPECT_EQ(mismatches.load(), 0);
   const serve::ServerStats stats = fixture.server->stats();
   EXPECT_EQ(stats.jobs_done, static_cast<std::size_t>(kClients * kJobsEach));
+}
+
+TEST(ExperimentServer, BatchTelemetrySurfacesThroughTheStatsEndpoint) {
+  ServerFixture fixture;
+  serve::ServeClient client(fixture.options.socket_path, "tenant");
+  client.connect();
+  api::ExperimentPlan plan = small_plan("telemetry");
+  plan.nprocs({1, 2, 4, 8});
+  const serve::JobResult r = client.wait(client.submit(plan));
+  ASSERT_TRUE(r.ok()) << r.error;
+
+  // the daemon runs sweeps batched by default; its lockstep effectiveness
+  // is visible over the wire, and all points are accounted for
+  const serve::ServerStats stats = client.stats();
+  EXPECT_GT(stats.points_batched, 0u);
+  EXPECT_EQ(stats.points_batched + stats.points_scalar + stats.points_replayed, 4u);
+  EXPECT_GT(stats.batch_ir_visits, 0u);
+  EXPECT_GT(stats.mean_lanes_per_visit(), 1.0);
+}
+
+TEST(ExperimentServer, IdenticalInflightJobsCoalesceToOneExecution) {
+  serve::ServerOptions base;
+  base.executors = 2;  // a follower can pop while the leader executes
+  ServerFixture fixture("", base);
+  serve::ServeClient client(fixture.options.socket_path, "tenant-a");
+  client.connect();
+  serve::ServeClient other(fixture.options.socket_path, "tenant-b");
+  other.connect();
+
+  // a heavy plan keeps the leader busy long enough that the back-to-back
+  // identical submissions (same payload bytes = same content address) are
+  // all in flight together
+  api::ExperimentPlan heavy = small_plan("coalesce");
+  heavy.nprocs({1, 2, 4, 8}).problems_from({32, 48, 64, 96, 128}, [](long long n) {
+    front::Bindings b;
+    b.set_int("n", n);
+    return b;
+  });
+  heavy.runs(3);
+  const std::uint64_t a = client.submit(heavy);
+  const std::uint64_t b = other.submit(heavy);
+  const serve::JobResult ra = client.wait(a);
+  const serve::JobResult rb = other.wait(b);
+  ASSERT_TRUE(ra.ok()) << ra.error;
+  ASSERT_TRUE(rb.ok()) << rb.error;
+  EXPECT_EQ(ra.report.csv(), rb.report.csv());
+
+  const serve::ServerStats stats = fixture.server->stats();
+  EXPECT_EQ(stats.jobs_done, 2u);
+  // both tenants got an answer, but the sweep priced one tenant's points:
+  // the follower shared the leader's execution
+  if (stats.jobs_coalesced == 1u) {
+    EXPECT_EQ(stats.points_batched + stats.points_scalar + stats.points_replayed,
+              4u * 5u);
+  } else {
+    // the leader finished before the follower was popped (slow machine):
+    // both executed, independently and identically
+    EXPECT_EQ(stats.jobs_coalesced, 0u);
+    EXPECT_EQ(stats.points_batched + stats.points_scalar + stats.points_replayed,
+              2u * 4u * 5u);
+  }
 }
 
 }  // namespace
