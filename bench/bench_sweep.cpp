@@ -166,12 +166,15 @@ void BM_CompileToBytecode(benchmark::State& state) {
 }
 BENCHMARK(BM_CompileToBytecode)->Unit(benchmark::kMicrosecond);
 
-void BM_DivergentSweep_lanes(benchmark::State& state, int lanes) {
+void BM_DivergentSweep_lanes(benchmark::State& state, int lanes,
+                             bool compact = true) {
   // Worst case for lockstep: the outer DO trip count is a per-problem
-  // binding, so a 64-lane chunk splinters at the first size-dependent loop
-  // and most lanes are evicted to the scalar replay. The `replayed`
-  // counter reports the fraction of points that took eviction + replay —
-  // the divergence penalty is this benchmark vs its lanes1 capture.
+  // binding, so a 64-lane chunk splinters at the first size-dependent
+  // loop. With compact_lanes (the default) the evicted lanes re-batch by
+  // divergence key into lockstep refill windows; with it off they all
+  // fall to the scalar replay. The `replayed` counter is the fraction of
+  // points finally priced scalar, `refilled` the fraction of evictions
+  // recovered into refill windows.
   static const char* const source = R"f90(
 program levels
   parameter (n = 256)
@@ -201,19 +204,53 @@ end program levels
     warmed = true;
   }
   opts.batch_size = lanes;
-  double replayed = 0;
+  opts.compact_lanes = compact;
+  double replayed = 0, refilled = 0;
   for (auto _ : state) {
     const api::RunReport report = session.run(plan, opts);
     benchmark::DoNotOptimize(&report);
     const double total = static_cast<double>(plan.point_count());
     replayed = static_cast<double>(report.batch.replayed_points) / total;
+    refilled = report.batch.evicted_lanes == 0
+                   ? 0.0
+                   : static_cast<double>(report.batch.refilled_lanes) /
+                         static_cast<double>(report.batch.evicted_lanes);
   }
   state.counters["replayed"] = replayed;
+  state.counters["refilled"] = refilled;
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(plan.point_count()));
 }
 BENCHMARK_CAPTURE(BM_DivergentSweep_lanes, lanes1, 1)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_DivergentSweep_lanes, lanes64, 64)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DivergentSweep_lanes, lanes64_compaction_off, 64, false)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MeasuredSweep_lanes(benchmark::State& state, int lanes) {
+  // Measured points (runs > 0) dominate real Table-2 style sweeps; the
+  // lockstep measurement path (Simulator::measure_batch_into on top of
+  // Executor::rebind_run) shares per-run rebind work across the batch.
+  // An eighth of the predict-only point count keeps the wall time
+  // comparable to the other captures.
+  const long long points = std::max(16LL, sweep_points() / 8);
+  api::ExperimentPlan plan = sweep_plan(points);
+  plan.runs(2);
+  static api::Session session;  // warm across captures, like warm_session
+  static bool warmed = false;
+  api::RunOptions opts = options(1, true);
+  if (!warmed) {
+    (void)session.run(plan, opts);
+    warmed = true;
+  }
+  opts.batch_size = lanes;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.run(plan, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(plan.point_count()));
+}
+BENCHMARK_CAPTURE(BM_MeasuredSweep_lanes, lanes1, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MeasuredSweep_lanes, lanes64, 64)->Unit(benchmark::kMillisecond);
 
 void BM_ArenaSpeedup_pooled4(benchmark::State& state) {
   // The acceptance ratio, measured back to back on the same warm session:

@@ -40,10 +40,11 @@ const sim::MeasuredResult& EngineArena::measure_into(
 std::span<const core::PredictionResult> EngineArena::predict_batch(
     const compiler::CompiledProgram& prog, const machine::MachineModel& machine,
     const core::PredictOptions& options, std::span<const core::BatchLane> lanes,
-    bool& lockstep, core::BatchRunStats& stats) {
+    bool& lockstep, core::BatchRunStats& stats,
+    std::vector<core::EvictedLane>* deferred) {
   batch_predictions_.resize(lanes.size());
   lockstep = batch_engine_.interpret(prog, machine, options, lanes,
-                                     batch_predictions_.data(), stats);
+                                     batch_predictions_.data(), stats, deferred);
   if (!lockstep) {
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       engine_.rebind(prog, *lanes[i].layout, machine, options, *lanes[i].bindings);

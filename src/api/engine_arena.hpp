@@ -66,10 +66,15 @@ class EngineArena {
   /// effectiveness counters; when BatchEngine declines (traced run, too few
   /// lanes, program without complete cost bytecode) the arena falls back to
   /// a per-lane scalar loop, clears `lockstep`, and leaves `stats` alone.
+  /// `deferred` (optional) selects BatchEngine's eviction-export mode: see
+  /// batch_engine.hpp — exported lanes' result slots are left unwritten and
+  /// the caller re-batches or replays them. Only consulted when the
+  /// lockstep walk ran (the scalar fallback prices every lane).
   [[nodiscard]] std::span<const core::PredictionResult> predict_batch(
       const compiler::CompiledProgram& prog, const machine::MachineModel& machine,
       const core::PredictOptions& options, std::span<const core::BatchLane> lanes,
-      bool& lockstep, core::BatchRunStats& stats);
+      bool& lockstep, core::BatchRunStats& stats,
+      std::vector<core::EvictedLane>* deferred = nullptr);
 
   /// Batched measurement companion to predict_batch: measures every lane
   /// through the reusable executor into the arena's scratch vector

@@ -1,22 +1,34 @@
 #include "api/layout_store.hpp"
 
+#include <optional>
+
 namespace hpf90d::api {
 
 LayoutStore::LayoutPtr LayoutStore::get_or_build(const std::string& key,
                                                  const Builder& build) {
-  std::promise<LayoutPtr> promise;
+  const compiler::LayoutDigest digest = compiler::layout_digest_of(key);
+  return get_or_build(digest, [&]() -> const std::string& { return key; }, build);
+}
+
+LayoutStore::LayoutPtr LayoutStore::get_or_build(const compiler::LayoutDigest& digest,
+                                                 const KeyFn& key, const Builder& build) {
+  // The promise is constructed only on a miss: the hit path — the steady
+  // state of a warm sweep, millions of calls — allocates nothing (a
+  // promise's shared state is a heap allocation per call otherwise).
+  std::optional<std::promise<LayoutPtr>> promise;
   std::shared_future<LayoutPtr> future;
   std::uint64_t owner = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (const auto it = map_.find(key); it != map_.end()) {
+    if (const auto it = map_.find(digest); it != map_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       future = it->second.future;
     } else {
       ++misses_;
       owner = ++next_owner_;
-      lru_.push_front(key);
-      map_.emplace(key, Entry{promise.get_future().share(), lru_.begin(), owner});
+      promise.emplace();
+      lru_.push_front(digest);
+      map_.emplace(digest, Entry{promise->get_future().share(), lru_.begin(), owner});
       // The new entry sits at the hot end, so eviction can only claim other
       // keys (possibly ones whose build is still in flight — their waiters
       // hold the shared state, so the build completes normally).
@@ -37,27 +49,29 @@ LayoutStore::LayoutPtr LayoutStore::get_or_build(const std::string& key,
     // The spill tier answers in-memory misses before the builder runs: a
     // restarted process re-inherits every layout it (or any sibling) ever
     // built. Loaded entries are not written back; only fresh builds are.
-    if (spill_.load) layout = spill_.load(key);
+    // Spill files are addressed by the fingerprint *string*, which is why
+    // the KeyFn exists — and why it is only invoked here, on the miss path.
+    if (spill_.load) layout = spill_.load(key());
     if (layout) {
       ++spill_hits_;
     } else {
       layout = std::make_shared<const compiler::DataLayout>(build());
       fresh_build = true;
     }
-    promise.set_value(layout);
-    if (fresh_build && spill_.store) spill_.store(key, *layout);
+    promise->set_value(layout);
+    if (fresh_build && spill_.store) spill_.store(key(), *layout);
     return layout;
   } catch (...) {
     {
       // Erase only our own placeholder: eviction may already have dropped
       // it and a concurrent miss re-inserted a healthy one for this key.
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (const auto it = map_.find(key); it != map_.end() && it->second.owner == owner) {
+      if (const auto it = map_.find(digest); it != map_.end() && it->second.owner == owner) {
         lru_.erase(it->second.lru_it);
         map_.erase(it);
       }
     }
-    promise.set_exception(std::current_exception());
+    promise->set_exception(std::current_exception());
     throw;
   }
 }

@@ -38,6 +38,7 @@
 #include <unordered_map>
 
 #include "compiler/mapping.hpp"
+#include "compiler/pipeline.hpp"
 
 namespace hpf90d::api {
 
@@ -45,6 +46,10 @@ class LayoutStore {
  public:
   using LayoutPtr = std::shared_ptr<const compiler::DataLayout>;
   using Builder = std::function<compiler::DataLayout()>;
+  /// Lazily produces the fingerprint *string* for a digest-keyed lookup.
+  /// Only invoked on a miss (the spill tier addresses files by the string
+  /// key), so the hot hit path never materializes a key.
+  using KeyFn = std::function<const std::string&()>;
 
   struct Counters {
     std::size_t hits = 0;
@@ -69,8 +74,18 @@ class LayoutStore {
   /// lock) when the key is absent. Concurrent callers of one key share a
   /// single build; concurrent builds of distinct keys proceed in parallel.
   /// A throwing builder propagates to every waiter and leaves the key
-  /// absent, so the next lookup retries.
+  /// absent, so the next lookup retries. Funnels through the digest
+  /// overload below (the map is indexed by 128-bit content digest, never by
+  /// the string), so string and digest callers address the same entries.
   [[nodiscard]] LayoutPtr get_or_build(const std::string& key, const Builder& build);
+
+  /// Digest-keyed lookup — the sweep hot path. `digest` must be the
+  /// layout_fingerprint_digest of the configuration; `key` is consulted
+  /// only on a miss (spill addressing), so a warm lookup does no string
+  /// work at all. Identical counter and LRU behaviour to the string
+  /// overload.
+  [[nodiscard]] LayoutPtr get_or_build(const compiler::LayoutDigest& digest,
+                                       const KeyFn& key, const Builder& build);
 
   /// Attaches (or detaches, with default-constructed functions) the spill
   /// tier. Not safe to call concurrently with get_or_build.
@@ -92,16 +107,24 @@ class LayoutStore {
  private:
   struct Entry {
     std::shared_future<LayoutPtr> future;
-    std::list<std::string>::iterator lru_it;  // position in lru_
+    std::list<compiler::LayoutDigest>::iterator lru_it;  // position in lru_
     std::uint64_t owner = 0;  // which insert created this placeholder
+  };
+
+  /// The digest is already uniformly mixed; fold its halves for the bucket
+  /// index instead of re-hashing.
+  struct DigestHash {
+    std::size_t operator()(const compiler::LayoutDigest& d) const noexcept {
+      return static_cast<std::size_t>(d.a ^ (d.b * 0x9e3779b97f4a7c15ULL));
+    }
   };
 
   /// Evicts cold entries until size() <= capacity_; caller holds mutex_.
   void evict_excess_locked();
 
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, Entry> map_;
-  std::list<std::string> lru_;  // front = most recently used
+  std::unordered_map<compiler::LayoutDigest, Entry, DigestHash> map_;
+  std::list<compiler::LayoutDigest> lru_;  // front = most recently used
   std::size_t capacity_ = 0;    // 0 = unbounded
 
   std::uint64_t next_owner_ = 0;  // guarded by mutex_

@@ -174,17 +174,27 @@ struct ReportDiff {
 /// ascii()/csv()/from_csv() (they would break the oracle equality the
 /// batched path guarantees).
 struct BatchStats {
-  std::size_t batched_points = 0;   // points priced by the lockstep walk
+  std::size_t batched_points = 0;   // points priced by a lockstep walk
   std::size_t scalar_points = 0;    // points priced by the scalar engine
-  std::size_t replayed_points = 0;  // lanes evicted mid-batch and replayed
+  std::size_t replayed_points = 0;  // points evicted and finally priced scalar
   std::uint64_t ir_visits = 0;      // SPMD nodes visited by batch walks
   std::uint64_t lane_visits = 0;    // sum of active lanes over those visits
+  std::uint64_t evicted_lanes = 0;  // evictions (a point can evict repeatedly)
+  std::uint64_t refilled_lanes = 0; // evicted lanes re-entering a lockstep batch
+  std::uint64_t simd_stripes = 0;   // 8-lane stripes the cost bytecode evaluated
 
   /// Mean lanes priced per bytecode visit (1.0 would match scalar cost).
   [[nodiscard]] double mean_lanes_per_visit() const {
     return ir_visits == 0 ? 0.0
                           : static_cast<double>(lane_visits) /
                                 static_cast<double>(ir_visits);
+  }
+
+  /// Mean fraction of the configured lane width kept busy per visit — the
+  /// occupancy the re-compaction scheduler tries to maximize.
+  [[nodiscard]] double mean_occupancy(int batch_size) const {
+    return batch_size <= 0 ? 0.0
+                           : mean_lanes_per_visit() / static_cast<double>(batch_size);
   }
 };
 

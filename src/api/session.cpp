@@ -123,9 +123,26 @@ LayoutStore::LayoutPtr Session::layout_for(const compiler::CompiledProgram& prog
   // Content-addressed key: two structurally identical programs (identical
   // directives, symbols, aliases) share one entry regardless of who owns
   // them, and the entry outlives both (DataLayout is self-contained).
-  const std::string key = compiler::layout_fingerprint(prog, bindings, lo);
+  std::string key;
+  return layout_for(prog, bindings, lo, key);
+}
+
+LayoutStore::LayoutPtr Session::layout_for(const compiler::CompiledProgram& prog,
+                                           const front::Bindings& bindings,
+                                           const compiler::LayoutOptions& lo,
+                                           std::string& key_scratch) const {
+  // The digest streams the fingerprint bytes without building them; the
+  // string key is only materialized (into the worker's scratch buffer) when
+  // the store misses and needs a spill address.
+  const compiler::LayoutDigest digest =
+      compiler::layout_fingerprint_digest(prog, bindings, lo);
   return layout_store_.get_or_build(
-      key, [&] { return compiler::make_layout(prog, bindings, lo); });
+      digest,
+      [&]() -> const std::string& {
+        compiler::layout_fingerprint_into(key_scratch, prog, bindings, lo);
+        return key_scratch;
+      },
+      [&] { return compiler::make_layout(prog, bindings, lo); });
 }
 
 CacheStats Session::cache_stats() const noexcept {
@@ -286,32 +303,48 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   }
   report.records.resize(points.size());
 
-  // Partition the sweep into lockstep chunks: maximal runs of consecutive
-  // points sharing (compiled program, machine) — BatchEngine's lane
-  // contract — capped at batch_size lanes. The partition depends only on
-  // the plan and options, never on scheduling, so batch composition (and
-  // with it divergence/replay behaviour) is identical for every worker
-  // count. batch_size <= 1 or the legacy engine path degenerate to
-  // single-point chunks, i.e. exactly the scalar sweep.
+  // Partition the sweep into chunks: maximal runs of consecutive points
+  // sharing (compiled program, machine) — the lockstep lane contract —
+  // capped at a fixed granule. The cap is deliberately a constant, NOT
+  // batch_size, so the partition (and with it divergence, re-compaction,
+  // and replay behaviour) depends only on the plan — identical for every
+  // batch size, worker count, and SIMD width. Lockstep batching happens
+  // *inside* a chunk in windows of at most batch_size lanes; batch_size <=
+  // 1 and the legacy engine path degenerate to single-point windows, i.e.
+  // exactly the scalar sweep.
   struct Chunk {
     std::size_t begin = 0;
     std::size_t end = 0;
   };
-  const std::size_t max_lanes =
-      options.reuse_engines && options.batch_size > 1
-          ? static_cast<std::size_t>(options.batch_size)
-          : 1;
+  constexpr std::size_t kChunkGranule = 256;
   std::vector<Chunk> chunks;
-  chunks.reserve(points.size() / max_lanes + 1);
+  chunks.reserve(points.size() / kChunkGranule + 1);
   for (std::size_t i = 0; i < points.size();) {
     std::size_t j = i + 1;
-    while (j < points.size() && j - i < max_lanes &&
+    while (j < points.size() && j - i < kChunkGranule &&
            points[j].mach == points[i].mach && points[j].variant == points[i].variant) {
       ++j;
     }
     chunks.push_back(Chunk{i, j});
     i = j;
   }
+
+  const std::size_t lane_width =
+      options.reuse_engines && options.batch_size > 1
+          ? static_cast<std::size_t>(options.batch_size)
+          : 1;
+  const bool compact = options.compact_lanes && lane_width > 1;
+  // RunRecord reads only totals and phase sums, never the per-AAU /
+  // per-processor tables, so the sweep predicts lean (identical phase
+  // arithmetic, no table copies) — except under tracing, which needs the
+  // full result.
+  core::PredictOptions sweep_predict = plan.predict_opts();
+  sweep_predict.detailed = sweep_predict.trace;
+  // Re-compaction rounds are self-limiting — every lockstep window retires
+  // at least its lead lane, so the deferred pool strictly shrinks — but a
+  // cap stops pathological regroup chains early (the remainder replays
+  // scalar, the pre-compaction behaviour).
+  constexpr int kMaxCompactionRounds = 8;
 
   // Batch telemetry accumulates through order-independent integer sums, so
   // RunReport::batch is deterministic under any worker interleaving.
@@ -320,8 +353,13 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   std::atomic<std::size_t> replayed_points{0};
   std::atomic<std::uint64_t> ir_visits{0};
   std::atomic<std::uint64_t> lane_visits{0};
+  std::atomic<std::uint64_t> evicted_lanes{0};
+  std::atomic<std::uint64_t> refilled_lanes{0};
+  std::atomic<std::uint64_t> simd_stripes{0};
 
-  const auto run_point = [&](std::size_t i, EngineArena* arena) {
+  // Legacy per-point-engine path (RunOptions::reuse_engines = false): PR
+  // 2's behaviour, kept as the bench baseline.
+  const auto run_point = [&](std::size_t i) {
     const Point& pt = points[i];
     const auto& variant = plan.variants()[pt.variant];
 
@@ -331,77 +369,63 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     rec.problem = pt.problem->name;
     rec.nprocs = pt.nprocs;
     const compiler::CompiledProgram& prog = *variant_progs[pt.variant];
-    if (arena != nullptr) {
-      // The arena hot path: one layout lookup per point (prediction and
-      // measurement share it), no per-point engine construction, and the
-      // problem's bindings passed by reference instead of copied into a
-      // RunConfig.
-      compiler::LayoutOptions lo;
-      lo.nprocs = pt.nprocs;
-      if (variant.grid_rank) {
-        lo.grid_shape =
-            compiler::ProcGrid::factorized(pt.nprocs, *variant.grid_rank).shape;
-      }
-      const LayoutStore::LayoutPtr layout =
-          layout_for(prog, pt.problem->bindings, lo);
-      const machine::MachineModel& mach = *pt.mach;
-      const core::PredictionResult& pred = arena->predict(
-          prog, *layout, mach, plan.predict_opts(), pt.problem->bindings);
-      rec.comparison.estimated = pred.total;
-      rec.phases = PhaseBreakdown{pred.comp, pred.comm, pred.overhead, pred.wait};
-      if (plan.measure_runs() > 0) {
-        // measure_into: the arena's scratch MeasuredResult and executor
-        // recycle their buffers across all this worker's points.
-        const sim::MeasuredResult& measured =
-            arena->measure_into(prog, *layout, mach, plan.sim_opts(),
-                                plan.measure_runs(), pt.problem->bindings);
-        rec.comparison.measured_mean = measured.stats.mean;
-        rec.comparison.measured_min = measured.stats.min;
-        rec.comparison.measured_max = measured.stats.max;
-        rec.comparison.measured_stddev = measured.stats.stddev;
-        rec.measured = true;
-      }
-    } else {
-      // Legacy per-point-engine path (RunOptions::reuse_engines = false):
-      // PR 2's behaviour, kept as the bench baseline.
-      RunConfig cfg;
-      cfg.machine = *pt.machine;
-      cfg.nprocs = pt.nprocs;
-      if (variant.grid_rank) {
-        cfg.grid_shape =
-            compiler::ProcGrid::factorized(pt.nprocs, *variant.grid_rank).shape;
-      }
-      cfg.bindings = pt.problem->bindings;
-      cfg.runs = plan.measure_runs();
-      cfg.predict = plan.predict_opts();
-      cfg.sim = plan.sim_opts();
-      const core::PredictionResult pred = predict(prog, cfg);
-      rec.comparison.estimated = pred.total;
-      rec.phases = PhaseBreakdown{pred.comp, pred.comm, pred.overhead, pred.wait};
-      if (plan.measure_runs() > 0) {
-        const sim::MeasuredResult measured = measure(prog, cfg);
-        rec.comparison.measured_mean = measured.stats.mean;
-        rec.comparison.measured_min = measured.stats.min;
-        rec.comparison.measured_max = measured.stats.max;
-        rec.comparison.measured_stddev = measured.stats.stddev;
-        rec.measured = true;
-      }
+    RunConfig cfg;
+    cfg.machine = *pt.machine;
+    cfg.nprocs = pt.nprocs;
+    if (variant.grid_rank) {
+      cfg.grid_shape =
+          compiler::ProcGrid::factorized(pt.nprocs, *variant.grid_rank).shape;
+    }
+    cfg.bindings = pt.problem->bindings;
+    cfg.runs = plan.measure_runs();
+    cfg.predict = sweep_predict;
+    cfg.sim = plan.sim_opts();
+    const core::PredictionResult pred = predict(prog, cfg);
+    rec.comparison.estimated = pred.total;
+    rec.phases = PhaseBreakdown{pred.comp, pred.comm, pred.overhead, pred.wait};
+    if (plan.measure_runs() > 0) {
+      const sim::MeasuredResult measured = measure(prog, cfg);
+      rec.comparison.measured_mean = measured.stats.mean;
+      rec.comparison.measured_min = measured.stats.min;
+      rec.comparison.measured_max = measured.stats.max;
+      rec.comparison.measured_stddev = measured.stats.stddev;
+      rec.measured = true;
     }
     report.records[i] = std::move(rec);
   };
 
-  // One worker claim = one chunk. Single-lane chunks (and the legacy
-  // per-point-engine path) go through run_point unchanged; multi-lane
-  // chunks price every lane together through the arena's lockstep batch
-  // engine and assemble records by point index, so the record payload is
-  // byte-identical to the scalar path for any batch size and worker count.
-  // The lane/layout vectors are worker-owned scratch reused across chunks.
-  const auto run_chunk = [&](const Chunk& c, EngineArena* arena,
-                             std::vector<core::BatchLane>& lanes,
-                             std::vector<LayoutStore::LayoutPtr>& layouts) {
+  // One deferred entry per evicted lane awaiting re-batch: `key` groups
+  // lanes that diverged identically (core::EvictedLane), `offset` indexes
+  // the chunk's lane table.
+  struct DeferredPoint {
+    std::uint64_t key = 0;
+    std::uint32_t offset = 0;
+  };
+  // Worker-owned state reused across chunks (no per-chunk allocation in
+  // steady state).
+  struct WorkerScratch {
+    EngineArena arena;
+    std::vector<core::BatchLane> lanes;           // chunk lanes, offset order
+    std::vector<LayoutStore::LayoutPtr> layouts;  // keep-alives, offset order
+    std::vector<core::BatchLane> window;          // regrouped re-batch windows
+    std::vector<core::EvictedLane> evictions;     // per-window export
+    std::vector<DeferredPoint> deferred;          // this round's regroup pool
+    std::vector<DeferredPoint> deferred_next;     // evictions feeding next round
+    std::vector<std::size_t> scalar_replay;       // offsets replaying scalar
+    std::string layout_key;
+  };
+
+  // One worker claim = one chunk. The chunk runs as a stream of lockstep
+  // windows: fresh points in point order first, then re-compaction rounds
+  // that regroup evicted lanes by divergence key and give them a fresh
+  // lockstep batch, and finally scalar replays for whatever could not be
+  // regrouped. Records are assembled by point index and every point's
+  // arithmetic is bit-identical on every path, so the record payload is
+  // byte-identical for any batch size, worker count, or compaction setting.
+  const auto run_chunk = [&](const Chunk& c, WorkerScratch& ws) {
     const std::size_t n = c.end - c.begin;
-    if (arena == nullptr || n == 1) {
-      for (std::size_t i = c.begin; i < c.end; ++i) run_point(i, arena);
+    if (!options.reuse_engines) {
+      for (std::size_t i = c.begin; i < c.end; ++i) run_point(i);
       scalar_points.fetch_add(n, std::memory_order_relaxed);
       return;
     }
@@ -409,11 +433,13 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     const auto& variant = plan.variants()[p0.variant];
     const compiler::CompiledProgram& prog = *variant_progs[p0.variant];
     const machine::MachineModel& mach = *p0.mach;
-    lanes.clear();
-    layouts.clear();
-    // Layout lookups happen per point, in point order — the same cache-call
-    // pattern as the scalar arena path (exactly one lookup per point), which
-    // keeps report.cache identical between the two.
+    EngineArena& arena = ws.arena;
+
+    // Layout lookups happen per point, in point order — exactly one lookup
+    // per point for every batch size and compaction setting, which keeps
+    // report.cache identical across them all.
+    ws.lanes.clear();
+    ws.layouts.clear();
     for (std::size_t i = c.begin; i < c.end; ++i) {
       const Point& pt = points[i];
       compiler::LayoutOptions lo;
@@ -422,46 +448,156 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
         lo.grid_shape =
             compiler::ProcGrid::factorized(pt.nprocs, *variant.grid_rank).shape;
       }
-      layouts.push_back(layout_for(prog, pt.problem->bindings, lo));
-      lanes.push_back(core::BatchLane{layouts.back().get(), &pt.problem->bindings});
+      ws.layouts.push_back(layout_for(prog, pt.problem->bindings, lo, ws.layout_key));
+      ws.lanes.push_back(core::BatchLane{ws.layouts.back().get(), &pt.problem->bindings});
     }
-    bool lockstep = false;
-    core::BatchRunStats bs;
-    const std::span<const core::PredictionResult> preds =
-        arena->predict_batch(prog, mach, plan.predict_opts(), lanes, lockstep, bs);
-    if (lockstep) {
-      batched_points.fetch_add(n - bs.replayed_lanes, std::memory_order_relaxed);
-      replayed_points.fetch_add(bs.replayed_lanes, std::memory_order_relaxed);
-      ir_visits.fetch_add(bs.ir_visits, std::memory_order_relaxed);
-      lane_visits.fetch_add(bs.lane_visits, std::memory_order_relaxed);
-    } else {
-      scalar_points.fetch_add(n, std::memory_order_relaxed);
-    }
-    std::span<const sim::MeasuredResult> measured;
-    if (plan.measure_runs() > 0) {
-      measured = arena->measure_batch_into(prog, mach, plan.sim_opts(),
-                                           plan.measure_runs(), lanes);
-    }
-    for (std::size_t i = c.begin; i < c.end; ++i) {
+
+    // Local tallies, flushed to the shared atomics once per chunk.
+    std::size_t batched_n = 0, scalar_n = 0, replayed_n = 0;
+    std::uint64_t ir_n = 0, lanes_n = 0, evicted_n = 0, refilled_n = 0, stripes_n = 0;
+
+    const auto assemble = [&](std::size_t off, const core::PredictionResult& pred) {
+      const std::size_t i = c.begin + off;
       const Point& pt = points[i];
-      RunRecord rec;
+      RunRecord& rec = report.records[i];
       rec.machine = *pt.machine;
       rec.variant = variant.name;
       rec.problem = pt.problem->name;
       rec.nprocs = pt.nprocs;
-      const core::PredictionResult& pred = preds[i - c.begin];
       rec.comparison.estimated = pred.total;
       rec.phases = PhaseBreakdown{pred.comp, pred.comm, pred.overhead, pred.wait};
-      if (plan.measure_runs() > 0) {
-        const sim::RunStats& st = measured[i - c.begin].stats;
+    };
+
+    // One lockstep (or scalar-fallback) window. `off_of` maps window lane
+    // -> chunk offset; `refill` marks re-compaction windows (their lanes
+    // already evicted once).
+    const auto run_window = [&](std::span<const core::BatchLane> lane_span,
+                                const auto& off_of, bool refill) {
+      const std::size_t w = lane_span.size();
+      ws.evictions.clear();
+      bool lockstep = false;
+      core::BatchRunStats bs;
+      const std::span<const core::PredictionResult> preds =
+          arena.predict_batch(prog, mach, sweep_predict, lane_span, lockstep,
+                              bs, compact ? &ws.evictions : nullptr);
+      if (!lockstep) {
+        for (std::size_t k = 0; k < w; ++k) assemble(off_of(k), preds[k]);
+        (refill ? replayed_n : scalar_n) += w;
+        return;
+      }
+      ir_n += bs.ir_visits;
+      lanes_n += bs.lane_visits;
+      stripes_n += bs.simd_stripes;
+      evicted_n += bs.evicted_lanes;
+      if (refill) refilled_n += w;
+      if (!compact) {
+        // Internal-replay mode: every result slot is filled on return.
+        for (std::size_t k = 0; k < w; ++k) assemble(off_of(k), preds[k]);
+        batched_n += w - bs.replayed_lanes;
+        replayed_n += bs.replayed_lanes;
+        return;
+      }
+      // Exported evictions arrive sorted by lane; merge-walk the window.
+      std::size_t e = 0;
+      for (std::size_t k = 0; k < w; ++k) {
+        if (e < ws.evictions.size() && ws.evictions[e].lane == static_cast<int>(k)) {
+          const core::EvictedLane& ev = ws.evictions[e++];
+          const std::size_t off = off_of(k);
+          if (ev.rebatchable) {
+            ws.deferred_next.push_back(
+                DeferredPoint{ev.key, static_cast<std::uint32_t>(off)});
+          } else {
+            ws.scalar_replay.push_back(off);
+          }
+          continue;
+        }
+        assemble(off_of(k), preds[k]);
+        ++batched_n;
+      }
+    };
+
+    ws.deferred_next.clear();
+    ws.scalar_replay.clear();
+
+    // Phase 1 — fresh windows in point order.
+    for (std::size_t f = 0; f < n; f += lane_width) {
+      const std::size_t w = std::min(lane_width, n - f);
+      run_window(std::span<const core::BatchLane>(ws.lanes.data() + f, w),
+                 [&](std::size_t k) { return f + k; }, false);
+    }
+
+    // Phase 2 — re-compaction rounds: regroup evicted lanes by divergence
+    // key (ties broken by offset, so the schedule is deterministic and
+    // independent of anything but the chunk contents) and run each group
+    // as its own lockstep window.
+    for (int round = 0; !ws.deferred_next.empty(); ++round) {
+      ws.deferred.swap(ws.deferred_next);
+      ws.deferred_next.clear();
+      if (round >= kMaxCompactionRounds) {
+        for (const DeferredPoint& d : ws.deferred) ws.scalar_replay.push_back(d.offset);
+        break;
+      }
+      std::sort(ws.deferred.begin(), ws.deferred.end(),
+                [](const DeferredPoint& a, const DeferredPoint& b) {
+                  return a.key != b.key ? a.key < b.key : a.offset < b.offset;
+                });
+      for (std::size_t g = 0; g < ws.deferred.size();) {
+        std::size_t h = g + 1;
+        while (h < ws.deferred.size() && ws.deferred[h].key == ws.deferred[g].key) ++h;
+        for (std::size_t s = g; s < h; s += lane_width) {
+          const std::size_t w = std::min(lane_width, h - s);
+          if (w < 2) {
+            // a lone lane cannot run lockstep; replay it scalar
+            ws.scalar_replay.push_back(ws.deferred[s].offset);
+            continue;
+          }
+          ws.window.clear();
+          for (std::size_t k = 0; k < w; ++k) {
+            ws.window.push_back(ws.lanes[ws.deferred[s + k].offset]);
+          }
+          run_window(std::span<const core::BatchLane>(ws.window),
+                     [&](std::size_t k) {
+                       return static_cast<std::size_t>(ws.deferred[s + k].offset);
+                     },
+                     true);
+        }
+        g = h;
+      }
+    }
+
+    // Phase 3 — scalar replays, in point order (deterministic diagnostics).
+    std::sort(ws.scalar_replay.begin(), ws.scalar_replay.end());
+    for (const std::size_t off : ws.scalar_replay) {
+      assemble(off, arena.predict(prog, *ws.lanes[off].layout, mach,
+                                  sweep_predict, *ws.lanes[off].bindings));
+      ++replayed_n;
+    }
+
+    // Measurement: one batched pass over the whole chunk in point order —
+    // per-point bit-identical to measure_into, independent of how
+    // prediction grouped the lanes.
+    if (plan.measure_runs() > 0) {
+      const std::span<const sim::MeasuredResult> measured = arena.measure_batch_into(
+          prog, mach, plan.sim_opts(), plan.measure_runs(), ws.lanes);
+      for (std::size_t off = 0; off < n; ++off) {
+        RunRecord& rec = report.records[c.begin + off];
+        const sim::RunStats& st = measured[off].stats;
         rec.comparison.measured_mean = st.mean;
         rec.comparison.measured_min = st.min;
         rec.comparison.measured_max = st.max;
         rec.comparison.measured_stddev = st.stddev;
         rec.measured = true;
       }
-      report.records[i] = std::move(rec);
     }
+
+    batched_points.fetch_add(batched_n, std::memory_order_relaxed);
+    scalar_points.fetch_add(scalar_n, std::memory_order_relaxed);
+    replayed_points.fetch_add(replayed_n, std::memory_order_relaxed);
+    ir_visits.fetch_add(ir_n, std::memory_order_relaxed);
+    lane_visits.fetch_add(lanes_n, std::memory_order_relaxed);
+    evicted_lanes.fetch_add(evicted_n, std::memory_order_relaxed);
+    refilled_lanes.fetch_add(refilled_n, std::memory_order_relaxed);
+    simd_stripes.fetch_add(stripes_n, std::memory_order_relaxed);
   };
 
   int workers = options.workers;
@@ -470,27 +606,20 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
 
   if (workers == 1) {
     // the serial path: no threads, chunks executed in order through one arena
-    EngineArena arena;
-    std::vector<core::BatchLane> lanes;
-    std::vector<LayoutStore::LayoutPtr> layouts;
-    for (const Chunk& c : chunks) {
-      run_chunk(c, options.reuse_engines ? &arena : nullptr, lanes, layouts);
-    }
+    WorkerScratch ws;
+    for (const Chunk& c : chunks) run_chunk(c, ws);
   } else {
     std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::exception_ptr error;
     std::mutex error_mutex;
     const auto worker = [&] {
-      EngineArena arena;  // worker-owned: reused across all its chunks
-      std::vector<core::BatchLane> lanes;
-      std::vector<LayoutStore::LayoutPtr> layouts;
+      WorkerScratch ws;  // worker-owned: reused across all its chunks
       for (;;) {
         const std::size_t i = next.fetch_add(1);
         if (i >= chunks.size() || failed.load()) return;
         try {
-          run_chunk(chunks[i], options.reuse_engines ? &arena : nullptr, lanes,
-                    layouts);
+          run_chunk(chunks[i], ws);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!error) error = std::current_exception();
@@ -511,6 +640,9 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   report.batch.replayed_points = replayed_points.load();
   report.batch.ir_visits = ir_visits.load();
   report.batch.lane_visits = lane_visits.load();
+  report.batch.evicted_lanes = evicted_lanes.load();
+  report.batch.refilled_lanes = refilled_lanes.load();
+  report.batch.simd_stripes = simd_stripes.load();
   report.cache = cache_stats() - before;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

@@ -110,6 +110,15 @@ struct RunOptions {
   /// takes the scalar arena path); requires reuse_engines. Effectiveness
   /// counters land in RunReport::batch.
   int batch_size = 64;
+
+  /// Lane re-compaction: lanes that diverge out of a lockstep batch are
+  /// regrouped by divergence key (see core::EvictedLane) and re-batched
+  /// with equal-key lanes from the whole chunk, so a divergent sweep keeps
+  /// lane occupancy high instead of replaying most points scalar. false
+  /// falls back to BatchEngine's internal end-of-batch scalar replay. The
+  /// report payload is byte-identical either way (only RunReport::batch
+  /// telemetry and wall time change); only meaningful when batching runs.
+  bool compact_lanes = true;
 };
 
 class Session {
@@ -227,6 +236,13 @@ class Session {
   [[nodiscard]] LayoutStore::LayoutPtr layout_for(
       const compiler::CompiledProgram& prog, const front::Bindings& bindings,
       const compiler::LayoutOptions& lo) const;
+
+  /// Hot-path variant: the fingerprint is rebuilt into `key_scratch`
+  /// (worker-owned, reused across points), so a warm lookup performs no
+  /// allocation at all.
+  [[nodiscard]] LayoutStore::LayoutPtr layout_for(
+      const compiler::CompiledProgram& prog, const front::Bindings& bindings,
+      const compiler::LayoutOptions& lo, std::string& key_scratch) const;
 
   [[nodiscard]] static compiler::LayoutOptions layout_options(const RunConfig& c) {
     compiler::LayoutOptions lo;

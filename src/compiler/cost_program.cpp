@@ -375,29 +375,65 @@ inline long long batch_ll(double v) {
 }
 }  // namespace
 
-void eval_code_batch(const CostProgram& cp, const ExprCode& c, const BatchEnv& env,
-                     double* regs, double* out, unsigned char* ok) {
-  const std::size_t L = env.lanes();
-  std::fill(ok, ok + L, static_cast<unsigned char>(1));
+// Fixed-width stripe loop: the trip count is the compile-time kBatchStripe
+// and every operand column is contiguous and disjoint from dst (registers
+// are distinct slots; in-place dst==a is still elementwise independent), so
+// the loop is vectorizable without intrinsics. HPF90D_SIMD_LOOP asks the
+// compiler to vectorize it; HPF90D_DISABLE_SIMD (the CI A/B gate) drops the
+// hint without changing results — elementwise IEEE arithmetic is
+// bit-identical scalar or vectorized (no reassociation, no FMA contraction
+// beyond what the scalar loop would also get).
+#if defined(HPF90D_DISABLE_SIMD)
+#define HPF90D_SIMD_LOOP
+#elif defined(__clang__)
+#define HPF90D_SIMD_LOOP _Pragma("clang loop vectorize(enable)")
+#elif defined(__GNUC__)
+#define HPF90D_SIMD_LOOP _Pragma("GCC ivdep")
+#else
+#define HPF90D_SIMD_LOOP
+#endif
+
+// Each instruction dispatches once (instruction-major, so the switch cost
+// amortizes over the whole batch) and its lane loop runs as whole 8-lane
+// stripes: the inner trip count is the compile-time kBatchStripe, so the
+// vectorizer emits exactly one full-width body per stripe — no runtime
+// trip-count checks, no scalar prologue or epilogue (columns are padded to
+// the stripe width).
+#define HPF90D_STRIPE(expr)                                \
+  for (std::size_t s = 0; s < S; s += kBatchStripe) {      \
+    HPF90D_SIMD_LOOP                                       \
+    for (std::size_t l = s; l < s + kBatchStripe; ++l) {   \
+      expr;                                                \
+    }                                                      \
+  }                                                        \
+  break
+
+std::size_t eval_code_batch(const CostProgram& cp, const ExprCode& c,
+                            const BatchEnv& env, double* regs, double* out,
+                            unsigned char* ok) {
+  const std::size_t S = env.stride();
+  std::fill(ok, ok + S, static_cast<unsigned char>(1));
   const CostInstr* ip = cp.code.data() + c.first;
   const CostInstr* const end = ip + c.count;
   const double* pool = cp.pool.data();
   for (; ip != end; ++ip) {
     const CostInstr in = *ip;
-    double* dst = regs + static_cast<std::size_t>(in.dst) * L;
-    const double* a = regs + static_cast<std::size_t>(in.a) * L;
-    const double* b = regs + static_cast<std::size_t>(in.b) * L;
+    double* dst = regs + static_cast<std::size_t>(in.dst) * S;
+    const double* a = regs + static_cast<std::size_t>(in.a) * S;
+    const double* b = regs + static_cast<std::size_t>(in.b) * S;
     switch (in.op) {
-      case CostOp::Const: std::fill(dst, dst + L, pool[in.a]); break;
+      case CostOp::Const: {
+        const double v = pool[in.a];
+        HPF90D_STRIPE(dst[l] = v);
+      }
       case CostOp::Load: {
         const double* v = env.values(in.a);
         const unsigned char* d = env.defined(in.a);
-        for (std::size_t l = 0; l < L; ++l) {
-          if (d[l] == 0) {
-            ok[l] = 0;
-            dst[l] = 0.0;
-          } else {
-            dst[l] = v[l];
+        for (std::size_t s = 0; s < S; s += kBatchStripe) {
+          HPF90D_SIMD_LOOP
+          for (std::size_t l = s; l < s + kBatchStripe; ++l) {
+            ok[l] = d[l] != 0 ? ok[l] : static_cast<unsigned char>(0);
+            dst[l] = d[l] != 0 ? v[l] : 0.0;
           }
         }
         break;
@@ -406,36 +442,24 @@ void eval_code_batch(const CostProgram& cp, const ExprCode& c, const BatchEnv& e
         const double* v = env.values(in.a);
         const unsigned char* d = env.defined(in.a);
         const double dflt = pool[in.b];
-        for (std::size_t l = 0; l < L; ++l) dst[l] = d[l] != 0 ? v[l] : dflt;
-        break;
+        HPF90D_STRIPE(dst[l] = d[l] != 0 ? v[l] : dflt);
       }
       case CostOp::Fail:
-        std::fill(ok, ok + L, static_cast<unsigned char>(0));
-        std::fill(dst, dst + L, 0.0);
+        std::fill(ok, ok + S, static_cast<unsigned char>(0));
+        std::fill(dst, dst + S, 0.0);
         break;
-      case CostOp::Neg:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = -a[l];
-        break;
-      case CostOp::Not:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] == 0.0 ? 1.0 : 0.0;
-        break;
-      case CostOp::Add:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] + b[l];
-        break;
-      case CostOp::Sub:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] - b[l];
-        break;
-      case CostOp::Mul:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] * b[l];
-        break;
-      case CostOp::Div:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] / b[l];
-        break;
+      case CostOp::Neg: HPF90D_STRIPE(dst[l] = -a[l]);
+      case CostOp::Not: HPF90D_STRIPE(dst[l] = a[l] == 0.0 ? 1.0 : 0.0);
+      case CostOp::Add: HPF90D_STRIPE(dst[l] = a[l] + b[l]);
+      case CostOp::Sub: HPF90D_STRIPE(dst[l] = a[l] - b[l]);
+      case CostOp::Mul: HPF90D_STRIPE(dst[l] = a[l] * b[l]);
+      case CostOp::Div: HPF90D_STRIPE(dst[l] = a[l] / b[l]);
       case CostOp::Pow:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::pow(a[l], b[l]);
+        // libm calls stay scalar inside the stripe (no vector math lib)
+        for (std::size_t l = 0; l < S; ++l) dst[l] = std::pow(a[l], b[l]);
         break;
       case CostOp::IDiv:
-        for (std::size_t l = 0; l < L; ++l) {
+        for (std::size_t l = 0; l < S; ++l) {
           const long long bi = batch_ll(b[l]);
           if (bi == 0) {
             ok[l] = 0;
@@ -445,39 +469,21 @@ void eval_code_batch(const CostProgram& cp, const ExprCode& c, const BatchEnv& e
           }
         }
         break;
-      case CostOp::Lt:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] < b[l] ? 1.0 : 0.0;
-        break;
-      case CostOp::Le:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] <= b[l] ? 1.0 : 0.0;
-        break;
-      case CostOp::Gt:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] > b[l] ? 1.0 : 0.0;
-        break;
-      case CostOp::Ge:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] >= b[l] ? 1.0 : 0.0;
-        break;
-      case CostOp::Eq:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] == b[l] ? 1.0 : 0.0;
-        break;
-      case CostOp::Ne:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = a[l] != b[l] ? 1.0 : 0.0;
-        break;
+      case CostOp::Lt: HPF90D_STRIPE(dst[l] = a[l] < b[l] ? 1.0 : 0.0);
+      case CostOp::Le: HPF90D_STRIPE(dst[l] = a[l] <= b[l] ? 1.0 : 0.0);
+      case CostOp::Gt: HPF90D_STRIPE(dst[l] = a[l] > b[l] ? 1.0 : 0.0);
+      case CostOp::Ge: HPF90D_STRIPE(dst[l] = a[l] >= b[l] ? 1.0 : 0.0);
+      case CostOp::Eq: HPF90D_STRIPE(dst[l] = a[l] == b[l] ? 1.0 : 0.0);
+      case CostOp::Ne: HPF90D_STRIPE(dst[l] = a[l] != b[l] ? 1.0 : 0.0);
       case CostOp::And:
-        for (std::size_t l = 0; l < L; ++l) {
-          dst[l] = (a[l] != 0.0 && b[l] != 0.0) ? 1.0 : 0.0;
-        }
-        break;
+        HPF90D_STRIPE(dst[l] = (a[l] != 0.0 && b[l] != 0.0) ? 1.0 : 0.0);
       case CostOp::Or:
-        for (std::size_t l = 0; l < L; ++l) {
-          dst[l] = (a[l] != 0.0 || b[l] != 0.0) ? 1.0 : 0.0;
-        }
-        break;
+        HPF90D_STRIPE(dst[l] = (a[l] != 0.0 || b[l] != 0.0) ? 1.0 : 0.0);
       case CostOp::FMod:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::fmod(a[l], b[l]);
+        for (std::size_t l = 0; l < S; ++l) dst[l] = std::fmod(a[l], b[l]);
         break;
       case CostOp::IMod:
-        for (std::size_t l = 0; l < L; ++l) {
+        for (std::size_t l = 0; l < S; ++l) {
           const long long bi = batch_ll(b[l]);
           if (bi == 0) {
             ok[l] = 0;
@@ -487,53 +493,43 @@ void eval_code_batch(const CostProgram& cp, const ExprCode& c, const BatchEnv& e
           }
         }
         break;
-      case CostOp::Min2:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::min(a[l], b[l]);
-        break;
-      case CostOp::Max2:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::max(a[l], b[l]);
-        break;
+      case CostOp::Min2: HPF90D_STRIPE(dst[l] = std::min(a[l], b[l]));
+      case CostOp::Max2: HPF90D_STRIPE(dst[l] = std::max(a[l], b[l]));
       case CostOp::Sign2:
-        for (std::size_t l = 0; l < L; ++l) {
-          dst[l] = b[l] >= 0 ? std::fabs(a[l]) : -std::fabs(a[l]);
-        }
-        break;
+        HPF90D_STRIPE(dst[l] = b[l] >= 0 ? std::fabs(a[l]) : -std::fabs(a[l]));
       case CostOp::Exp:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::exp(a[l]);
+        for (std::size_t l = 0; l < S; ++l) dst[l] = std::exp(a[l]);
         break;
       case CostOp::Log:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::log(a[l]);
+        for (std::size_t l = 0; l < S; ++l) dst[l] = std::log(a[l]);
         break;
-      case CostOp::Sqrt:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::sqrt(a[l]);
-        break;
-      case CostOp::Abs:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::fabs(a[l]);
-        break;
+      case CostOp::Sqrt: HPF90D_STRIPE(dst[l] = std::sqrt(a[l]));
+      case CostOp::Abs: HPF90D_STRIPE(dst[l] = std::fabs(a[l]));
       case CostOp::Sin:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::sin(a[l]);
+        for (std::size_t l = 0; l < S; ++l) dst[l] = std::sin(a[l]);
         break;
       case CostOp::Cos:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::cos(a[l]);
+        for (std::size_t l = 0; l < S; ++l) dst[l] = std::cos(a[l]);
         break;
       case CostOp::Atan:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::atan(a[l]);
+        for (std::size_t l = 0; l < S; ++l) dst[l] = std::atan(a[l]);
         break;
-      case CostOp::Trunc:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::trunc(a[l]);
-        break;
+      case CostOp::Trunc: HPF90D_STRIPE(dst[l] = std::trunc(a[l]));
       case CostOp::Nint:
-        for (std::size_t l = 0; l < L; ++l) dst[l] = std::nearbyint(a[l]);
+        for (std::size_t l = 0; l < S; ++l) dst[l] = std::nearbyint(a[l]);
         break;
       case CostOp::Merge: {
-        const double* cc = regs + static_cast<std::size_t>(in.c) * L;
-        for (std::size_t l = 0; l < L; ++l) dst[l] = cc[l] != 0.0 ? a[l] : b[l];
-        break;
+        const double* cc = regs + static_cast<std::size_t>(in.c) * S;
+        HPF90D_STRIPE(dst[l] = cc[l] != 0.0 ? a[l] : b[l]);
       }
     }
   }
-  const double* res = regs + static_cast<std::size_t>(c.result) * L;
-  std::copy(res, res + L, out);
+  const double* res = regs + static_cast<std::size_t>(c.result) * S;
+  std::copy(res, res + S, out);
+  return S / kBatchStripe;
 }
+
+#undef HPF90D_STRIPE
+#undef HPF90D_SIMD_LOOP
 
 }  // namespace hpf90d::compiler

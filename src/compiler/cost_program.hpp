@@ -105,33 +105,46 @@ struct CostProgram {
 [[nodiscard]] std::shared_ptr<const CostProgram> compile_cost_program(
     const CompiledProgram& prog);
 
+/// Lanes per SIMD stripe of the batch evaluator: one cache line of doubles,
+/// the widest vector any mainstream ISA retires in one register (AVX-512)
+/// and a whole-number multiple of SSE2/NEON/AVX2 widths. Column strides,
+/// register files, and the out/ok spans of eval_code_batch are padded to
+/// this width so every inner loop has a fixed, compile-time trip count.
+inline constexpr std::size_t kBatchStripe = 8;
+
 /// Structure-of-arrays scalar environment for lockstep batch evaluation:
 /// values(slot)[lane] with a parallel defined mask. Lane count is fixed per
-/// reset; slots mirror ScalarEnv symbol ids.
+/// reset; slots mirror ScalarEnv symbol ids. Columns are padded to a
+/// kBatchStripe multiple (stride()); padding lanes read as undefined zeros,
+/// so stripe-major evaluation computes harmless garbage for them.
 class BatchEnv {
  public:
   void reset(std::size_t symbol_count, std::size_t lanes) {
     lanes_ = lanes;
-    values_.assign(symbol_count * lanes, 0.0);
-    defined_.assign(symbol_count * lanes, 0);
+    stride_ = (lanes + kBatchStripe - 1) / kBatchStripe * kBatchStripe;
+    values_.assign(symbol_count * stride_, 0.0);
+    defined_.assign(symbol_count * stride_, 0);
   }
 
   [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  /// Column spacing: lanes() rounded up to a kBatchStripe multiple.
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
 
   [[nodiscard]] const double* values(int slot) const {
-    return values_.data() + static_cast<std::size_t>(slot) * lanes_;
+    return values_.data() + static_cast<std::size_t>(slot) * stride_;
   }
   [[nodiscard]] const unsigned char* defined(int slot) const {
-    return defined_.data() + static_cast<std::size_t>(slot) * lanes_;
+    return defined_.data() + static_cast<std::size_t>(slot) * stride_;
   }
 
   void define(int slot, std::size_t lane, double value) {
-    values_[static_cast<std::size_t>(slot) * lanes_ + lane] = value;
-    defined_[static_cast<std::size_t>(slot) * lanes_ + lane] = 1;
+    values_[static_cast<std::size_t>(slot) * stride_ + lane] = value;
+    defined_[static_cast<std::size_t>(slot) * stride_ + lane] = 1;
   }
 
  private:
   std::size_t lanes_ = 0;
+  std::size_t stride_ = 0;
   std::vector<double> values_;
   std::vector<unsigned char> defined_;
 };
@@ -144,11 +157,22 @@ class BatchEnv {
                                               const ScalarEnv& env, double* regs);
 
 /// Executes one compiled expression over every lane of `env` in lockstep.
-/// `regs` must hold max_regs * lanes doubles; `out` and `ok` hold one entry
-/// per lane (ok[l] == 0 marks a lane whose evaluation failed; its out value
-/// is unspecified). Lane l's result is bit-identical to eval_code against
-/// lane l's scalar environment.
-void eval_code_batch(const CostProgram& cp, const ExprCode& c, const BatchEnv& env,
-                     double* regs, double* out, unsigned char* ok);
+/// Dispatch is instruction-major (one switch per instruction, amortized
+/// over the whole batch) and every lane loop runs as whole 8-lane stripes
+/// over stride-padded columns, so the vectorizer emits full-width bodies
+/// with no runtime trip-count checks and no scalar epilogue.
+///
+/// `regs` must hold max_regs * env.stride() doubles, 64-byte aligned (the
+/// stride is a kBatchStripe multiple, so every register column is then
+/// cache-line aligned too); `out` and `ok` hold env.stride() entries
+/// (ok[l] == 0 marks a lane whose evaluation failed; its out value is
+/// unspecified, as are all entries past env.lanes()). Lane l's result is
+/// bit-identical to eval_code against lane l's scalar environment: stripes
+/// only regroup independent per-lane arithmetic, and no fast-math
+/// reassociation is in play. Returns the number of stripes executed
+/// (telemetry).
+std::size_t eval_code_batch(const CostProgram& cp, const ExprCode& c,
+                            const BatchEnv& env, double* regs, double* out,
+                            unsigned char* ok);
 
 }  // namespace hpf90d::compiler

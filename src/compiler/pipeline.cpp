@@ -160,27 +160,73 @@ std::string structure_fingerprint(const CompiledProgram& prog) {
   return fp;
 }
 
-std::string layout_fingerprint(const CompiledProgram& prog,
-                               const front::Bindings& bindings,
-                               const LayoutOptions& options) {
-  std::string fp;
-  fp.reserve(prog.structure_fingerprint.size() + 128);
+namespace {
+/// Sink feeding fingerprint bytes into a caller-owned string.
+struct StringSink {
+  std::string& out;
+  void put(char c) { out += c; }
+  void put(const char* p, std::size_t n) { out.append(p, n); }
+};
 
-  // layout options
-  fp += "P=" + std::to_string(options.nprocs);
-  if (options.grid_shape) {
-    fp += ":g";
-    for (int s : *options.grid_shape) fp += std::to_string(s) + "x";
+/// Sink feeding the same bytes into two FNV-1a style streams (different
+/// offset basis and multiplier), never materializing them.
+struct DigestSink {
+  std::uint64_t a = 14695981039346656037ULL;  // FNV-1a 64 offset basis
+  std::uint64_t b = 14695981039346656037ULL ^ 0x9e3779b97f4a7c15ULL;
+  void put(char c) {
+    const auto x = static_cast<unsigned char>(c);
+    a = (a ^ x) * 1099511628211ULL;        // FNV-1a 64 prime
+    b = (b ^ x) * 0x9e3779b97f4a7c15ULL;   // odd golden-ratio multiplier
   }
-  fp += '\x1d';
+  void put(const char* p, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) put(p[i]);
+  }
+};
+
+/// Feeds a decimal integer without the std::to_string temporary (the
+/// layout key is built once per sweep point; the hot path reuses one
+/// caller-owned buffer — or no buffer at all, for the digest sink).
+template <class Sink>
+void feed_int(Sink& out, long long v) {
+  char buf[24];
+  char* p = buf + sizeof buf;
+  const bool neg = v < 0;
+  unsigned long long u = neg ? 0ULL - static_cast<unsigned long long>(v)
+                             : static_cast<unsigned long long>(v);
+  do {
+    *--p = static_cast<char>('0' + (u % 10));
+    u /= 10;
+  } while (u != 0);
+  if (neg) *--p = '-';
+  out.put(p, static_cast<std::size_t>(buf + sizeof buf - p));
+}
+
+/// The one definition of the fingerprint byte sequence: both the string
+/// key and its streaming digest are produced from this template, which is
+/// what guarantees layout_fingerprint_digest == layout_digest_of(
+/// layout_fingerprint(...)) byte for byte.
+template <class Sink>
+void feed_fingerprint(Sink& fp, const CompiledProgram& prog,
+                      const front::Bindings& bindings, const LayoutOptions& options) {
+  // layout options
+  fp.put("P=", 2);
+  feed_int(fp, options.nprocs);
+  if (options.grid_shape) {
+    fp.put(":g", 2);
+    for (int s : *options.grid_shape) {
+      feed_int(fp, s);
+      fp.put('x');
+    }
+  }
+  fp.put('\x1d');
 
   // bindings (map iteration is name-sorted, so the order is canonical);
   // values render as their raw IEEE bit pattern in fixed-width hex — exact
   // without a decimal round-trip, and far cheaper than %.17g on what is
   // the layout-key hot path of every sweep point
   for (const auto& [name, value] : bindings.values()) {
-    fp += name;
-    fp += '=';
+    fp.put(name.data(), name.size());
+    fp.put('=');
     std::uint64_t bits = 0;
     std::memcpy(&bits, &value, sizeof bits);
     char hex[16];
@@ -188,10 +234,10 @@ std::string layout_fingerprint(const CompiledProgram& prog,
       hex[i] = "0123456789abcdef"[bits & 0xF];
       bits >>= 4;
     }
-    fp.append(hex, sizeof hex);
-    fp += '\x1e';
+    fp.put(hex, sizeof hex);
+    fp.put('\x1e');
   }
-  fp += '\x1d';
+  fp.put('\x1d');
 
   // program structure, compacted to a 64-bit digest plus length (the
   // program key's collision posture: a collision needs same-length
@@ -200,12 +246,45 @@ std::string layout_fingerprint(const CompiledProgram& prog,
   // digest string is precomputed by the pipeline; only hand-built programs
   // that never went through compile() pay for it here.
   if (!prog.structure_digest.empty()) {
-    fp += prog.structure_digest;
+    fp.put(prog.structure_digest.data(), prog.structure_digest.size());
   } else if (!prog.structure_fingerprint.empty()) {
-    fp += digest_of(prog.structure_fingerprint);
+    const std::string d = digest_of(prog.structure_fingerprint);
+    fp.put(d.data(), d.size());
   } else {
-    fp += digest_of(structure_fingerprint(prog));
+    const std::string d = digest_of(structure_fingerprint(prog));
+    fp.put(d.data(), d.size());
   }
+}
+}  // namespace
+
+void layout_fingerprint_into(std::string& fp, const CompiledProgram& prog,
+                             const front::Bindings& bindings,
+                             const LayoutOptions& options) {
+  fp.clear();
+  if (fp.capacity() < 128) fp.reserve(prog.structure_fingerprint.size() + 128);
+  StringSink sink{fp};
+  feed_fingerprint(sink, prog, bindings, options);
+}
+
+LayoutDigest layout_fingerprint_digest(const CompiledProgram& prog,
+                                       const front::Bindings& bindings,
+                                       const LayoutOptions& options) {
+  DigestSink sink;
+  feed_fingerprint(sink, prog, bindings, options);
+  return LayoutDigest{sink.a, sink.b};
+}
+
+LayoutDigest layout_digest_of(std::string_view fingerprint) {
+  DigestSink sink;
+  sink.put(fingerprint.data(), fingerprint.size());
+  return LayoutDigest{sink.a, sink.b};
+}
+
+std::string layout_fingerprint(const CompiledProgram& prog,
+                               const front::Bindings& bindings,
+                               const LayoutOptions& options) {
+  std::string fp;
+  layout_fingerprint_into(fp, prog, bindings, options);
   return fp;
 }
 

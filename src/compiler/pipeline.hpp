@@ -4,6 +4,7 @@
 // detection + SPMD generation.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -51,5 +52,37 @@ namespace hpf90d::compiler {
 [[nodiscard]] std::string layout_fingerprint(const CompiledProgram& prog,
                                              const front::Bindings& bindings,
                                              const LayoutOptions& options);
+
+/// Same fingerprint, rebuilt into a caller-owned buffer (cleared first).
+/// The sweep hot path computes one key per point; reusing a per-worker
+/// buffer removes the last per-point allocation from the layout lookup.
+void layout_fingerprint_into(std::string& out, const CompiledProgram& prog,
+                             const front::Bindings& bindings,
+                             const LayoutOptions& options);
+
+/// 128-bit content digest of a layout fingerprint: two independent FNV-1a
+/// style streams over the exact byte sequence layout_fingerprint produces,
+/// so layout_fingerprint_digest(p, b, o) == layout_digest_of(
+/// layout_fingerprint(p, b, o)) always — the string and streaming entry
+/// points address the same cache entry. At 128 bits over machine-generated
+/// (non-adversarial) keys, a collision is beyond-astronomical, which is
+/// what lets the layout store index on the digest alone.
+struct LayoutDigest {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  friend bool operator==(const LayoutDigest&, const LayoutDigest&) = default;
+};
+
+/// Streams the fingerprint bytes straight into a LayoutDigest — no string
+/// is materialized. This is the per-point layout lookup of a warm sweep:
+/// hashing ~tens of bytes replaces building, re-hashing, and comparing a
+/// key string on every probe.
+[[nodiscard]] LayoutDigest layout_fingerprint_digest(const CompiledProgram& prog,
+                                                     const front::Bindings& bindings,
+                                                     const LayoutOptions& options);
+
+/// Digest of an already-built fingerprint string (the slow-path/string API
+/// of the layout store funnels through this).
+[[nodiscard]] LayoutDigest layout_digest_of(std::string_view fingerprint);
 
 }  // namespace hpf90d::compiler

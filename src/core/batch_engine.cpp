@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 
 #include "support/diagnostics.hpp"
@@ -11,24 +12,42 @@ namespace hpf90d::core {
 using compiler::SpmdKind;
 using support::CompileError;
 
-template <class Pred>
-void BatchEngine::evict_unless(Pred keep) {
+namespace {
+
+/// hash_combine-style mixer for the control-path hash. Quality only
+/// affects re-compaction grouping (a collision re-evicts), never results.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return (h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4))) *
+         0x2545f4914f6cdd1dULL;
+}
+
+}  // namespace
+
+template <class Pred, class Outcome>
+void BatchEngine::evict_unless(Pred keep, Outcome outcome, bool rebatchable) {
+  const std::uint64_t base = path_hash_;
+  const auto key_of = [&](int l) {
+    return mix(base, static_cast<std::uint64_t>(static_cast<long long>(outcome(l))));
+  };
   std::size_t w = 0;
   for (const int l : active_) {
     if (keep(l)) {
       active_[w++] = l;
     } else {
-      evicted_.push_back(l);
+      evicted_.push_back(EvictedLane{l, key_of(l), rebatchable});
     }
   }
   active_.resize(w);
+  // Every site folds the kept outcome in — even when nothing evicted — so
+  // the hash encodes the whole decision sequence, not just divergences.
+  if (w > 0) path_hash_ = key_of(active_[0]);
 }
 
 bool BatchEngine::interpret(const compiler::CompiledProgram& prog,
                             const machine::MachineModel& machine,
                             const PredictOptions& options,
                             std::span<const BatchLane> lanes, PredictionResult* results,
-                            BatchRunStats& stats) {
+                            BatchRunStats& stats, std::vector<EvictedLane>* deferred) {
   if (options.trace || lanes.size() < 2) return false;
   const compiler::CostProgram* cp = prog.cost_program.get();
   // An incomplete bytecode would need per-lane tree evaluation — i.e. a
@@ -66,9 +85,13 @@ bool BatchEngine::interpret(const compiler::CompiledProgram& prog,
     }
   }
 
-  regs_.resize(static_cast<std::size_t>(cp->max_regs) * L);
-  vals_.resize(L);
-  ok_.resize(L);
+  // Register columns are stride-padded; align the file to a cache line so
+  // every column starts on an aligned 8-double boundary.
+  regs_.resize(static_cast<std::size_t>(cp->max_regs) * env_.stride() + 8);
+  const auto raw = reinterpret_cast<std::uintptr_t>(regs_.data());
+  regs_aligned_ = reinterpret_cast<double*>((raw + 63) & ~std::uintptr_t{63});
+  vals_.resize(env_.stride());
+  ok_.resize(env_.stride());
   pts_.resize(L);
   b_lo_.resize(L);
   b_hi_.resize(L);
@@ -77,21 +100,31 @@ bool BatchEngine::interpret(const compiler::CompiledProgram& prog,
   active_.resize(L);
   std::iota(active_.begin(), active_.end(), 0);
   evicted_.clear();
+  path_hash_ = 0xcbf29ce484222325ULL;
 
   walk_seq(prog.root->children);
 
   for (const int l : active_) {
     engines_[static_cast<std::size_t>(l)].finalize_into(results[l]);
   }
-  // Divergent lanes replay from scratch on the scalar path (lane order, so
-  // any exception surfaces deterministically).
-  std::sort(evicted_.begin(), evicted_.end());
-  stats_.replayed_lanes = evicted_.size();
-  for (const int l : evicted_) {
-    auto& e = engines_[static_cast<std::size_t>(l)];
-    e.rebind(prog, *lanes[static_cast<std::size_t>(l)].layout, machine, options,
-             *lanes[static_cast<std::size_t>(l)].bindings);
-    e.interpret_into(results[l]);
+  stats_.evicted_lanes = evicted_.size();
+  std::sort(evicted_.begin(), evicted_.end(),
+            [](const EvictedLane& a, const EvictedLane& b) { return a.lane < b.lane; });
+  if (deferred != nullptr) {
+    // Eviction-export mode: the caller's re-compaction scheduler regroups
+    // equal-key lanes into fresh lockstep batches; their results[] slots
+    // stay untouched here.
+    deferred->insert(deferred->end(), evicted_.begin(), evicted_.end());
+  } else {
+    // Divergent lanes replay from scratch on the scalar path (lane order,
+    // so any exception surfaces deterministically).
+    stats_.replayed_lanes = evicted_.size();
+    for (const EvictedLane& ev : evicted_) {
+      const auto u = static_cast<std::size_t>(ev.lane);
+      auto& e = engines_[u];
+      e.rebind(prog, *lanes[u].layout, machine, options, *lanes[u].bindings);
+      e.interpret_into(results[ev.lane]);
+    }
   }
   stats = stats_;
   return true;
@@ -130,8 +163,9 @@ void BatchEngine::walk(const SpmdNode& n) {
 }
 
 void BatchEngine::eval(std::int32_t expr_id) {
-  compiler::eval_code_batch(*cost_, cost_->exprs[static_cast<std::size_t>(expr_id)], env_,
-                            regs_.data(), vals_.data(), ok_.data());
+  stats_.simd_stripes += compiler::eval_code_batch(
+      *cost_, cost_->exprs[static_cast<std::size_t>(expr_id)], env_, regs_aligned_,
+      vals_.data(), ok_.data());
 }
 
 void BatchEngine::batch_scalar_assign(const SpmdNode& n) {
@@ -176,10 +210,11 @@ void BatchEngine::batch_do(const SpmdNode& n) {
     for (const int l : active_) b_step_[static_cast<std::size_t>(l)] = 1;
   }
   // a failing bound or zero step throws on the scalar path: evict
-  evict_unless([&](int l) {
+  const auto bound_ok = [&](int l) {
     const auto u = static_cast<std::size_t>(l);
     return b_fail_[u] == 0 && b_step_[u] != 0;
-  });
+  };
+  evict_unless(bound_ok, [&](int l) { return bound_ok(l) ? 0 : 1; }, false);
   if (active_.empty()) return;
 
   const auto trips_of = [&](int l) {
@@ -189,7 +224,8 @@ void BatchEngine::batch_do(const SpmdNode& n) {
     return lo >= hi ? (lo - hi) / (-st) + 1 : 0;
   };
   const long long trips = trips_of(active_[0]);
-  evict_unless([&](int l) { return trips_of(l) == trips; });
+  // benign divergence: lanes sharing a trip count re-batch in lockstep
+  evict_unless([&](int l) { return trips_of(l) == trips; }, trips_of, true);
   if (active_.empty()) return;
 
   auto& fn = *engines_[static_cast<std::size_t>(active_[0])].fn_;
@@ -214,10 +250,15 @@ void BatchEngine::batch_while(const SpmdNode& n) {
     if (active_.empty()) return;
     eval(nc.cond);
     // a data-dependent condition throws on the scalar path: evict
-    evict_unless([&](int l) { return ok_[static_cast<std::size_t>(l)] != 0; });
+    evict_unless([&](int l) { return ok_[static_cast<std::size_t>(l)] != 0; },
+                 [&](int l) { return ok_[static_cast<std::size_t>(l)] != 0 ? 0 : 1; },
+                 false);
     if (active_.empty()) return;
     const bool taken = vals_[static_cast<std::size_t>(active_[0])] != 0.0;
-    evict_unless([&](int l) { return (vals_[static_cast<std::size_t>(l)] != 0.0) == taken; });
+    const auto taken_of = [&](int l) {
+      return vals_[static_cast<std::size_t>(l)] != 0.0 ? 1 : 0;
+    };
+    evict_unless([&](int l) { return (taken_of(l) != 0) == taken; }, taken_of, true);
     const double t = engines_[static_cast<std::size_t>(active_[0])].branch_cost(n);
     for (const int l : active_) engines_[static_cast<std::size_t>(l)].charge_all(n.id, t, 'O');
     if (!taken) return;
@@ -237,7 +278,8 @@ void BatchEngine::batch_if(const SpmdNode& n) {
     return ok_[u] == 0 || vals_[u] != 0.0;
   };
   const bool taken = then_of(active_[0]);
-  evict_unless([&](int l) { return then_of(l) == taken; });
+  evict_unless([&](int l) { return then_of(l) == taken; },
+               [&](int l) { return then_of(l) ? 1 : 0; }, true);
   const double t = engines_[static_cast<std::size_t>(active_[0])].branch_cost(n);
   for (const int l : active_) engines_[static_cast<std::size_t>(l)].charge_all(n.id, t, 'O');
   walk_seq(taken ? n.children : n.else_children);
@@ -289,17 +331,53 @@ void BatchEngine::fill_space(int l, std::size_t dims, Space& sp) const {
   }
 }
 
+void BatchEngine::resolve_lane_spaces(const std::vector<int>& which, std::size_t dims) {
+  const std::size_t P = which.size();
+  const std::size_t L = lanes_.size();
+  space_ptrs_.resize(P);
+  bool uniform = true;
+  const auto u0 = static_cast<std::size_t>(which[0]);
+  for (std::size_t d = 0; d < dims && uniform; ++d) {
+    for (std::size_t i = 1; i < P; ++i) {
+      const auto u = static_cast<std::size_t>(which[i]);
+      if (sp_lo_[d * L + u] != sp_lo_[d * L + u0] ||
+          sp_hi_[d * L + u] != sp_hi_[d * L + u0] ||
+          sp_step_[d * L + u] != sp_step_[d * L + u0]) {
+        uniform = false;
+        break;
+      }
+    }
+  }
+  res_pts_.resize(P);
+  if (uniform) {
+    fill_space(which[0], dims, sp_scratch_);
+    const long long pts = sp_scratch_.points();
+    for (std::size_t i = 0; i < P; ++i) {
+      space_ptrs_[i] = &sp_scratch_;
+      res_pts_[i] = pts;
+    }
+    return;
+  }
+  spaces_.resize(P);
+  for (std::size_t i = 0; i < P; ++i) {
+    fill_space(which[i], dims, spaces_[i]);
+    space_ptrs_[i] = &spaces_[i];
+    res_pts_[i] = spaces_[i].points();
+  }
+}
+
 void BatchEngine::batch_local_loop(const SpmdNode& n) {
   const compiler::NodeCost& nc = cost_->nodes[static_cast<std::size_t>(n.id)];
   resolve_space_batch(n, nc);
   // a failing bound throws on the scalar path: evict
-  evict_unless([&](int l) { return sp_fail_[static_cast<std::size_t>(l)] == 0; });
+  evict_unless([&](int l) { return sp_fail_[static_cast<std::size_t>(l)] == 0; },
+               [&](int l) { return sp_fail_[static_cast<std::size_t>(l)]; }, false);
   if (active_.empty()) return;
 
   const std::size_t dims = n.space.size();
-  for (const int l : active_) {
-    fill_space(l, dims, sp_scratch_);
-    pts_[static_cast<std::size_t>(l)] = sp_scratch_.points();
+  resolve_lane_spaces(active_, dims);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    pts_[static_cast<std::size_t>(active_[i])] = res_pts_[i];
   }
   if (n.inner) {
     // inner reduce bounds: the scalar walk evaluates them only after the
@@ -316,10 +394,11 @@ void BatchEngine::batch_local_loop(const SpmdNode& n) {
       if (!ok_[u]) b_fail_[u] = 1;
       else b_lo_[u] = std::llround(vals_[u]);
     }
-    evict_unless([&](int l) {
+    const auto inner_ok = [&](int l) {
       const auto u = static_cast<std::size_t>(l);
       return pts_[u] <= 0 || b_fail_[u] == 0;
-    });
+    };
+    evict_unless(inner_ok, [&](int l) { return inner_ok(l) ? 0 : 1; }, false);
     if (active_.empty()) return;
   }
 
@@ -334,10 +413,10 @@ void BatchEngine::batch_local_loop(const SpmdNode& n) {
   im_.resize(P);
   mp_.resize(P);
   costs_.resize(P);
+  resolve_lane_spaces(priced_, dims);
   for (std::size_t i = 0; i < P; ++i) {
     const auto u = static_cast<std::size_t>(priced_[i]);
-    fill_space(priced_[i], dims, sp_scratch_);
-    ws_[i] = engines_[u].working_set_estimate(n, sp_scratch_);
+    ws_[i] = engines_[u].working_set_estimate(n, res_pts_[i]);
     im_[i] = n.inner ? std::max<long long>(0, b_hi_[u] - b_lo_[u] + 1) : 0;
     mp_[i] = engines_[u].mask_probability();
   }
@@ -348,16 +427,16 @@ void BatchEngine::batch_local_loop(const SpmdNode& n) {
   } else {
     e0.fn_->iter_costs(e0.body_ops(n), elem, ws_, im_, costs_);
   }
-  for (std::size_t i = 0; i < P; ++i) {
-    fill_space(priced_[i], dims, sp_scratch_);
-    engines_[static_cast<std::size_t>(priced_[i])].price_iters(n, sp_scratch_, costs_[i]);
-  }
+  InterpretationEngine::price_iters_batch(n, engines_.data(), priced_.data(), P,
+                                          space_ptrs_.data(), res_pts_.data(),
+                                          costs_.data());
 }
 
 void BatchEngine::batch_reduce(const SpmdNode& n) {
   const compiler::NodeCost& nc = cost_->nodes[static_cast<std::size_t>(n.id)];
   resolve_space_batch(n, nc);
-  evict_unless([&](int l) { return sp_fail_[static_cast<std::size_t>(l)] == 0; });
+  evict_unless([&](int l) { return sp_fail_[static_cast<std::size_t>(l)] == 0; },
+               [&](int l) { return sp_fail_[static_cast<std::size_t>(l)]; }, false);
   if (active_.empty()) return;
 
   const std::size_t dims = n.space.size();
@@ -365,19 +444,20 @@ void BatchEngine::batch_reduce(const SpmdNode& n) {
   ws_.resize(P);
   im_.assign(P, 0);
   costs_.resize(P);
+  resolve_lane_spaces(active_, dims);
   for (std::size_t i = 0; i < P; ++i) {
-    fill_space(active_[i], dims, sp_scratch_);
-    ws_[i] = engines_[static_cast<std::size_t>(active_[i])].working_set_estimate(n, sp_scratch_);
+    ws_[i] = engines_[static_cast<std::size_t>(active_[i])].working_set_estimate(
+        n, res_pts_[i]);
   }
   const InterpretationEngine& e0 = engines_[static_cast<std::size_t>(active_[0])];
   e0.fn_->iter_costs(e0.body_ops(n), front::type_size_bytes(n.reduce_arg->type), ws_, im_,
                      costs_);
-  for (std::size_t i = 0; i < P; ++i) {
-    auto& e = engines_[static_cast<std::size_t>(active_[i])];
-    fill_space(active_[i], dims, sp_scratch_);
-    e.price_iters(n, sp_scratch_, costs_[i]);
-    e.price_reduce_comm(n);
-  }
+  // lanes are independent, so batching all price_iters charges ahead of all
+  // reduce-comm charges leaves every lane's own charge order unchanged
+  InterpretationEngine::price_iters_batch(n, engines_.data(), active_.data(), P,
+                                          space_ptrs_.data(), res_pts_.data(),
+                                          costs_.data());
+  InterpretationEngine::price_reduce_comm_batch(n, engines_.data(), active_.data(), P);
 }
 
 void BatchEngine::batch_cshift(const SpmdNode& n) {
@@ -396,10 +476,11 @@ void BatchEngine::batch_irregular(const SpmdNode& n) {
   // the scalar walk returns before resolving the space on one processor:
   // a 1-proc lane must neither price nor evict on a failing bound
   resolve_space_batch(n, nc);
-  evict_unless([&](int l) {
+  const auto irr_ok = [&](int l) {
     const auto u = static_cast<std::size_t>(l);
     return engines_[u].nprocs_ <= 1 || sp_fail_[u] == 0;
-  });
+  };
+  evict_unless(irr_ok, [&](int l) { return irr_ok(l) ? 0 : 1; }, false);
   const std::size_t dims = n.space.size();
   for (const int l : active_) {
     const auto u = static_cast<std::size_t>(l);

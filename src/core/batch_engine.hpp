@@ -35,6 +35,25 @@ struct BatchRunStats {
   std::uint64_t ir_visits = 0;      // SPMD nodes visited by the batch walk
   std::uint64_t lane_visits = 0;    // sum of active lanes over those visits
   std::uint64_t replayed_lanes = 0; // lanes evicted to scalar replay
+  std::uint64_t evicted_lanes = 0;  // lanes that left lockstep mid-walk
+  std::uint64_t simd_stripes = 0;   // 8-lane stripes the bytecode evaluated
+};
+
+/// One lane exported by interpret()'s eviction-export mode: the lane left
+/// lockstep at a divergence point identified by `key` — a running hash of
+/// every control decision on the walk path up to the divergence, combined
+/// with the lane's own divergent outcome. Two lanes with equal keys took
+/// identical control paths and then diverged the same way, so a re-batch
+/// of equal-key lanes stays in lockstep at least through the point where
+/// they left (and usually to the end). The key is only a grouping hint:
+/// a collision costs a second eviction, never a wrong result.
+/// `rebatchable` is false for evictions the scalar walk turns into a
+/// throw (failing bounds, unresolved conditions) — those must replay
+/// scalar so the diagnostic surfaces.
+struct EvictedLane {
+  int lane = 0;
+  std::uint64_t key = 0;
+  bool rebatchable = false;
 };
 
 /// Reusable arena (like InterpretationEngine): one per worker, interpret()
@@ -48,10 +67,18 @@ class BatchEngine {
   /// without a complete cost bytecode); the caller then prices each lane
   /// with the scalar engine. Exceptions the scalar walk would throw (trip
   /// limits, unresolved critical variables) propagate from here too.
+  ///
+  /// `deferred` selects the eviction-export mode (the session's lane
+  /// re-compaction scheduler): when non-null, evicted lanes are appended to
+  /// it — keyed for regrouping — instead of being replayed internally,
+  /// their results[] slots are left untouched, and stats.replayed_lanes
+  /// stays 0 (the caller owns the replay decision). When null, evicted
+  /// lanes replay from scratch on the scalar path before returning, as
+  /// before.
   bool interpret(const compiler::CompiledProgram& prog,
                  const machine::MachineModel& machine, const PredictOptions& options,
                  std::span<const BatchLane> lanes, PredictionResult* results,
-                 BatchRunStats& stats);
+                 BatchRunStats& stats, std::vector<EvictedLane>* deferred = nullptr);
 
  private:
   using SpmdNode = compiler::SpmdNode;
@@ -75,9 +102,20 @@ class BatchEngine {
   void resolve_space_batch(const SpmdNode& n, const compiler::NodeCost& nc);
   /// Loads lane `l`'s resolved space from sp_*_ into `sp`.
   void fill_space(int l, std::size_t dims, Space& sp) const;
-  /// Drops active lanes failing `keep` into the replay set.
-  template <class Pred>
-  void evict_unless(Pred keep);
+  /// Materializes each lane of `which` exactly once into space_ptrs_[i]:
+  /// when every lane resolved the same bounds (replicated loop bounds — the
+  /// common case) all pointers share one Space built once per node instead
+  /// of rebuilding sp_scratch_ per lane per use.
+  void resolve_lane_spaces(const std::vector<int>& which, std::size_t dims);
+  /// Drops active lanes failing `keep` into the eviction set, keying each
+  /// with the current path hash combined with its own `outcome(l)` (any
+  /// integral). The kept lanes' shared outcome is then folded into
+  /// path_hash_, so the hash encodes the full control-decision history —
+  /// including trip counts, which change how many times later sites
+  /// execute. `rebatchable` tags whether the evicted lanes may rejoin a
+  /// lockstep batch or must replay scalar (failure evictions).
+  template <class Pred, class Outcome>
+  void evict_unless(Pred keep, Outcome outcome, bool rebatchable);
 
   const compiler::CompiledProgram* prog_ = nullptr;
   const compiler::CostProgram* cost_ = nullptr;
@@ -87,11 +125,13 @@ class BatchEngine {
   compiler::BatchEnv env_;                     // the single source of scalar values
   compiler::ScalarEnv seed_env_{0};            // per-bindings seed, scattered to lanes
 
-  std::vector<double> regs_;        // max_regs * lanes register file
-  std::vector<double> vals_;        // per-lane expression results
-  std::vector<unsigned char> ok_;   // per-lane expression success
-  std::vector<int> active_;         // lanes still in lockstep
-  std::vector<int> evicted_;        // lanes awaiting scalar replay
+  std::vector<double> regs_;        // max_regs * kBatchStripe file (+ alignment slack)
+  double* regs_aligned_ = nullptr;  // regs_ rounded up to a 64-byte boundary
+  std::vector<double> vals_;        // per-lane expression results (stride-padded)
+  std::vector<unsigned char> ok_;   // per-lane expression success (stride-padded)
+  std::vector<int> active_;          // lanes still in lockstep
+  std::vector<EvictedLane> evicted_; // lanes that left lockstep, keyed
+  std::uint64_t path_hash_ = 0;      // running control-path hash (divergence keys)
 
   // per-node scratch (sized lanes / dims*lanes, reused across nodes)
   std::vector<long long> b_lo_, b_hi_, b_step_, pts_;
@@ -103,6 +143,9 @@ class BatchEngine {
   std::vector<IterCost> costs_;
   std::vector<int> priced_;
   Space sp_scratch_;
+  std::vector<Space> spaces_;            // per-lane spaces when lanes disagree
+  std::vector<const Space*> space_ptrs_; // one entry per priced lane
+  std::vector<long long> res_pts_;       // points() of each resolved space
 
   BatchRunStats stats_{};
 };

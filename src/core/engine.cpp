@@ -81,9 +81,24 @@ void InterpretationEngine::interpret_into(PredictionResult& out) {
 
 void InterpretationEngine::finalize_into(PredictionResult& out) {
   out.total = *std::max_element(clock_.begin(), clock_.end());
+  out.comp = out.comm = out.overhead = out.wait = 0;
+  if (!options_.detailed) {
+    // sweep hot path: same divide-then-accumulate order as below, so the
+    // phase sums are bit-identical — only the table copies are skipped
+    out.proc_clock.clear();
+    out.per_aau.clear();
+    out.trace.clear();
+    for (const auto& m : metrics_) {
+      out.comp += m.comp / nprocs_;
+      out.comm += m.comm / nprocs_;
+      out.overhead += m.overhead / nprocs_;
+      out.wait += m.wait / nprocs_;
+    }
+    trace_.clear();
+    return;
+  }
   out.proc_clock = clock_;
   out.per_aau = metrics_;
-  out.comp = out.comm = out.overhead = out.wait = 0;
   for (auto& m : out.per_aau) {
     m.comp /= nprocs_;
     m.comm /= nprocs_;
@@ -287,27 +302,39 @@ InterpretationEngine::ResolvedSpace InterpretationEngine::resolve_space(const Sp
 }
 
 const std::vector<long long>& InterpretationEngine::local_iterations(
-    const SpmdNode& n, const ResolvedSpace& space) {
+    const SpmdNode& n, const ResolvedSpace& space, long long replicated_pts) {
   std::vector<long long>& iters = iters_scratch_;
-  iters.assign(static_cast<std::size_t>(nprocs_), 0);
+  iters.resize(static_cast<std::size_t>(nprocs_));  // every slot written below
+  if (nprocs_ == 1) {
+    // a lone processor always owns the whole space, home array or not —
+    // the general loop below reduces to space.points() (= replicated_pts
+    // when the caller precomputed it)
+    iters[0] = replicated_pts >= 0 ? replicated_pts : space.points();
+    return iters;
+  }
   const compiler::ArrayMap* home =
       n.home_symbol >= 0 ? layout_->map_for(n.home_symbol) : nullptr;
   if (home == nullptr) {
-    std::fill(iters.begin(), iters.end(), space.points());
+    std::fill(iters.begin(), iters.end(),
+              replicated_pts >= 0 ? replicated_pts : space.points());
     return iters;
+  }
+  // which home dim each space index drives is a property of the node, not
+  // of the processor: resolve the driver map once, outside the proc loop
+  // (first matching driver wins, as the former inner search did)
+  std::vector<int>& hd = home_dim_scratch_;
+  hd.assign(space.lo.size(), -1);
+  for (std::size_t h = 0; h < n.home_driver.size(); ++h) {
+    const int d = n.home_driver[h];
+    if (d >= 0 && static_cast<std::size_t>(d) < hd.size() && hd[static_cast<std::size_t>(d)] < 0) {
+      hd[static_cast<std::size_t>(d)] = static_cast<int>(h);
+    }
   }
   for (int p = 0; p < nprocs_; ++p) {
     const std::span<const int> coords = layout_->proc_coords(p);
     long long count = 1;
     for (std::size_t d = 0; d < space.lo.size(); ++d) {
-      // find the home dim driven by this space index
-      int home_dim = -1;
-      for (std::size_t h = 0; h < n.home_driver.size(); ++h) {
-        if (n.home_driver[h] == static_cast<int>(d)) {
-          home_dim = static_cast<int>(h);
-          break;
-        }
-      }
+      const int home_dim = hd[d];
       long long dim_iters = space.dim_count(d);
       if (home_dim >= 0) {
         const auto& dd = home->dims[static_cast<std::size_t>(home_dim)];
@@ -360,10 +387,15 @@ double InterpretationEngine::mask_probability() const {
 
 long long InterpretationEngine::working_set_estimate(const SpmdNode& n,
                                                      const ResolvedSpace& space) const {
+  return working_set_estimate(n, space.points());
+}
+
+long long InterpretationEngine::working_set_estimate(const SpmdNode& n,
+                                                     long long space_points) const {
   // the array-ref factor is precomputed per node (NodeOpCounts::ws_arrays)
   const long long arrays = node_ops_->at(static_cast<std::size_t>(n.id)).ws_arrays;
   const int elem = n.lhs ? front::type_size_bytes(n.lhs->type) : 4;
-  return std::max<long long>(1, space.points()) * arrays * elem /
+  return std::max<long long>(1, space_points) * arrays * elem /
          std::max(1, nprocs_);
 }
 
@@ -386,16 +418,76 @@ IterCost InterpretationEngine::reduce_cost(const SpmdNode& n,
                         working_set_estimate(n, space));
 }
 
-void InterpretationEngine::price_iters(const SpmdNode& n, const ResolvedSpace& space,
-                                       const IterCost& cost) {
-  // one pricing per node; processors differ only in their iteration count
-  const std::vector<long long>& iters = local_iterations(n, space);
+void InterpretationEngine::price_iters_on(const SpmdNode& n, const IterCost& cost,
+                                          const std::vector<long long>& iters) {
+  // one pricing per node; processors differ only in their iteration count —
+  // and under an even decomposition most of them don't even do that, so the
+  // estimate is recomputed only when the count changes (cost.at is a pure
+  // function of the count, so reuse is bit-identical)
+  long long prev_it = 0;
+  ComputeEstimate est{};
   for (int p = 0; p < nprocs_; ++p) {
     const long long it = iters[static_cast<std::size_t>(p)];
     if (it == 0) continue;
-    const ComputeEstimate est = cost.at(it);
+    if (it != prev_it) {
+      est = cost.at(it);
+      prev_it = it;
+    }
     charge(n.id, p, est.comp, 'C');
     charge(n.id, p, est.overhead, 'O');
+  }
+}
+
+void InterpretationEngine::price_iters(const SpmdNode& n, const ResolvedSpace& space,
+                                       const IterCost& cost) {
+  price_iters_on(n, cost, local_iterations(n, space));
+}
+
+void InterpretationEngine::price_iters_batch(const SpmdNode& n,
+                                             InterpretationEngine* engines,
+                                             const int* lanes, std::size_t count,
+                                             const ResolvedSpace* const* spaces,
+                                             const long long* pts,
+                                             const IterCost* costs) {
+  // lanes are independent (distinct clocks and metrics), so charging them
+  // inside one loop is charge-for-charge identical to one call per lane
+  for (std::size_t i = 0; i < count; ++i) {
+    InterpretationEngine& e = engines[lanes[i]];
+    e.price_iters_on(n, costs[i], e.local_iterations(n, *spaces[i], pts[i]));
+  }
+}
+
+void InterpretationEngine::sync_then_charge_comm_batch(const SpmdNode& n,
+                                                       InterpretationEngine* engines,
+                                                       const int* lanes,
+                                                       std::size_t count,
+                                                       const double* cost_per_lane) {
+  for (std::size_t i = 0; i < count; ++i) {
+    InterpretationEngine& e = engines[lanes[i]];
+    const double c = cost_per_lane[i];
+    const double tmax = *std::max_element(e.clock_.begin(), e.clock_.end());
+    for (int p = 0; p < e.nprocs_; ++p) {
+      const double idle = tmax - e.clock_[static_cast<std::size_t>(p)];
+      if (idle > 0) e.charge(n.id, p, idle, 'W');
+      if (c > 0) e.charge(n.id, p, c, 'M');
+    }
+  }
+}
+
+void InterpretationEngine::price_reduce_comm_batch(const SpmdNode& n,
+                                                   InterpretationEngine* engines,
+                                                   const int* lanes,
+                                                   std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    InterpretationEngine& e = engines[lanes[i]];
+    const compiler::ArrayMap* home =
+        n.home_symbol >= 0 ? e.layout_->map_for(n.home_symbol) : nullptr;
+    if (home == nullptr || e.nprocs_ <= 1) continue;
+    const long long bytes = n.reduce_op == "maxloc" ? 12 : 8;
+    const double comm_cost = e.fn_->comm().reduce(e.nprocs_, bytes,
+                                                  e.machine_->node().proc.t_fadd,
+                                                  e.options_.collective);
+    sync_then_charge_comm_batch(n, engines, lanes + i, 1, &comm_cost);
   }
 }
 

@@ -34,6 +34,12 @@ struct PredictOptions {
   /// Record a ParaGraph-style event trace (see output.hpp).
   bool trace = false;
   std::size_t max_trace_events = 200000;
+  /// Fill PredictionResult::per_aau / proc_clock / trace. The sweep hot
+  /// path clears this: totals and the phase sums (comp/comm/overhead/wait)
+  /// are always filled with identical arithmetic, but the per-AAU and
+  /// per-processor tables — which RunReport never reads — are skipped, so
+  /// finalize costs O(nodes) instead of two vector copies per point.
+  bool detailed = true;
 };
 
 /// One interpreted event for the trace output (ParaGraph-compatible
@@ -158,10 +164,41 @@ class InterpretationEngine {
   void price_cshift(const SpmdNode& n, long long shift);
   void price_irregular(const SpmdNode& n, const ResolvedSpace& space);
 
+  /// Charging tail of price_iters against precomputed per-proc counts.
+  void price_iters_on(const SpmdNode& n, const IterCost& cost,
+                      const std::vector<long long>& iters);
+
+  // --- batched pricing (BatchEngine: all lanes of a node in one pass) -------
+  // Each engines[lanes[i]] is charged exactly what the scalar call sequence
+  // would charge it (lanes are independent — distinct clocks and metrics —
+  // so looping lanes inside one call is bit-identical to one call per
+  // lane), but the node's dispatch, space plumbing, and cost fetches happen
+  // once per node instead of once per lane.
+  /// price_iters for lanes[0..count): spaces[i] points at lane i's resolved
+  /// space (uniform lanes may all point at one shared space) and pts[i]
+  /// carries its precomputed points() so replicated nodes never recount.
+  static void price_iters_batch(const SpmdNode& n, InterpretationEngine* engines,
+                                const int* lanes, std::size_t count,
+                                const ResolvedSpace* const* spaces,
+                                const long long* pts, const IterCost* costs);
+  /// sync_then_charge_comm with a lane-uniform per-proc cost for each lane
+  /// (cost_per_lane[i] <= 0 skips lane i's 'M' charges but still syncs).
+  static void sync_then_charge_comm_batch(const SpmdNode& n,
+                                          InterpretationEngine* engines,
+                                          const int* lanes, std::size_t count,
+                                          const double* cost_per_lane);
+  /// price_reduce_comm for every lane in one pass (skips lanes it does not
+  /// apply to, exactly like the scalar predicate).
+  static void price_reduce_comm_batch(const SpmdNode& n, InterpretationEngine* engines,
+                                      const int* lanes, std::size_t count);
+
   /// Analytic per-processor iteration counts under owner-computes; the
   /// result lives in iters_scratch_ (valid until the next call).
+  /// `replicated_pts` >= 0 supplies a precomputed space.points() used when
+  /// the node has no home array (every processor runs the whole space).
   const std::vector<long long>& local_iterations(const SpmdNode& n,
-                                                 const ResolvedSpace& space);
+                                                 const ResolvedSpace& space,
+                                                 long long replicated_pts = -1);
 
   /// Boundary-slab elements of `map` at `proc` for an exchange of `width`
   /// along array dim `dim`.
@@ -171,6 +208,9 @@ class InterpretationEngine {
   [[nodiscard]] double mask_probability() const;
   [[nodiscard]] long long working_set_estimate(const SpmdNode& n,
                                                const ResolvedSpace& space) const;
+  /// Same estimate from a precomputed space.points() (batch hot path).
+  [[nodiscard]] long long working_set_estimate(const SpmdNode& n,
+                                               long long space_points) const;
 
   void charge(int aau, int proc, double t, char category);
   void sync_then_charge_comm(const SpmdNode& n, const std::vector<double>& cost_per_proc);
@@ -221,6 +261,7 @@ class InterpretationEngine {
   // Worker-owned scratch (reused across points, overwritten per node):
   std::vector<long long> iters_scratch_;  // local_iterations result
   std::vector<double> cost_scratch_;      // per-processor comm costs
+  std::vector<int> home_dim_scratch_;     // space dim -> home dim driver map
 };
 
 /// Throws support::CompileError listing every unresolved critical variable

@@ -395,8 +395,9 @@ JobOutcome decode_outcome(std::string_view text) {
 
 std::string encode_stats(const ServerStats& s) {
   const api::CacheStats& c = s.cache;
-  // version 2: adds the batch line (coalescing + lockstep effectiveness)
-  std::string out = "hpf90d-stats 2\n";
+  // version 3: widens the batch line with re-compaction + SIMD telemetry
+  // (v2 added the batch line itself)
+  std::string out = "hpf90d-stats 3\n";
   out += support::strfmt("cache %zu %zu %zu %zu %zu %zu %zu\n", c.compile_hits,
                          c.compile_misses, c.layout_hits, c.layout_misses,
                          c.layout_evictions, c.layout_spill_hits, c.layout_capacity);
@@ -406,10 +407,14 @@ std::string encode_stats(const ServerStats& s) {
                          s.jobs_failed, s.jobs_cancelled);
   out += support::strfmt("spill %zu %zu %zu\n", s.spill_layouts_stored,
                          s.spill_layouts_loaded, s.spill_programs_stored);
-  out += support::strfmt("batch %zu %zu %zu %zu %llu %llu\n", s.jobs_coalesced,
-                         s.points_batched, s.points_scalar, s.points_replayed,
+  out += support::strfmt("batch %zu %zu %zu %zu %llu %llu %llu %llu %llu\n",
+                         s.jobs_coalesced, s.points_batched, s.points_scalar,
+                         s.points_replayed,
                          static_cast<unsigned long long>(s.batch_ir_visits),
-                         static_cast<unsigned long long>(s.batch_lane_visits));
+                         static_cast<unsigned long long>(s.batch_lane_visits),
+                         static_cast<unsigned long long>(s.lanes_evicted),
+                         static_cast<unsigned long long>(s.lanes_refilled),
+                         static_cast<unsigned long long>(s.simd_stripes));
   return out;
 }
 
@@ -417,7 +422,7 @@ ServerStats decode_stats(std::string_view text) {
   Reader in(text);
   {
     const auto header = fields_of(in.next_line());
-    if (header.size() != 2 || header[0] != "hpf90d-stats" || header[1] != "2") {
+    if (header.size() != 2 || header[0] != "hpf90d-stats" || header[1] != "3") {
       in.fail("not an hpf90d-stats payload");
     }
   }
@@ -448,13 +453,16 @@ ServerStats decode_stats(std::string_view text) {
   s.spill_layouts_loaded = static_cast<std::size_t>(to_ll(in, spill[2]));
   s.spill_programs_stored = static_cast<std::size_t>(to_ll(in, spill[3]));
   const auto batch = fields_of(in.next_line());
-  if (batch.size() != 7 || batch[0] != "batch") in.fail("expected batch line");
+  if (batch.size() != 10 || batch[0] != "batch") in.fail("expected batch line");
   s.jobs_coalesced = static_cast<std::size_t>(to_ll(in, batch[1]));
   s.points_batched = static_cast<std::size_t>(to_ll(in, batch[2]));
   s.points_scalar = static_cast<std::size_t>(to_ll(in, batch[3]));
   s.points_replayed = static_cast<std::size_t>(to_ll(in, batch[4]));
   s.batch_ir_visits = static_cast<std::uint64_t>(to_ll(in, batch[5]));
   s.batch_lane_visits = static_cast<std::uint64_t>(to_ll(in, batch[6]));
+  s.lanes_evicted = static_cast<std::uint64_t>(to_ll(in, batch[7]));
+  s.lanes_refilled = static_cast<std::uint64_t>(to_ll(in, batch[8]));
+  s.simd_stripes = static_cast<std::uint64_t>(to_ll(in, batch[9]));
   return s;
 }
 

@@ -292,6 +292,9 @@ std::string ExperimentServer::execute(const Job& job, JobState& terminal) {
     points_replayed_.fetch_add(b.replayed_points, std::memory_order_relaxed);
     batch_ir_visits_.fetch_add(b.ir_visits, std::memory_order_relaxed);
     batch_lane_visits_.fetch_add(b.lane_visits, std::memory_order_relaxed);
+    lanes_evicted_.fetch_add(b.evicted_lanes, std::memory_order_relaxed);
+    lanes_refilled_.fetch_add(b.refilled_lanes, std::memory_order_relaxed);
+    simd_stripes_.fetch_add(b.simd_stripes, std::memory_order_relaxed);
   };
   try {
     if (job.is_study) {
@@ -344,6 +347,9 @@ ServerStats ExperimentServer::stats() const {
   s.points_replayed = points_replayed_.load();
   s.batch_ir_visits = batch_ir_visits_.load();
   s.batch_lane_visits = batch_lane_visits_.load();
+  s.lanes_evicted = lanes_evicted_.load();
+  s.lanes_refilled = lanes_refilled_.load();
+  s.simd_stripes = simd_stripes_.load();
   return s;
 }
 

@@ -138,6 +138,9 @@ class ExperimentServer {
   std::atomic<std::size_t> points_replayed_{0};
   std::atomic<std::uint64_t> batch_ir_visits_{0};
   std::atomic<std::uint64_t> batch_lane_visits_{0};
+  std::atomic<std::uint64_t> lanes_evicted_{0};
+  std::atomic<std::uint64_t> lanes_refilled_{0};
+  std::atomic<std::uint64_t> simd_stripes_{0};
 };
 
 }  // namespace hpf90d::serve

@@ -37,6 +37,7 @@ void Executor::rebind(const compiler::CompiledProgram& prog,
   }
   layout_ = &layout;
   machine_ = &machine;
+  bindings_ = &bindings;
   options_ = options;
   nprocs_ = layout.nprocs();
   env_.reset(prog.symbols.size());
@@ -57,6 +58,29 @@ void Executor::rebind(const compiler::CompiledProgram& prog,
   result_.printed.clear();
   result_.scalars.clear();
   compiler::seed_environment(env_, prog_->symbols, bindings);
+  for (int p = 0; p < nprocs_; ++p) {
+    clock_[static_cast<std::size_t>(p)] = noise_.startup_skew();
+  }
+}
+
+void Executor::rebind_run(std::uint64_t seed) {
+  // Mirrors the run-variant tail of rebind(), in the same order. The pieces
+  // skipped (node-op tables, cost_/comm_model_/network_ construction,
+  // storage_.rebind) are pure functions of the configuration — network_
+  // only needs its occupancy cleared, storage only its written arrays
+  // (ensure() recreates the deterministic fill bit-identically).
+  options_.seed = seed;
+  env_.reset(prog_->symbols.size());
+  storage_.reset_written();
+  network_->reset();
+  noise_ = NoiseModel(seed, options_.noise);
+  metrics_.assign(static_cast<std::size_t>(prog_->node_count), NodeMetric{});
+  result_.total = result_.comp = result_.comm = result_.overhead = 0;
+  result_.proc_clock.clear();
+  result_.per_node.clear();
+  result_.printed.clear();
+  result_.scalars.clear();
+  compiler::seed_environment(env_, prog_->symbols, *bindings_);
   for (int p = 0; p < nprocs_; ++p) {
     clock_[static_cast<std::size_t>(p)] = noise_.startup_skew();
   }

@@ -74,6 +74,16 @@ class Executor {
               const machine::MachineModel& machine, const SimOptions& options,
               const front::Bindings& bindings);
 
+  /// Re-run reset for repeated measurement of the *same* configuration
+  /// under a new seed: resets exactly the state a run perturbs (written
+  /// arrays, scalar environment, clocks, network occupancy, noise stream,
+  /// metrics, pending result) and skips the configuration-derived work a
+  /// full rebind() redoes (node-op tables, cost/comm models, layout
+  /// retargeting, untouched operand arrays). Bit-identical to
+  /// rebind(same args, options with `seed`): a subsequent run() produces
+  /// the same result either way. Only valid after a rebind().
+  void rebind_run(std::uint64_t seed);
+
   /// One-shot per rebind/construction: call rebind() again before the next
   /// run().
   [[nodiscard]] SimResult run();
@@ -151,6 +161,7 @@ class Executor {
   std::vector<compiler::NodeOpCounts> fallback_node_ops_;
   const compiler::DataLayout* layout_ = nullptr;
   const machine::MachineModel* machine_ = nullptr;
+  const front::Bindings* bindings_ = nullptr;  // for rebind_run's reseed
   SimOptions options_;
   int nprocs_ = 0;
 

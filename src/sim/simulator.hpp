@@ -74,9 +74,11 @@ class Simulator {
   /// same-program batch through one executor arena, filling out[i] with
   /// exactly what measure_into of (bindings[i], layouts[i]) produces.
   /// Unlike prediction, simulation materializes real array data per run,
-  /// so this is a buffer-reusing lane loop rather than an SoA walk; it
-  /// exists so batch callers recycle one scratch vector instead of one
-  /// MeasuredResult per point. `out` is resized to the lane count.
+  /// so this is a buffer-reusing lane loop rather than an SoA walk — but
+  /// the per-run work is shared: within a lane, only the first run pays a
+  /// full rebind (later runs go through Executor::rebind_run, refilling
+  /// only the arrays the previous run wrote), and one SimResult scratch
+  /// cycles through the whole batch. `out` is resized to the lane count.
   void measure_batch_into(const compiler::CompiledProgram& prog,
                           std::span<const front::Bindings* const> bindings,
                           std::span<const compiler::DataLayout* const> layouts,
@@ -84,6 +86,16 @@ class Simulator {
                           std::vector<MeasuredResult>& out) const;
 
  private:
+  /// Shared-scratch core behind measure_into / measure_batch_into:
+  /// `scratch` cycles buffers with the arena (and with out.detail via the
+  /// first-run swap), so batch callers thread one SimResult through every
+  /// lane. Run 0 fully rebinds the arena; runs >= 1 use rebind_run.
+  void measure_into(const compiler::CompiledProgram& prog,
+                    const front::Bindings& bindings,
+                    const compiler::DataLayout& layout, const SimOptions& options,
+                    int runs, Executor& arena, MeasuredResult& out,
+                    SimResult& scratch) const;
+
   const machine::MachineModel& machine_;
 };
 

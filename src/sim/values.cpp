@@ -21,6 +21,21 @@ void Storage::rebind(const front::SymbolTable& symbols,
     // Invalidate without releasing: ensure() re-derives extents/strides and
     // overwrites every element, so the data vector's capacity is reused.
     store.allocated = false;
+    store.written = false;
+    store.extents.clear();
+    store.strides.clear();
+  }
+}
+
+void Storage::reset_written() {
+  for (auto& store : arrays_) {
+    if (!store.written) continue;
+    // Same invalidation rebind() applies, limited to mutated arrays:
+    // ensure() re-derives the geometry (unchanged — same layout) and
+    // rewrites the deterministic fill, so the next read is bit-identical
+    // to a fresh construction.
+    store.allocated = false;
+    store.written = false;
     store.extents.clear();
     store.strides.clear();
   }
@@ -72,6 +87,7 @@ double Storage::load(int symbol, std::span<const long long> index) {
 
 void Storage::store(int symbol, std::span<const long long> index, double value) {
   ArrayStore& s = ensure(symbol);
+  s.written = true;
   s.data[offset(symbol, index)] = value;
 }
 
@@ -82,6 +98,9 @@ long long Storage::extent(int symbol, int dim) {
 
 std::span<double> Storage::raw(int symbol) {
   ArrayStore& store = ensure(symbol);
+  // Conservative: the span is a mutable write window, so assume it is used
+  // as one. Costs at most a redundant refill in reset_written().
+  store.written = true;
   return store.data;
 }
 
@@ -100,6 +119,7 @@ long long Storage::total_elements(int symbol) const {
 void Storage::cshift_into(int dst_symbol, int src_symbol, int dim, long long shift) {
   ArrayStore& src = ensure(src_symbol);
   ArrayStore& dst = ensure(dst_symbol);
+  dst.written = true;
   const std::size_t rank = src.extents.size();
   if (dst.extents != src.extents) {
     throw CompileError({}, "cshift shape mismatch");

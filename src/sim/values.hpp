@@ -54,12 +54,20 @@ class Storage final : public compiler::ArrayAccess {
   /// `dim` (0-based).
   void cshift_into(int dst_symbol, int src_symbol, int dim, long long shift);
 
+  /// Invalidates exactly the arrays a run wrote to (store / cshift_into /
+  /// raw), leaving read-only operand arrays — and their deterministic fill —
+  /// untouched. After this, every array reads back what a full rebind()
+  /// would produce, at the cost of refilling only the mutated ones: the
+  /// between-runs reset of a repeated measurement.
+  void reset_written();
+
  private:
   struct ArrayStore {
     std::vector<long long> extents;
     std::vector<long long> strides;  // row-major element strides
     std::vector<double> data;
     bool allocated = false;
+    bool written = false;  // mutated since the last (re)fill
   };
 
   ArrayStore& ensure(int symbol);

@@ -23,7 +23,7 @@ namespace {
 const std::vector<int> kWorkerCounts = {1, 4};
 
 std::vector<int> batch_sizes(std::size_t point_count) {
-  return {1, 4, 64, static_cast<int>(point_count)};
+  return {1, 8, 64, static_cast<int>(point_count)};
 }
 
 /// Runs the plan at (batch_size, workers) on a fresh session and returns
@@ -35,42 +35,57 @@ struct Exports {
   api::BatchStats batch;
 };
 
-Exports run_once(const api::ExperimentPlan& plan, int batch_size, int workers) {
+Exports run_once(const api::ExperimentPlan& plan, int batch_size, int workers,
+                 bool compact_lanes = true) {
   api::Session session;
   api::RunOptions opts;
   opts.workers = workers;
   opts.batch_size = batch_size;
+  opts.compact_lanes = compact_lanes;
   api::RunReport report = session.run(plan, opts);
   report.wall_seconds = 0.0;
   return Exports{report.ascii(), report.csv(), report.batch};
 }
 
 void expect_oracle(const api::ExperimentPlan& plan, std::size_t point_count,
-                   bool expect_replay = false) {
+                   bool expect_divergence = false) {
   const Exports baseline = run_once(plan, /*batch_size=*/1, /*workers=*/1);
   EXPECT_EQ(baseline.batch.batched_points, 0u);
   EXPECT_EQ(baseline.batch.scalar_points, point_count);
 
   bool saw_batched = false;
-  bool saw_replay = false;
+  bool saw_evicted = false;
+  bool saw_recovered = false;
   for (const int batch : batch_sizes(point_count)) {
     for (const int workers : kWorkerCounts) {
-      const Exports e = run_once(plan, batch, workers);
-      EXPECT_EQ(e.ascii, baseline.ascii)
-          << "ascii diverged at batch_size=" << batch << " workers=" << workers;
-      EXPECT_EQ(e.csv, baseline.csv)
-          << "csv diverged at batch_size=" << batch << " workers=" << workers;
-      // every point is accounted for exactly once: priced lockstep, priced
-      // by the scalar engine, or evicted mid-batch and replayed
-      EXPECT_EQ(e.batch.batched_points + e.batch.scalar_points + e.batch.replayed_points,
-                point_count);
-      if (e.batch.batched_points > 0) saw_batched = true;
-      if (e.batch.replayed_points > 0) saw_replay = true;
+      for (const bool compact : {true, false}) {
+        const Exports e = run_once(plan, batch, workers, compact);
+        EXPECT_EQ(e.ascii, baseline.ascii)
+            << "ascii diverged at batch_size=" << batch << " workers=" << workers
+            << " compact=" << compact;
+        EXPECT_EQ(e.csv, baseline.csv)
+            << "csv diverged at batch_size=" << batch << " workers=" << workers
+            << " compact=" << compact;
+        // every point is accounted for exactly once: priced lockstep, priced
+        // by the scalar engine, or evicted mid-batch and finally priced scalar
+        EXPECT_EQ(
+            e.batch.batched_points + e.batch.scalar_points + e.batch.replayed_points,
+            point_count);
+        if (e.batch.batched_points > 0) saw_batched = true;
+        if (e.batch.evicted_lanes > 0) saw_evicted = true;
+        // a divergent lane is recovered either way: re-batched into a
+        // lockstep refill window (compaction) or replayed by the scalar
+        // engine (compaction off / unmatched keys / failure evictions)
+        if (e.batch.replayed_points > 0 || e.batch.refilled_lanes > 0)
+          saw_recovered = true;
+      }
     }
   }
   EXPECT_TRUE(saw_batched) << "no setting ever took the lockstep path";
-  if (expect_replay) {
-    EXPECT_TRUE(saw_replay) << "expected divergent lanes to be replayed";
+  if (expect_divergence) {
+    EXPECT_TRUE(saw_evicted) << "expected divergent lanes to be evicted";
+    EXPECT_TRUE(saw_recovered)
+        << "expected evicted lanes to be refilled or replayed";
   }
 }
 
@@ -110,8 +125,9 @@ TEST(BatchOracle, DirectiveVariantsSplitChunksDeterministically) {
 TEST(BatchOracle, BindingDependentDoTripsForceReplay) {
   // The outer DO trip count is a per-problem binding: lanes from different
   // problems disagree at the first size-dependent scalar loop and are
-  // evicted to the scalar replay, which must reproduce the scalar report
-  // byte for byte.
+  // evicted — then either re-batched by key (compaction) or replayed by
+  // the scalar engine — and must reproduce the scalar report byte for
+  // byte either way.
   static const char* const source = R"f90(
 program levels
   parameter (n = 1024)
@@ -133,7 +149,7 @@ end program levels
     plan.add_problem("nlev=" + std::to_string(nlev), b);
   }
   plan.runs(2);
-  expect_oracle(plan, 3u * 4u, /*expect_replay=*/true);
+  expect_oracle(plan, 3u * 4u, /*expect_divergence=*/true);
 }
 
 TEST(BatchOracle, PerLaneCriticalVariableSteersBranchesAndMasks) {
@@ -171,7 +187,104 @@ end program masked
     plan.add_problem("w=" + std::to_string(w), b);
   }
   plan.runs(2);
-  expect_oracle(plan, 2u * 2u * 3u, /*expect_replay=*/true);
+  expect_oracle(plan, 2u * 2u * 3u, /*expect_divergence=*/true);
+}
+
+// --- re-compaction -----------------------------------------------------------
+
+TEST(BatchOracle, ForcedDivergenceRefillsLanesWithoutScalarReplay) {
+  // 4 nlev groups x 4 system sizes, the whole sweep in one batch: the
+  // binding-dependent DO evicts 12 of the 16 lanes at once. Every nlev
+  // group still holds 4 lanes, so keyed re-compaction re-batches all of
+  // them into lockstep refill windows and nothing falls back to the scalar
+  // engine; with compaction off every evicted lane is replayed scalar.
+  static const char* const source = R"f90(
+program levels
+  parameter (n = 1024)
+  real v(n)
+!hpf$ template d(n)
+!hpf$ align v(i) with d(i)
+!hpf$ distribute d(block)
+  forall (i = 1:n) v(i) = real(i)
+  do it = 1, nlev
+    forall (i = 1:n) v(i) = v(i)*0.5 + 1.0
+  end do
+end program levels
+)f90";
+  api::ExperimentPlan plan("batch oracle: occupancy");
+  plan.source(source).machines({"ipsc860"}).nprocs({1, 2, 4, 8});
+  for (const long long nlev : {2, 3, 5, 8}) {
+    front::Bindings b;
+    b.set_int("nlev", nlev);
+    plan.add_problem("nlev=" + std::to_string(nlev), b);
+  }
+  plan.runs(2);
+  const std::size_t points = 4u * 4u;
+
+  const Exports compacted =
+      run_once(plan, /*batch_size=*/static_cast<int>(points), /*workers=*/1,
+               /*compact_lanes=*/true);
+  EXPECT_GT(compacted.batch.evicted_lanes, 0u);
+  EXPECT_GT(compacted.batch.refilled_lanes, 0u);
+  EXPECT_EQ(compacted.batch.replayed_points, 0u)
+      << "keyed refill should leave no lane to the scalar replay";
+  EXPECT_EQ(compacted.batch.batched_points + compacted.batch.scalar_points, points);
+
+  const Exports replayed =
+      run_once(plan, /*batch_size=*/static_cast<int>(points), /*workers=*/1,
+               /*compact_lanes=*/false);
+  EXPECT_EQ(replayed.batch.refilled_lanes, 0u);
+  EXPECT_GT(replayed.batch.replayed_points, 0u);
+  // every lockstep visit — fresh window or keyed refill — keeps at least a
+  // full nlev group (4 lanes) active; scalar replay would price 1 at a time
+  EXPECT_GT(compacted.batch.mean_lanes_per_visit(), 3.0);
+  // and the exports agree byte for byte regardless
+  EXPECT_EQ(compacted.ascii, replayed.ascii);
+  EXPECT_EQ(compacted.csv, replayed.csv);
+}
+
+TEST(BatchOracle, MultiRoundRecompactionStaysDeterministic) {
+  // Two sequential binding-dependent DOs: lanes regroup by the first trip
+  // count, then the refill windows themselves diverge at the second DO and
+  // need a second compaction round. Every (na, nb) subgroup still spans the
+  // 3 system sizes, so both rounds re-batch cleanly, and the exports must
+  // stay byte-identical across batch size, workers, and compaction.
+  static const char* const source = R"f90(
+program levels2
+  parameter (n = 512)
+  real v(n)
+!hpf$ template d(n)
+!hpf$ align v(i) with d(i)
+!hpf$ distribute d(block)
+  forall (i = 1:n) v(i) = real(i)
+  do it = 1, na
+    forall (i = 1:n) v(i) = v(i)*0.5 + 1.0
+  end do
+  do jt = 1, nb
+    forall (i = 1:n) v(i) = v(i)*0.25 + 2.0
+  end do
+end program levels2
+)f90";
+  api::ExperimentPlan plan("batch oracle: two-site divergence");
+  plan.source(source).machines({"ipsc860"}).nprocs({1, 2, 4});
+  for (const long long na : {2, 5}) {
+    for (const long long nb : {3, 7}) {
+      front::Bindings b;
+      b.set_int("na", na);
+      b.set_int("nb", nb);
+      plan.add_problem("na=" + std::to_string(na) + ",nb=" + std::to_string(nb), b);
+    }
+  }
+  plan.runs(2);
+  const std::size_t points = 2u * 2u * 3u;
+  expect_oracle(plan, points, /*expect_divergence=*/true);
+
+  // with the whole sweep in one batch, both divergence rounds resolve via
+  // refill windows: nothing is left for the scalar replay
+  const Exports e = run_once(plan, /*batch_size=*/static_cast<int>(points),
+                             /*workers=*/1, /*compact_lanes=*/true);
+  EXPECT_GT(e.batch.refilled_lanes, 0u);
+  EXPECT_EQ(e.batch.replayed_points, 0u);
 }
 
 // --- telemetry stays out of the exports ---------------------------------------

@@ -287,6 +287,9 @@ TEST(PlanCodec, OutcomeAndStatsRoundTrip) {
   stats.points_replayed = 2;
   stats.batch_ir_visits = 1250;
   stats.batch_lane_visits = 70000;
+  stats.lanes_evicted = 21;
+  stats.lanes_refilled = 19;
+  stats.simd_stripes = 8750;
   const serve::ServerStats s2 = serve::decode_stats(serve::encode_stats(stats));
   EXPECT_EQ(s2.cache.layout_misses, 11u);
   EXPECT_EQ(s2.warmed_programs, 2u);
@@ -298,27 +301,33 @@ TEST(PlanCodec, OutcomeAndStatsRoundTrip) {
   EXPECT_EQ(s2.points_replayed, 2u);
   EXPECT_EQ(s2.batch_ir_visits, 1250u);
   EXPECT_EQ(s2.batch_lane_visits, 70000u);
+  EXPECT_EQ(s2.lanes_evicted, 21u);
+  EXPECT_EQ(s2.lanes_refilled, 19u);
+  EXPECT_EQ(s2.simd_stripes, 8750u);
   EXPECT_EQ(s2.mean_lanes_per_visit(), 56.0);
 }
 
 TEST(PlanCodec, StatsCodecIsStrictAboutVersionAndBatchLine) {
   const std::string good = serve::encode_stats(serve::ServerStats{});
-  EXPECT_EQ(good.rfind("hpf90d-stats 2\n", 0), 0u);
+  EXPECT_EQ(good.rfind("hpf90d-stats 3\n", 0), 0u);
   EXPECT_NE(good.find("\nbatch "), std::string::npos);
 
-  // a version-1 header (no batch telemetry) is a different wire format
-  std::string v1 = good;
-  v1.replace(v1.find("stats 2"), 7, "stats 1");
-  EXPECT_THROW((void)serve::decode_stats(v1), serve::CodecError);
+  // older headers (v1: no batch line, v2: narrower batch line) are
+  // different wire formats
+  for (const char* old : {"stats 1", "stats 2"}) {
+    std::string stale = good;
+    stale.replace(stale.find("stats 3"), 7, old);
+    EXPECT_THROW((void)serve::decode_stats(stale), serve::CodecError);
+  }
 
   // a batch line with missing or extra fields must throw, never misparse
   const std::size_t pos = good.find("\nbatch ");
   const std::size_t eol = good.find('\n', pos + 1);
   std::string missing = good;
-  missing.replace(pos, eol - pos, "\nbatch 1 2 3");
+  missing.replace(pos, eol - pos, "\nbatch 1 2 3 4 5 6");
   EXPECT_THROW((void)serve::decode_stats(missing), serve::CodecError);
   std::string extra = good;
-  extra.replace(pos, eol - pos, "\nbatch 1 2 3 4 5 6 7");
+  extra.replace(pos, eol - pos, "\nbatch 1 2 3 4 5 6 7 8 9 10");
   EXPECT_THROW((void)serve::decode_stats(extra), serve::CodecError);
 }
 
@@ -665,6 +674,10 @@ TEST(ExperimentServer, BatchTelemetrySurfacesThroughTheStatsEndpoint) {
   EXPECT_EQ(stats.points_batched + stats.points_scalar + stats.points_replayed, 4u);
   EXPECT_GT(stats.batch_ir_visits, 0u);
   EXPECT_GT(stats.mean_lanes_per_visit(), 1.0);
+  // the vectorized cost evaluator ran (8-lane stripes), and eviction /
+  // refill totals stay consistent
+  EXPECT_GT(stats.simd_stripes, 0u);
+  EXPECT_LE(stats.lanes_refilled, stats.lanes_evicted);
 }
 
 TEST(ExperimentServer, IdenticalInflightJobsCoalesceToOneExecution) {
