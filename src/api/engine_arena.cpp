@@ -1,6 +1,13 @@
 #include "api/engine_arena.hpp"
 
+#include "obs/obs.hpp"
+
 namespace hpf90d::api {
+
+void EngineArena::set_trace(obs::Sink* sink) noexcept {
+  obs_sink_ = sink;
+  batch_engine_.set_trace(sink);
+}
 
 const core::PredictionResult& EngineArena::predict(
     const compiler::CompiledProgram& prog, const compiler::DataLayout& layout,
@@ -57,6 +64,7 @@ std::span<const core::PredictionResult> EngineArena::predict_batch(
 std::span<const sim::MeasuredResult> EngineArena::measure_batch_into(
     const compiler::CompiledProgram& prog, const machine::MachineModel& machine,
     const sim::SimOptions& options, int runs, std::span<const core::BatchLane> lanes) {
+  const obs::Span span(obs_sink_, obs::Phase::MeasureBatch, lanes.size());
   lane_bindings_.clear();
   lane_layouts_.clear();
   for (const core::BatchLane& lane : lanes) {

@@ -19,6 +19,10 @@
 #include "core/engine.hpp"
 #include "sim/simulator.hpp"
 
+namespace hpf90d::obs {
+class Sink;
+}  // namespace hpf90d::obs
+
 namespace hpf90d::api {
 
 class EngineArena {
@@ -86,7 +90,13 @@ class EngineArena {
       const sim::SimOptions& options, int runs,
       std::span<const core::BatchLane> lanes);
 
+  /// Attaches a tracing sink (nullptr detaches, the default): batched
+  /// measurements record obs::Phase::MeasureBatch spans and the lockstep
+  /// engine records LockstepWindow spans. Results never change.
+  void set_trace(obs::Sink* sink) noexcept;
+
  private:
+  obs::Sink* obs_sink_ = nullptr;  // measure-batch span destination
   core::InterpretationEngine engine_;
   core::BatchEngine batch_engine_;
   sim::Executor executor_;

@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "obs/obs.hpp"
+
 namespace hpf90d::api {
 
 LayoutStore::LayoutPtr LayoutStore::get_or_build(const std::string& key,
@@ -51,15 +53,22 @@ LayoutStore::LayoutPtr LayoutStore::get_or_build(const compiler::LayoutDigest& d
     // built. Loaded entries are not written back; only fresh builds are.
     // Spill files are addressed by the fingerprint *string*, which is why
     // the KeyFn exists — and why it is only invoked here, on the miss path.
-    if (spill_.load) layout = spill_.load(key());
+    if (spill_.load) {
+      const obs::Span span(obs_sink_, obs::Phase::SpillLoad);
+      layout = spill_.load(key());
+    }
     if (layout) {
       ++spill_hits_;
     } else {
+      const obs::Span span(obs_sink_, obs::Phase::LayoutBuild);
       layout = std::make_shared<const compiler::DataLayout>(build());
       fresh_build = true;
     }
     promise->set_value(layout);
-    if (fresh_build && spill_.store) spill_.store(key(), *layout);
+    if (fresh_build && spill_.store) {
+      const obs::Span span(obs_sink_, obs::Phase::SpillStore);
+      spill_.store(key(), *layout);
+    }
     return layout;
   } catch (...) {
     {

@@ -40,6 +40,10 @@
 #include "compiler/mapping.hpp"
 #include "compiler/pipeline.hpp"
 
+namespace hpf90d::obs {
+class Sink;
+}  // namespace hpf90d::obs
+
 namespace hpf90d::api {
 
 class LayoutStore {
@@ -92,6 +96,11 @@ class LayoutStore {
   void set_spill(Spill spill) { spill_ = std::move(spill); }
   [[nodiscard]] bool has_spill() const noexcept { return static_cast<bool>(spill_.load); }
 
+  /// Attaches a tracing sink (nullptr detaches): miss paths record
+  /// SpillLoad / LayoutBuild / SpillStore spans. Like set_spill, not safe
+  /// to call concurrently with get_or_build.
+  void set_trace(obs::Sink* sink) noexcept { obs_sink_ = sink; }
+
   /// Installs the LRU bound (0 = unbounded), evicting immediately when the
   /// store is over the new capacity.
   void set_capacity(std::size_t capacity);
@@ -135,6 +144,7 @@ class LayoutStore {
   std::atomic<std::size_t> spill_hits_{0};
 
   Spill spill_;  // set before concurrent use; functions are thread-safe
+  obs::Sink* obs_sink_ = nullptr;  // miss-path span destination
 };
 
 }  // namespace hpf90d::api

@@ -184,6 +184,330 @@ ReportDiff RunReport::diff(const RunReport& before, const RunReport& after) {
   return out;
 }
 
+namespace {
+
+// --- JSON helpers (same conventions as study_result.cpp: %.17g numbers,
+// minimal escaping, a tiny recursive-descent reader that fails loudly).
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += support::strfmt("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string jnum(double v) { return support::strfmt("%.17g", v); }
+std::string jnum(std::uint64_t v) {
+  return support::strfmt("%llu", static_cast<unsigned long long>(v));
+}
+
+/// Strict reader for the output of RunReport::json(): fixed key order, so
+/// any schema drift (renamed, missing, or reordered keys) throws instead
+/// of silently zero-filling.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void key(const char* name) {
+    const std::string got = string();
+    if (got != name) fail("expected key \"" + std::string(name) + "\", got \"" + got + '"');
+    expect(':');
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("dangling escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') v += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape digit");
+            }
+            if (v > 0x7f) fail("non-ASCII \\u escape unsupported");
+            c = static_cast<char>(v);
+            break;
+          }
+          default: fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' ||
+          c == 'E' || c == 'i' || c == 'n' || c == 'f' || c == 'a') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected number");
+    try {
+      return std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+    return 0;  // unreachable
+  }
+
+  std::uint64_t unsigned_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    if (pos_ == start) fail("expected unsigned integer");
+    try {
+      return std::stoull(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("malformed unsigned integer");
+    }
+    return 0;  // unreachable
+  }
+
+  bool boolean() {
+    skip_ws();
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected boolean");
+    return false;  // unreachable
+  }
+
+  void end() {
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing bytes after document");
+  }
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("RunReport::from_json: " + why + " at offset " +
+                                std::to_string(pos_));
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string RunReport::json() const {
+  std::string out = "{\"title\":\"" + json_escape(title) + "\",";
+  out += "\"wall_seconds\":" + jnum(wall_seconds) + ",";
+  out += "\"cache\":{";
+  out += "\"compile_hits\":" + jnum(static_cast<std::uint64_t>(cache.compile_hits)) + ",";
+  out += "\"compile_misses\":" + jnum(static_cast<std::uint64_t>(cache.compile_misses)) + ",";
+  out += "\"layout_hits\":" + jnum(static_cast<std::uint64_t>(cache.layout_hits)) + ",";
+  out += "\"layout_misses\":" + jnum(static_cast<std::uint64_t>(cache.layout_misses)) + ",";
+  out += "\"layout_evictions\":" + jnum(static_cast<std::uint64_t>(cache.layout_evictions)) + ",";
+  out += "\"layout_spill_hits\":" + jnum(static_cast<std::uint64_t>(cache.layout_spill_hits)) + ",";
+  out += "\"layout_capacity\":" + jnum(static_cast<std::uint64_t>(cache.layout_capacity)) + "},";
+  out += "\"batch\":{";
+  out += "\"batched_points\":" + jnum(static_cast<std::uint64_t>(batch.batched_points)) + ",";
+  out += "\"scalar_points\":" + jnum(static_cast<std::uint64_t>(batch.scalar_points)) + ",";
+  out += "\"replayed_points\":" + jnum(static_cast<std::uint64_t>(batch.replayed_points)) + ",";
+  out += "\"ir_visits\":" + jnum(batch.ir_visits) + ",";
+  out += "\"lane_visits\":" + jnum(batch.lane_visits) + ",";
+  out += "\"evicted_lanes\":" + jnum(batch.evicted_lanes) + ",";
+  out += "\"refilled_lanes\":" + jnum(batch.refilled_lanes) + ",";
+  out += "\"simd_stripes\":" + jnum(batch.simd_stripes) + "},";
+  out += "\"records\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    if (i > 0) out += ',';
+    out += "\n{\"machine\":\"" + json_escape(r.machine) + "\",";
+    out += "\"variant\":\"" + json_escape(r.variant) + "\",";
+    out += "\"problem\":\"" + json_escape(r.problem) + "\",";
+    out += "\"nprocs\":" + std::to_string(r.nprocs) + ",";
+    out += std::string("\"measured\":") + (r.measured ? "true" : "false") + ",";
+    out += "\"estimated\":" + jnum(r.comparison.estimated) + ",";
+    out += "\"measured_mean\":" + jnum(r.comparison.measured_mean) + ",";
+    out += "\"measured_min\":" + jnum(r.comparison.measured_min) + ",";
+    out += "\"measured_max\":" + jnum(r.comparison.measured_max) + ",";
+    out += "\"measured_stddev\":" + jnum(r.comparison.measured_stddev) + ",";
+    out += "\"phases\":{";
+    out += "\"comp\":" + jnum(r.phases.comp) + ",";
+    out += "\"comm\":" + jnum(r.phases.comm) + ",";
+    out += "\"overhead\":" + jnum(r.phases.overhead) + ",";
+    out += "\"wait\":" + jnum(r.phases.wait) + "}}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+RunReport RunReport::from_json(std::string_view text) {
+  JsonReader in(text);
+  RunReport report;
+  in.expect('{');
+  in.key("title");
+  report.title = in.string();
+  in.expect(',');
+  in.key("wall_seconds");
+  report.wall_seconds = in.number();
+  in.expect(',');
+  in.key("cache");
+  in.expect('{');
+  const auto size_field = [&in](const char* name) {
+    in.key(name);
+    return static_cast<std::size_t>(in.unsigned_number());
+  };
+  report.cache.compile_hits = size_field("compile_hits");
+  in.expect(',');
+  report.cache.compile_misses = size_field("compile_misses");
+  in.expect(',');
+  report.cache.layout_hits = size_field("layout_hits");
+  in.expect(',');
+  report.cache.layout_misses = size_field("layout_misses");
+  in.expect(',');
+  report.cache.layout_evictions = size_field("layout_evictions");
+  in.expect(',');
+  report.cache.layout_spill_hits = size_field("layout_spill_hits");
+  in.expect(',');
+  report.cache.layout_capacity = size_field("layout_capacity");
+  in.expect('}');
+  in.expect(',');
+  in.key("batch");
+  in.expect('{');
+  const auto u64_field = [&in](const char* name) {
+    in.key(name);
+    return in.unsigned_number();
+  };
+  report.batch.batched_points = size_field("batched_points");
+  in.expect(',');
+  report.batch.scalar_points = size_field("scalar_points");
+  in.expect(',');
+  report.batch.replayed_points = size_field("replayed_points");
+  in.expect(',');
+  report.batch.ir_visits = u64_field("ir_visits");
+  in.expect(',');
+  report.batch.lane_visits = u64_field("lane_visits");
+  in.expect(',');
+  report.batch.evicted_lanes = u64_field("evicted_lanes");
+  in.expect(',');
+  report.batch.refilled_lanes = u64_field("refilled_lanes");
+  in.expect(',');
+  report.batch.simd_stripes = u64_field("simd_stripes");
+  in.expect('}');
+  in.expect(',');
+  in.key("records");
+  in.expect('[');
+  if (!in.consume(']')) {
+    do {
+      in.expect('{');
+      RunRecord r;
+      in.key("machine");
+      r.machine = in.string();
+      in.expect(',');
+      in.key("variant");
+      r.variant = in.string();
+      in.expect(',');
+      in.key("problem");
+      r.problem = in.string();
+      in.expect(',');
+      in.key("nprocs");
+      r.nprocs = static_cast<int>(in.number());
+      in.expect(',');
+      in.key("measured");
+      r.measured = in.boolean();
+      in.expect(',');
+      const auto num_field = [&in](const char* name) {
+        in.key(name);
+        return in.number();
+      };
+      r.comparison.estimated = num_field("estimated");
+      in.expect(',');
+      r.comparison.measured_mean = num_field("measured_mean");
+      in.expect(',');
+      r.comparison.measured_min = num_field("measured_min");
+      in.expect(',');
+      r.comparison.measured_max = num_field("measured_max");
+      in.expect(',');
+      r.comparison.measured_stddev = num_field("measured_stddev");
+      in.expect(',');
+      in.key("phases");
+      in.expect('{');
+      r.phases.comp = num_field("comp");
+      in.expect(',');
+      r.phases.comm = num_field("comm");
+      in.expect(',');
+      r.phases.overhead = num_field("overhead");
+      in.expect(',');
+      r.phases.wait = num_field("wait");
+      in.expect('}');
+      in.expect('}');
+      report.records.push_back(std::move(r));
+    } while (in.consume(','));
+    in.expect(']');
+  }
+  in.expect('}');
+  in.end();
+  return report;
+}
+
 RunReport RunReport::from_csv(std::string_view text) {
   RunReport report;
   bool saw_header = false;

@@ -224,6 +224,17 @@ struct RunReport {
   /// malformed header or row.
   [[nodiscard]] static RunReport from_csv(std::string_view text);
 
+  /// Full JSON export: unlike csv(), this carries everything — title,
+  /// records (with the predicted phase breakdown), cache stats, batch
+  /// telemetry, and wall time. Deterministic (%.17g doubles, fixed key
+  /// order), so from_json(json()) reproduces the exact report and
+  /// json(from_json(t)) == t for any t this emitted.
+  [[nodiscard]] std::string json() const;
+
+  /// Parses the output of json(). Throws std::invalid_argument on
+  /// malformed input or schema drift.
+  [[nodiscard]] static RunReport from_json(std::string_view text);
+
   /// Per-point estimated-time deltas between two reports. Points are
   /// matched by (machine, variant, problem, nprocs); unmatched points are
   /// counted, not diffed. Matched records keep `before`'s order.

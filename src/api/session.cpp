@@ -8,6 +8,8 @@
 
 #include "api/engine_arena.hpp"
 #include "api/experiment_plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "support/text.hpp"
 
 namespace hpf90d::api {
@@ -198,8 +200,17 @@ Comparison Session::compare(const compiler::CompiledProgram& prog,
   return out;
 }
 
+void Session::set_trace_sink(obs::Sink* sink) {
+  obs_ = sink;
+  layout_store_.set_trace(sink);
+}
+
 RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   plan.validate();
+  // Run-scoped spans go to the per-run sink when one is set, else to the
+  // session sink. The layout store keeps the session sink either way: its
+  // set_trace is not safe against concurrent runs, and runs may overlap.
+  obs::Sink* const trace = options.trace != nullptr ? options.trace : obs_;
   const auto t0 = std::chrono::steady_clock::now();
   const CacheStats before = cache_stats();
   // After the snapshot: evictions triggered by installing this run's
@@ -221,6 +232,7 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   for (std::size_t m = 0; m < plan.machine_names().size(); ++m) {
     for (std::size_t v = 0; v < plan.variants().size(); ++v) {
       const auto& variant = plan.variants()[v];
+      const obs::Span compile_span(trace, obs::Phase::Compile, v);
       variant_progs[v] =
           variant.overrides.empty()
               ? compile(plan.program_source(), plan.compiler_opts())
@@ -280,7 +292,15 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     const ProblemCase* problem = nullptr;
     int nprocs = 0;
   };
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  constexpr std::size_t kChunkGranule = 256;
   std::vector<Point> points;
+  std::vector<Chunk> chunks;
+  {
+    const obs::Span sched_span(trace, obs::Phase::ChunkSchedule, plan.point_count());
   points.reserve(plan.point_count());
   for (const auto& machine_name : plan.machine_names()) {
     // one registry lookup per machine instead of one per point
@@ -312,12 +332,6 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   // *inside* a chunk in windows of at most batch_size lanes; batch_size <=
   // 1 and the legacy engine path degenerate to single-point windows, i.e.
   // exactly the scalar sweep.
-  struct Chunk {
-    std::size_t begin = 0;
-    std::size_t end = 0;
-  };
-  constexpr std::size_t kChunkGranule = 256;
-  std::vector<Chunk> chunks;
   chunks.reserve(points.size() / kChunkGranule + 1);
   for (std::size_t i = 0; i < points.size();) {
     std::size_t j = i + 1;
@@ -328,6 +342,7 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     chunks.push_back(Chunk{i, j});
     i = j;
   }
+  }  // ChunkSchedule span closes here
 
   const std::size_t lane_width =
       options.reuse_engines && options.batch_size > 1
@@ -434,6 +449,7 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     const compiler::CompiledProgram& prog = *variant_progs[p0.variant];
     const machine::MachineModel& mach = *p0.mach;
     EngineArena& arena = ws.arena;
+    arena.set_trace(trace);  // two stores per chunk; spans stay disabled when null
 
     // Layout lookups happen per point, in point order — exactly one lookup
     // per point for every batch size and compaction setting, which keeps
@@ -567,10 +583,14 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
 
     // Phase 3 — scalar replays, in point order (deterministic diagnostics).
     std::sort(ws.scalar_replay.begin(), ws.scalar_replay.end());
-    for (const std::size_t off : ws.scalar_replay) {
-      assemble(off, arena.predict(prog, *ws.lanes[off].layout, mach,
-                                  sweep_predict, *ws.lanes[off].bindings));
-      ++replayed_n;
+    if (!ws.scalar_replay.empty()) {
+      const obs::Span replay_span(trace, obs::Phase::ScalarReplay,
+                                  ws.scalar_replay.size());
+      for (const std::size_t off : ws.scalar_replay) {
+        assemble(off, arena.predict(prog, *ws.lanes[off].layout, mach,
+                                    sweep_predict, *ws.lanes[off].bindings));
+        ++replayed_n;
+      }
     }
 
     // Measurement: one batched pass over the whole chunk in point order —
@@ -646,6 +666,31 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   report.cache = cache_stats() - before;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Metrics are published after the report is assembled, so a throwing
+  // registry (kind clash) can never corrupt a sweep, and a null registry
+  // costs one branch. Counters are cumulative across runs; the occupancy
+  // gauge reflects the most recent run.
+  if (options.metrics != nullptr) {
+    obs::Registry& reg = *options.metrics;
+    reg.counter("hpf90d_run_points_total", "Sweep points executed by Session::run")
+        .add(points.size());
+    reg.counter("hpf90d_run_batched_points_total", "Points priced in lockstep batches")
+        .add(report.batch.batched_points);
+    reg.counter("hpf90d_run_scalar_points_total", "Points priced on the scalar path")
+        .add(report.batch.scalar_points);
+    reg.counter("hpf90d_run_replayed_points_total", "Points replayed after eviction")
+        .add(report.batch.replayed_points);
+    reg.counter("hpf90d_run_evicted_lanes_total", "Lanes evicted from lockstep windows")
+        .add(report.batch.evicted_lanes);
+    reg.counter("hpf90d_run_refilled_lanes_total", "Evicted lanes re-batched by compaction")
+        .add(report.batch.refilled_lanes);
+    reg.gauge("hpf90d_run_lockstep_occupancy", "Mean active lanes per batch IR visit, last run")
+        .set(report.batch.mean_lanes_per_visit());
+    reg.histogram("hpf90d_run_wall_seconds", "Session::run wall time",
+                  {0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0})
+        .observe(report.wall_seconds);
+  }
   return report;
 }
 

@@ -55,6 +55,11 @@
 #include "core/engine.hpp"
 #include "sim/simulator.hpp"
 
+namespace hpf90d::obs {
+class Registry;
+class Sink;
+}  // namespace hpf90d::obs
+
 namespace hpf90d::api {
 
 class ExperimentPlan;
@@ -119,6 +124,20 @@ struct RunOptions {
   /// report payload is byte-identical either way (only RunReport::batch
   /// telemetry and wall time change); only meaningful when batching runs.
   bool compact_lanes = true;
+
+  /// Tracing sink for this run (overrides the session-level sink when
+  /// set): compile, chunk-schedule, lockstep-window, scalar-replay and
+  /// measure spans are recorded into it. nullptr (the default) falls back
+  /// to Session::set_trace_sink's sink, and with neither attached the
+  /// spans cost one predicted branch each — the report stays
+  /// byte-identical to an untraced run either way (tracing never alters
+  /// results, only records timings).
+  obs::Sink* trace = nullptr;
+
+  /// Metrics registry for this run: run wall time and batching
+  /// effectiveness counters are published into it after the sweep
+  /// (see README "Observability" for the metric names). nullptr disables.
+  obs::Registry* metrics = nullptr;
 };
 
 class Session {
@@ -209,6 +228,15 @@ class Session {
   /// cache statistics stay clean.
   std::size_t warm_start();
 
+  // --- observability ----------------------------------------------------------
+  /// Session-level tracing sink (nullptr detaches, the default): spans
+  /// from every subsequent run/compile/layout build are recorded into it,
+  /// including the layout store's build/spill spans. The sink must be
+  /// thread-safe and outlive the session (or be detached first). Not safe
+  /// to call concurrently with in-flight session operations.
+  void set_trace_sink(obs::Sink* sink);
+  [[nodiscard]] obs::Sink* trace_sink() const noexcept { return obs_; }
+
   /// Drops programs and layouts. Not safe to call concurrently with other
   /// session operations.
   void clear_caches();
@@ -279,6 +307,9 @@ class Session {
 
   /// Persistent artifact tier; null when no spill is attached.
   std::shared_ptr<ArtifactSpill> spill_;
+
+  /// Session-level tracing sink; null keeps every span disabled.
+  obs::Sink* obs_ = nullptr;
 };
 
 }  // namespace hpf90d::api

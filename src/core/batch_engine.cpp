@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <numeric>
 
+#include "obs/obs.hpp"
 #include "support/diagnostics.hpp"
 
 namespace hpf90d::core {
@@ -54,6 +55,8 @@ bool BatchEngine::interpret(const compiler::CompiledProgram& prog,
   // per-lane ScalarEnv — mid-batch; those programs stay on the scalar path.
   if (cp == nullptr || !cp->complete || prog.root == nullptr) return false;
   if (prog.node_ops.size() != static_cast<std::size_t>(prog.node_count)) return false;
+
+  const obs::Span window_span(obs_sink_, obs::Phase::LockstepWindow, lanes.size());
 
   prog_ = &prog;
   cost_ = cp;

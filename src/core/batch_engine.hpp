@@ -21,6 +21,10 @@
 
 #include "core/engine.hpp"
 
+namespace hpf90d::obs {
+class Sink;
+}  // namespace hpf90d::obs
+
 namespace hpf90d::core {
 
 /// One sweep point of a batch. All lanes of one interpret() call must share
@@ -80,6 +84,11 @@ class BatchEngine {
                  std::span<const BatchLane> lanes, PredictionResult* results,
                  BatchRunStats& stats, std::vector<EvictedLane>* deferred = nullptr);
 
+  /// Attaches a tracing sink (nullptr detaches): each lockstep walk is
+  /// recorded as one obs::Phase::LockstepWindow span (arg = lane count).
+  /// Results are unchanged — only timings are observed.
+  void set_trace(obs::Sink* sink) noexcept { obs_sink_ = sink; }
+
  private:
   using SpmdNode = compiler::SpmdNode;
   using Space = InterpretationEngine::ResolvedSpace;
@@ -120,6 +129,7 @@ class BatchEngine {
   const compiler::CompiledProgram* prog_ = nullptr;
   const compiler::CostProgram* cost_ = nullptr;
   std::span<const BatchLane> lanes_;
+  obs::Sink* obs_sink_ = nullptr;  // lockstep-window span destination
 
   std::vector<InterpretationEngine> engines_;  // per-lane clocks/metrics/pricing
   compiler::BatchEnv env_;                     // the single source of scalar values

@@ -1,0 +1,135 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/text.hpp"
+
+namespace hpf90d::obs {
+
+namespace {
+
+/// Prometheus sample value: integers render bare (no ".0"), everything
+/// else as %.17g — both deterministic for equal inputs.
+std::string pnum(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    return support::strfmt("%lld", static_cast<long long>(v));
+  }
+  return support::strfmt("%.17g", v);
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size());
+  for (std::size_t i = 0; i < bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  // Non-cumulative per-bound counts stored; exposition accumulates. Only
+  // the first bound >= v is incremented, so observe is O(log n) + one add.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  if (it != bounds_.end()) {
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // relaxed CAS loop: contended sums lose no updates, order is irrelevant
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const noexcept {
+  std::uint64_t cum = 0;
+  for (std::size_t j = 0; j <= i && j < bounds_.size(); ++j) {
+    cum += buckets_[j].load(std::memory_order_relaxed);
+  }
+  return cum;
+}
+
+double Histogram::sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+Counter& Registry::counter(const std::string& name, std::string help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = Kind::Counter;
+    e.help = std::move(help);
+    e.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != Kind::Counter) {
+    throw std::logic_error("obs::Registry: " + name + " already registered as another kind");
+  }
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, std::string help) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = Kind::Gauge;
+    e.help = std::move(help);
+    e.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != Kind::Gauge) {
+    throw std::logic_error("obs::Registry: " + name + " already registered as another kind");
+  }
+  return *it->second.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::string help,
+                               std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = Kind::Histogram;
+    e.help = std::move(help);
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = metrics_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != Kind::Histogram) {
+    throw std::logic_error("obs::Registry: " + name + " already registered as another kind");
+  }
+  return *it->second.histogram;
+}
+
+std::string Registry::prometheus() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  // std::map iterates sorted by name — the exposition order contract.
+  for (const auto& [name, e] : metrics_) {
+    out += "# HELP " + name + ' ' + e.help + '\n';
+    switch (e.kind) {
+      case Kind::Counter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + ' ' + pnum(static_cast<double>(e.counter->value())) + '\n';
+        break;
+      case Kind::Gauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + ' ' + pnum(e.gauge->value()) + '\n';
+        break;
+      case Kind::Histogram: {
+        out += "# TYPE " + name + " histogram\n";
+        const Histogram& h = *e.histogram;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          out += name + "_bucket{le=\"" + pnum(h.bounds()[i]) + "\"} " +
+                 pnum(static_cast<double>(h.bucket(i))) + '\n';
+        }
+        out += name + "_bucket{le=\"+Inf\"} " +
+               pnum(static_cast<double>(h.count())) + '\n';
+        out += name + "_sum " + pnum(h.sum()) + '\n';
+        out += name + "_count " + pnum(static_cast<double>(h.count())) + '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpf90d::obs

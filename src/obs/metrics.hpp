@@ -1,0 +1,109 @@
+// metrics.hpp — typed metrics registry with Prometheus text exposition.
+//
+// The daemon (and any embedder) needs live numbers, not just end-of-run
+// report footers: queue depth, per-phase wall-time distributions, lockstep
+// occupancy, spill hit ratios. A Registry owns named Counters, Gauges and
+// Histograms; every instrument is lock-free to update (atomics only) and
+// the registry renders a deterministic Prometheus text exposition —
+// metrics sorted by name, fixed number formatting — so two snapshots of
+// equal state are byte-identical and tests can assert on the text.
+//
+// Registration (counter()/gauge()/histogram()) takes a mutex and is meant
+// for startup; updates (add/set/observe) never lock. Returned references
+// are stable for the registry's lifetime.
+//
+// Counter semantics are Prometheus-monotonic: they only increase, and a
+// daemon restart resets them to zero (scrapers handle resets via rate()).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hpf90d::obs {
+
+/// Monotonically increasing integer (resets only with its registry).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous value, settable from any thread.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Cumulative histogram over fixed bucket upper bounds (+Inf implicit).
+/// observe() is wait-free (one fetch_add per bucket walk + CAS-free sum
+/// accumulation via compare_exchange on a relaxed double).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Cumulative count for bucket i (observations <= bounds()[i]).
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept;
+
+ private:
+  std::vector<double> bounds_;  // sorted ascending
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // per-bound counts
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named instruments + deterministic exposition. Names must match
+/// Prometheus conventions ([a-zA-Z_:][a-zA-Z0-9_:]*); the registry does
+/// not validate, it trusts its (in-process) callers.
+class Registry {
+ public:
+  /// Idempotent: a second registration of the same name returns the
+  /// existing instrument (help text of the first registration wins).
+  /// Registering one name as two different kinds throws std::logic_error.
+  Counter& counter(const std::string& name, std::string help);
+  Gauge& gauge(const std::string& name, std::string help);
+  Histogram& histogram(const std::string& name, std::string help,
+                       std::vector<double> bounds);
+
+  /// Prometheus text exposition (version 0.0.4): HELP/TYPE comments, then
+  /// samples. Metrics render sorted by name; numbers use %.17g (integers
+  /// render as integers), so equal state always renders byte-identically.
+  [[nodiscard]] std::string prometheus() const;
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> metrics_;
+};
+
+}  // namespace hpf90d::obs

@@ -136,6 +136,22 @@ std::vector<api::ProgramRecipe> ArtifactStore::load_programs() {
   return out;
 }
 
+ArtifactStore::DiskUsage ArtifactStore::disk_usage() const {
+  DiskUsage usage;
+  for (const char* dir : {"layouts", "programs"}) {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(fs::path(root_) / dir, ec)) {
+      std::error_code file_ec;
+      if (!entry.is_regular_file(file_ec) || file_ec) continue;
+      const std::uintmax_t size = entry.file_size(file_ec);
+      if (file_ec) continue;
+      usage.bytes += static_cast<std::uint64_t>(size);
+      ++usage.files;
+    }
+  }
+  return usage;
+}
+
 void ArtifactStore::write_artifact(const std::string& dir, const std::string& key,
                                    std::string_view body) {
   const fs::path target = fs::path(root_) / dir / artifact_name(key);

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
 
@@ -50,6 +51,17 @@ class ArtifactStore : public api::ArtifactSpill {
   [[nodiscard]] std::size_t programs_stored() const noexcept {
     return programs_stored_.load();
   }
+
+  /// On-disk footprint of the store (layouts + programs).
+  struct DiskUsage {
+    std::uint64_t bytes = 0;
+    std::uint64_t files = 0;
+  };
+
+  /// Scans both artifact directories (regular files only; in-flight temp
+  /// files count too — they occupy the same disk). Unreadable entries are
+  /// skipped, so a concurrent rename never fails the scan.
+  [[nodiscard]] DiskUsage disk_usage() const;
 
  private:
   void write_artifact(const std::string& dir, const std::string& key,

@@ -5,8 +5,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "serve/wire.hpp"
 
@@ -18,6 +20,20 @@ ServeClient::ServeClient(std::string socket_path, std::string tenant)
 ServeClient::~ServeClient() { close(); }
 
 void ServeClient::connect() {
+  const int attempts = retry_.attempts < 1 ? 1 : retry_.attempts;
+  for (int i = 0;; ++i) {
+    try {
+      connect_once();
+      return;
+    } catch (const WireError&) {
+      if (i + 1 >= attempts) throw;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long long>(retry_.backoff_ms) << i));
+    }
+  }
+}
+
+void ServeClient::connect_once() {
   if (fd_ >= 0) return;
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -59,6 +75,25 @@ Frame ServeClient::roundtrip(const Frame& request) {
   return read_frame(fd_);
 }
 
+Frame ServeClient::roundtrip_retrying(const Frame& request) {
+  // Transport failure (daemon restarted, socket gone) drops the dead
+  // socket and re-handshakes on a fresh one before re-sending. Requests
+  // routed here are idempotent or coalesced server-side, so a re-send
+  // after a lost reply is safe.
+  const int attempts = retry_.attempts < 1 ? 1 : retry_.attempts;
+  for (int i = 0;; ++i) {
+    try {
+      if (fd_ < 0) connect_once();
+      return roundtrip(request);
+    } catch (const WireError&) {
+      close();
+      if (i + 1 >= attempts) throw;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<long long>(retry_.backoff_ms) << i));
+    }
+  }
+}
+
 namespace {
 
 std::uint64_t expect_submitted(const Frame& reply) {
@@ -76,11 +111,11 @@ std::uint64_t expect_submitted(const Frame& reply) {
 }  // namespace
 
 std::uint64_t ServeClient::submit(const api::ExperimentPlan& plan) {
-  return expect_submitted(roundtrip({MsgType::SubmitPlan, encode_plan(plan)}));
+  return expect_submitted(roundtrip_retrying({MsgType::SubmitPlan, encode_plan(plan)}));
 }
 
 std::uint64_t ServeClient::submit(const study::StudyPlan& plan) {
-  return expect_submitted(roundtrip({MsgType::SubmitStudy, encode_study(plan)}));
+  return expect_submitted(roundtrip_retrying({MsgType::SubmitStudy, encode_study(plan)}));
 }
 
 JobResult ServeClient::wait(std::uint64_t job_id) {
@@ -110,7 +145,7 @@ JobResult ServeClient::wait(std::uint64_t job_id) {
 }
 
 std::string ServeClient::status(std::uint64_t job_id) {
-  const Frame reply = roundtrip({MsgType::Status, std::to_string(job_id)});
+  const Frame reply = roundtrip_retrying({MsgType::Status, std::to_string(job_id)});
   if (reply.type == MsgType::Error) throw std::runtime_error(reply.payload);
   if (reply.type != MsgType::StatusReply) throw WireError("unexpected status reply");
   return reply.payload;
@@ -123,9 +158,34 @@ bool ServeClient::cancel(std::uint64_t job_id) {
 }
 
 ServerStats ServeClient::stats() {
-  const Frame reply = roundtrip({MsgType::Stats, {}});
+  const Frame reply = roundtrip_retrying({MsgType::Stats, {}});
   if (reply.type != MsgType::StatsReply) throw WireError("unexpected stats reply");
   return decode_stats(reply.payload);
+}
+
+std::string ServeClient::metrics() {
+  const Frame reply = roundtrip_retrying({MsgType::Metrics, {}});
+  if (reply.type != MsgType::MetricsReply) throw WireError("unexpected metrics reply");
+  return reply.payload;
+}
+
+std::vector<ServerStats> ServeClient::stats_stream(int count, int interval_ms) {
+  // The request itself retries; once the burst starts, a mid-stream
+  // failure propagates (a retry would double snapshots already consumed).
+  if (fd_ < 0) connect();
+  const std::string request =
+      std::to_string(count) + ' ' + std::to_string(interval_ms);
+  write_frame(fd_, Frame{MsgType::StatsStream, request});
+  std::vector<ServerStats> out;
+  for (;;) {
+    const Frame frame = read_frame(fd_);
+    if (frame.type == MsgType::StatsStreamEnd) return out;
+    if (frame.type == MsgType::Error) throw std::runtime_error(frame.payload);
+    if (frame.type != MsgType::StatsReply) {
+      throw WireError("unexpected frame in stats stream");
+    }
+    out.push_back(decode_stats(frame.payload));
+  }
 }
 
 void ServeClient::shutdown_server() {

@@ -8,14 +8,22 @@
 // alongside — so a served report is the same object a local Session::run
 // would have returned, byte-identical CSV included.
 //
-// The client is deliberately dumb: one in-flight request per connection,
-// blocking replies, no reconnection. Anything smarter belongs in the
-// caller. Not thread-safe; use one ServeClient per thread (tenants are
-// free to open many connections).
+// The client stays synchronous — one in-flight request per connection,
+// blocking replies — but it survives daemon restarts: connect(), submit(),
+// status(), stats() and metrics() retry transport failures with bounded
+// exponential backoff (RetryPolicy), re-handshaking on a fresh socket each
+// attempt. Retries are transport-level only: a server refusal (Error
+// frame) is never retried, and wait()/cancel() never retry a send that may
+// already have been acted on. A restarted daemon forgets job ids, so a
+// retried status() for a pre-restart job surfaces "unknown job" — callers
+// resubmit (submit() is safe to retry: a duplicate submit is coalesced
+// server-side by content address). Not thread-safe; use one ServeClient
+// per thread (tenants are free to open many connections).
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "api/experiment_plan.hpp"
 #include "api/run_report.hpp"
@@ -38,6 +46,14 @@ struct JobResult {
   [[nodiscard]] bool ok() const noexcept { return state == "done"; }
 };
 
+/// Bounded reconnect policy for transport failures (WireError): up to
+/// `attempts` tries total, sleeping backoff_ms * 2^i between them.
+/// attempts <= 1 restores the old fail-fast behaviour.
+struct RetryPolicy {
+  int attempts = 3;
+  int backoff_ms = 50;
+};
+
 class ServeClient {
  public:
   /// Does not connect; call connect().
@@ -47,9 +63,12 @@ class ServeClient {
   ServeClient(const ServeClient&) = delete;
   ServeClient& operator=(const ServeClient&) = delete;
 
-  /// Connects and performs the Hello handshake. Throws WireError when the
-  /// daemon is unreachable or answers garbage.
+  /// Connects and performs the Hello handshake, retrying per the policy.
+  /// Throws WireError when every attempt fails.
   void connect();
+
+  void set_retry(RetryPolicy policy) noexcept { retry_ = policy; }
+  [[nodiscard]] const RetryPolicy& retry() const noexcept { return retry_; }
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
   void close();
 
@@ -70,15 +89,32 @@ class ServeClient {
 
   [[nodiscard]] ServerStats stats();
 
+  /// Prometheus text exposition of the daemon's live metrics (queue depth,
+  /// lockstep occupancy, spill hit ratio, per-job wall-time histograms —
+  /// see the README's Observability section).
+  [[nodiscard]] std::string metrics();
+
+  /// Polls `count` ServerStats snapshots spaced `interval_ms` apart over
+  /// one StatsStream request (count 1..1000, interval <= 10000ms; the
+  /// server rejects more). A daemon shutting down mid-stream may return
+  /// fewer snapshots than requested.
+  [[nodiscard]] std::vector<ServerStats> stats_stream(int count, int interval_ms);
+
   /// Asks the daemon to shut down (acknowledged before it stops).
   void shutdown_server();
 
  private:
-  /// One request/reply round trip.
+  /// One request/reply round trip (no retry — a dead peer throws).
   [[nodiscard]] Frame roundtrip(const Frame& request);
+  /// roundtrip with bounded reconnect-and-retry on transport failure.
+  /// Only used for requests that are safe to re-send (see file comment).
+  [[nodiscard]] Frame roundtrip_retrying(const Frame& request);
+  /// One socket + handshake attempt (the old connect()).
+  void connect_once();
 
   std::string socket_path_;
   std::string tenant_;
+  RetryPolicy retry_;
   int fd_ = -1;
 };
 

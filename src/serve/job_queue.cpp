@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace hpf90d::serve {
 
 const char* job_state_name(JobState s) noexcept {
@@ -35,6 +37,7 @@ std::uint64_t JobQueue::submit(std::string tenant, bool is_study,
   job.tenant = std::move(tenant);
   job.is_study = is_study;
   job.payload = std::move(payload);
+  job.submitted_ns = obs::now_ns();
   jobs_.emplace(id, std::move(job));
   it->second.fifo.push_back(id);
   ++counters_.submitted;

@@ -37,6 +37,9 @@ struct Job {
   std::string payload;       // encoded plan (opaque to the queue)
   JobState state = JobState::Queued;
   std::string result;        // encoded outcome once terminal
+  /// Steady-clock nanoseconds at submit — the server turns pop-minus-submit
+  /// into an obs::Phase::QueueWait span and the slow-job log's wait column.
+  std::uint64_t submitted_ns = 0;
 };
 
 class JobQueue {

@@ -90,9 +90,12 @@ long long to_ll(Reader& in, const std::string& cell) {
 
 unsigned long long to_ull(Reader& in, const std::string& cell) {
   try {
-    std::size_t used = 0;
-    const unsigned long long v = std::stoull(cell, &used);
-    if (used == cell.size()) return v;
+    // stoull accepts (and wraps) "-1"; an unsigned field must not.
+    if (!cell.empty() && cell[0] != '-') {
+      std::size_t used = 0;
+      const unsigned long long v = std::stoull(cell, &used);
+      if (used == cell.size()) return v;
+    }
   } catch (const std::exception&) {
   }
   in.fail("malformed unsigned integer \"" + cell + "\"");
@@ -395,9 +398,10 @@ JobOutcome decode_outcome(std::string_view text) {
 
 std::string encode_stats(const ServerStats& s) {
   const api::CacheStats& c = s.cache;
-  // version 3: widens the batch line with re-compaction + SIMD telemetry
-  // (v2 added the batch line itself)
-  std::string out = "hpf90d-stats 3\n";
+  // version 4: adds the spilldir and queue lines (disk usage, live queue
+  // occupancy, slow-job count). v3 widened the batch line with
+  // re-compaction + SIMD telemetry; v2 added the batch line itself.
+  std::string out = "hpf90d-stats 4\n";
   out += support::strfmt("cache %zu %zu %zu %zu %zu %zu %zu\n", c.compile_hits,
                          c.compile_misses, c.layout_hits, c.layout_misses,
                          c.layout_evictions, c.layout_spill_hits, c.layout_capacity);
@@ -407,6 +411,11 @@ std::string encode_stats(const ServerStats& s) {
                          s.jobs_failed, s.jobs_cancelled);
   out += support::strfmt("spill %zu %zu %zu\n", s.spill_layouts_stored,
                          s.spill_layouts_loaded, s.spill_programs_stored);
+  out += support::strfmt("spilldir %llu %llu\n",
+                         static_cast<unsigned long long>(s.spill_dir_bytes),
+                         static_cast<unsigned long long>(s.spill_dir_files));
+  out += support::strfmt("queue %zu %zu %zu\n", s.queue_depth, s.jobs_running,
+                         s.slow_jobs);
   out += support::strfmt("batch %zu %zu %zu %zu %llu %llu %llu %llu %llu\n",
                          s.jobs_coalesced, s.points_batched, s.points_scalar,
                          s.points_replayed,
@@ -422,9 +431,12 @@ ServerStats decode_stats(std::string_view text) {
   Reader in(text);
   {
     const auto header = fields_of(in.next_line());
-    if (header.size() != 2 || header[0] != "hpf90d-stats" || header[1] != "3") {
+    if (header.size() != 2 || header[0] != "hpf90d-stats") {
       in.fail("not an hpf90d-stats payload");
     }
+    // Version-strict: a v3 daemon's payload is a hard error, not a partial
+    // decode — mixed-version deployments must fail loudly.
+    if (header[1] != "4") in.fail("unsupported stats version " + header[1]);
   }
   ServerStats s;
   const auto cache = fields_of(in.next_line());
@@ -452,6 +464,15 @@ ServerStats decode_stats(std::string_view text) {
   s.spill_layouts_stored = static_cast<std::size_t>(to_ll(in, spill[1]));
   s.spill_layouts_loaded = static_cast<std::size_t>(to_ll(in, spill[2]));
   s.spill_programs_stored = static_cast<std::size_t>(to_ll(in, spill[3]));
+  const auto spilldir = fields_of(in.next_line());
+  if (spilldir.size() != 3 || spilldir[0] != "spilldir") in.fail("expected spilldir line");
+  s.spill_dir_bytes = static_cast<std::uint64_t>(to_ull(in, spilldir[1]));
+  s.spill_dir_files = static_cast<std::uint64_t>(to_ull(in, spilldir[2]));
+  const auto queue = fields_of(in.next_line());
+  if (queue.size() != 4 || queue[0] != "queue") in.fail("expected queue line");
+  s.queue_depth = static_cast<std::size_t>(to_ll(in, queue[1]));
+  s.jobs_running = static_cast<std::size_t>(to_ll(in, queue[2]));
+  s.slow_jobs = static_cast<std::size_t>(to_ll(in, queue[3]));
   const auto batch = fields_of(in.next_line());
   if (batch.size() != 10 || batch[0] != "batch") in.fail("expected batch line");
   s.jobs_coalesced = static_cast<std::size_t>(to_ll(in, batch[1]));

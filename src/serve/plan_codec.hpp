@@ -84,6 +84,16 @@ struct ServerStats {
   std::uint64_t lanes_evicted = 0;
   std::uint64_t lanes_refilled = 0;
   std::uint64_t simd_stripes = 0;
+  /// Live queue occupancy and slow-job telemetry (stats codec v4): jobs
+  /// waiting, jobs executing right now, and jobs whose sweep exceeded
+  /// ServerOptions::slow_job_threshold_ms since the daemon started.
+  std::size_t queue_depth = 0;
+  std::size_t jobs_running = 0;
+  std::size_t slow_jobs = 0;
+  /// On-disk artifact spill usage (stats codec v4): bytes and files under
+  /// the store root. Zero when no artifact_dir is attached.
+  std::uint64_t spill_dir_bytes = 0;
+  std::uint64_t spill_dir_files = 0;
 
   /// Mean lanes priced per bytecode visit across all jobs (0 before any
   /// batched run).

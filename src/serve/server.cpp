@@ -5,6 +5,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -33,7 +34,8 @@ std::uint64_t parse_job_id(const std::string& payload) {
 ExperimentServer::ExperimentServer(ServerOptions options)
     : options_(std::move(options)),
       session_(options_.max_nodes),
-      queue_(options_.tenant_inflight, options_.tenant_queued) {}
+      queue_(options_.tenant_inflight, options_.tenant_queued),
+      tracer_(options_.trace_capacity) {}
 
 ExperimentServer::~ExperimentServer() { stop(); }
 
@@ -42,6 +44,11 @@ void ExperimentServer::start() {
   if (options_.socket_path.empty()) {
     throw std::runtime_error("ExperimentServer: socket_path is required");
   }
+
+  // The tracer outlives every session operation (both are daemon members),
+  // so attaching here is safe; with trace off the session keeps a null sink
+  // and every span stays a predicted branch.
+  session_.set_trace_sink(options_.trace ? &tracer_ : nullptr);
 
   if (!options_.artifact_dir.empty()) {
     store_ = std::make_shared<ArtifactStore>(options_.artifact_dir);
@@ -198,6 +205,17 @@ void ExperimentServer::handle_connection(int fd) {
           reply.payload = encode_stats(stats());
           break;
         }
+        case MsgType::Metrics: {
+          reply.type = MsgType::MetricsReply;
+          reply.payload = metrics_text();
+          break;
+        }
+        case MsgType::StatsStream: {
+          // stream_stats writes its own frames (a burst of StatsReply ending
+          // in StatsStreamEnd), so skip the single-reply write below.
+          stream_stats(fd, request.payload);
+          continue;
+        }
         case MsgType::Shutdown: {
           reply.type = MsgType::ShutdownAck;
           write_frame(fd, reply);
@@ -221,9 +239,23 @@ void ExperimentServer::handle_connection(int fd) {
 }
 
 void ExperimentServer::executor_loop() {
+  obs::Sink* const trace = options_.trace ? &tracer_ : nullptr;
   for (;;) {
     std::optional<Job> job = queue_.pop();
     if (!job) return;  // queue shut down
+
+    // The queue wait straddles threads (submitted on a connection thread,
+    // popped here), so it cannot be an RAII span — reconstruct the record
+    // from the submit timestamp instead.
+    const std::uint64_t popped_ns = obs::now_ns();
+    if (trace != nullptr && job->submitted_ns != 0) {
+      obs::SpanRecord wait;
+      wait.phase = obs::Phase::QueueWait;
+      wait.start_ns = job->submitted_ns;
+      wait.dur_ns = popped_ns > job->submitted_ns ? popped_ns - job->submitted_ns : 0;
+      wait.arg = job->id;
+      trace->record(wait);
+    }
 
     // Content-address coalescing: the payload *is* the plan (encode is a
     // decode fixpoint), so a byte-identical payload already executing means
@@ -253,7 +285,9 @@ void ExperimentServer::executor_loop() {
 
     JobState terminal = JobState::Done;
     std::string result;
+    const std::uint64_t exec_start_ns = obs::now_ns();
     try {
+      const obs::Span exec_span(trace, obs::Phase::JobExecute, job->id);
       result = execute(*job, terminal);
     } catch (...) {
       // execute() reports job errors in-band; this is a belt for bugs
@@ -276,6 +310,28 @@ void ExperimentServer::executor_loop() {
       mine->done = true;
     }
     mine->cv.notify_all();
+
+    const double wall_s =
+        static_cast<double>(obs::now_ns() - exec_start_ns) / 1e9;
+    const double wait_s =
+        job->submitted_ns != 0 && popped_ns > job->submitted_ns
+            ? static_cast<double>(popped_ns - job->submitted_ns) / 1e9
+            : 0.0;
+    metrics_.histogram("hpf90d_job_wall_seconds", "Per-job sweep execution time",
+                       {0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0})
+        .observe(wall_s);
+    metrics_.histogram("hpf90d_job_queue_wait_seconds", "Per-job time spent queued",
+                       {0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0})
+        .observe(wait_s);
+    if (options_.slow_job_ms > 0 &&
+        wall_s * 1000.0 >= static_cast<double>(options_.slow_job_ms)) {
+      slow_jobs_.fetch_add(1, std::memory_order_relaxed);
+      const std::lock_guard<std::mutex> lock(slow_mutex_);
+      slow_log_.push_back(SlowJob{job->id, job->tenant, job->is_study, wall_s, wait_s});
+      const std::size_t cap = options_.slow_job_capacity < 1 ? 1 : options_.slow_job_capacity;
+      while (slow_log_.size() > cap) slow_log_.pop_front();
+    }
+
     queue_.complete(job->id, terminal, std::move(result));
   }
 }
@@ -325,6 +381,89 @@ std::string ExperimentServer::execute(const Job& job, JobState& terminal) {
   return encode_outcome(outcome);
 }
 
+void ExperimentServer::stream_stats(int fd, const std::string& request) {
+  // Payload: "<count> <interval_ms>". Both bounded — a stream is a burst a
+  // client polls with, not a subscription the daemon must carry forever.
+  std::uint64_t count = 0;
+  std::uint64_t interval_ms = 0;
+  {
+    std::size_t used = 0;
+    try {
+      count = std::stoull(request, &used);
+      interval_ms = std::stoull(request.substr(used), nullptr);
+    } catch (const std::exception&) {
+      write_frame(fd, Frame{MsgType::Error, "malformed stats stream request"});
+      return;
+    }
+  }
+  if (count < 1 || count > 1000 || interval_ms > 10000) {
+    write_frame(fd, Frame{MsgType::Error, "stats stream bounds: count 1..1000, interval <= 10000ms"});
+    return;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (i > 0) {
+      // sleep in 50ms slices so shutdown is never blocked on a stream
+      for (std::uint64_t slept = 0; slept < interval_ms && !stopping_.load();
+           slept += 50) {
+        const std::uint64_t slice = std::min<std::uint64_t>(50, interval_ms - slept);
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      }
+      if (stopping_.load()) break;
+    }
+    write_frame(fd, Frame{MsgType::StatsReply, encode_stats(stats())});
+  }
+  write_frame(fd, Frame{MsgType::StatsStreamEnd, {}});
+}
+
+std::string ExperimentServer::metrics_text() {
+  // Snapshot gauges refresh from stats() on every exposition; counters and
+  // histograms (job wall/wait) accumulate live on the executor threads.
+  const ServerStats s = stats();
+  metrics_.gauge("hpf90d_queue_depth", "Jobs queued, all tenants").set(
+      static_cast<double>(s.queue_depth));
+  metrics_.gauge("hpf90d_jobs_running", "Jobs executing right now").set(
+      static_cast<double>(s.jobs_running));
+  metrics_.gauge("hpf90d_jobs_submitted", "Jobs submitted since daemon start")
+      .set(static_cast<double>(s.jobs_submitted));
+  metrics_.gauge("hpf90d_jobs_done", "Jobs completed successfully")
+      .set(static_cast<double>(s.jobs_done));
+  metrics_.gauge("hpf90d_jobs_failed", "Jobs that failed")
+      .set(static_cast<double>(s.jobs_failed));
+  metrics_.gauge("hpf90d_jobs_cancelled", "Jobs cancelled")
+      .set(static_cast<double>(s.jobs_cancelled));
+  metrics_.gauge("hpf90d_jobs_coalesced", "Jobs served a coalesced in-flight result")
+      .set(static_cast<double>(s.jobs_coalesced));
+  metrics_.gauge("hpf90d_slow_jobs", "Jobs over the slow-job threshold")
+      .set(static_cast<double>(s.slow_jobs));
+  metrics_.gauge("hpf90d_lockstep_occupancy",
+                 "Mean active lanes per batch IR visit, daemon lifetime")
+      .set(s.mean_lanes_per_visit());
+  metrics_.gauge("hpf90d_lanes_evicted", "Lanes evicted from lockstep windows")
+      .set(static_cast<double>(s.lanes_evicted));
+  metrics_.gauge("hpf90d_lanes_refilled", "Evicted lanes re-batched by compaction")
+      .set(static_cast<double>(s.lanes_refilled));
+  const std::size_t probes = s.cache.layout_misses;
+  metrics_.gauge("hpf90d_spill_hit_ratio",
+                 "Layout-store misses answered by the artifact spill")
+      .set(probes == 0 ? 0.0
+                       : static_cast<double>(s.cache.layout_spill_hits) /
+                             static_cast<double>(probes));
+  metrics_.gauge("hpf90d_spill_dir_bytes", "Artifact spill directory size")
+      .set(static_cast<double>(s.spill_dir_bytes));
+  metrics_.gauge("hpf90d_spill_dir_files", "Artifact spill directory file count")
+      .set(static_cast<double>(s.spill_dir_files));
+  metrics_.gauge("hpf90d_trace_spans_recorded", "Spans recorded by the daemon tracer")
+      .set(static_cast<double>(tracer_.recorded()));
+  metrics_.gauge("hpf90d_trace_spans_dropped", "Spans overwritten by ring wrap-around")
+      .set(static_cast<double>(tracer_.dropped()));
+  return metrics_.prometheus();
+}
+
+std::vector<SlowJob> ExperimentServer::slow_jobs() const {
+  const std::lock_guard<std::mutex> lock(slow_mutex_);
+  return {slow_log_.begin(), slow_log_.end()};
+}
+
 ServerStats ExperimentServer::stats() const {
   ServerStats s;
   s.cache = session_.cache_stats();
@@ -350,6 +489,14 @@ ServerStats ExperimentServer::stats() const {
   s.lanes_evicted = lanes_evicted_.load();
   s.lanes_refilled = lanes_refilled_.load();
   s.simd_stripes = simd_stripes_.load();
+  s.queue_depth = queue_.queued();
+  s.jobs_running = queue_.running();
+  s.slow_jobs = slow_jobs_.load();
+  if (store_) {
+    const ArtifactStore::DiskUsage usage = store_->disk_usage();
+    s.spill_dir_bytes = usage.bytes;
+    s.spill_dir_files = usage.files;
+  }
   return s;
 }
 

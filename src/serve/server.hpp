@@ -27,6 +27,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -35,6 +36,8 @@
 #include <vector>
 
 #include "api/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
 #include "serve/artifact_store.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/plan_codec.hpp"
@@ -60,6 +63,27 @@ struct ServerOptions {
   std::size_t tenant_queued = 64;
   /// Session machine-model size (max simulated nodes).
   int max_nodes = 64;
+  /// Tracing: when true (the default) the daemon keeps an obs::Tracer
+  /// attached to its session, recording compile/layout/lockstep/queue/job
+  /// spans into a bounded ring of `trace_capacity` spans (oldest
+  /// overwritten — fixed memory forever). Reports are byte-identical
+  /// either way; tracing only observes timings.
+  bool trace = true;
+  std::size_t trace_capacity = 1 << 14;
+  /// Slow-job log: a job whose sweep wall time reaches this threshold is
+  /// remembered (most recent `slow_job_capacity` kept) and counted in
+  /// ServerStats::slow_jobs. 0 disables the log.
+  int slow_job_ms = 0;
+  std::size_t slow_job_capacity = 64;
+};
+
+/// One entry of the daemon's slow-job log (ServerOptions::slow_job_ms).
+struct SlowJob {
+  std::uint64_t id = 0;
+  std::string tenant;
+  bool is_study = false;
+  double wall_seconds = 0;   // sweep execution time
+  double wait_seconds = 0;   // time spent queued before an executor popped it
 };
 
 class ExperimentServer {
@@ -94,6 +118,20 @@ class ExperimentServer {
   /// Snapshot of the daemon counters (the StatsReply payload).
   [[nodiscard]] ServerStats stats() const;
 
+  /// The daemon's span ring (always constructed; only attached to the
+  /// session when ServerOptions::trace is set) and metrics registry.
+  [[nodiscard]] obs::Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+
+  /// Prometheus text exposition for the MetricsReply frame: refreshes the
+  /// snapshot gauges (queue depth, occupancy, spill hit ratio, ...) from
+  /// stats() and renders the registry. Deterministic for equal daemon
+  /// state.
+  [[nodiscard]] std::string metrics_text();
+
+  /// Most recent slow jobs, oldest first (empty when slow_job_ms == 0).
+  [[nodiscard]] std::vector<SlowJob> slow_jobs() const;
+
  private:
   /// A job currently executing, keyed by its content address (the encoded
   /// payload — encode_plan is a fixpoint, so byte equality means plan
@@ -113,6 +151,9 @@ class ExperimentServer {
   void handle_connection(int fd);
   /// Decodes and runs one job, producing its encoded outcome.
   [[nodiscard]] std::string execute(const Job& job, JobState& terminal);
+  /// Streams `count` StatsReply frames at `interval_ms` spacing, then
+  /// StatsStreamEnd (the StatsStream frame handler).
+  void stream_stats(int fd, const std::string& request);
 
   ServerOptions options_;
   api::Session session_;
@@ -141,6 +182,13 @@ class ExperimentServer {
   std::atomic<std::uint64_t> lanes_evicted_{0};
   std::atomic<std::uint64_t> lanes_refilled_{0};
   std::atomic<std::uint64_t> simd_stripes_{0};
+
+  // observability: span ring, metrics registry, slow-job log
+  obs::Tracer tracer_;
+  obs::Registry metrics_;
+  std::atomic<std::size_t> slow_jobs_{0};
+  mutable std::mutex slow_mutex_;
+  std::deque<SlowJob> slow_log_;  // bounded at slow_job_capacity
 };
 
 }  // namespace hpf90d::serve

@@ -53,6 +53,12 @@ enum class MsgType : std::uint16_t {
   Shutdown = 14,  // client -> server: empty; server stops after ack
   ShutdownAck = 15,
   Error = 16,     // server -> client: human-readable refusal
+  // telemetry endpoint (stats codec v4)
+  Metrics = 17,       // client -> server: empty; asks for Prometheus text
+  MetricsReply = 18,  // server -> client: Prometheus exposition (metrics.hpp)
+  StatsStream = 19,   // client -> server: "<count> <interval_ms>"; the server
+                      // then pushes `count` StatsReply frames at the interval
+  StatsStreamEnd = 20,// server -> client: terminates a StatsStream burst
 };
 
 struct Frame {

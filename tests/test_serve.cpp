@@ -290,6 +290,11 @@ TEST(PlanCodec, OutcomeAndStatsRoundTrip) {
   stats.lanes_evicted = 21;
   stats.lanes_refilled = 19;
   stats.simd_stripes = 8750;
+  stats.queue_depth = 6;
+  stats.jobs_running = 2;
+  stats.slow_jobs = 1;
+  stats.spill_dir_bytes = 123456789;
+  stats.spill_dir_files = 42;
   const serve::ServerStats s2 = serve::decode_stats(serve::encode_stats(stats));
   EXPECT_EQ(s2.cache.layout_misses, 11u);
   EXPECT_EQ(s2.warmed_programs, 2u);
@@ -305,18 +310,29 @@ TEST(PlanCodec, OutcomeAndStatsRoundTrip) {
   EXPECT_EQ(s2.lanes_refilled, 19u);
   EXPECT_EQ(s2.simd_stripes, 8750u);
   EXPECT_EQ(s2.mean_lanes_per_visit(), 56.0);
+  EXPECT_EQ(s2.queue_depth, 6u);
+  EXPECT_EQ(s2.jobs_running, 2u);
+  EXPECT_EQ(s2.slow_jobs, 1u);
+  EXPECT_EQ(s2.spill_dir_bytes, 123456789u);
+  EXPECT_EQ(s2.spill_dir_files, 42u);
+  // encode∘decode is a fixpoint: re-encoding the decoded stats reproduces
+  // the payload byte for byte
+  EXPECT_EQ(serve::encode_stats(s2), serve::encode_stats(stats));
 }
 
 TEST(PlanCodec, StatsCodecIsStrictAboutVersionAndBatchLine) {
   const std::string good = serve::encode_stats(serve::ServerStats{});
-  EXPECT_EQ(good.rfind("hpf90d-stats 3\n", 0), 0u);
+  EXPECT_EQ(good.rfind("hpf90d-stats 4\n", 0), 0u);
   EXPECT_NE(good.find("\nbatch "), std::string::npos);
+  EXPECT_NE(good.find("\nqueue "), std::string::npos);
+  EXPECT_NE(good.find("\nspilldir "), std::string::npos);
 
-  // older headers (v1: no batch line, v2: narrower batch line) are
-  // different wire formats
-  for (const char* old : {"stats 1", "stats 2"}) {
+  // older headers (v1: no batch line, v2: narrower batch line, v3: no
+  // queue/spilldir lines) are different wire formats — a version mismatch
+  // is a hard error, never a best-effort parse
+  for (const char* old : {"stats 1", "stats 2", "stats 3"}) {
     std::string stale = good;
-    stale.replace(stale.find("stats 3"), 7, old);
+    stale.replace(stale.find("stats 4"), 7, old);
     EXPECT_THROW((void)serve::decode_stats(stale), serve::CodecError);
   }
 
@@ -329,6 +345,34 @@ TEST(PlanCodec, StatsCodecIsStrictAboutVersionAndBatchLine) {
   std::string extra = good;
   extra.replace(pos, eol - pos, "\nbatch 1 2 3 4 5 6 7 8 9 10");
   EXPECT_THROW((void)serve::decode_stats(extra), serve::CodecError);
+}
+
+TEST(PlanCodec, StatsV4LinesRejectMalformedFields) {
+  const std::string good = serve::encode_stats(serve::ServerStats{});
+  const auto mutate_line = [&good](const char* tag, const std::string& repl) {
+    std::string out = good;
+    const std::size_t pos = out.find(tag);
+    EXPECT_NE(pos, std::string::npos) << tag;
+    const std::size_t eol = out.find('\n', pos + 1);
+    out.replace(pos, eol - pos, repl);
+    return out;
+  };
+  // wrong arity, non-numeric fields, and a renamed keyword all throw
+  EXPECT_THROW((void)serve::decode_stats(mutate_line("\nqueue ", "\nqueue 1 2")),
+               serve::CodecError);
+  EXPECT_THROW((void)serve::decode_stats(mutate_line("\nqueue ", "\nqueue 1 2 3 4")),
+               serve::CodecError);
+  EXPECT_THROW((void)serve::decode_stats(mutate_line("\nqueue ", "\nqueue a b c")),
+               serve::CodecError);
+  EXPECT_THROW(
+      (void)serve::decode_stats(mutate_line("\nspilldir ", "\nspilldir 1")),
+      serve::CodecError);
+  EXPECT_THROW(
+      (void)serve::decode_stats(mutate_line("\nspilldir ", "\nspilldir -1 2")),
+      serve::CodecError);
+  EXPECT_THROW(
+      (void)serve::decode_stats(mutate_line("\nspilldir ", "\nqueue2 1 2")),
+      serve::CodecError);
 }
 
 // --- job queue ----------------------------------------------------------------

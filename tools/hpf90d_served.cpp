@@ -3,15 +3,25 @@
 //   hpf90d_served --socket /tmp/hpf90d.sock [--artifacts DIR]
 //                 [--executors N] [--job-workers N] [--max-nodes N]
 //                 [--tenant-inflight N] [--tenant-queue N]
+//                 [--slow-job-ms N] [--no-trace] [--trace-capacity N]
+//                 [--trace FILE]
 //
 // Runs until SIGINT/SIGTERM or a client Shutdown frame. With --artifacts
 // the daemon persists compiled-program recipes and data layouts under DIR
 // and warm-starts from them on the next launch, so a restart keeps
 // serving previously-seen plans with hot caches.
+//
+// Observability: tracing is on by default (a bounded span ring; --no-trace
+// disables it, --trace-capacity resizes it). --trace FILE (or the
+// HPF90D_TRACE environment variable) writes the ring as Chrome trace_event
+// JSON at shutdown — open it in chrome://tracing or Perfetto.
+// --slow-job-ms N logs jobs whose sweep takes >= N ms (client-visible via
+// STATS; see the README's Observability section).
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 
 #include "serve/server.hpp"
@@ -26,15 +36,33 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --socket PATH [--artifacts DIR] [--executors N]\n"
                "          [--job-workers N] [--max-nodes N] [--tenant-inflight N]\n"
-               "          [--tenant-queue N]\n",
+               "          [--tenant-queue N] [--slow-job-ms N] [--no-trace]\n"
+               "          [--trace-capacity N] [--trace FILE]\n",
                argv0);
   return 2;
+}
+
+/// Writes the daemon's span ring as Chrome trace_event JSON.
+void dump_trace(hpf90d::serve::ExperimentServer& server, const std::string& path) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "hpf90d_served: cannot write trace to %s\n", path.c_str());
+    return;
+  }
+  const std::string json = server.tracer().chrome_trace_json();
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fclose(out);
+  std::printf("hpf90d_served: wrote %zu spans to %s (%llu dropped by ring bound)\n",
+              server.tracer().snapshot().size(), path.c_str(),
+              static_cast<unsigned long long>(server.tracer().dropped()));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   hpf90d::serve::ServerOptions options;
+  std::string trace_path;
+  if (const char* env = std::getenv("HPF90D_TRACE")) trace_path = env;
   for (int i = 1; i < argc; ++i) {
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) return nullptr;
@@ -68,11 +96,26 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       options.tenant_queued = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--slow-job-ms") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.slow_job_ms = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--no-trace") == 0) {
+      options.trace = false;
+    } else if (std::strcmp(argv[i], "--trace-capacity") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      options.trace_capacity = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      trace_path = v;
     } else {
       return usage(argv[0]);
     }
   }
   if (options.socket_path.empty()) return usage(argv[0]);
+  if (!trace_path.empty()) options.trace = true;  // a requested dump implies tracing
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
@@ -86,7 +129,8 @@ int main(int argc, char** argv) {
     while (g_signalled == 0 && !server.stop_requested()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
-    server.stop();
+    server.stop();  // joins executors first, so the dump sees final spans
+    if (!trace_path.empty()) dump_trace(server, trace_path);
     std::printf("hpf90d_served: stopped\n");
     return 0;
   } catch (const std::exception& e) {
