@@ -171,10 +171,11 @@ void BM_DivergentSweep_lanes(benchmark::State& state, int lanes,
   // Worst case for lockstep: the outer DO trip count is a per-problem
   // binding, so a 64-lane chunk splinters at the first size-dependent
   // loop. With compact_lanes (the default) the evicted lanes re-batch by
-  // divergence key into lockstep refill windows; with it off they all
-  // fall to the scalar replay. The `replayed` counter is the fraction of
-  // points finally priced scalar, `refilled` the fraction of evictions
-  // recovered into refill windows.
+  // divergence key into lockstep refill windows (and stragglers cross
+  // chunks through the session pool); with it off they all fall to the
+  // scalar replay. The `replayed` counter is the fraction of points
+  // finally priced scalar, `refilled` the fraction of evictions recovered
+  // into refill windows, `pooled` the fraction recovered cross-chunk.
   static const char* const source = R"f90(
 program levels
   parameter (n = 256)
@@ -205,19 +206,25 @@ end program levels
   }
   opts.batch_size = lanes;
   opts.compact_lanes = compact;
-  double replayed = 0, refilled = 0;
+  double replayed_points = 0, evicted_lanes = 0, refilled_lanes = 0;
+  double pooled_lanes = 0, total_points = 0;
   for (auto _ : state) {
     const api::RunReport report = session.run(plan, opts);
     benchmark::DoNotOptimize(&report);
-    const double total = static_cast<double>(plan.point_count());
-    replayed = static_cast<double>(report.batch.replayed_points) / total;
-    refilled = report.batch.evicted_lanes == 0
-                   ? 0.0
-                   : static_cast<double>(report.batch.refilled_lanes) /
-                         static_cast<double>(report.batch.evicted_lanes);
+    replayed_points += static_cast<double>(report.batch.replayed_points);
+    evicted_lanes += static_cast<double>(report.batch.evicted_lanes);
+    refilled_lanes += static_cast<double>(report.batch.refilled_lanes);
+    pooled_lanes += static_cast<double>(report.batch.pooled_lanes);
+    total_points += static_cast<double>(plan.point_count());
   }
-  state.counters["replayed"] = replayed;
-  state.counters["refilled"] = refilled;
+  // proper counters summed over every iteration (not the last run's
+  // snapshot), reported as fractions of their own denominators
+  state.counters["replayed"] = benchmark::Counter(
+      total_points == 0 ? 0.0 : replayed_points / total_points);
+  state.counters["refilled"] = benchmark::Counter(
+      evicted_lanes == 0 ? 0.0 : refilled_lanes / evicted_lanes);
+  state.counters["pooled"] = benchmark::Counter(
+      evicted_lanes == 0 ? 0.0 : pooled_lanes / evicted_lanes);
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(plan.point_count()));
 }

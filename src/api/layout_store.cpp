@@ -1,5 +1,6 @@
 #include "api/layout_store.hpp"
 
+#include <algorithm>
 #include <optional>
 
 #include "obs/obs.hpp"
@@ -22,6 +23,12 @@ LayoutStore::LayoutPtr LayoutStore::get_or_build(const compiler::LayoutDigest& d
   std::uint64_t owner = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (ReadySlot* slot = ready_find_locked(digest)) {
+      lru_.splice(lru_.begin(), lru_, slot->lru_it);
+      LayoutPtr shared = slot->ptr;
+      ++hits_;
+      return shared;
+    }
     if (const auto it = map_.find(digest); it != map_.end()) {
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       future = it->second.future;
@@ -30,7 +37,8 @@ LayoutStore::LayoutPtr LayoutStore::get_or_build(const compiler::LayoutDigest& d
       owner = ++next_owner_;
       promise.emplace();
       lru_.push_front(digest);
-      map_.emplace(digest, Entry{promise->get_future().share(), lru_.begin(), owner});
+      map_.emplace(digest,
+                   Entry{promise->get_future().share(), nullptr, lru_.begin(), owner});
       // The new entry sits at the hot end, so eviction can only claim other
       // keys (possibly ones whose build is still in flight — their waiters
       // hold the shared state, so the build completes normally).
@@ -65,6 +73,16 @@ LayoutStore::LayoutPtr LayoutStore::get_or_build(const compiler::LayoutDigest& d
       fresh_build = true;
     }
     promise->set_value(layout);
+    {
+      // Publish the resolved pointer for the locked fast path. Guarded by
+      // owner: eviction may have dropped our placeholder and a later miss
+      // re-inserted a different entry under this digest.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (const auto it = map_.find(digest); it != map_.end() && it->second.owner == owner) {
+        it->second.ready = layout;
+        ready_insert_locked(digest, layout, it->second.lru_it);
+      }
+    }
     if (fresh_build && spill_.store) {
       const obs::Span span(obs_sink_, obs::Phase::SpillStore);
       spill_.store(key(), *layout);
@@ -85,13 +103,80 @@ LayoutStore::LayoutPtr LayoutStore::get_or_build(const compiler::LayoutDigest& d
   }
 }
 
+LayoutStore::LayoutPtr LayoutStore::try_get(const compiler::LayoutDigest& digest) {
+  std::shared_future<LayoutPtr> future;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (ReadySlot* slot = ready_find_locked(digest)) {
+      lru_.splice(lru_.begin(), lru_, slot->lru_it);
+      LayoutPtr shared = slot->ptr;
+      ++hits_;
+      return shared;
+    }
+    const auto it = map_.find(digest);
+    if (it == map_.end()) return nullptr;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    future = it->second.future;
+  }
+  LayoutPtr shared = future.get();  // rethrows a failed in-flight build
+  ++hits_;
+  return shared;
+}
+
+LayoutStore::ReadySlot* LayoutStore::ready_find_locked(const compiler::LayoutDigest& digest) {
+  if (ready_idx_.empty()) return nullptr;
+  const std::size_t mask = ready_idx_.size() - 1;
+  for (std::size_t i = DigestHash{}(digest) & mask;; i = (i + 1) & mask) {
+    ReadySlot& slot = ready_idx_[i];
+    if (!slot.ptr) return nullptr;
+    if (slot.digest == digest) return &slot;
+  }
+}
+
+void LayoutStore::ready_insert_locked(const compiler::LayoutDigest& digest,
+                                      const LayoutPtr& ptr,
+                                      std::list<compiler::LayoutDigest>::iterator lru_it) {
+  if ((ready_n_ + 1) * 2 > ready_idx_.size()) {
+    std::vector<ReadySlot> old = std::move(ready_idx_);
+    ready_idx_.assign(old.empty() ? 64 : old.size() * 2, ReadySlot{});
+    const std::size_t mask = ready_idx_.size() - 1;
+    for (ReadySlot& s : old) {
+      if (!s.ptr) continue;
+      std::size_t i = DigestHash{}(s.digest) & mask;
+      while (ready_idx_[i].ptr) i = (i + 1) & mask;
+      ready_idx_[i] = std::move(s);
+    }
+  }
+  const std::size_t mask = ready_idx_.size() - 1;
+  std::size_t i = DigestHash{}(digest) & mask;
+  while (ready_idx_[i].ptr) {
+    if (ready_idx_[i].digest == digest) return;  // already indexed
+    i = (i + 1) & mask;
+  }
+  ready_idx_[i] = ReadySlot{digest, ptr, lru_it};
+  ++ready_n_;
+}
+
+void LayoutStore::ready_rebuild_locked() {
+  std::fill(ready_idx_.begin(), ready_idx_.end(), ReadySlot{});
+  ready_n_ = 0;
+  for (auto& [digest, entry] : map_) {
+    if (entry.ready) ready_insert_locked(digest, entry.ready, entry.lru_it);
+  }
+}
+
 void LayoutStore::evict_excess_locked() {
   if (capacity_ == 0) return;
+  bool evicted = false;
   while (map_.size() > capacity_ && !lru_.empty()) {
     map_.erase(lru_.back());
     lru_.pop_back();
     ++evictions_;
+    evicted = true;
   }
+  // Evicted entries leave dangling ready slots (and stale lru_ iterators);
+  // re-derive the index. Eviction is the cold path by construction.
+  if (evicted) ready_rebuild_locked();
 }
 
 void LayoutStore::set_capacity(std::size_t capacity) {
@@ -114,6 +199,8 @@ void LayoutStore::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   map_.clear();
   lru_.clear();
+  ready_idx_.clear();
+  ready_n_ = 0;
 }
 
 }  // namespace hpf90d::api

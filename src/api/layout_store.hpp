@@ -36,6 +36,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "compiler/mapping.hpp"
 #include "compiler/pipeline.hpp"
@@ -91,6 +92,15 @@ class LayoutStore {
   [[nodiscard]] LayoutPtr get_or_build(const compiler::LayoutDigest& digest,
                                        const KeyFn& key, const Builder& build);
 
+  /// Hit-only probe: returns the layout when `digest` is resident (counting
+  /// a hit and touching the LRU entry exactly like get_or_build), nullptr
+  /// when absent — no miss is counted and nothing is inserted, so a caller
+  /// falling back to get_or_build preserves the exact counter semantics.
+  /// Exists because the warm path of a sweep point otherwise pays two
+  /// std::function constructions (key + builder) per probe just to not call
+  /// them.
+  [[nodiscard]] LayoutPtr try_get(const compiler::LayoutDigest& digest);
+
   /// Attaches (or detaches, with default-constructed functions) the spill
   /// tier. Not safe to call concurrently with get_or_build.
   void set_spill(Spill spill) { spill_ = std::move(spill); }
@@ -116,6 +126,10 @@ class LayoutStore {
  private:
   struct Entry {
     std::shared_future<LayoutPtr> future;
+    /// Filled in by the building thread once the future resolves: hits then
+    /// copy a shared_ptr under the store lock instead of round-tripping
+    /// through shared_future::get (null while the build is in flight).
+    LayoutPtr ready;
     std::list<compiler::LayoutDigest>::iterator lru_it;  // position in lru_
     std::uint64_t owner = 0;  // which insert created this placeholder
   };
@@ -128,11 +142,34 @@ class LayoutStore {
     }
   };
 
+  /// Read-optimized mirror of every *resolved* entry: open addressing over
+  /// a power-of-two slot array, linear probing, keyed by the (already
+  /// uniformly mixed) digest. A warm hit costs one masked index and one
+  /// slot line instead of the node-based map's prime modulo plus two
+  /// dependent pointer chases. Slots carry the entry's lru_ iterator (list
+  /// iterators survive splices) so the hit path never touches map_ at all.
+  /// Guarded by mutex_; rebuilt wholesale on eviction (rare by design).
+  struct ReadySlot {
+    compiler::LayoutDigest digest{};
+    LayoutPtr ptr;  // null = empty slot
+    std::list<compiler::LayoutDigest>::iterator lru_it{};
+  };
+
+  /// Probes the ready index; caller holds mutex_. Returns nullptr on miss.
+  [[nodiscard]] ReadySlot* ready_find_locked(const compiler::LayoutDigest& digest);
+  /// Inserts a resolved entry, growing the slot array at 50% load.
+  void ready_insert_locked(const compiler::LayoutDigest& digest, const LayoutPtr& ptr,
+                           std::list<compiler::LayoutDigest>::iterator lru_it);
+  /// Re-derives the index from map_ (after evictions invalidate slots).
+  void ready_rebuild_locked();
+
   /// Evicts cold entries until size() <= capacity_; caller holds mutex_.
   void evict_excess_locked();
 
   mutable std::mutex mutex_;
   std::unordered_map<compiler::LayoutDigest, Entry, DigestHash> map_;
+  std::vector<ReadySlot> ready_idx_;  // power-of-two size (or empty)
+  std::size_t ready_n_ = 0;           // occupied slots
   std::list<compiler::LayoutDigest> lru_;  // front = most recently used
   std::size_t capacity_ = 0;    // 0 = unbounded
 

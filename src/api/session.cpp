@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <exception>
+#include <map>
 #include <thread>
 #include <utility>
 
@@ -136,8 +138,18 @@ LayoutStore::LayoutPtr Session::layout_for(const compiler::CompiledProgram& prog
   // The digest streams the fingerprint bytes without building them; the
   // string key is only materialized (into the worker's scratch buffer) when
   // the store misses and needs a spill address.
-  const compiler::LayoutDigest digest =
-      compiler::layout_fingerprint_digest(prog, bindings, lo);
+  return layout_for(prog, bindings, lo, key_scratch,
+                    compiler::layout_fingerprint_digest(prog, bindings, lo));
+}
+
+LayoutStore::LayoutPtr Session::layout_for(const compiler::CompiledProgram& prog,
+                                           const front::Bindings& bindings,
+                                           const compiler::LayoutOptions& lo,
+                                           std::string& key_scratch,
+                                           const compiler::LayoutDigest& digest) const {
+  // Warm path first: a resident digest resolves without constructing the
+  // key/builder std::functions below (whose captures spill to the heap).
+  if (LayoutStore::LayoutPtr hit = layout_store_.try_get(digest)) return hit;
   return layout_store_.get_or_build(
       digest,
       [&]() -> const std::string& {
@@ -145,6 +157,25 @@ LayoutStore::LayoutPtr Session::layout_for(const compiler::CompiledProgram& prog
         return key_scratch;
       },
       [&] { return compiler::make_layout(prog, bindings, lo); });
+}
+
+std::shared_ptr<const compiler::SeededValues> Session::seed_for(
+    const compiler::CompiledProgram& prog, const compiler::LayoutDigestState& prefix,
+    const front::Bindings& bindings) const {
+  // The prefix digest covers the binding values and the program structure;
+  // compile_id is folded in as well so hand-built programs with an empty
+  // structure fingerprint still get distinct entries.
+  const std::pair<std::uint64_t, std::uint64_t> key{
+      prefix.a ^ (prog.compile_id * 0x9e3779b97f4a7c15ULL), prefix.b};
+  {
+    const std::lock_guard<std::mutex> lock(seed_mutex_);
+    if (const auto it = seed_memo_.find(key); it != seed_memo_.end()) return it->second;
+  }
+  auto seeds = std::make_shared<const compiler::SeededValues>(
+      compiler::seed_values(prog.symbols, bindings));
+  const std::lock_guard<std::mutex> lock(seed_mutex_);
+  // Keep the first published entry on a race — callers may already hold it.
+  return seed_memo_.try_emplace(key, std::move(seeds)).first->second;
 }
 
 CacheStats Session::cache_stats() const noexcept {
@@ -284,13 +315,17 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   }
 
   // Flatten the cross product in sweep order; records are assembled by
-  // point index, so the report ordering is independent of scheduling.
+  // each point's `record` slot (its plan-order index), so the report
+  // ordering is independent of scheduling — and of the divergence-aware
+  // reorder below, which permutes `points` but never `record`.
   struct Point {
     const std::string* machine = nullptr;        // registry name (for the record)
     const machine::MachineModel* mach = nullptr; // resolved once per machine
     std::size_t variant = 0;
     const ProblemCase* problem = nullptr;
     int nprocs = 0;
+    std::size_t record = 0;   // plan-order index into report.records
+    std::uint64_t sig = 0;    // control-flow signature (order_points only)
   };
   struct Chunk {
     std::size_t begin = 0;
@@ -321,7 +356,65 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
       }
     }
   }
+  for (std::size_t i = 0; i < points.size(); ++i) points[i].record = i;
   report.records.resize(points.size());
+
+  if (options.order_points && points.size() > 1) {
+    // Signature: FNV-style fold of the critical-variable values a problem's
+    // bindings resolve to (the variables whose values steer control flow —
+    // exactly what makes lanes diverge). One fold per (variant, problem);
+    // nprocs and machine never enter the signature because they never
+    // steer the walk. Traced-but-unfoldable criticals hash a sentinel —
+    // grouping quality only, never correctness.
+    const auto mix64 = [](std::uint64_t h, std::uint64_t v) {
+      return (h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4))) *
+             0x2545f4914f6cdd1dULL;
+    };
+    std::map<std::pair<std::size_t, const ProblemCase*>, std::uint64_t> sigs;
+    for (Point& pt : points) {
+      const auto key = std::make_pair(pt.variant, pt.problem);
+      auto it = sigs.find(key);
+      if (it == sigs.end()) {
+        const compiler::CompiledProgram& prog = *variant_progs[pt.variant];
+        const core::CriticalVariableReport cr =
+            core::analyze_critical(prog, pt.problem->bindings);
+        const compiler::SeededValues sv =
+            compiler::seed_values(prog.symbols, pt.problem->bindings);
+        std::uint64_t h = 0xcbf29ce484222325ULL;
+        for (const std::string& name : cr.critical) {
+          const int id = prog.symbols.find(name);
+          std::uint64_t bits = 0x9e3779b97f4a7c15ULL;  // unresolved sentinel
+          for (const auto& [s, value] : sv.defined) {
+            if (s == id) {
+              std::memcpy(&bits, &value, sizeof bits);
+              break;
+            }
+          }
+          h = mix64(h, bits);
+        }
+        it = sigs.emplace(key, h).first;
+      }
+      pt.sig = it->second;
+    }
+    // Sort each maximal (machine, variant) segment — the unit the chunk
+    // partition below never crosses — by (signature, plan order). The plan
+    // -order tiebreak keeps equal-bindings points adjacent (they share a
+    // signature and were contiguous), preserving the per-problem digest
+    // -prefix and seed memo hits of the unsorted walk.
+    for (std::size_t i = 0; i < points.size();) {
+      std::size_t j = i + 1;
+      while (j < points.size() && points[j].mach == points[i].mach &&
+             points[j].variant == points[i].variant) {
+        ++j;
+      }
+      std::sort(points.begin() + static_cast<std::ptrdiff_t>(i),
+                points.begin() + static_cast<std::ptrdiff_t>(j),
+                [](const Point& a, const Point& b) {
+                  return a.sig != b.sig ? a.sig < b.sig : a.record < b.record;
+                });
+      i = j;
+    }
+  }
 
   // Partition the sweep into chunks: maximal runs of consecutive points
   // sharing (compiled program, machine) — the lockstep lane contract —
@@ -355,6 +448,7 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   // full result.
   core::PredictOptions sweep_predict = plan.predict_opts();
   sweep_predict.detailed = sweep_predict.trace;
+  sweep_predict.speculate_branches = options.speculate_branches;
   // Re-compaction rounds are self-limiting — every lockstep window retires
   // at least its lead lane, so the deferred pool strictly shrinks — but a
   // cap stops pathological regroup chains early (the remainder replays
@@ -371,6 +465,8 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   std::atomic<std::uint64_t> evicted_lanes{0};
   std::atomic<std::uint64_t> refilled_lanes{0};
   std::atomic<std::uint64_t> simd_stripes{0};
+  std::atomic<std::uint64_t> speculated_branches{0};
+  std::atomic<std::uint64_t> speculated_lanes{0};
 
   // Legacy per-point-engine path (RunOptions::reuse_engines = false): PR
   // 2's behaviour, kept as the bench baseline.
@@ -406,7 +502,7 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
       rec.comparison.measured_stddev = measured.stats.stddev;
       rec.measured = true;
     }
-    report.records[i] = std::move(rec);
+    report.records[points[i].record] = std::move(rec);
   };
 
   // One deferred entry per evicted lane awaiting re-batch: `key` groups
@@ -416,6 +512,21 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     std::uint64_t key = 0;
     std::uint32_t offset = 0;
   };
+  // One lane in the SESSION-WIDE divergence pool: a rebatchable lane its
+  // own chunk could not refill (lone divergence key, or the compaction
+  // round cap). Instead of replaying scalar it is exported here — with its
+  // layout/seed keep-alives — so equal-path lanes evicted from DIFFERENT
+  // chunks of the same (program, machine) group can re-enter lockstep
+  // together after the chunk barrier. `point` indexes the sweep's `points`
+  // table (which also yields bindings, machine, and the record slot).
+  struct PoolLane {
+    std::uint64_t key = 0;
+    std::size_t point = 0;
+    LayoutStore::LayoutPtr layout;
+    std::shared_ptr<const compiler::SeededValues> seed;
+  };
+  std::vector<PoolLane> divergence_pool;
+  std::mutex pool_mutex;
   // Worker-owned state reused across chunks (no per-chunk allocation in
   // steady state).
   struct WorkerScratch {
@@ -427,6 +538,8 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     std::vector<DeferredPoint> deferred;          // this round's regroup pool
     std::vector<DeferredPoint> deferred_next;     // evictions feeding next round
     std::vector<std::size_t> scalar_replay;       // offsets replaying scalar
+    std::vector<PoolLane> pool_out;               // lanes exported to the session pool
+    std::vector<std::shared_ptr<const compiler::SeededValues>> seeds;  // keep-alives
     std::string layout_key;
   };
 
@@ -456,6 +569,15 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     // report.cache identical across them all.
     ws.lanes.clear();
     ws.layouts.clear();
+    ws.seeds.clear();
+    // The digest's (program, bindings) prefix is memoized per problem: a
+    // chunk walks problems × nprocs with equal bindings adjacent, so warm
+    // points finish a captured prefix state instead of re-hashing the
+    // whole binding set. The same per-problem boundary keys the seed memo —
+    // lanes carry the precomputed parameter fold.
+    const front::Bindings* prefix_of = nullptr;
+    compiler::LayoutDigestState prefix{};
+    const compiler::SeededValues* seed = nullptr;
     for (std::size_t i = c.begin; i < c.end; ++i) {
       const Point& pt = points[i];
       compiler::LayoutOptions lo;
@@ -464,18 +586,27 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
         lo.grid_shape =
             compiler::ProcGrid::factorized(pt.nprocs, *variant.grid_rank).shape;
       }
-      ws.layouts.push_back(layout_for(prog, pt.problem->bindings, lo, ws.layout_key));
-      ws.lanes.push_back(core::BatchLane{ws.layouts.back().get(), &pt.problem->bindings});
+      if (&pt.problem->bindings != prefix_of) {
+        prefix = compiler::layout_fingerprint_prefix(prog, pt.problem->bindings);
+        prefix_of = &pt.problem->bindings;
+        ws.seeds.push_back(seed_for(prog, prefix, pt.problem->bindings));
+        seed = ws.seeds.back().get();
+      }
+      ws.layouts.push_back(layout_for(prog, pt.problem->bindings, lo, ws.layout_key,
+                                      compiler::layout_fingerprint_finish(prefix, lo)));
+      ws.lanes.push_back(
+          core::BatchLane{ws.layouts.back().get(), &pt.problem->bindings, seed});
     }
 
     // Local tallies, flushed to the shared atomics once per chunk.
     std::size_t batched_n = 0, scalar_n = 0, replayed_n = 0;
     std::uint64_t ir_n = 0, lanes_n = 0, evicted_n = 0, refilled_n = 0, stripes_n = 0;
+    std::uint64_t spec_br_n = 0, spec_lanes_n = 0;
 
     const auto assemble = [&](std::size_t off, const core::PredictionResult& pred) {
       const std::size_t i = c.begin + off;
       const Point& pt = points[i];
-      RunRecord& rec = report.records[i];
+      RunRecord& rec = report.records[pt.record];
       rec.machine = *pt.machine;
       rec.variant = variant.name;
       rec.problem = pt.problem->name;
@@ -505,6 +636,8 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
       lanes_n += bs.lane_visits;
       stripes_n += bs.simd_stripes;
       evicted_n += bs.evicted_lanes;
+      spec_br_n += bs.speculated_branches;
+      spec_lanes_n += bs.speculated_lanes;
       if (refill) refilled_n += w;
       if (!compact) {
         // Internal-replay mode: every result slot is filled on return.
@@ -534,6 +667,24 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
 
     ws.deferred_next.clear();
     ws.scalar_replay.clear();
+    ws.pool_out.clear();
+
+    // Hands a rebatchable lane this chunk cannot refill to the session
+    // pool, carrying the keep-alives the post-barrier drain needs. The
+    // chunk's own counters do not record it — the drain accounts for it
+    // exactly once (batched or replayed) like any other point.
+    const auto export_to_pool = [&](const DeferredPoint& d) {
+      const core::BatchLane& lane = ws.lanes[d.offset];
+      std::shared_ptr<const compiler::SeededValues> seed;
+      for (const auto& sp : ws.seeds) {
+        if (sp.get() == lane.seed) {
+          seed = sp;
+          break;
+        }
+      }
+      ws.pool_out.push_back(
+          PoolLane{d.key, c.begin + d.offset, ws.layouts[d.offset], std::move(seed)});
+    };
 
     // Phase 1 — fresh windows in point order.
     for (std::size_t f = 0; f < n; f += lane_width) {
@@ -550,7 +701,9 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
       ws.deferred.swap(ws.deferred_next);
       ws.deferred_next.clear();
       if (round >= kMaxCompactionRounds) {
-        for (const DeferredPoint& d : ws.deferred) ws.scalar_replay.push_back(d.offset);
+        // The chunk gives up regrouping; the session pool gets another shot
+        // after the barrier (the drain has its own round cap).
+        for (const DeferredPoint& d : ws.deferred) export_to_pool(d);
         break;
       }
       std::sort(ws.deferred.begin(), ws.deferred.end(),
@@ -563,8 +716,11 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
         for (std::size_t s = g; s < h; s += lane_width) {
           const std::size_t w = std::min(lane_width, h - s);
           if (w < 2) {
-            // a lone lane cannot run lockstep; replay it scalar
-            ws.scalar_replay.push_back(ws.deferred[s].offset);
+            // A lone lane cannot run lockstep here — but another chunk of
+            // the same (program, machine) group may have evicted an
+            // equal-key partner, so it goes to the session pool instead of
+            // straight to the scalar engine.
+            export_to_pool(ws.deferred[s]);
             continue;
           }
           ws.window.clear();
@@ -600,7 +756,7 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
       const std::span<const sim::MeasuredResult> measured = arena.measure_batch_into(
           prog, mach, plan.sim_opts(), plan.measure_runs(), ws.lanes);
       for (std::size_t off = 0; off < n; ++off) {
-        RunRecord& rec = report.records[c.begin + off];
+        RunRecord& rec = report.records[points[c.begin + off].record];
         const sim::RunStats& st = measured[off].stats;
         rec.comparison.measured_mean = st.mean;
         rec.comparison.measured_min = st.min;
@@ -618,6 +774,16 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     evicted_lanes.fetch_add(evicted_n, std::memory_order_relaxed);
     refilled_lanes.fetch_add(refilled_n, std::memory_order_relaxed);
     simd_stripes.fetch_add(stripes_n, std::memory_order_relaxed);
+    speculated_branches.fetch_add(spec_br_n, std::memory_order_relaxed);
+    speculated_lanes.fetch_add(spec_lanes_n, std::memory_order_relaxed);
+
+    if (!ws.pool_out.empty()) {
+      const std::lock_guard<std::mutex> lock(pool_mutex);
+      divergence_pool.insert(divergence_pool.end(),
+                             std::make_move_iterator(ws.pool_out.begin()),
+                             std::make_move_iterator(ws.pool_out.end()));
+      ws.pool_out.clear();
+    }
   };
 
   int workers = options.workers;
@@ -655,6 +821,152 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
     if (error) std::rethrow_exception(error);
   }
 
+  // Cross-chunk drain. The session pool holds rebatchable lanes whose own
+  // chunks could not refill them (lone divergence key, or the chunk's
+  // round cap). After the chunk barrier the pool is sorted into a
+  // canonical order — (variant, machine, divergence key, plan order) — and
+  // drained serially: equal-key lanes evicted from DIFFERENT chunks of the
+  // same (program, machine) group re-enter lockstep together, re-evictions
+  // feed further rounds, and whatever stays lone replays scalar. The drain
+  // is serial and its order a pure function of the plan, so the batch
+  // telemetry stays identical for every worker count; the record payload
+  // was never at risk (every path is bit-identical per point).
+  report.batch.pooled_lanes = divergence_pool.size();
+  if (!divergence_pool.empty()) {
+    std::sort(divergence_pool.begin(), divergence_pool.end(),
+              [&](const PoolLane& a, const PoolLane& b) {
+                const Point& pa = points[a.point];
+                const Point& pb = points[b.point];
+                if (pa.variant != pb.variant) return pa.variant < pb.variant;
+                if (pa.machine != pb.machine) return *pa.machine < *pb.machine;
+                if (a.key != b.key) return a.key < b.key;
+                return a.point < b.point;
+              });
+    struct DrainLane {
+      std::uint64_t key = 0;
+      std::size_t idx = 0;  // into divergence_pool (stable keep-alive storage)
+    };
+    EngineArena arena;
+    arena.set_trace(trace);
+    std::vector<core::BatchLane> window;
+    std::vector<core::EvictedLane> evictions;
+    std::vector<DrainLane> cur, nxt;
+    std::size_t batched_n = 0, replayed_n = 0;
+    std::uint64_t ir_n = 0, lanes_n = 0, evicted_n = 0, refilled_n = 0, stripes_n = 0;
+    std::uint64_t spec_br_n = 0, spec_lanes_n = 0;
+
+    for (std::size_t gb = 0; gb < divergence_pool.size();) {
+      std::size_t ge = gb + 1;
+      const Point& p0 = points[divergence_pool[gb].point];
+      while (ge < divergence_pool.size() &&
+             points[divergence_pool[ge].point].variant == p0.variant &&
+             points[divergence_pool[ge].point].mach == p0.mach) {
+        ++ge;
+      }
+      const compiler::CompiledProgram& prog = *variant_progs[p0.variant];
+      const machine::MachineModel& mach = *p0.mach;
+      const auto& variant = plan.variants()[p0.variant];
+
+      const auto assemble = [&](std::size_t idx, const core::PredictionResult& pred) {
+        const Point& pt = points[divergence_pool[idx].point];
+        RunRecord& rec = report.records[pt.record];
+        rec.machine = *pt.machine;
+        rec.variant = variant.name;
+        rec.problem = pt.problem->name;
+        rec.nprocs = pt.nprocs;
+        rec.comparison.estimated = pred.total;
+        rec.phases = PhaseBreakdown{pred.comp, pred.comm, pred.overhead, pred.wait};
+      };
+      const auto replay = [&](std::size_t idx) {
+        const PoolLane& pl = divergence_pool[idx];
+        assemble(idx, arena.predict(prog, *pl.layout, mach, sweep_predict,
+                                    points[pl.point].problem->bindings));
+        ++replayed_n;
+      };
+
+      cur.clear();
+      for (std::size_t x = gb; x < ge; ++x) {
+        cur.push_back(DrainLane{divergence_pool[x].key, x});
+      }
+      for (int round = 0; !cur.empty(); ++round) {
+        if (round >= kMaxCompactionRounds) {
+          for (const DrainLane& d : cur) replay(d.idx);
+          break;
+        }
+        // already key-sorted on entry (pool order); re-evicted rounds need
+        // the sort because fresh keys interleave
+        std::sort(cur.begin(), cur.end(), [](const DrainLane& a, const DrainLane& b) {
+          return a.key != b.key ? a.key < b.key : a.idx < b.idx;
+        });
+        nxt.clear();
+        for (std::size_t g = 0; g < cur.size();) {
+          std::size_t h = g + 1;
+          while (h < cur.size() && cur[h].key == cur[g].key) ++h;
+          for (std::size_t s = g; s < h; s += lane_width) {
+            const std::size_t w = std::min(lane_width, h - s);
+            if (w < 2) {
+              replay(cur[s].idx);
+              continue;
+            }
+            window.clear();
+            for (std::size_t k = 0; k < w; ++k) {
+              const PoolLane& pl = divergence_pool[cur[s + k].idx];
+              window.push_back(core::BatchLane{pl.layout.get(),
+                                               &points[pl.point].problem->bindings,
+                                               pl.seed.get()});
+            }
+            evictions.clear();
+            bool lockstep = false;
+            core::BatchRunStats bs;
+            const std::span<const core::PredictionResult> preds = arena.predict_batch(
+                prog, mach, sweep_predict, std::span<const core::BatchLane>(window),
+                lockstep, bs, &evictions);
+            if (!lockstep) {
+              for (std::size_t k = 0; k < w; ++k) assemble(cur[s + k].idx, preds[k]);
+              replayed_n += w;
+              continue;
+            }
+            ir_n += bs.ir_visits;
+            lanes_n += bs.lane_visits;
+            stripes_n += bs.simd_stripes;
+            evicted_n += bs.evicted_lanes;
+            spec_br_n += bs.speculated_branches;
+            spec_lanes_n += bs.speculated_lanes;
+            refilled_n += w;
+            std::size_t e = 0;
+            for (std::size_t k = 0; k < w; ++k) {
+              if (e < evictions.size() && evictions[e].lane == static_cast<int>(k)) {
+                const core::EvictedLane& ev = evictions[e++];
+                if (ev.rebatchable) {
+                  nxt.push_back(DrainLane{ev.key, cur[s + k].idx});
+                } else {
+                  replay(cur[s + k].idx);
+                }
+                continue;
+              }
+              assemble(cur[s + k].idx, preds[k]);
+              ++batched_n;
+            }
+          }
+          g = h;
+        }
+        cur.swap(nxt);
+      }
+      gb = ge;
+    }
+
+    batched_points.fetch_add(batched_n, std::memory_order_relaxed);
+    replayed_points.fetch_add(replayed_n, std::memory_order_relaxed);
+    ir_visits.fetch_add(ir_n, std::memory_order_relaxed);
+    lane_visits.fetch_add(lanes_n, std::memory_order_relaxed);
+    evicted_lanes.fetch_add(evicted_n, std::memory_order_relaxed);
+    refilled_lanes.fetch_add(refilled_n, std::memory_order_relaxed);
+    simd_stripes.fetch_add(stripes_n, std::memory_order_relaxed);
+    speculated_branches.fetch_add(spec_br_n, std::memory_order_relaxed);
+    speculated_lanes.fetch_add(spec_lanes_n, std::memory_order_relaxed);
+    divergence_pool.clear();
+  }
+
   report.batch.batched_points = batched_points.load();
   report.batch.scalar_points = scalar_points.load();
   report.batch.replayed_points = replayed_points.load();
@@ -663,6 +975,8 @@ RunReport Session::run(const ExperimentPlan& plan, const RunOptions& options) {
   report.batch.evicted_lanes = evicted_lanes.load();
   report.batch.refilled_lanes = refilled_lanes.load();
   report.batch.simd_stripes = simd_stripes.load();
+  report.batch.speculated_branches = speculated_branches.load();
+  report.batch.speculated_lanes = speculated_lanes.load();
   report.cache = cache_stats() - before;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
@@ -753,6 +1067,10 @@ void Session::clear_caches() {
   {
     const std::lock_guard<std::mutex> lock(critical_mutex_);
     critical_memo_.clear();
+  }
+  {
+    const std::lock_guard<std::mutex> lock(seed_mutex_);
+    seed_memo_.clear();
   }
 }
 

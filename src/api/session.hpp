@@ -45,6 +45,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "api/layout_store.hpp"
@@ -124,6 +126,29 @@ struct RunOptions {
   /// report payload is byte-identical either way (only RunReport::batch
   /// telemetry and wall time change); only meaningful when batching runs.
   bool compact_lanes = true;
+
+  /// Speculative both-sides IF (batch path only): when an IF splits a
+  /// lockstep window and both arms are cheap (loop-free, few nodes), walk
+  /// both arms — each with the lane subset that takes it — instead of
+  /// evicting the minority. Every lane still prices exactly what its
+  /// scalar interpretation would, so the report payload is byte-identical
+  /// on or off; only RunReport::batch telemetry (speculated_branches /
+  /// speculated_lanes, fewer evictions) and wall time change.
+  bool speculate_branches = false;
+
+  /// Divergence-aware plan ordering: before the sweep is partitioned into
+  /// chunks, reorder the points of each (machine, variant) segment so that
+  /// points with equal predicted control-flow signatures — a hash of the
+  /// program's critical-variable values under each problem's bindings —
+  /// become lane neighbours. Sweeps whose divergence axis is interleaved
+  /// with a benign axis (e.g. problems × nprocs with a binding-dependent
+  /// loop bound) then enter lockstep already grouped instead of paying an
+  /// eviction + refill round per window. Records are assembled back into
+  /// plan order, so the report payload is byte-identical to the unsorted
+  /// run for every batch size and worker count; only RunReport::batch
+  /// telemetry (fewer evictions/refills) and wall time change. The
+  /// reorder is deterministic (a pure function of the plan).
+  bool order_points = false;
 
   /// Tracing sink for this run (overrides the session-level sink when
   /// set): compile, chunk-schedule, lockstep-window, scalar-replay and
@@ -272,6 +297,21 @@ class Session {
       const compiler::CompiledProgram& prog, const front::Bindings& bindings,
       const compiler::LayoutOptions& lo, std::string& key_scratch) const;
 
+  /// Hottest-path variant: the caller already finished the content digest
+  /// (memoized fingerprint prefix per problem — see
+  /// compiler::layout_fingerprint_prefix), so a warm lookup hashes nothing.
+  [[nodiscard]] LayoutStore::LayoutPtr layout_for(
+      const compiler::CompiledProgram& prog, const front::Bindings& bindings,
+      const compiler::LayoutOptions& lo, std::string& key_scratch,
+      const compiler::LayoutDigest& digest) const;
+
+  /// Memoized seed_environment fold for one (program, problem) — see
+  /// seed_memo_ below. `prefix` must be layout_fingerprint_prefix(prog,
+  /// bindings) (run() computes it per problem for the layout digest anyway).
+  [[nodiscard]] std::shared_ptr<const compiler::SeededValues> seed_for(
+      const compiler::CompiledProgram& prog, const compiler::LayoutDigestState& prefix,
+      const front::Bindings& bindings) const;
+
   [[nodiscard]] static compiler::LayoutOptions layout_options(const RunConfig& c) {
     compiler::LayoutOptions lo;
     lo.nprocs = c.nprocs;
@@ -304,6 +344,23 @@ class Session {
   /// Value is the diagnostic message, empty on success.
   mutable std::mutex critical_mutex_;
   mutable std::map<std::string, std::string, std::less<>> critical_memo_;
+
+  /// seed_environment fold memo for the sweep hot path: the fold is pure
+  /// in (program symbols, binding values), both of which the layout
+  /// fingerprint *prefix* digest already covers — so run() keys the memo on
+  /// (compile_id, prefix digest) it computes per problem anyway and lanes
+  /// carry the precomputed (id, value) list instead of re-folding the
+  /// parameters on every chunk of every run. Entries are shared_ptr so a
+  /// clear_caches() mid-run cannot pull values out from under live lanes.
+  struct SeedMemoHash {
+    std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& k) const noexcept {
+      return static_cast<std::size_t>(k.first ^ (k.second * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  mutable std::mutex seed_mutex_;
+  mutable std::unordered_map<std::pair<std::uint64_t, std::uint64_t>,
+                             std::shared_ptr<const compiler::SeededValues>, SeedMemoHash>
+      seed_memo_;
 
   /// Persistent artifact tier; null when no spill is attached.
   std::shared_ptr<ArtifactSpill> spill_;

@@ -250,8 +250,13 @@ std::optional<double> try_eval_scalar(const Expr& e, const ScalarEnv& env,
   }
 }
 
-void seed_environment(ScalarEnv& env, const front::SymbolTable& symbols,
-                      const front::Bindings& bindings) {
+namespace {
+
+/// Shared fold behind seed_environment / seed_values: resolves PARAMETERs
+/// against the bindings and hands every defined (id, value) to `define`.
+template <class Define>
+void fold_seeds(const front::SymbolTable& symbols, const front::Bindings& bindings,
+                Define&& define) {
   front::Bindings fold_env;
   for (const auto& [name, value] : bindings.values()) fold_env.set(name, value);
   // params may reference earlier params and overridden names
@@ -266,8 +271,23 @@ void seed_environment(ScalarEnv& env, const front::SymbolTable& symbols,
   }
   for (const auto& sym : symbols.symbols()) {
     const int id = symbols.find(sym.name);
-    if (const auto v = fold_env.get(sym.name)) env.define(id, *v);
+    if (const auto v = fold_env.get(sym.name)) define(id, *v);
   }
+}
+
+}  // namespace
+
+void seed_environment(ScalarEnv& env, const front::SymbolTable& symbols,
+                      const front::Bindings& bindings) {
+  fold_seeds(symbols, bindings, [&](int id, double v) { env.define(id, v); });
+}
+
+SeededValues seed_values(const front::SymbolTable& symbols,
+                         const front::Bindings& bindings) {
+  SeededValues out;
+  fold_seeds(symbols, bindings,
+             [&](int id, double v) { out.defined.emplace_back(id, v); });
+  return out;
 }
 
 }  // namespace hpf90d::compiler

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "hpf/ast.hpp"
@@ -83,5 +84,16 @@ class ScalarEnv {
 /// override mechanism).
 void seed_environment(ScalarEnv& env, const front::SymbolTable& symbols,
                       const front::Bindings& bindings);
+
+/// The (symbol id, value) pairs seed_environment would define, in symbol
+/// order, as a replayable flat list. The parameter re-fold behind
+/// seed_environment is pure in (symbols, bindings), so a caller running
+/// repeated sweeps can compute this once per (program, problem) and scatter
+/// it into any number of environments (see core::BatchLane::seed).
+struct SeededValues {
+  std::vector<std::pair<int, double>> defined;
+};
+[[nodiscard]] SeededValues seed_values(const front::SymbolTable& symbols,
+                                       const front::Bindings& bindings);
 
 }  // namespace hpf90d::compiler

@@ -53,42 +53,6 @@ int DimDist::owner_coord(long long g) const {
   return static_cast<int>(((t - 1) % nprocs + nprocs) % nprocs);
 }
 
-long long DimDist::local_count(int c) const {
-  if (kind == DistKind::Collapsed || nprocs <= 1) return extent;
-  if (kind == DistKind::Block) {
-    return owned_range(c).count();
-  }
-  // cyclic: template indices t with (t-1) % nprocs == c intersected with
-  // the aligned image [1+off, extent+off]
-  long long count = 0;
-  const long long t_lo = 1 + align_offset;
-  const long long t_hi = extent + align_offset;
-  // first t >= t_lo with (t-1) % nprocs == c
-  long long first = ((c + 1 - t_lo) % nprocs + nprocs) % nprocs + t_lo;
-  if (first <= t_hi) count = (t_hi - first) / nprocs + 1;
-  return count;
-}
-
-DimDist::Range DimDist::owned_range(int c) const {
-  Range r;
-  if (kind == DistKind::Collapsed || nprocs <= 1) {
-    r.lo = 1;
-    r.hi = extent;
-    return r;
-  }
-  if (kind == DistKind::Block) {
-    const long long t_lo = static_cast<long long>(c) * block + 1;
-    const long long t_hi = std::min<long long>(t_lo + block - 1, tmpl_extent);
-    r.lo = std::max<long long>(1, t_lo - align_offset);
-    r.hi = std::min<long long>(extent, t_hi - align_offset);
-    return r;
-  }
-  // cyclic ownership is strided; report the whole dimension as the span
-  r.lo = 1;
-  r.hi = extent;
-  return r;
-}
-
 long long ArrayMap::local_elements(const ProcGrid& grid, int p) const {
   const std::vector<int> coords = grid.coords(p);
   long long total = 1;
@@ -320,12 +284,6 @@ void DataLayout::rebuild_derived_tables() {
   for (std::size_t m = 0; m < maps_.size(); ++m) {
     map_index_.at(static_cast<std::size_t>(maps_[m].symbol)) = static_cast<int>(m);
   }
-}
-
-const ArrayMap* DataLayout::map_for(int symbol) const {
-  if (symbol < 0 || static_cast<std::size_t>(symbol) >= map_index_.size()) return nullptr;
-  const int m = map_index_[static_cast<std::size_t>(symbol)];
-  return m < 0 ? nullptr : &maps_[static_cast<std::size_t>(m)];
 }
 
 void DataLayout::add_alias(int temp_symbol, int like_symbol, std::string name) {

@@ -9,6 +9,7 @@
 // interpretation engine, and the simulator all share.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <span>
 #include <string>
@@ -60,8 +61,47 @@ struct DimDist {
     long long lo = 1, hi = 0;
     [[nodiscard]] long long count() const noexcept { return hi >= lo ? hi - lo + 1 : 0; }
   };
+  // Defined inline below: owned_range/local_count sit on the interpretation
+  // engine's per-processor pricing loop (millions of calls per warm sweep),
+  // where the cross-TU call cost is measurable.
   [[nodiscard]] Range owned_range(int c) const;
 };
+
+inline DimDist::Range DimDist::owned_range(int c) const {
+  Range r;
+  if (kind == front::DistKind::Collapsed || nprocs <= 1) {
+    r.lo = 1;
+    r.hi = extent;
+    return r;
+  }
+  if (kind == front::DistKind::Block) {
+    const long long t_lo = static_cast<long long>(c) * block + 1;
+    const long long t_hi = std::min<long long>(t_lo + block - 1, tmpl_extent);
+    r.lo = std::max<long long>(1, t_lo - align_offset);
+    r.hi = std::min<long long>(extent, t_hi - align_offset);
+    return r;
+  }
+  // cyclic ownership is strided; report the whole dimension as the span
+  r.lo = 1;
+  r.hi = extent;
+  return r;
+}
+
+inline long long DimDist::local_count(int c) const {
+  if (kind == front::DistKind::Collapsed || nprocs <= 1) return extent;
+  if (kind == front::DistKind::Block) {
+    return owned_range(c).count();
+  }
+  // cyclic: template indices t with (t-1) % nprocs == c intersected with
+  // the aligned image [1+off, extent+off]
+  long long count = 0;
+  const long long t_lo = 1 + align_offset;
+  const long long t_hi = extent + align_offset;
+  // first t >= t_lo with (t-1) % nprocs == c
+  long long first = ((c + 1 - t_lo) % nprocs + nprocs) % nprocs + t_lo;
+  if (first <= t_hi) count = (t_hi - first) / nprocs + 1;
+  return count;
+}
 
 /// Complete resolved mapping of one distributed array (or the note that it
 /// is replicated).
@@ -137,8 +177,13 @@ class DataLayout {
   }
 
   /// Mapping for a symbol; nullptr when the symbol is replicated (scalars,
-  /// arrays without directives). O(1): indexed by symbol id.
-  [[nodiscard]] const ArrayMap* map_for(int symbol) const;
+  /// arrays without directives). O(1): indexed by symbol id. Inline: the
+  /// engine asks per node visit, millions of times per warm sweep.
+  [[nodiscard]] const ArrayMap* map_for(int symbol) const noexcept {
+    if (symbol < 0 || static_cast<std::size_t>(symbol) >= map_index_.size()) return nullptr;
+    const int m = map_index_[static_cast<std::size_t>(symbol)];
+    return m < 0 ? nullptr : &maps_[static_cast<std::size_t>(m)];
+  }
 
   /// Registers `temp_symbol` with the same mapping as `like_symbol`
   /// (used for compiler-introduced shift temporaries).

@@ -201,25 +201,14 @@ void feed_int(Sink& out, long long v) {
   out.put(p, static_cast<std::size_t>(buf + sizeof buf - p));
 }
 
-/// The one definition of the fingerprint byte sequence: both the string
-/// key and its streaming digest are produced from this template, which is
-/// what guarantees layout_fingerprint_digest == layout_digest_of(
-/// layout_fingerprint(...)) byte for byte.
+/// The (program, bindings) prefix of the fingerprint byte sequence. The
+/// prefix deliberately comes BEFORE the layout options so a sweep can
+/// capture the digest state once per problem (layout_fingerprint_prefix)
+/// and finish it per nprocs point — the fingerprint format is internal
+/// (spill addresses re-key on a format change and degrade to misses).
 template <class Sink>
-void feed_fingerprint(Sink& fp, const CompiledProgram& prog,
-                      const front::Bindings& bindings, const LayoutOptions& options) {
-  // layout options
-  fp.put("P=", 2);
-  feed_int(fp, options.nprocs);
-  if (options.grid_shape) {
-    fp.put(":g", 2);
-    for (int s : *options.grid_shape) {
-      feed_int(fp, s);
-      fp.put('x');
-    }
-  }
-  fp.put('\x1d');
-
+void feed_layout_prefix(Sink& fp, const CompiledProgram& prog,
+                        const front::Bindings& bindings) {
   // bindings (map iteration is name-sorted, so the order is canonical);
   // values render as their raw IEEE bit pattern in fixed-width hex — exact
   // without a decimal round-trip, and far cheaper than %.17g on what is
@@ -255,6 +244,31 @@ void feed_fingerprint(Sink& fp, const CompiledProgram& prog,
     fp.put(d.data(), d.size());
   }
 }
+
+/// The layout-options suffix of the fingerprint byte sequence.
+template <class Sink>
+void feed_layout_options(Sink& fp, const LayoutOptions& options) {
+  fp.put("\x1dP=", 3);
+  feed_int(fp, options.nprocs);
+  if (options.grid_shape) {
+    fp.put(":g", 2);
+    for (int s : *options.grid_shape) {
+      feed_int(fp, s);
+      fp.put('x');
+    }
+  }
+}
+
+/// The one definition of the fingerprint byte sequence: both the string
+/// key and its streaming digest are produced from this template, which is
+/// what guarantees layout_fingerprint_digest == layout_digest_of(
+/// layout_fingerprint(...)) byte for byte.
+template <class Sink>
+void feed_fingerprint(Sink& fp, const CompiledProgram& prog,
+                      const front::Bindings& bindings, const LayoutOptions& options) {
+  feed_layout_prefix(fp, prog, bindings);
+  feed_layout_options(fp, options);
+}
 }  // namespace
 
 void layout_fingerprint_into(std::string& fp, const CompiledProgram& prog,
@@ -277,6 +291,22 @@ LayoutDigest layout_fingerprint_digest(const CompiledProgram& prog,
 LayoutDigest layout_digest_of(std::string_view fingerprint) {
   DigestSink sink;
   sink.put(fingerprint.data(), fingerprint.size());
+  return LayoutDigest{sink.a, sink.b};
+}
+
+LayoutDigestState layout_fingerprint_prefix(const CompiledProgram& prog,
+                                            const front::Bindings& bindings) {
+  DigestSink sink;
+  feed_layout_prefix(sink, prog, bindings);
+  return LayoutDigestState{sink.a, sink.b};
+}
+
+LayoutDigest layout_fingerprint_finish(const LayoutDigestState& state,
+                                       const LayoutOptions& options) {
+  DigestSink sink;
+  sink.a = state.a;
+  sink.b = state.b;
+  feed_layout_options(sink, options);
   return LayoutDigest{sink.a, sink.b};
 }
 

@@ -85,4 +85,24 @@ struct LayoutDigest {
 /// of the layout store funnels through this).
 [[nodiscard]] LayoutDigest layout_digest_of(std::string_view fingerprint);
 
+/// Captured mid-stream digest state after the (program, bindings) prefix of
+/// the fingerprint byte sequence — everything except the layout options.
+/// A sweep chunk holds (program, bindings) fixed across its nprocs axis, so
+/// the prefix is hashed once per problem and finished per point instead of
+/// re-hashing the whole binding set for every sweep point.
+struct LayoutDigestState {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// Digest state of the fingerprint's (program, bindings) prefix.
+[[nodiscard]] LayoutDigestState layout_fingerprint_prefix(
+    const CompiledProgram& prog, const front::Bindings& bindings);
+
+/// Completes a prefix state with the layout options. For all inputs:
+/// layout_fingerprint_finish(layout_fingerprint_prefix(p, b), o) ==
+/// layout_fingerprint_digest(p, b, o).
+[[nodiscard]] LayoutDigest layout_fingerprint_finish(const LayoutDigestState& state,
+                                                     const LayoutOptions& options);
+
 }  // namespace hpf90d::compiler

@@ -22,6 +22,12 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
          0x2545f4914f6cdd1dULL;
 }
 
+/// Largest both-arm node count batch_if will speculate on. Walking both
+/// arms doubles the visit cost of the branch body for every lane, so the
+/// trade only wins when the arms are a handful of cheap nodes; anything
+/// bigger falls back to evicting the minority.
+constexpr std::int32_t kSpeculateMaxArmNodes = 16;
+
 }  // namespace
 
 template <class Pred, class Outcome>
@@ -62,6 +68,8 @@ bool BatchEngine::interpret(const compiler::CompiledProgram& prog,
   cost_ = cp;
   lanes_ = lanes;
   stats_ = {};
+  speculate_ = options.speculate_branches;
+  if_depth_ = 0;
 
   const std::size_t L = lanes.size();
   if (engines_.size() < L) engines_.resize(L);
@@ -76,6 +84,11 @@ bool BatchEngine::interpret(const compiler::CompiledProgram& prog,
   env_.reset(symbols, L);
   const front::Bindings* seeded = nullptr;
   for (std::size_t l = 0; l < L; ++l) {
+    if (const compiler::SeededValues* sv = lanes[l].seed) {
+      // Precomputed fold: scatter only the defined symbols.
+      for (const auto& [s, v] : sv->defined) env_.define(s, l, v);
+      continue;
+    }
     if (lanes[l].bindings != seeded) {
       seed_env_.reset(symbols);
       compiler::seed_environment(seed_env_, prog.symbols, *lanes[l].bindings);
@@ -280,6 +293,55 @@ void BatchEngine::batch_if(const SpmdNode& n) {
     const auto u = static_cast<std::size_t>(l);
     return ok_[u] == 0 || vals_[u] != 0.0;
   };
+  if (speculate_ && nc.spec_nodes >= 0 && nc.spec_nodes <= kSpeculateMaxArmNodes) {
+    const std::size_t depth = if_depth_;
+    if (if_pool_.size() <= depth) if_pool_.resize(depth + 1);
+    if_pool_[depth].then_lanes.clear();
+    if_pool_[depth].else_lanes.clear();
+    for (const int l : active_) {
+      (then_of(l) ? if_pool_[depth].then_lanes : if_pool_[depth].else_lanes)
+          .push_back(l);
+    }
+    if (!if_pool_[depth].then_lanes.empty() && !if_pool_[depth].else_lanes.empty()) {
+      // Both sides populated and the arms are cheap: walk BOTH arms, each
+      // with the lane subset that takes it, instead of evicting the
+      // minority. Each lane still prices exactly the nodes its scalar
+      // interpretation would — the split changes scheduling, never results.
+      ++stats_.speculated_branches;
+      stats_.speculated_lanes += active_.size();
+      const double t = engines_[static_cast<std::size_t>(active_[0])].branch_cost(n);
+      for (const int l : active_) {
+        engines_[static_cast<std::size_t>(l)].charge_all(n.id, t, 'O');
+      }
+      const std::uint64_t saved = path_hash_;
+      ++if_depth_;
+      // Per-arm hashes use the same outcome encoding evict_unless would
+      // (then = 1, else = 0), so a lane evicted inside an arm carries the
+      // key it would have in a unanimous window and regroups with those.
+      // Nested speculation can grow if_pool_, so re-index after each walk.
+      path_hash_ = mix(saved, 1);
+      active_.swap(if_pool_[depth].then_lanes);
+      walk_seq(n.children);
+      active_.swap(if_pool_[depth].then_lanes);  // then-arm survivors
+      path_hash_ = mix(saved, 0);
+      active_.swap(if_pool_[depth].else_lanes);
+      walk_seq(n.else_children);
+      active_.swap(if_pool_[depth].else_lanes);  // else-arm survivors
+      --if_depth_;
+      // Merge the survivors (each subset kept its ascending lane order) so
+      // lane order — and with it every later active_[0] representative
+      // choice — matches a window that never split.
+      IfScratch& sc = if_pool_[depth];
+      sc.merged.clear();
+      std::merge(sc.then_lanes.begin(), sc.then_lanes.end(), sc.else_lanes.begin(),
+                 sc.else_lanes.end(), std::back_inserter(sc.merged));
+      active_.swap(sc.merged);
+      // Join marker: survivors of both arms share one downstream hash,
+      // distinct from either arm's (2 is not a then/else outcome).
+      path_hash_ = mix(saved, 2);
+      return;
+    }
+  }
   const bool taken = then_of(active_[0]);
   evict_unless([&](int l) { return then_of(l) == taken; },
                [&](int l) { return then_of(l) ? 1 : 0; }, true);

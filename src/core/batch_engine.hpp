@@ -32,6 +32,13 @@ namespace hpf90d::core {
 struct BatchLane {
   const compiler::DataLayout* layout = nullptr;
   const front::Bindings* bindings = nullptr;
+  /// Optional precomputed seed_environment fold for `bindings` (see
+  /// compiler::seed_values). When set, the lane's environment column is
+  /// scattered from this list instead of re-folding the parameters — the
+  /// values are identical by construction, it is purely a warm-path
+  /// memoization owned by the caller (must cover the same program/bindings
+  /// and outlive the interpret() call).
+  const compiler::SeededValues* seed = nullptr;
 };
 
 /// Batch effectiveness counters for one interpret() call.
@@ -41,6 +48,8 @@ struct BatchRunStats {
   std::uint64_t replayed_lanes = 0; // lanes evicted to scalar replay
   std::uint64_t evicted_lanes = 0;  // lanes that left lockstep mid-walk
   std::uint64_t simd_stripes = 0;   // 8-lane stripes the bytecode evaluated
+  std::uint64_t speculated_branches = 0;  // IFs where both arms were walked
+  std::uint64_t speculated_lanes = 0;     // lanes kept in lockstep by those IFs
 };
 
 /// One lane exported by interpret()'s eviction-export mode: the lane left
@@ -142,6 +151,16 @@ class BatchEngine {
   std::vector<int> active_;          // lanes still in lockstep
   std::vector<EvictedLane> evicted_; // lanes that left lockstep, keyed
   std::uint64_t path_hash_ = 0;      // running control-path hash (divergence keys)
+  bool speculate_ = false;           // PredictOptions::speculate_branches
+
+  /// Per-nesting-depth scratch for speculative IFs (see batch_if): the lane
+  /// subsets of the two arms plus the merge buffer. Indexed by if_depth_ so
+  /// nested speculations never share or reallocate a level's buffers.
+  struct IfScratch {
+    std::vector<int> then_lanes, else_lanes, merged;
+  };
+  std::vector<IfScratch> if_pool_;
+  std::size_t if_depth_ = 0;
 
   // per-node scratch (sized lanes / dims*lanes, reused across nodes)
   std::vector<long long> b_lo_, b_hi_, b_step_, pts_;

@@ -40,11 +40,18 @@ void InterpretationEngine::rebind_common(const compiler::CompiledProgram& prog,
   regs_.resize(cost_ ? cost_->max_regs : 0);
   prog_ = &prog;
   layout_ = &layout;
-  machine_ = &machine;
   options_ = options;
   bindings_ = &bindings;
+  const auto mp = bindings.get("mask__prob");
+  mask_prob_ = mp ? *mp : options.mask_probability;
   nprocs_ = layout.nprocs();
-  fn_.emplace(machine.node());
+  // fn_ holds references into the machine's SAU; re-targeting is only
+  // needed when the machine actually changes (lane engines are rebound per
+  // window, almost always to the same machine).
+  if (machine_ != &machine) {
+    machine_ = &machine;
+    fn_.emplace(machine.node());
+  }
   clock_.assign(static_cast<std::size_t>(nprocs_), 0.0);
   metrics_.assign(static_cast<std::size_t>(prog.node_count), AAUMetric{});
   trace_.clear();
@@ -134,7 +141,31 @@ void InterpretationEngine::charge(int aau, int proc, double t, char category) {
 }
 
 void InterpretationEngine::charge_all(int aau, double t, char category) {
-  for (int p = 0; p < nprocs_; ++p) charge(aau, p, t, category);
+  // Same charges as per-proc charge() calls, with the category switch and
+  // trace test hoisted out of the loop: the clock update becomes a tight
+  // vectorizable add and the metric accumulates through the identical
+  // dependent-add chain (never t * nprocs, which would round differently).
+  if (t <= 0) return;
+  if (options_.trace) {
+    for (int p = 0; p < nprocs_; ++p) charge(aau, p, t, category);
+    return;
+  }
+  double* const clk = clock_.data();
+  const int n = nprocs_;
+  for (int p = 0; p < n; ++p) clk[p] += t;
+  AAUMetric& m = metric(aau);
+  double* acc;
+  switch (category) {
+    case 'C': acc = &m.comp; break;
+    case 'M': acc = &m.comm; break;
+    case 'O': acc = &m.overhead; break;
+    case 'W': acc = &m.wait; break;
+    case 'I': acc = &m.comm; break;
+    default: acc = &m.comp; break;
+  }
+  double s = *acc;
+  for (int p = 0; p < n; ++p) s += t;
+  *acc = s;
 }
 
 // ---------------------------------------------------------------------------
@@ -330,39 +361,54 @@ const std::vector<long long>& InterpretationEngine::local_iterations(
       hd[static_cast<std::size_t>(d)] = static_cast<int>(h);
     }
   }
-  for (int p = 0; p < nprocs_; ++p) {
-    const std::span<const int> coords = layout_->proc_coords(p);
-    long long count = 1;
-    for (std::size_t d = 0; d < space.lo.size(); ++d) {
-      const int home_dim = hd[d];
-      long long dim_iters = space.dim_count(d);
-      if (home_dim >= 0) {
-        const auto& dd = home->dims[static_cast<std::size_t>(home_dim)];
-        if (dd.grid_dim >= 0 && dd.nprocs > 1) {
-          const int c = coords[static_cast<std::size_t>(dd.grid_dim)];
-          if (dd.kind == front::DistKind::Block) {
-            const auto range = dd.owned_range(c);
-            const long long off = n.home_driver_offset[static_cast<std::size_t>(home_dim)];
-            const long long a = std::max(space.lo[d], range.lo - off);
-            const long long b = std::min(space.hi[d], range.hi - off);
-            if (b < a) {
-              dim_iters = 0;
-            } else {
-              const long long st = space.step[d];
-              const long long first = (a - space.lo[d] + st - 1) / st;
-              const long long last = (b - space.lo[d]) / st;
-              dim_iters = last >= first ? last - first + 1 : 0;
-            }
-          } else {
-            // cyclic: proportional share of the iteration range
-            const long long owned = dd.local_count(c);
-            dim_iters = dim_iters * owned / std::max<long long>(dd.extent, 1);
-          }
-        }
-      }
-      count *= dim_iters;
+  // Dims-outer accumulation: the distribution (kind, block, offsets) is a
+  // per-dim constant, so it is resolved once here and only the grid
+  // coordinate varies in the per-processor inner loop. All-integer math, so
+  // the per-proc product is exact in any accumulation order.
+  std::fill(iters.begin(), iters.end(), 1LL);
+  for (std::size_t d = 0; d < space.lo.size(); ++d) {
+    const int home_dim = hd[d];
+    const long long base = space.dim_count(d);
+    const compiler::DimDist* dd = nullptr;
+    if (home_dim >= 0) {
+      const auto& cand = home->dims[static_cast<std::size_t>(home_dim)];
+      if (cand.grid_dim >= 0 && cand.nprocs > 1) dd = &cand;
     }
-    iters[static_cast<std::size_t>(p)] = count;
+    if (dd == nullptr) {
+      for (int p = 0; p < nprocs_; ++p) iters[static_cast<std::size_t>(p)] *= base;
+    } else if (dd->kind == front::DistKind::Block) {
+      const long long off = n.home_driver_offset[static_cast<std::size_t>(home_dim)];
+      const long long lo = space.lo[d];
+      const long long hi = space.hi[d];
+      const long long st = space.step[d];
+      const auto gd = static_cast<std::size_t>(dd->grid_dim);
+      for (int p = 0; p < nprocs_; ++p) {
+        const auto range = dd->owned_range(layout_->proc_coords(p)[gd]);
+        const long long a = std::max(lo, range.lo - off);
+        const long long b = std::min(hi, range.hi - off);
+        long long dim_iters;
+        if (b < a) {
+          dim_iters = 0;
+        } else if (st == 1) {
+          // unit stride — the dominant case — needs no division:
+          // first = a-lo, last = b-lo, so the count is just b-a+1
+          dim_iters = b - a + 1;
+        } else {
+          const long long first = (a - lo + st - 1) / st;
+          const long long last = (b - lo) / st;
+          dim_iters = last >= first ? last - first + 1 : 0;
+        }
+        iters[static_cast<std::size_t>(p)] *= dim_iters;
+      }
+    } else {
+      // cyclic: proportional share of the iteration range
+      const long long ext = std::max<long long>(dd->extent, 1);
+      const auto gd = static_cast<std::size_t>(dd->grid_dim);
+      for (int p = 0; p < nprocs_; ++p) {
+        const long long owned = dd->local_count(layout_->proc_coords(p)[gd]);
+        iters[static_cast<std::size_t>(p)] *= base * owned / ext;
+      }
+    }
   }
   return iters;
 }
@@ -380,10 +426,7 @@ long long InterpretationEngine::slab_elements(const compiler::ArrayMap& map, int
   return perp * width;
 }
 
-double InterpretationEngine::mask_probability() const {
-  if (const auto v = bindings_->get("mask__prob")) return *v;
-  return options_.mask_probability;
-}
+double InterpretationEngine::mask_probability() const { return mask_prob_; }
 
 long long InterpretationEngine::working_set_estimate(const SpmdNode& n,
                                                      const ResolvedSpace& space) const {
@@ -426,6 +469,24 @@ void InterpretationEngine::price_iters_on(const SpmdNode& n, const IterCost& cos
   // function of the count, so reuse is bit-identical)
   long long prev_it = 0;
   ComputeEstimate est{};
+  if (options_.trace) {
+    for (int p = 0; p < nprocs_; ++p) {
+      const long long it = iters[static_cast<std::size_t>(p)];
+      if (it == 0) continue;
+      if (it != prev_it) {
+        est = cost.at(it);
+        prev_it = it;
+      }
+      charge(n.id, p, est.comp, 'C');
+      charge(n.id, p, est.overhead, 'O');
+    }
+    return;
+  }
+  // untraced: the same per-proc charge sequence with the charge() call
+  // overhead (category dispatch, trace test) hoisted out of the loop
+  AAUMetric& m = metric(n.id);
+  double* const clk = clock_.data();
+  double mc = m.comp, mo = m.overhead;
   for (int p = 0; p < nprocs_; ++p) {
     const long long it = iters[static_cast<std::size_t>(p)];
     if (it == 0) continue;
@@ -433,9 +494,17 @@ void InterpretationEngine::price_iters_on(const SpmdNode& n, const IterCost& cos
       est = cost.at(it);
       prev_it = it;
     }
-    charge(n.id, p, est.comp, 'C');
-    charge(n.id, p, est.overhead, 'O');
+    if (est.comp > 0) {
+      clk[p] += est.comp;
+      mc += est.comp;
+    }
+    if (est.overhead > 0) {
+      clk[p] += est.overhead;
+      mo += est.overhead;
+    }
   }
+  m.comp = mc;
+  m.overhead = mo;
 }
 
 void InterpretationEngine::price_iters(const SpmdNode& n, const ResolvedSpace& space,
@@ -466,11 +535,33 @@ void InterpretationEngine::sync_then_charge_comm_batch(const SpmdNode& n,
     InterpretationEngine& e = engines[lanes[i]];
     const double c = cost_per_lane[i];
     const double tmax = *std::max_element(e.clock_.begin(), e.clock_.end());
-    for (int p = 0; p < e.nprocs_; ++p) {
-      const double idle = tmax - e.clock_[static_cast<std::size_t>(p)];
-      if (idle > 0) e.charge(n.id, p, idle, 'W');
-      if (c > 0) e.charge(n.id, p, c, 'M');
+    if (e.options_.trace) {
+      for (int p = 0; p < e.nprocs_; ++p) {
+        const double idle = tmax - e.clock_[static_cast<std::size_t>(p)];
+        if (idle > 0) e.charge(n.id, p, idle, 'W');
+        if (c > 0) e.charge(n.id, p, c, 'M');
+      }
+      continue;
     }
+    // untraced: identical charge sequence with the per-charge dispatch
+    // hoisted (the 'M' cost is proc-invariant, the 'W' idle is not)
+    AAUMetric& m = e.metric(n.id);
+    double* const clk = e.clock_.data();
+    double mw = m.wait, mm = m.comm;
+    const bool comm = c > 0;
+    for (int p = 0; p < e.nprocs_; ++p) {
+      const double idle = tmax - clk[p];
+      if (idle > 0) {
+        clk[p] += idle;
+        mw += idle;
+      }
+      if (comm) {
+        clk[p] += c;
+        mm += c;
+      }
+    }
+    m.wait = mw;
+    m.comm = mm;
   }
 }
 
@@ -478,15 +569,39 @@ void InterpretationEngine::price_reduce_comm_batch(const SpmdNode& n,
                                                    InterpretationEngine* engines,
                                                    const int* lanes,
                                                    std::size_t count) {
+  // For a fixed node the reduce cost is a pure function of (machine, nprocs,
+  // collective); a lockstep batch interleaves a handful of nprocs values over
+  // one machine, so a tiny memo replaces the per-lane analytic tree walk.
+  struct Memo {
+    const machine::MachineModel* mach;
+    int nprocs;
+    machine::CollectiveAlgo collective;
+    double cost;
+  };
+  Memo memo[8];
+  std::size_t memo_n = 0;
+  const long long bytes = n.reduce_op == "maxloc" ? 12 : 8;
   for (std::size_t i = 0; i < count; ++i) {
     InterpretationEngine& e = engines[lanes[i]];
     const compiler::ArrayMap* home =
         n.home_symbol >= 0 ? e.layout_->map_for(n.home_symbol) : nullptr;
     if (home == nullptr || e.nprocs_ <= 1) continue;
-    const long long bytes = n.reduce_op == "maxloc" ? 12 : 8;
-    const double comm_cost = e.fn_->comm().reduce(e.nprocs_, bytes,
-                                                  e.machine_->node().proc.t_fadd,
-                                                  e.options_.collective);
+    double comm_cost = -1.0;
+    for (std::size_t m = 0; m < memo_n; ++m) {
+      if (memo[m].nprocs == e.nprocs_ && memo[m].mach == e.machine_ &&
+          memo[m].collective == e.options_.collective) {
+        comm_cost = memo[m].cost;
+        break;
+      }
+    }
+    if (comm_cost < 0) {
+      comm_cost = e.fn_->comm().reduce(e.nprocs_, bytes,
+                                       e.machine_->node().proc.t_fadd,
+                                       e.options_.collective);
+      if (memo_n < sizeof memo / sizeof memo[0]) {
+        memo[memo_n++] = Memo{e.machine_, e.nprocs_, e.options_.collective, comm_cost};
+      }
+    }
     sync_then_charge_comm_batch(n, engines, lanes + i, 1, &comm_cost);
   }
 }

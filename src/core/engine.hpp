@@ -40,6 +40,14 @@ struct PredictOptions {
   /// per-processor tables — which RunReport never reads — are skipped, so
   /// finalize costs O(nodes) instead of two vector copies per point.
   bool detailed = true;
+  /// Batch-path only: when an IF splits the lanes of a lockstep window and
+  /// both arms are cheap (loop-free, few nodes), walk BOTH arms — each with
+  /// the lane subset that takes it — instead of evicting the minority.
+  /// Every lane still prices exactly the nodes its scalar interpretation
+  /// would, so results are bit-identical either way; the knob trades a
+  /// second arm walk for keeping divergent lanes in lockstep. Ignored by
+  /// the scalar interpreter.
+  bool speculate_branches = false;
 };
 
 /// One interpreted event for the trace output (ParaGraph-compatible
@@ -236,6 +244,9 @@ class InterpretationEngine {
   PredictOptions options_;
   const front::Bindings* bindings_ = nullptr;
   int nprocs_ = 0;
+  /// mask_probability() resolved once per rebind — the "mask__prob" binding
+  /// lookup is a hash probe that otherwise runs per priced masked node.
+  double mask_prob_ = 1.0;
 
   compiler::ScalarEnv env_{0};
   // InterpretationFunctions holds SAU references, so retargeting is an

@@ -19,6 +19,42 @@ std::string pnum(double v) {
   return support::strfmt("%.17g", v);
 }
 
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Canonical label block: pairs sorted by key, values escaped, rendered
+/// as {k="v",k2="v2"} ("" for an empty set). Doubles as the child map key,
+/// so two spellings of the same label set share one instrument.
+std::string label_block(const obs::Labels& labels) {
+  if (labels.empty()) return {};
+  obs::Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out = "{";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first + "=\"" + escape_label(sorted[i].second) + '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// The overflow child's block: same keys, every value "_overflow".
+std::string overflow_block(const obs::Labels& labels) {
+  obs::Labels capped = labels;
+  for (auto& kv : capped) kv.second = "_overflow";
+  return label_block(capped);
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -53,50 +89,64 @@ std::uint64_t Histogram::bucket(std::size_t i) const noexcept {
 
 double Histogram::sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
 
-Counter& Registry::counter(const std::string& name, std::string help) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+Registry::Entry& Registry::family(const std::string& name, std::string&& help,
+                                  Kind kind) {
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     Entry e;
-    e.kind = Kind::Counter;
+    e.kind = kind;
     e.help = std::move(help);
-    e.counter = std::make_unique<Counter>();
     it = metrics_.emplace(name, std::move(e)).first;
-  } else if (it->second.kind != Kind::Counter) {
+  } else if (it->second.kind != kind) {
     throw std::logic_error("obs::Registry: " + name + " already registered as another kind");
   }
-  return *it->second.counter;
+  return it->second;
 }
 
-Gauge& Registry::gauge(const std::string& name, std::string help) {
+Counter& Registry::counter(const std::string& name, std::string help,
+                           const Labels& labels) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
-    Entry e;
-    e.kind = Kind::Gauge;
-    e.help = std::move(help);
-    e.gauge = std::make_unique<Gauge>();
-    it = metrics_.emplace(name, std::move(e)).first;
-  } else if (it->second.kind != Kind::Gauge) {
-    throw std::logic_error("obs::Registry: " + name + " already registered as another kind");
+  Entry& e = family(name, std::move(help), Kind::Counter);
+  std::string block = label_block(labels);
+  auto child = e.counters.find(block);
+  if (child == e.counters.end()) {
+    // fixed-cardinality bound: a new label set past the cap lands on the
+    // shared overflow child instead of growing the family
+    if (!block.empty() && e.counters.size() >= kMaxChildren) {
+      block = overflow_block(labels);
+      child = e.counters.find(block);
+    }
+    if (child == e.counters.end()) {
+      child = e.counters.emplace(std::move(block), std::make_unique<Counter>()).first;
+    }
   }
-  return *it->second.gauge;
+  return *child->second;
+}
+
+Gauge& Registry::gauge(const std::string& name, std::string help,
+                       const Labels& labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = family(name, std::move(help), Kind::Gauge);
+  std::string block = label_block(labels);
+  auto child = e.gauges.find(block);
+  if (child == e.gauges.end()) {
+    if (!block.empty() && e.gauges.size() >= kMaxChildren) {
+      block = overflow_block(labels);
+      child = e.gauges.find(block);
+    }
+    if (child == e.gauges.end()) {
+      child = e.gauges.emplace(std::move(block), std::make_unique<Gauge>()).first;
+    }
+  }
+  return *child->second;
 }
 
 Histogram& Registry::histogram(const std::string& name, std::string help,
                                std::vector<double> bounds) {
   const std::lock_guard<std::mutex> lock(mutex_);
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
-    Entry e;
-    e.kind = Kind::Histogram;
-    e.help = std::move(help);
-    e.histogram = std::make_unique<Histogram>(std::move(bounds));
-    it = metrics_.emplace(name, std::move(e)).first;
-  } else if (it->second.kind != Kind::Histogram) {
-    throw std::logic_error("obs::Registry: " + name + " already registered as another kind");
-  }
-  return *it->second.histogram;
+  Entry& e = family(name, std::move(help), Kind::Histogram);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
 }
 
 std::string Registry::prometheus() const {
@@ -108,11 +158,17 @@ std::string Registry::prometheus() const {
     switch (e.kind) {
       case Kind::Counter:
         out += "# TYPE " + name + " counter\n";
-        out += name + ' ' + pnum(static_cast<double>(e.counter->value())) + '\n';
+        // map order: the unlabeled sample ("") first, then children
+        // sorted by label block
+        for (const auto& [block, c] : e.counters) {
+          out += name + block + ' ' + pnum(static_cast<double>(c->value())) + '\n';
+        }
         break;
       case Kind::Gauge:
         out += "# TYPE " + name + " gauge\n";
-        out += name + ' ' + pnum(e.gauge->value()) + '\n';
+        for (const auto& [block, g] : e.gauges) {
+          out += name + block + ' ' + pnum(g->value()) + '\n';
+        }
         break;
       case Kind::Histogram: {
         out += "# TYPE " + name + " histogram\n";

@@ -12,6 +12,15 @@
 // for startup; updates (add/set/observe) never lock. Returned references
 // are stable for the registry's lifetime.
 //
+// Counters and gauges optionally carry a label set (e.g. {tenant="a",
+// state="done"}): children of one family share HELP/TYPE and render
+// sorted by their canonical label block, so the exposition stays
+// deterministic. Label sets are meant to be small and fixed-cardinality;
+// the registry enforces the bound — once a family has kMaxChildren
+// distinct label sets, further *new* sets all collapse into one overflow
+// child (every value replaced by "_overflow") instead of growing without
+// bound or throwing on a hot path.
+//
 // Counter semantics are Prometheus-monotonic: they only increase, and a
 // daemon restart resets them to zero (scrapers handle resets via rate()).
 #pragma once
@@ -22,9 +31,15 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hpf90d::obs {
+
+/// One child's label set: (key, value) pairs. Order is irrelevant — the
+/// registry canonicalizes by sorting on key — and values may hold
+/// arbitrary bytes (quoted/escaped in the exposition).
+using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonically increasing integer (resets only with its registry).
 class Counter {
@@ -79,17 +94,27 @@ class Histogram {
 /// not validate, it trusts its (in-process) callers.
 class Registry {
  public:
-  /// Idempotent: a second registration of the same name returns the
-  /// existing instrument (help text of the first registration wins).
+  /// Distinct label sets one family can hold before new sets collapse
+  /// into the shared overflow child.
+  static constexpr std::size_t kMaxChildren = 64;
+
+  /// Idempotent: a second registration of the same (name, labels) returns
+  /// the existing instrument (help text of the first registration wins).
   /// Registering one name as two different kinds throws std::logic_error.
-  Counter& counter(const std::string& name, std::string help);
-  Gauge& gauge(const std::string& name, std::string help);
+  /// The default (empty) label set is the conventional unlabeled sample;
+  /// it coexists with labeled children of the same family. Histograms are
+  /// always unlabeled.
+  Counter& counter(const std::string& name, std::string help,
+                   const Labels& labels = {});
+  Gauge& gauge(const std::string& name, std::string help,
+               const Labels& labels = {});
   Histogram& histogram(const std::string& name, std::string help,
                        std::vector<double> bounds);
 
   /// Prometheus text exposition (version 0.0.4): HELP/TYPE comments, then
-  /// samples. Metrics render sorted by name; numbers use %.17g (integers
-  /// render as integers), so equal state always renders byte-identically.
+  /// samples. Metrics render sorted by name, children of a family by
+  /// their canonical label block; numbers use %.17g (integers render as
+  /// integers), so equal state always renders byte-identically.
   [[nodiscard]] std::string prometheus() const;
 
  private:
@@ -97,10 +122,14 @@ class Registry {
   struct Entry {
     Kind kind;
     std::string help;
-    std::unique_ptr<Counter> counter;
-    std::unique_ptr<Gauge> gauge;
+    // children keyed by rendered label block ("" = the unlabeled sample);
+    // map order is the exposition order
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
     std::unique_ptr<Histogram> histogram;
   };
+
+  Entry& family(const std::string& name, std::string&& help, Kind kind);
 
   mutable std::mutex mutex_;
   std::map<std::string, Entry> metrics_;

@@ -169,12 +169,14 @@ std::string ServeClient::metrics() {
   return reply.payload;
 }
 
-std::vector<ServerStats> ServeClient::stats_stream(int count, int interval_ms) {
+std::vector<ServerStats> ServeClient::stats_stream(int count, int interval_ms,
+                                                   bool on_change) {
   // The request itself retries; once the burst starts, a mid-stream
   // failure propagates (a retry would double snapshots already consumed).
   if (fd_ < 0) connect();
-  const std::string request =
+  std::string request =
       std::to_string(count) + ' ' + std::to_string(interval_ms);
+  if (on_change) request += " changed";
   write_frame(fd_, Frame{MsgType::StatsStream, request});
   std::vector<ServerStats> out;
   for (;;) {

@@ -96,9 +96,13 @@ class ServeClient {
 
   /// Polls `count` ServerStats snapshots spaced `interval_ms` apart over
   /// one StatsStream request (count 1..1000, interval <= 10000ms; the
-  /// server rejects more). A daemon shutting down mid-stream may return
-  /// fewer snapshots than requested.
-  [[nodiscard]] std::vector<ServerStats> stats_stream(int count, int interval_ms);
+  /// server rejects more). With `on_change` the daemon still samples
+  /// `count` times but pushes only snapshots whose activity counters moved
+  /// since the last push (the first always arrives), so an idle daemon
+  /// returns a single snapshot. A daemon shutting down mid-stream may
+  /// return fewer snapshots than requested.
+  [[nodiscard]] std::vector<ServerStats> stats_stream(int count, int interval_ms,
+                                                      bool on_change = false);
 
   /// Asks the daemon to shut down (acknowledged before it stops).
   void shutdown_server();

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -279,6 +280,10 @@ void ExperimentServer::executor_loop() {
       std::unique_lock<std::mutex> lk(leader->m);
       leader->cv.wait(lk, [&] { return leader->done; });
       jobs_coalesced_.fetch_add(1, std::memory_order_relaxed);
+      metrics_
+          .counter("hpf90d_tenant_jobs", "Jobs finished, by tenant and terminal state",
+                   {{"tenant", job->tenant}, {"state", job_state_name(leader->terminal)}})
+          .add();
       queue_.complete(job->id, leader->terminal, std::string(leader->result));
       continue;
     }
@@ -317,6 +322,10 @@ void ExperimentServer::executor_loop() {
         job->submitted_ns != 0 && popped_ns > job->submitted_ns
             ? static_cast<double>(popped_ns - job->submitted_ns) / 1e9
             : 0.0;
+    metrics_
+        .counter("hpf90d_tenant_jobs", "Jobs finished, by tenant and terminal state",
+                 {{"tenant", job->tenant}, {"state", job_state_name(terminal)}})
+        .add();
     metrics_.histogram("hpf90d_job_wall_seconds", "Per-job sweep execution time",
                        {0.001, 0.01, 0.1, 1.0, 10.0, 60.0, 600.0})
         .observe(wall_s);
@@ -351,6 +360,9 @@ std::string ExperimentServer::execute(const Job& job, JobState& terminal) {
     lanes_evicted_.fetch_add(b.evicted_lanes, std::memory_order_relaxed);
     lanes_refilled_.fetch_add(b.refilled_lanes, std::memory_order_relaxed);
     simd_stripes_.fetch_add(b.simd_stripes, std::memory_order_relaxed);
+    lanes_pooled_.fetch_add(b.pooled_lanes, std::memory_order_relaxed);
+    branches_speculated_.fetch_add(b.speculated_branches, std::memory_order_relaxed);
+    lanes_speculated_.fetch_add(b.speculated_lanes, std::memory_order_relaxed);
   };
   try {
     if (job.is_study) {
@@ -382,15 +394,29 @@ std::string ExperimentServer::execute(const Job& job, JobState& terminal) {
 }
 
 void ExperimentServer::stream_stats(int fd, const std::string& request) {
-  // Payload: "<count> <interval_ms>". Both bounded — a stream is a burst a
-  // client polls with, not a subscription the daemon must carry forever.
+  // Payload: "<count> <interval_ms> [changed]". Both numbers bounded — a
+  // stream is a burst a client polls with, not a subscription the daemon
+  // must carry forever. The optional "changed" flag switches to push-on-
+  // change: the daemon still samples `count` times at the interval, but a
+  // snapshot is only written when its activity counters (queue occupancy,
+  // job terminals, batch telemetry) moved since the last pushed one.
   std::uint64_t count = 0;
   std::uint64_t interval_ms = 0;
+  bool on_change = false;
   {
     std::size_t used = 0;
     try {
       count = std::stoull(request, &used);
-      interval_ms = std::stoull(request.substr(used), nullptr);
+      std::size_t used2 = 0;
+      const std::string rest = request.substr(used);
+      interval_ms = std::stoull(rest, &used2);
+      std::string flag = rest.substr(used2);
+      flag.erase(0, flag.find_first_not_of(' '));
+      if (flag == "changed") {
+        on_change = true;
+      } else if (!flag.empty()) {
+        throw std::invalid_argument("unknown stats stream flag");
+      }
     } catch (const std::exception&) {
       write_frame(fd, Frame{MsgType::Error, "malformed stats stream request"});
       return;
@@ -400,6 +426,19 @@ void ExperimentServer::stream_stats(int fd, const std::string& request) {
     write_frame(fd, Frame{MsgType::Error, "stats stream bounds: count 1..1000, interval <= 10000ms"});
     return;
   }
+  // The change signature deliberately excludes ambient state (spill-dir
+  // disk usage, cache capacity): only work the daemon did since the last
+  // push should wake a changed-mode subscriber.
+  const auto signature = [](const ServerStats& s) {
+    return std::array<std::uint64_t, 12>{
+        s.queue_depth,    s.jobs_running,     s.jobs_submitted,
+        s.jobs_done,      s.jobs_failed,      s.jobs_cancelled,
+        s.points_batched, s.points_scalar,    s.points_replayed,
+        s.lanes_evicted + s.lanes_refilled,
+        s.lanes_pooled,   s.branches_speculated};
+  };
+  bool pushed_any = false;
+  std::array<std::uint64_t, 12> last{};
   for (std::uint64_t i = 0; i < count; ++i) {
     if (i > 0) {
       // sleep in 50ms slices so shutdown is never blocked on a stream
@@ -410,7 +449,12 @@ void ExperimentServer::stream_stats(int fd, const std::string& request) {
       }
       if (stopping_.load()) break;
     }
-    write_frame(fd, Frame{MsgType::StatsReply, encode_stats(stats())});
+    const ServerStats snapshot = stats();
+    const auto sig = signature(snapshot);
+    if (on_change && pushed_any && sig == last) continue;
+    last = sig;
+    pushed_any = true;
+    write_frame(fd, Frame{MsgType::StatsReply, encode_stats(snapshot)});
   }
   write_frame(fd, Frame{MsgType::StatsStreamEnd, {}});
 }
@@ -442,6 +486,10 @@ std::string ExperimentServer::metrics_text() {
       .set(static_cast<double>(s.lanes_evicted));
   metrics_.gauge("hpf90d_lanes_refilled", "Evicted lanes re-batched by compaction")
       .set(static_cast<double>(s.lanes_refilled));
+  metrics_.gauge("hpf90d_lanes_pooled", "Lanes re-batched by the cross-chunk pool")
+      .set(static_cast<double>(s.lanes_pooled));
+  metrics_.gauge("hpf90d_branches_speculated", "IF branches priced both-sides")
+      .set(static_cast<double>(s.branches_speculated));
   const std::size_t probes = s.cache.layout_misses;
   metrics_.gauge("hpf90d_spill_hit_ratio",
                  "Layout-store misses answered by the artifact spill")
@@ -489,6 +537,9 @@ ServerStats ExperimentServer::stats() const {
   s.lanes_evicted = lanes_evicted_.load();
   s.lanes_refilled = lanes_refilled_.load();
   s.simd_stripes = simd_stripes_.load();
+  s.lanes_pooled = lanes_pooled_.load();
+  s.branches_speculated = branches_speculated_.load();
+  s.lanes_speculated = lanes_speculated_.load();
   s.queue_depth = queue_.queued();
   s.jobs_running = queue_.running();
   s.slow_jobs = slow_jobs_.load();

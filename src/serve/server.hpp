@@ -152,7 +152,10 @@ class ExperimentServer {
   /// Decodes and runs one job, producing its encoded outcome.
   [[nodiscard]] std::string execute(const Job& job, JobState& terminal);
   /// Streams `count` StatsReply frames at `interval_ms` spacing, then
-  /// StatsStreamEnd (the StatsStream frame handler).
+  /// StatsStreamEnd (the StatsStream frame handler). With the optional
+  /// `changed` flag in the request, samples `count` times but only pushes
+  /// snapshots whose activity counters moved since the last push (the
+  /// first snapshot is always pushed), so an idle daemon costs one frame.
   void stream_stats(int fd, const std::string& request);
 
   ServerOptions options_;
@@ -182,6 +185,9 @@ class ExperimentServer {
   std::atomic<std::uint64_t> lanes_evicted_{0};
   std::atomic<std::uint64_t> lanes_refilled_{0};
   std::atomic<std::uint64_t> simd_stripes_{0};
+  std::atomic<std::uint64_t> lanes_pooled_{0};
+  std::atomic<std::uint64_t> branches_speculated_{0};
+  std::atomic<std::uint64_t> lanes_speculated_{0};
 
   // observability: span ring, metrics registry, slow-job log
   obs::Tracer tracer_;

@@ -56,8 +56,11 @@ enum class MsgType : std::uint16_t {
   // telemetry endpoint (stats codec v4)
   Metrics = 17,       // client -> server: empty; asks for Prometheus text
   MetricsReply = 18,  // server -> client: Prometheus exposition (metrics.hpp)
-  StatsStream = 19,   // client -> server: "<count> <interval_ms>"; the server
-                      // then pushes `count` StatsReply frames at the interval
+  StatsStream = 19,   // client -> server: "<count> <interval_ms> [changed]";
+                      // the server pushes up to `count` StatsReply frames at
+                      // the interval — all of them, or with the "changed"
+                      // flag only snapshots whose activity counters moved
+                      // since the last push (the first is always pushed)
   StatsStreamEnd = 20,// server -> client: terminates a StatsStream burst
 };
 

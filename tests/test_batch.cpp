@@ -36,12 +36,15 @@ struct Exports {
 };
 
 Exports run_once(const api::ExperimentPlan& plan, int batch_size, int workers,
-                 bool compact_lanes = true) {
+                 bool compact_lanes = true, bool speculate = false,
+                 bool order = false) {
   api::Session session;
   api::RunOptions opts;
   opts.workers = workers;
   opts.batch_size = batch_size;
   opts.compact_lanes = compact_lanes;
+  opts.speculate_branches = speculate;
+  opts.order_points = order;
   api::RunReport report = session.run(plan, opts);
   report.wall_seconds = 0.0;
   return Exports{report.ascii(), report.csv(), report.batch};
@@ -285,6 +288,317 @@ end program levels2
                              /*workers=*/1, /*compact_lanes=*/true);
   EXPECT_GT(e.batch.refilled_lanes, 0u);
   EXPECT_EQ(e.batch.replayed_points, 0u);
+}
+
+// --- cross-chunk session divergence pool --------------------------------------
+
+TEST(BatchOracle, CrossChunkPoolPairsLoneLanesFromDifferentChunks) {
+  // 258 single-nprocs points of one (machine, variant) group: the 256-point
+  // chunk granule splits them into two chunks. Exactly one point per chunk
+  // carries nlev = 9 (the rest nlev = 2), so each chunk evicts one LONE
+  // rebatchable lane its own re-compaction cannot pair. Pre-pool both
+  // would replay scalar; with the session-wide divergence pool the two
+  // equal-key lanes meet after the chunk barrier and re-enter lockstep
+  // TOGETHER — zero scalar replays — and the exports stay byte-identical
+  // to the scalar path, deterministically for every worker count.
+  static const char* const source = R"f90(
+program pooled
+  parameter (n = 512)
+  real v(n)
+!hpf$ template d(n)
+!hpf$ align v(i) with d(i)
+!hpf$ distribute d(block)
+  forall (i = 1:n) v(i) = real(i)
+  do it = 1, nlev
+    forall (i = 1:n) v(i) = v(i)*0.5 + 1.0
+  end do
+end program pooled
+)f90";
+  constexpr std::size_t kPoints = 258;  // chunk granule 256 -> two chunks
+  api::ExperimentPlan plan("batch oracle: cross-chunk pool");
+  plan.source(source).machines({"ipsc860"}).nprocs({1});
+  for (std::size_t i = 0; i < kPoints; ++i) {
+    front::Bindings b;
+    // one divergent point per chunk: 10 in the first, 257 in the second
+    b.set_int("nlev", (i == 10 || i == 257) ? 9 : 2);
+    b.set("pad", static_cast<double>(i));  // distinct bindings per point
+    plan.add_problem("p" + std::to_string(i), b);
+  }
+  plan.runs(1);
+
+  const Exports baseline = run_once(plan, /*batch_size=*/1, /*workers=*/1);
+  EXPECT_EQ(baseline.batch.pooled_lanes, 0u);
+
+  const Exports serial = run_once(plan, /*batch_size=*/64, /*workers=*/1);
+  EXPECT_EQ(serial.ascii, baseline.ascii);
+  EXPECT_EQ(serial.csv, baseline.csv);
+  EXPECT_EQ(serial.batch.pooled_lanes, 2u)
+      << "each chunk should export exactly its lone divergent lane";
+  EXPECT_EQ(serial.batch.replayed_points, 0u)
+      << "the pooled pair should re-enter lockstep, not replay scalar";
+  EXPECT_EQ(serial.batch.batched_points, kPoints);
+  EXPECT_GT(serial.batch.refilled_lanes, 0u);
+
+  // The drain is serial and canonically ordered, so telemetry — not just
+  // the payload — is identical under concurrent chunk execution.
+  const Exports pooled = run_once(plan, /*batch_size=*/64, /*workers=*/4);
+  EXPECT_EQ(pooled.ascii, baseline.ascii);
+  EXPECT_EQ(pooled.csv, baseline.csv);
+  EXPECT_EQ(pooled.batch.pooled_lanes, serial.batch.pooled_lanes);
+  EXPECT_EQ(pooled.batch.replayed_points, serial.batch.replayed_points);
+  EXPECT_EQ(pooled.batch.batched_points, serial.batch.batched_points);
+  EXPECT_EQ(pooled.batch.refilled_lanes, serial.batch.refilled_lanes);
+  EXPECT_EQ(pooled.batch.evicted_lanes, serial.batch.evicted_lanes);
+
+  // Compaction off: no pool, both lone lanes replay scalar — still
+  // byte-identical.
+  const Exports nopool = run_once(plan, /*batch_size=*/64, /*workers=*/1,
+                                  /*compact_lanes=*/false);
+  EXPECT_EQ(nopool.batch.pooled_lanes, 0u);
+  EXPECT_GT(nopool.batch.replayed_points, 0u);
+  EXPECT_EQ(nopool.ascii, baseline.ascii);
+  EXPECT_EQ(nopool.csv, baseline.csv);
+}
+
+// --- divergence-aware plan ordering -------------------------------------------
+
+TEST(BatchOracle, OrderPointsGroupsInterleavedDivergenceAxis) {
+  // The plan interleaves a divergence axis (nlev, a critical loop bound)
+  // with a benign axis (w, a value-only coefficient): plan order alternates
+  // nlev = 2, 7, 2, 7, ... so every unsorted lockstep window mixes both
+  // trip counts and must evict. order_points sorts each segment by the
+  // critical-variable signature, making nlev groups lane neighbours: at
+  // batch_size 4 the ordered run stays fully lockstep with ZERO evictions
+  // while the unsorted run evicts every window — and the report payload is
+  // byte-identical between them, for every batch size and worker count.
+  static const char* const source = R"f90(
+program ordered
+  parameter (n = 512)
+  real v(n)
+  real w
+!hpf$ template d(n)
+!hpf$ align v(i) with d(i)
+!hpf$ distribute d(block)
+  forall (i = 1:n) v(i) = real(i)*w
+  do it = 1, nlev
+    forall (i = 1:n) v(i) = v(i)*0.5 + 1.0
+  end do
+end program ordered
+)f90";
+  api::ExperimentPlan plan("batch oracle: ordered sweep");
+  plan.source(source).machines({"ipsc860"}).nprocs({1, 2});
+  for (const double w : {1.0, 2.0}) {
+    for (const long long nlev : {2, 7}) {
+      front::Bindings b;
+      b.set("w", w);
+      b.set_int("nlev", nlev);
+      plan.add_problem("w=" + std::to_string(w) + ",nlev=" + std::to_string(nlev),
+                       b);
+    }
+  }
+  plan.runs(2);
+  const std::size_t points = 2u * 2u * 2u;
+
+  const Exports baseline = run_once(plan, /*batch_size=*/1, /*workers=*/1);
+
+  // Byte-identity across ordering x batch size x workers.
+  for (const int batch : batch_sizes(points)) {
+    for (const int workers : kWorkerCounts) {
+      for (const bool order : {false, true}) {
+        const Exports e = run_once(plan, batch, workers, /*compact_lanes=*/true,
+                                   /*speculate=*/false, order);
+        EXPECT_EQ(e.ascii, baseline.ascii)
+            << "ascii diverged at batch_size=" << batch << " workers=" << workers
+            << " order=" << order;
+        EXPECT_EQ(e.csv, baseline.csv)
+            << "csv diverged at batch_size=" << batch << " workers=" << workers
+            << " order=" << order;
+      }
+    }
+  }
+
+  // Telemetry: at a window size matching the group size, ordering turns an
+  // every-window eviction pattern into pure lockstep.
+  const Exports unsorted = run_once(plan, /*batch_size=*/4, /*workers=*/1,
+                                    /*compact_lanes=*/true, /*speculate=*/false,
+                                    /*order=*/false);
+  const Exports ordered = run_once(plan, /*batch_size=*/4, /*workers=*/1,
+                                   /*compact_lanes=*/true, /*speculate=*/false,
+                                   /*order=*/true);
+  EXPECT_GT(unsorted.batch.evicted_lanes, 0u)
+      << "the interleaved plan should diverge without ordering";
+  EXPECT_EQ(ordered.batch.evicted_lanes, 0u)
+      << "signature ordering should make every window uniform";
+  EXPECT_EQ(ordered.batch.batched_points, points);
+}
+
+TEST(BatchOracle, OrderPointsKeepsMeasurementAndScaledPlansIdentical) {
+  // Ordering must compose with measurement (records carry measured stats
+  // assembled after the reorder) and with weak-scaling plans (problem and
+  // nprocs coupled). The payload stays byte-identical with ordering on.
+  const suite::BenchmarkApp& app = suite::app("pi");
+  api::ExperimentPlan plan("batch oracle: ordered scaled");
+  plan.source(app.source).machines({"ipsc860", "cluster"});
+  std::vector<api::ScaledCase> cases;
+  for (const auto& [size, np] : std::vector<std::pair<long long, int>>{
+           {16, 1}, {64, 2}, {16, 4}, {64, 8}}) {
+    api::ScaledCase sc;
+    sc.problem.name = "n=" + std::to_string(size);
+    sc.problem.bindings = app.bindings(size);
+    sc.nprocs = np;
+    cases.push_back(std::move(sc));
+  }
+  plan.scaled_cases(std::move(cases));
+  plan.runs(3);
+  const Exports baseline = run_once(plan, /*batch_size=*/1, /*workers=*/1);
+  for (const int workers : kWorkerCounts) {
+    const Exports e = run_once(plan, /*batch_size=*/64, workers,
+                               /*compact_lanes=*/true, /*speculate=*/false,
+                               /*order=*/true);
+    EXPECT_EQ(e.ascii, baseline.ascii) << "workers=" << workers;
+    EXPECT_EQ(e.csv, baseline.csv) << "workers=" << workers;
+  }
+}
+
+// --- speculative both-sides IF -----------------------------------------------
+
+TEST(BatchOracle, SpeculativeIfPricesBothArmsWithoutEviction) {
+  // `w` steers a cheap loop-free-armed IF both ways across lanes; the arms
+  // write DIFFERENT masked arrays, so mispricing either subset would show
+  // up in the estimates. With speculate_branches on, the batch engine walks
+  // both arms with per-lane subsets instead of evicting the minority: the
+  // exports must stay byte-identical to the scalar path and to the
+  // non-speculated batch run, and the IF must stop evicting entirely.
+  static const char* const source = R"f90(
+program specif
+  parameter (n = 512)
+  real a(n), b(n)
+  real w
+!hpf$ template d(n)
+!hpf$ align a(i) with d(i)
+!hpf$ align b(i) with d(i)
+!hpf$ distribute d(block)
+  forall (i = 1:n) a(i) = real(i)*w
+  forall (i = 1:n) b(i) = real(i) + w
+  if (w .gt. 2.0) then
+    forall (i = 1:n, a(i) .gt. 32.0) a(i) = a(i)*0.5
+  else
+    forall (i = 1:n, b(i) .gt. 16.0) b(i) = b(i)*0.25
+  end if
+end program specif
+)f90";
+  api::ExperimentPlan plan("batch oracle: speculative if");
+  plan.source(source).machines({"ipsc860", "cluster"}).nprocs({1, 4});
+  for (const double w : {0.5, 1.5, 2.5, 7.0}) {
+    front::Bindings b;
+    b.set("w", w);
+    plan.add_problem("w=" + std::to_string(w), b);
+  }
+  plan.runs(2);
+  const std::size_t points = 2u * 2u * 4u;
+
+  const Exports baseline = run_once(plan, /*batch_size=*/1, /*workers=*/1);
+  EXPECT_EQ(baseline.batch.scalar_points, points);
+  EXPECT_EQ(baseline.batch.speculated_branches, 0u);
+
+  // Without speculation the IF splits every window and evicts the minority.
+  const Exports evicting = run_once(plan, /*batch_size=*/static_cast<int>(points),
+                                    /*workers=*/1, /*compact_lanes=*/true,
+                                    /*speculate=*/false);
+  EXPECT_GT(evicting.batch.evicted_lanes, 0u);
+  EXPECT_EQ(evicting.batch.speculated_branches, 0u);
+  EXPECT_EQ(evicting.ascii, baseline.ascii);
+  EXPECT_EQ(evicting.csv, baseline.csv);
+
+  // With speculation the IF is the only divergence site, so no lane ever
+  // leaves lockstep — and the payload is unchanged byte for byte.
+  bool saw_speculated = false;
+  for (const int batch : batch_sizes(points)) {
+    for (const int workers : kWorkerCounts) {
+      const Exports e = run_once(plan, batch, workers, /*compact_lanes=*/true,
+                                 /*speculate=*/true);
+      EXPECT_EQ(e.ascii, baseline.ascii)
+          << "ascii diverged at batch_size=" << batch << " workers=" << workers;
+      EXPECT_EQ(e.csv, baseline.csv)
+          << "csv diverged at batch_size=" << batch << " workers=" << workers;
+      if (batch > 1) {
+        EXPECT_EQ(e.batch.evicted_lanes, 0u)
+            << "speculation should keep every lane in lockstep";
+        if (e.batch.speculated_branches > 0) saw_speculated = true;
+        EXPECT_EQ(e.batch.speculated_lanes >= e.batch.speculated_branches, true);
+      }
+    }
+  }
+  EXPECT_TRUE(saw_speculated) << "no setting ever speculated the IF";
+}
+
+TEST(BatchOracle, SpeculationSkipsLoopArmsAndComposesWithRefill) {
+  // The first IF's else-arm contains a binding-dependent DO, so it is not
+  // speculatable (arm cost unbounded): those lanes must still evict and
+  // refill by divergence key. The second IF is cheap and speculates. The
+  // two mechanisms compose in one program and the exports stay
+  // byte-identical to the scalar path throughout.
+  static const char* const source = R"f90(
+program mixed
+  parameter (n = 256)
+  real v(n)
+  real u, w
+!hpf$ template d(n)
+!hpf$ align v(i) with d(i)
+!hpf$ distribute d(block)
+  forall (i = 1:n) v(i) = real(i)
+  if (u .gt. 4.0) then
+    forall (i = 1:n) v(i) = v(i) + 1.0
+  else
+    do it = 1, nlev
+      forall (i = 1:n) v(i) = v(i)*0.5 + 1.0
+    end do
+  end if
+  if (w .gt. 2.0) then
+    forall (i = 1:n) v(i) = v(i)*2.0
+  else
+    forall (i = 1:n) v(i) = v(i)*3.0
+  end if
+end program mixed
+)f90";
+  // u splits the loop-armed IF; w splits the cheap IF. Every u group holds
+  // both w values, so the windows the first IF produces — the survivors AND
+  // the keyed refill of its evictees — still disagree at the second IF.
+  api::ExperimentPlan plan("batch oracle: mixed speculation");
+  plan.source(source).machines({"ipsc860"}).nprocs({1, 2, 4});
+  for (const double u : {1.0, 9.0}) {
+    for (const double w : {0.5, 3.0}) {
+      front::Bindings b;
+      b.set("u", u);
+      b.set("w", w);
+      b.set_int("nlev", 3);
+      plan.add_problem("u=" + std::to_string(u) + ",w=" + std::to_string(w), b);
+    }
+  }
+  plan.runs(2);
+  const std::size_t points = 2u * 2u * 3u;
+
+  const Exports baseline = run_once(plan, /*batch_size=*/1, /*workers=*/1);
+  for (const int batch : batch_sizes(points)) {
+    for (const int workers : kWorkerCounts) {
+      for (const bool speculate : {false, true}) {
+        const Exports e = run_once(plan, batch, workers, /*compact_lanes=*/true,
+                                   speculate);
+        EXPECT_EQ(e.ascii, baseline.ascii)
+            << "ascii diverged at batch_size=" << batch << " workers=" << workers
+            << " speculate=" << speculate;
+        EXPECT_EQ(e.csv, baseline.csv)
+            << "csv diverged at batch_size=" << batch << " workers=" << workers
+            << " speculate=" << speculate;
+      }
+    }
+  }
+  // Whole-sweep batch, speculation on: the loop-armed IF still evicts (and
+  // refills), while the cheap IF speculates instead of evicting again.
+  const Exports e = run_once(plan, static_cast<int>(points), /*workers=*/1,
+                             /*compact_lanes=*/true, /*speculate=*/true);
+  EXPECT_GT(e.batch.evicted_lanes, 0u);
+  EXPECT_GT(e.batch.speculated_branches, 0u);
 }
 
 // --- telemetry stays out of the exports ---------------------------------------

@@ -212,6 +212,57 @@ TEST(ObsMetrics, PrometheusExpositionIsDeterministicAndSorted) {
   EXPECT_LT(text.find("hpf90d_mm_seconds"), text.find("hpf90d_zz_depth"));
 }
 
+TEST(ObsMetrics, LabeledChildrenRenderSortedAndCanonicalized) {
+  obs::Registry reg;
+  // the unlabeled sample and labeled children coexist in one family
+  reg.counter("hpf90d_jobs", "jobs").add(10);
+  reg.counter("hpf90d_jobs", "jobs", {{"tenant", "beta"}, {"state", "done"}}).add(2);
+  reg.counter("hpf90d_jobs", "jobs", {{"tenant", "alpha"}, {"state", "done"}}).add(3);
+  // label order in the call is irrelevant: canonicalization sorts by key,
+  // so this resolves to the existing {state,tenant} child
+  reg.counter("hpf90d_jobs", "jobs", {{"state", "done"}, {"tenant", "beta"}}).add(1);
+  // values with quotes/backslashes/newlines are escaped, not corrupted
+  reg.gauge("hpf90d_weird", "w", {{"k", "a\"b\\c\nd"}}).set(1);
+
+  const std::string text = reg.prometheus();
+  EXPECT_EQ(text, reg.prometheus());
+  EXPECT_NE(text.find("hpf90d_jobs 10\n"), std::string::npos);
+  EXPECT_NE(text.find("hpf90d_jobs{state=\"done\",tenant=\"alpha\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hpf90d_jobs{state=\"done\",tenant=\"beta\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hpf90d_weird{k=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+  // one HELP/TYPE block per family, unlabeled sample first, children in
+  // label-block order
+  EXPECT_EQ(text.find("# TYPE hpf90d_jobs counter"),
+            text.rfind("# TYPE hpf90d_jobs counter"));
+  EXPECT_LT(text.find("hpf90d_jobs 10"), text.find("{state=\"done\",tenant=\"alpha\"}"));
+  EXPECT_LT(text.find("tenant=\"alpha\""), text.find("tenant=\"beta\""));
+  // kind strictness applies to the family, labeled or not
+  EXPECT_THROW((void)reg.gauge("hpf90d_jobs", "oops", {{"tenant", "x"}}),
+               std::logic_error);
+}
+
+TEST(ObsMetrics, LabelCardinalityCollapsesIntoOverflowChild) {
+  obs::Registry reg;
+  for (std::size_t i = 0; i < obs::Registry::kMaxChildren + 50; ++i) {
+    reg.counter("hpf90d_fan", "f", {{"tenant", "t" + std::to_string(i)}}).add();
+  }
+  // the cap holds: kMaxChildren distinct children plus one overflow child
+  // absorbing everything past it
+  const std::string text = reg.prometheus();
+  std::size_t samples = 0;
+  for (std::size_t pos = text.find("hpf90d_fan{"); pos != std::string::npos;
+       pos = text.find("hpf90d_fan{", pos + 1)) {
+    ++samples;
+  }
+  EXPECT_EQ(samples, obs::Registry::kMaxChildren + 1);
+  EXPECT_NE(text.find("hpf90d_fan{tenant=\"_overflow\"} 50\n"), std::string::npos);
+  // a label set that landed before the cap still resolves to its own child
+  reg.counter("hpf90d_fan", "f", {{"tenant", "t0"}}).add();
+  EXPECT_NE(reg.prometheus().find("hpf90d_fan{tenant=\"t0\"} 2\n"), std::string::npos);
+}
+
 TEST(ObsMetrics, ConcurrentUpdatesAreExact) {
   obs::Registry reg;
   auto& c = reg.counter("hpf90d_c_total", "c");
@@ -245,7 +296,10 @@ api::RunReport sample_report() {
   report.batch.lane_visits = 1600;
   report.batch.evicted_lanes = 3;
   report.batch.refilled_lanes = 2;
+  report.batch.pooled_lanes = 1;
   report.batch.simd_stripes = 200;
+  report.batch.speculated_branches = 4;
+  report.batch.speculated_lanes = 48;
   api::RunRecord r;
   r.machine = "ipsc860";
   r.variant = "(block,*)";
@@ -278,6 +332,9 @@ TEST(RunReportJson, RoundTripsEveryField) {
   EXPECT_EQ(back.batch.ir_visits, 400u);
   EXPECT_EQ(back.batch.lane_visits, 1600u);
   EXPECT_EQ(back.batch.simd_stripes, 200u);
+  EXPECT_EQ(back.batch.pooled_lanes, 1u);
+  EXPECT_EQ(back.batch.speculated_branches, 4u);
+  EXPECT_EQ(back.batch.speculated_lanes, 48u);
   ASSERT_EQ(back.records.size(), 2u);
   EXPECT_EQ(back.records[0].machine, "ipsc860");
   EXPECT_EQ(back.records[0].variant, "(block,*)");
@@ -387,6 +444,11 @@ TEST(ServeObs, MetricsEndpointServesPrometheusText) {
   EXPECT_NE(text.find("hpf90d_lockstep_occupancy"), std::string::npos);
   EXPECT_NE(text.find("hpf90d_spill_hit_ratio"), std::string::npos);
   EXPECT_NE(text.find("hpf90d_job_wall_seconds_count 1\n"), std::string::npos);
+  // per-tenant terminal-state counters render as labeled children
+  EXPECT_NE(text.find("hpf90d_tenant_jobs{state=\"done\",tenant=\"tenant-a\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("hpf90d_lanes_pooled"), std::string::npos);
+  EXPECT_NE(text.find("hpf90d_branches_speculated"), std::string::npos);
   // idle daemon state renders identically on a second scrape
   EXPECT_EQ(client.metrics(), text);
 

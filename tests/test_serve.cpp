@@ -290,6 +290,9 @@ TEST(PlanCodec, OutcomeAndStatsRoundTrip) {
   stats.lanes_evicted = 21;
   stats.lanes_refilled = 19;
   stats.simd_stripes = 8750;
+  stats.lanes_pooled = 5;
+  stats.branches_speculated = 13;
+  stats.lanes_speculated = 104;
   stats.queue_depth = 6;
   stats.jobs_running = 2;
   stats.slow_jobs = 1;
@@ -309,6 +312,9 @@ TEST(PlanCodec, OutcomeAndStatsRoundTrip) {
   EXPECT_EQ(s2.lanes_evicted, 21u);
   EXPECT_EQ(s2.lanes_refilled, 19u);
   EXPECT_EQ(s2.simd_stripes, 8750u);
+  EXPECT_EQ(s2.lanes_pooled, 5u);
+  EXPECT_EQ(s2.branches_speculated, 13u);
+  EXPECT_EQ(s2.lanes_speculated, 104u);
   EXPECT_EQ(s2.mean_lanes_per_visit(), 56.0);
   EXPECT_EQ(s2.queue_depth, 6u);
   EXPECT_EQ(s2.jobs_running, 2u);
@@ -322,17 +328,17 @@ TEST(PlanCodec, OutcomeAndStatsRoundTrip) {
 
 TEST(PlanCodec, StatsCodecIsStrictAboutVersionAndBatchLine) {
   const std::string good = serve::encode_stats(serve::ServerStats{});
-  EXPECT_EQ(good.rfind("hpf90d-stats 4\n", 0), 0u);
+  EXPECT_EQ(good.rfind("hpf90d-stats 5\n", 0), 0u);
   EXPECT_NE(good.find("\nbatch "), std::string::npos);
   EXPECT_NE(good.find("\nqueue "), std::string::npos);
   EXPECT_NE(good.find("\nspilldir "), std::string::npos);
 
-  // older headers (v1: no batch line, v2: narrower batch line, v3: no
-  // queue/spilldir lines) are different wire formats — a version mismatch
-  // is a hard error, never a best-effort parse
-  for (const char* old : {"stats 1", "stats 2", "stats 3"}) {
+  // older headers (v1: no batch line, v2/v3: narrower batch lines, v4: no
+  // pool/speculation counters) are different wire formats — a version
+  // mismatch is a hard error, never a best-effort parse
+  for (const char* old : {"stats 1", "stats 2", "stats 3", "stats 4"}) {
     std::string stale = good;
-    stale.replace(stale.find("stats 4"), 7, old);
+    stale.replace(stale.find("stats 5"), 7, old);
     EXPECT_THROW((void)serve::decode_stats(stale), serve::CodecError);
   }
 
@@ -340,10 +346,10 @@ TEST(PlanCodec, StatsCodecIsStrictAboutVersionAndBatchLine) {
   const std::size_t pos = good.find("\nbatch ");
   const std::size_t eol = good.find('\n', pos + 1);
   std::string missing = good;
-  missing.replace(pos, eol - pos, "\nbatch 1 2 3 4 5 6");
+  missing.replace(pos, eol - pos, "\nbatch 1 2 3 4 5 6 7 8 9");
   EXPECT_THROW((void)serve::decode_stats(missing), serve::CodecError);
   std::string extra = good;
-  extra.replace(pos, eol - pos, "\nbatch 1 2 3 4 5 6 7 8 9 10");
+  extra.replace(pos, eol - pos, "\nbatch 1 2 3 4 5 6 7 8 9 10 11 12 13");
   EXPECT_THROW((void)serve::decode_stats(extra), serve::CodecError);
 }
 
@@ -722,6 +728,40 @@ TEST(ExperimentServer, BatchTelemetrySurfacesThroughTheStatsEndpoint) {
   // refill totals stay consistent
   EXPECT_GT(stats.simd_stripes, 0u);
   EXPECT_LE(stats.lanes_refilled, stats.lanes_evicted);
+}
+
+TEST(ExperimentServer, StatsStreamOnChangePushesOnlyWhenCountersMove) {
+  ServerFixture fixture;
+  serve::ServeClient client(fixture.options.socket_path, "tenant");
+  client.connect();
+
+  // idle daemon: a plain stream delivers every sample, a changed-mode
+  // stream collapses the burst to the first snapshot
+  const auto plain = client.stats_stream(4, 1);
+  EXPECT_EQ(plain.size(), 4u);
+  const auto quiet = client.stats_stream(4, 1, /*on_change=*/true);
+  ASSERT_EQ(quiet.size(), 1u);
+  EXPECT_EQ(quiet[0].jobs_done, 0u);
+
+  // activity between samples surfaces: running a job moves the watched
+  // counters, so a later changed-mode burst starts from the new state
+  api::ExperimentPlan plan = small_plan("stream-change");
+  plan.nprocs({1, 2});
+  const serve::JobResult r = client.wait(client.submit(plan));
+  ASSERT_TRUE(r.ok()) << r.error;
+  const auto after = client.stats_stream(3, 1, /*on_change=*/true);
+  ASSERT_GE(after.size(), 1u);
+  EXPECT_EQ(after[0].jobs_done, 1u);
+  EXPECT_GT(after[0].points_batched + after[0].points_scalar, 0u);
+
+  // bounds are still enforced in changed mode, and the connection
+  // survives a rejected request
+  {
+    serve::ServeClient raw(fixture.options.socket_path, "tenant");
+    raw.connect();
+    EXPECT_THROW((void)raw.stats_stream(2, 70000, true), std::runtime_error);
+    EXPECT_EQ(raw.stats_stream(1, 0, true).size(), 1u);
+  }
 }
 
 TEST(ExperimentServer, IdenticalInflightJobsCoalesceToOneExecution) {
